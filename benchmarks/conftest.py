@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+paper-reported values next to the measured ones.  Set ``REPRO_FULL=1`` to run
+the full-size sweeps (the defaults are trimmed so the whole harness completes
+in a few minutes on a laptop); EXPERIMENTS.md records a full run.
+"""
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    """Whether the full paper-scale sweeps were requested."""
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+
+
+def print_table(title, header, rows):
+    """Render a small ASCII table to stdout (captured with ``pytest -s``)."""
+    print()
+    print(f"== {title} ==")
+    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    print()
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

@@ -1,0 +1,73 @@
+"""Ablation: decoder choice for EFT-era surface-code memory (paper Sec. 7).
+
+The paper argues that approximate decoders (Union-Find, clique predecoding,
+lookup tables) are attractive in the EFT era because error-rate requirements
+are looser than for full FTQC.  This bench quantifies the trade: logical
+error rate of four decoders on the same phenomenological memory experiments,
+plus the predecoder's offload fraction.
+"""
+
+import pytest
+
+from repro.qec import (CliquePredecoder, LookupDecoder, MWPMDecoder,
+                       UnionFindDecoder, decoder_comparison)
+from repro.qec.decoders.graph import rotated_surface_code_graph
+from repro.qec.surface_memory import SurfaceCodeMemory
+
+from conftest import full_mode, print_table
+
+SHOTS = 400 if full_mode() else 150
+
+
+def _factories():
+    return {
+        "mwpm": MWPMDecoder,
+        "union_find": UnionFindDecoder,
+        "lookup_w2": lambda graph: LookupDecoder(graph, max_error_weight=2),
+        "clique+mwpm": CliquePredecoder,
+    }
+
+
+def test_ablation_decoder_accuracy(benchmark):
+    """All decoders correct the bulk of errors; MWPM sets the floor and the
+    cheap decoders stay within a small factor of it below threshold."""
+
+    def compute():
+        surface = decoder_comparison(3, 0.02, _factories(), shots=SHOTS,
+                                     code="rotated_surface", seed=19)
+        repetition = decoder_comparison(5, 0.03, _factories(), shots=SHOTS,
+                                        code="repetition", seed=29)
+        return surface, repetition
+
+    surface, repetition = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [[name, f"{surface[name].logical_error_rate:.4f}",
+             f"{repetition[name].logical_error_rate:.4f}"]
+            for name in _factories()]
+    print_table("Ablation: decoder comparison (rotated surface d=3 p=0.02; "
+                "repetition d=5 p=0.03)",
+                ["decoder", "surface LER", "repetition LER"], rows)
+    mwpm_rate = surface["mwpm"].logical_error_rate
+    for name, outcome in surface.items():
+        assert outcome.logical_error_rate <= max(3.0 * mwpm_rate, 0.12), \
+            f"{name} is far off the MWPM floor"
+    # The repetition code at p=0.03 is deep below threshold for everyone.
+    for outcome in repetition.values():
+        assert outcome.logical_error_rate <= 0.1
+
+
+def test_ablation_clique_predecoder_offload(benchmark):
+    """The clique predecoder should resolve most defects locally at low p."""
+
+    def compute():
+        graph = rotated_surface_code_graph(3, 3, 5e-3)
+        predecoder = CliquePredecoder(graph)
+        memory = SurfaceCodeMemory(graph, lambda g: predecoder, seed=31)
+        outcome = memory.run(SHOTS)
+        return predecoder.offload_fraction, outcome.logical_error_rate
+
+    offload, error_rate = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table("Ablation: clique predecoder offload at p=5e-3 (d=3)",
+                ["offload fraction", "logical error rate"],
+                [[f"{offload:.2%}", f"{error_rate:.4f}"]])
+    assert offload >= 0.3
+    assert error_rate <= 0.1

@@ -1,0 +1,79 @@
+"""Figure 5 — win percentage of pQEC over qec-conventional across device sizes.
+
+Paper: heatmap over devices of 10k–60k physical qubits and programs of up to
+~100 logical qubits (d = 11).  qec-conventional wins for small programs on
+large devices (room for many high-quality factories); pQEC wins at the
+frontier of device capability; white squares mark programs that do not fit.
+"""
+
+import pytest
+
+from repro.ansatz import FullyConnectedAnsatz, LinearAnsatz
+from repro.core import (CircuitProfile, EFTDevice, PQECRegime,
+                        QECConventionalRegime, device_size_sweep,
+                        estimate_fidelity, win_fraction)
+from repro.qec import PAPER_FIG4_FACTORIES, get_factory
+
+from conftest import full_mode, print_table
+
+PROGRAM_SIZES = (12, 20, 32, 40, 60, 80) if full_mode() else (12, 20, 32, 40)
+DEVICE_SIZES = tuple(device_size_sweep()) if full_mode() else (10_000, 30_000, 60_000)
+
+
+def _benchmark_profiles(num_qubits):
+    """A small benchmark set per cell: two ansatz families × two depths."""
+    profiles = []
+    for depth in (1, 2):
+        profiles.append(CircuitProfile.from_ansatz(
+            FullyConnectedAnsatz(num_qubits, depth)))
+        profiles.append(CircuitProfile.from_ansatz(
+            LinearAnsatz(num_qubits, depth)))
+    return profiles
+
+
+def compute_win_matrix():
+    matrix = {}
+    for device_qubits in DEVICE_SIZES:
+        device = EFTDevice(device_qubits)
+        for num_qubits in PROGRAM_SIZES:
+            if not device.fits_program(num_qubits):
+                matrix[(device_qubits, num_qubits)] = None  # white square
+                continue
+            pqec_scores, conv_scores = [], []
+            for profile in _benchmark_profiles(num_qubits):
+                pqec_scores.append(
+                    estimate_fidelity(profile, PQECRegime(), device).fidelity)
+                best = 0.0
+                for name in PAPER_FIG4_FACTORIES:
+                    regime = QECConventionalRegime(factory=get_factory(name))
+                    best = max(best,
+                               estimate_fidelity(profile, regime, device).fidelity)
+                conv_scores.append(best)
+            matrix[(device_qubits, num_qubits)] = 100.0 * win_fraction(
+                pqec_scores, conv_scores)
+    return matrix
+
+
+def test_fig05_win_percentage(benchmark):
+    matrix = benchmark(compute_win_matrix)
+    header = ["program \\ device"] + [f"{d // 1000}k" for d in DEVICE_SIZES]
+    rows = []
+    for num_qubits in PROGRAM_SIZES:
+        row = [num_qubits]
+        for device_qubits in DEVICE_SIZES:
+            value = matrix[(device_qubits, num_qubits)]
+            row.append("white" if value is None else f"{value:.0f}%")
+        rows.append(row)
+    print_table("Fig. 5: pQEC win % vs best-fitting factory "
+                "(paper: conventional wins small programs on big devices; "
+                "pQEC wins at the device frontier)", header, rows)
+    smallest, largest = PROGRAM_SIZES[0], PROGRAM_SIZES[-1]
+    small_device, big_device = DEVICE_SIZES[0], DEVICE_SIZES[-1]
+    # Growing the device never helps pQEC for the smallest program...
+    assert matrix[(big_device, smallest)] <= matrix[(small_device, smallest)]
+    # ...and for each device the win % is non-decreasing in program size
+    # (ignoring white squares).
+    for device_qubits in DEVICE_SIZES:
+        values = [matrix[(device_qubits, n)] for n in PROGRAM_SIZES
+                  if matrix[(device_qubits, n)] is not None]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))

@@ -1,0 +1,43 @@
+"""Figure 8 — spacetime volume of patch shuffling vs the naive strategy.
+
+Paper: for 20–76 qubit circuits, patch shuffling (2 magic-state patches,
+re-injected while the other is consumed) achieves the lowest spacetime volume
+and zero stalls, while the naive strategy's volume grows with the number of
+pre-injected backup states b = 1…4.
+"""
+
+import pytest
+
+from repro.core import compare_strategies, naive_rotation_estimate, \
+    shuffling_rotation_estimate
+
+from conftest import print_table
+
+QUBIT_SWEEP = tuple(range(20, 80, 4))
+BACKUPS = (1, 2, 3, 4)
+
+
+def compute_figure8():
+    return compare_strategies(QUBIT_SWEEP, BACKUPS)
+
+
+def test_fig08_patch_shuffling(benchmark):
+    points = benchmark(compute_figure8)
+    rows = []
+    for point in points:
+        row = [point.num_qubits, f"{point.shuffling_volume:.3e}"]
+        row += [f"{point.naive_volumes[b]:.3e}" for b in BACKUPS]
+        rows.append(row)
+    print_table("Fig. 8: rotation-subsystem spacetime volume "
+                "(physical-qubit cycles; paper ~1e5-2.5e6 over this sweep)",
+                ["qubits", "shuffling"] + [f"naive b={b}" for b in BACKUPS], rows)
+    # Shape: shuffling is always cheapest; naive grows with b; volumes grow
+    # linearly with circuit width.
+    for point in points:
+        assert point.shuffling_volume < min(point.naive_volumes.values())
+        naive = [point.naive_volumes[b] for b in BACKUPS]
+        assert all(a < b for a, b in zip(naive, naive[1:]))
+    assert points[-1].shuffling_volume > points[0].shuffling_volume
+    # Stalls: shuffling has (essentially) none, naive(1) stalls the most.
+    assert shuffling_rotation_estimate().expected_stall_cycles < \
+        naive_rotation_estimate(1).expected_stall_cycles

@@ -1,0 +1,52 @@
+"""Figure 11 — blocked_all_to_all fidelity in the NISQ vs EFT (pQEC) regimes.
+
+Paper: at 8 qubits the NISQ fidelity decays more slowly with depth, so NISQ
+wins at large depth; at 12 and 16 qubits pQEC wins consistently — matching
+the Sec. 4.4 CNOT:Rz-ratio rule (theoretical crossover ≈ 13 qubits, observed
+≈ 12).
+"""
+
+import pytest
+
+from repro.ansatz import BlockedAllToAllAnsatz, regime_preference
+from repro.core import CircuitProfile, NISQRegime, PQECRegime, nisq_fidelity, \
+    pqec_fidelity
+
+from conftest import print_table
+
+QUBITS = (8, 12, 16)
+DEPTHS = (1, 5, 10, 15, 20, 25)
+
+
+def compute_figure11():
+    curves = {}
+    for num_qubits in QUBITS:
+        nisq_curve, pqec_curve = [], []
+        for depth in DEPTHS:
+            profile = CircuitProfile.from_ansatz(
+                BlockedAllToAllAnsatz(num_qubits, depth))
+            nisq_curve.append(nisq_fidelity(profile, NISQRegime()).fidelity)
+            pqec_curve.append(pqec_fidelity(profile, PQECRegime()).fidelity)
+        curves[num_qubits] = (nisq_curve, pqec_curve)
+    return curves
+
+
+def test_fig11_nisq_vs_eft_depth(benchmark):
+    curves = benchmark(compute_figure11)
+    rows = []
+    for num_qubits, (nisq_curve, pqec_curve) in curves.items():
+        for depth, nisq, pqec in zip(DEPTHS, nisq_curve, pqec_curve):
+            rows.append([num_qubits, depth, f"{nisq:.3f}", f"{pqec:.3f}",
+                         "pQEC" if pqec > nisq else "NISQ"])
+    print_table("Fig. 11: blocked_all_to_all fidelity vs depth "
+                "(paper: NISQ wins at 8 qubits / large depth, pQEC wins at 12+)",
+                ["qubits", "depth", "F(NISQ)", "F(pQEC)", "winner"], rows)
+    # 8 qubits: NISQ overtakes pQEC at large depth.
+    nisq_8, pqec_8 = curves[8]
+    assert nisq_8[-1] > pqec_8[-1]
+    # 16 qubits: pQEC wins at every depth (the paper's consistent benefit).
+    nisq_16, pqec_16 = curves[16]
+    assert all(p > n for p, n in zip(pqec_16, nisq_16))
+    # The Sec. 4.4 rule predicts the same crossover.
+    assert not regime_preference("blocked_all_to_all", 8).prefers_pqec
+    assert regime_preference("blocked_all_to_all", 16).prefers_pqec

@@ -1,0 +1,73 @@
+"""Figure 13 — γ(pQEC/NISQ) from noisy density-matrix simulation.
+
+Paper: 8- and 12-qubit Ising, Heisenberg, H2O, H6 and LiH Hamiltonians,
+depth-1 FCHE, COBYLA/ImFil optimizers, exact ground-state reference; pQEC
+consistently beats NISQ (Ising avg 3.45x, Heisenberg avg 3.0x, H2O avg 19.5x,
+H6 avg 2.7x, LiH avg 1.6x).
+
+The default run uses 8-qubit instances (including reduced-term synthetic
+molecules) so the exact density-matrix flow stays laptop-fast; REPRO_FULL=1
+runs the 12-qubit physics models as well.
+"""
+
+import pytest
+
+from repro.ansatz import FullyConnectedAnsatz
+from repro.core import NISQRegime, PQECRegime, summarize_gammas
+from repro.operators import (heisenberg_hamiltonian, ising_hamiltonian,
+                             molecular_hamiltonian)
+from repro.vqe import CobylaOptimizer, compare_regimes_opr
+
+from conftest import full_mode, print_table
+
+NUM_QUBITS = 8
+MAX_ITERATIONS = 400 if full_mode() else 200
+
+
+def benchmark_hamiltonians():
+    instances = {
+        "ising_J1": ising_hamiltonian(NUM_QUBITS, 1.0),
+        "heisenberg_J0.5": heisenberg_hamiltonian(NUM_QUBITS, 0.5),
+        "H2O_l1": molecular_hamiltonian("H2O", 1.0, num_qubits=NUM_QUBITS,
+                                        num_terms=60),
+        "LiH_l1": molecular_hamiltonian("LiH", 1.0, num_qubits=NUM_QUBITS,
+                                        num_terms=50),
+    }
+    if full_mode():
+        instances["ising12_J1"] = ising_hamiltonian(12, 1.0)
+        instances["heisenberg12_J1"] = heisenberg_hamiltonian(12, 1.0)
+    return instances
+
+
+def compute_figure13():
+    rows = []
+    comparisons = []
+    for name, hamiltonian in benchmark_hamiltonians().items():
+        ansatz = FullyConnectedAnsatz(hamiltonian.num_qubits, 1)
+        reference = hamiltonian.ground_state_energy()
+        # Optimal Parameter Resilience flow (Sec. 2.1): optimize noiselessly
+        # starting from the CAFQA bootstrap, then evaluate the optimum under
+        # both regimes' noise models.  This is the converged-parameters
+        # comparison Fig. 13 reports, without the prohibitive cost of running
+        # a full optimization inside the noisy density-matrix simulation.
+        outcome = compare_regimes_opr(
+            hamiltonian, ansatz, PQECRegime(), NISQRegime(), reference,
+            optimizer=CobylaOptimizer(max_iterations=MAX_ITERATIONS),
+            benchmark_name=name, seed=11)
+        comparison = outcome["comparison"]
+        comparisons.append(comparison)
+        rows.append([name, hamiltonian.num_qubits, f"{reference:.4f}",
+                     f"{comparison.energy_a:.4f}", f"{comparison.energy_b:.4f}",
+                     f"{comparison.gamma:.2f}x"])
+    return rows, comparisons
+
+
+def test_fig13_density_matrix(benchmark):
+    rows, comparisons = benchmark.pedantic(compute_figure13, rounds=1, iterations=1)
+    print_table("Fig. 13: gamma(pQEC/NISQ), noisy density-matrix VQE "
+                "(paper: >=1 on every benchmark, 1.6x-39x)",
+                ["benchmark", "qubits", "E0", "E(pQEC)", "E(NISQ)", "gamma"], rows)
+    summary = summarize_gammas(comparisons)
+    print(f"mean gamma = {summary['mean']:.2f}, max = {summary['max']:.2f}")
+    assert summary["min"] >= 0.95  # pQEC never loses meaningfully
+    assert summary["mean"] > 1.1

@@ -1,0 +1,98 @@
+"""Figure 14 — blocked_all_to_all vs FCHE under pQEC.
+
+Paper: γ(blocked/FCHE) under pQEC for Ising and Heisenberg models, alongside
+the noiseless ("expressibility") energy ratio of the two ansatze.  Blocked is
+comparable or better for most Ising instances (avg 1.35x) and weaker on
+Heisenberg J=1 (avg 0.49x) where its structure misses the needed
+interactions; the noiseless ratio hovers around 1.  Blocked always executes
+in roughly half the time (Table 2).
+"""
+
+import pytest
+
+from repro.ansatz import BlockedAllToAllAnsatz, FullyConnectedAnsatz
+from repro.architecture import make_layout, schedule_on_layout
+from repro.core import PQECRegime, RegimeComparison
+from repro.operators import heisenberg_hamiltonian, ising_hamiltonian
+from repro.vqe import CliffordVQE, GeneticOptimizer, best_noiseless_clifford_energy
+
+from conftest import full_mode, print_table
+
+QUBIT_SWEEP = (16, 24) if not full_mode() else (16, 24, 32, 48)
+COUPLINGS = (0.25, 1.00)
+# The noiseless searches set the expressibility baseline of both ansatze; an
+# under-converged search exaggerates the γ spread, so this bench uses a larger
+# GA budget than the other Clifford-proxy benches.
+GA_KWARGS = dict(population_size=20, generations=14) if not full_mode() \
+    else dict(population_size=28, generations=20)
+
+
+#: Regularization added to both energy gaps: Clifford-state energies are
+#: quantized, so a converged run can hit the reference exactly and make the
+#: raw γ ratio ill-conditioned.
+GAP_EPSILON = 1e-3
+
+
+def noiseless_search(hamiltonian, ansatz, seed):
+    return best_noiseless_clifford_energy(
+        hamiltonian, ansatz, GeneticOptimizer(seed=seed, **GA_KWARGS), seed=seed)
+
+
+def rescore_under_noise(hamiltonian, ansatz, indices, noise_model, seed):
+    vqe = CliffordVQE(hamiltonian, ansatz, noise_model,
+                      GeneticOptimizer(seed=seed, **GA_KWARGS), seed=seed)
+    return vqe.evaluate_indices(indices)
+
+
+def compute_figure14():
+    rows = []
+    gammas = {"ising": [], "heisenberg": []}
+    noise = PQECRegime().noise_model()
+    for family, builder in (("ising", ising_hamiltonian),
+                            ("heisenberg", heisenberg_hamiltonian)):
+        for num_qubits in QUBIT_SWEEP:
+            for coupling in COUPLINGS:
+                hamiltonian = builder(num_qubits, coupling)
+                blocked = BlockedAllToAllAnsatz(num_qubits, 1)
+                fche = FullyConnectedAnsatz(num_qubits, 1)
+                seed = 37 + num_qubits + int(coupling * 10)
+                # Noiseless (expressibility) optima of both ansatze; the shared
+                # reference E0 is the better of the two, which keeps both noisy
+                # gaps non-negative under the OPR rescoring below.
+                fche_ideal = noiseless_search(hamiltonian, fche, seed)
+                blocked_ideal = noiseless_search(hamiltonian, blocked, seed)
+                reference = min(fche_ideal.best_energy,
+                                blocked_ideal.best_energy)
+                blocked_noisy = rescore_under_noise(
+                    hamiltonian, blocked, blocked_ideal.parameter_indices,
+                    noise, seed)
+                fche_noisy = rescore_under_noise(
+                    hamiltonian, fche, fche_ideal.parameter_indices, noise, seed)
+                gamma = ((fche_noisy - reference + GAP_EPSILON)
+                         / (blocked_noisy - reference + GAP_EPSILON))
+                gammas[family].append(gamma)
+                ideal_ratio = (blocked_ideal.best_energy
+                               / fche_ideal.best_energy
+                               if fche_ideal.best_energy else 1.0)
+                layout = make_layout("proposed", num_qubits)
+                time_ratio = (schedule_on_layout(blocked, layout).cycles
+                              / schedule_on_layout(fche, layout).cycles)
+                rows.append([family, num_qubits, coupling,
+                             f"{gamma:.2f}x", f"{ideal_ratio:.2f}",
+                             f"{time_ratio:.2f}"])
+    return rows, gammas
+
+
+def test_fig14_blocked_vs_fche(benchmark):
+    rows, gammas = benchmark.pedantic(compute_figure14, rounds=1, iterations=1)
+    print_table("Fig. 14: gamma(blocked/FCHE) under pQEC "
+                "(paper: Ising avg 1.35x, Heisenberg avg 0.49x, ideal ratio ~1, "
+                "execution time always < 0.6x)",
+                ["family", "qubits", "J", "gamma", "ideal-energy ratio",
+                 "time ratio"], rows)
+    # Shape: blocked is competitive on Ising (can win), may lose where its
+    # expressibility falls short (as in the paper's Heisenberg J=1 case), and
+    # always executes faster.
+    assert max(gammas["ising"]) >= 0.9
+    assert all(gamma > 0.0 for family in gammas for gamma in gammas[family])
+    assert all(float(row[5]) < 0.7 for row in rows)

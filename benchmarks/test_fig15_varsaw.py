@@ -1,0 +1,71 @@
+"""Figure 15 — VarSaw measurement-error mitigation composed with NISQ and pQEC.
+
+Paper: for 12-qubit Ising and Heisenberg (J=1) VQE, adding VarSaw lets the
+optimizer converge to a lower energy under both NISQ and pQEC execution.
+
+The reproduction evaluates the converged Clifford-proxy solution with and
+without readout mitigation under both regimes (8 qubits by default,
+REPRO_FULL=1 for 12).
+"""
+
+import pytest
+
+from repro.ansatz import FullyConnectedAnsatz
+from repro.core import NISQRegime, PQECRegime
+from repro.mitigation import MitigatedEnergyEvaluator
+from repro.operators import heisenberg_hamiltonian, ising_hamiltonian
+from repro.vqe import CliffordEnergyEvaluator, CliffordVQE, GeneticOptimizer
+
+from conftest import full_mode, print_table
+
+NUM_QUBITS = 12 if full_mode() else 8
+GA_KWARGS = dict(population_size=14, generations=6)
+
+
+def compute_figure15():
+    rows = []
+    improvements = []
+    nisq_improvements = []
+    for family, builder in (("ising", ising_hamiltonian),
+                            ("heisenberg", heisenberg_hamiltonian)):
+        hamiltonian = builder(NUM_QUBITS, 1.0)
+        ansatz = FullyConnectedAnsatz(NUM_QUBITS, 1)
+        for regime in (NISQRegime(), PQECRegime()):
+            noise = regime.noise_model()
+            seed = 5 + NUM_QUBITS
+            vqe = CliffordVQE(hamiltonian, ansatz, noise,
+                              GeneticOptimizer(seed=seed, **GA_KWARGS), seed=seed)
+            converged = vqe.run()
+            base = CliffordEnergyEvaluator(hamiltonian, noise)
+            mitigated = MitigatedEnergyEvaluator(base)
+            # The unmitigated energy includes the regime's readout error
+            # (terminal measurements on every qubit); the VarSaw evaluator
+            # measures the same per-term values and divides out the
+            # calibrated readout attenuation.
+            measured_circuit = ansatz.build(include_measurement=True) \
+                .bind_parameters(list(converged.best_parameters))
+            plain_circuit = ansatz.build().bind_parameters(
+                list(converged.best_parameters))
+            unmitigated_energy = base(measured_circuit)
+            mitigated_energy = mitigated(plain_circuit)
+            improvement = unmitigated_energy - mitigated_energy
+            improvements.append(improvement)
+            if regime.name == "nisq":
+                nisq_improvements.append(improvement)
+            rows.append([family, regime.name, f"{unmitigated_energy:.4f}",
+                         f"{mitigated_energy:.4f}", f"{improvement:+.4f}"])
+    return rows, improvements, nisq_improvements
+
+
+def test_fig15_varsaw(benchmark):
+    rows, improvements, nisq_improvements = benchmark.pedantic(
+        compute_figure15, rounds=1, iterations=1)
+    print_table("Fig. 15: converged VQE energy with and without VarSaw "
+                "(paper: mitigation lowers the converged energy for both regimes)",
+                ["benchmark", "regime", "E (unmitigated)", "E (VarSaw)",
+                 "improvement"], rows)
+    # Mitigation must help (lower energy) in the readout-dominated NISQ rows
+    # and never hurt meaningfully in any row (pQEC readout error is ~1e-7, so
+    # its improvement is positive but tiny).
+    assert all(delta > 0.0 for delta in nisq_improvements)
+    assert all(delta >= -1e-6 for delta in improvements)

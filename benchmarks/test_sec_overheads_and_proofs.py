@@ -1,0 +1,91 @@
+"""Section-level quantitative claims: packing efficiency (Sec. 4.1), the
+CNOT:Rz design rule (Sec. 4.4), the Clifford+T overheads (Sec. 2.5), and the
+patch-shuffling proof (Sec. 9)."""
+
+import math
+
+import pytest
+
+from repro.ansatz import (blocked_ratio_formula, cnot_to_rz_ratio,
+                          pqec_crossover_qubits, regime_preference)
+from repro.architecture import ProposedLayout
+from repro.core import EFTDevice, InjectionStatistics, injection_error_rate
+from repro.qec import (get_factory, sequence_length_for_precision,
+                       synthesis_overhead, t_count_for_precision)
+
+from conftest import print_table
+
+
+def test_sec41_packing_efficiency(benchmark):
+    def compute():
+        return {k: ProposedLayout(k=k).packing_efficiency() for k in (1, 4, 10, 40, 100)}
+
+    values = benchmark(compute)
+    rows = [[k, f"{pe:.3f}", f"{ProposedLayout.packing_efficiency_formula(k):.3f}"]
+            for k, pe in values.items()]
+    print_table("Sec. 4.1: packing efficiency PE = 4(k+1)/(6(k+2)) -> ~0.67",
+                ["k", "measured", "formula"], rows)
+    assert values[100] == pytest.approx(2 / 3, abs=0.01)
+    assert all(pe <= 2 / 3 + 1e-9 for pe in values.values())
+
+
+def test_sec44_cnot_rz_ratio_rule(benchmark):
+    def compute():
+        return {family: [cnot_to_rz_ratio(family, n) for n in (8, 12, 16, 24, 48)]
+                for family in ("linear", "fully_connected", "blocked_all_to_all")}
+
+    ratios = benchmark(compute)
+    rows = [[family] + [f"{value:.3f}" for value in values]
+            for family, values in ratios.items()]
+    print_table("Sec. 4.4: CNOT-to-runtime-Rz ratio (pQEC wins above 0.76)",
+                ["family", "N=8", "N=12", "N=16", "N=24", "N=48"], rows)
+    assert all(value == pytest.approx(0.25) for value in ratios["linear"])
+    assert blocked_ratio_formula(13) == pytest.approx(0.76, abs=0.01)
+    assert pqec_crossover_qubits("blocked_all_to_all") in (13, 14)
+    assert not regime_preference("blocked_all_to_all", 8).prefers_pqec
+    assert regime_preference("blocked_all_to_all", 16).prefers_pqec
+    assert regime_preference("fully_connected", 20).prefers_pqec
+
+
+def test_sec25_clifford_t_overheads(benchmark):
+    def compute():
+        # A 20-qubit depth-1 FCHE VQE: 40 rotations, ~230 gates, depth ~25.
+        overhead = synthesis_overhead(num_rotations=40, original_gate_count=230,
+                                      original_depth=25, precision=1e-6)
+        factory = get_factory("15-to-1_7,3,3")
+        device = EFTDevice(10_000)
+        return overhead, factory, device
+
+    overhead, factory, device = benchmark(compute)
+    rows = [
+        ["T count per rotation (1e-6)", t_count_for_precision(1e-6), "~60-100"],
+        ["sequence length per rotation", sequence_length_for_precision(1e-6), "hundreds"],
+        ["gate-count multiplier", f"{overhead.gate_count_multiplier:.1f}x", "~20x"],
+        ["depth multiplier", f"{overhead.depth_multiplier:.1f}x", "~7x"],
+        ["(15-to-1)7,3,3 qubits", factory.physical_qubits, 810],
+        ["(15-to-1)7,3,3 cycles/T", f"{factory.cycles_per_tstate:.0f}", 22],
+        ["(15-to-1)7,3,3 T error @1e-3", f"{factory.output_error(1e-3):.1e}", "5.4e-4"],
+        ["fraction of 10k device", f"{factory.physical_qubits / 10_000:.1%}", ">8%"],
+        ["(15-to-1)17,7,7 fraction", f"{get_factory('15-to-1_17,7,7').physical_qubits / 10_000:.1%}", "~46%"],
+    ]
+    print_table("Sec. 2.5: Clifford+T / distillation overheads (measured vs paper)",
+                ["quantity", "measured", "paper"], rows)
+    assert overhead.gate_count_multiplier > 10
+    assert overhead.depth_multiplier > 3
+    assert factory.physical_qubits / 10_000 > 0.08
+
+
+def test_sec9_patch_shuffling_proof(benchmark):
+    def compute():
+        return InjectionStatistics(physical_error_rate=1e-3, distance=11).summary()
+
+    summary = benchmark(compute)
+    rows = [[key, f"{value:.6g}"] for key, value in summary.items()]
+    print_table("Sec. 9: injection statistics at p=1e-3, d=11 "
+                "(paper: N_trials=1.959, P=0.9391, alpha=0.003811)",
+                ["quantity", "value"], rows)
+    assert summary["high_probability_attempts"] == pytest.approx(1.959, abs=0.01)
+    assert summary["high_probability_mass"] == pytest.approx(0.9391, abs=0.002)
+    assert summary["alpha_threshold"] == pytest.approx(0.003811, abs=2e-5)
+    assert summary["injected_state_error"] == pytest.approx(
+        injection_error_rate(1e-3))

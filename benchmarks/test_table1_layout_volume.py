@@ -1,0 +1,63 @@
+"""Table 1 — spacetime volume of VQAs on standard layouts vs the proposed one.
+
+Paper values (average ratio V(layout)/V(proposed) over 8–164 qubit ansatz
+instances):
+
+    layout        linear  fully_connected  blocked_all_to_all
+    Compact        1.04        1.02              1.81
+    Intermediate   1.19        1.15              1.93
+    Fast           2.70        2.60              4.06
+    Grid           5.30        5.08              7.92
+
+The reproduction checks the shape: every ratio ≥ 1 (the proposed layout
+minimizes spacetime volume), Grid is the most expensive, and the ordering
+Compact ≤ Intermediate < Fast < Grid holds per ansatz family.
+"""
+
+import pytest
+
+from repro.ansatz import (BlockedAllToAllAnsatz, FullyConnectedAnsatz,
+                          LinearAnsatz)
+from repro.architecture import layout_volume_ratios
+
+from conftest import full_mode, print_table
+
+SIZES = list(range(8, 168, 4)) if full_mode() else list(range(8, 168, 24))
+LAYOUTS = ("compact", "intermediate", "fast", "grid")
+PAPER = {
+    "linear": {"compact": 1.04, "intermediate": 1.19, "fast": 2.70, "grid": 5.30},
+    "fully_connected": {"compact": 1.02, "intermediate": 1.15, "fast": 2.60,
+                        "grid": 5.08},
+    "blocked_all_to_all": {"compact": 1.81, "intermediate": 1.93, "fast": 4.06,
+                           "grid": 7.92},
+}
+FAMILIES = {
+    "linear": LinearAnsatz,
+    "fully_connected": FullyConnectedAnsatz,
+    "blocked_all_to_all": BlockedAllToAllAnsatz,
+}
+
+
+def compute_table1():
+    results = {}
+    for family, factory in FAMILIES.items():
+        results[family] = layout_volume_ratios(factory, SIZES, LAYOUTS)
+    return results
+
+
+def test_table1_layout_volume(benchmark):
+    results = benchmark(compute_table1)
+    rows = []
+    for layout in LAYOUTS:
+        row = [layout.capitalize()]
+        for family in FAMILIES:
+            measured = results[family][layout]
+            row.append(f"{measured:.2f} (paper {PAPER[family][layout]:.2f})")
+        rows.append(row)
+    print_table("Table 1: spacetime volume relative to the proposed layout",
+                ["Layout"] + list(FAMILIES), rows)
+    for family, ratios in results.items():
+        assert all(value >= 0.99 for value in ratios.values()), (family, ratios)
+        assert ratios["grid"] == max(ratios.values())
+        assert ratios["compact"] <= ratios["intermediate"] + 0.05
+        assert ratios["fast"] < ratios["grid"]

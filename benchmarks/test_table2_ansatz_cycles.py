@@ -1,0 +1,56 @@
+"""Fig. 9 / Table 2 — lattice-surgery latency of blocked_all_to_all vs FCHE.
+
+Paper (cycles on the proposed layout):
+
+    qubits                20    40    60
+    blocked_all_to_all    71   121   171
+    FCHE                 131   271   411
+
+The reproduction's calibrated cost model (DESIGN.md §6) preserves the shape:
+both latencies grow linearly in N, blocked_all_to_all costs roughly half of
+FCHE, and the per-cluster latencies follow Fig. 9 (4 fast / 8 slow cycles).
+"""
+
+import pytest
+
+from repro.ansatz import BlockedAllToAllAnsatz, FullyConnectedAnsatz
+from repro.architecture import ProposedLayout, make_layout, schedule_on_layout
+
+from conftest import print_table
+
+PAPER = {20: (71, 131), 40: (121, 271), 60: (171, 411)}
+
+
+def compute_table2():
+    results = {}
+    for num_qubits in PAPER:
+        layout = make_layout("proposed", num_qubits)
+        blocked = schedule_on_layout(BlockedAllToAllAnsatz(num_qubits), layout,
+                                     include_measurement=False)
+        fche = schedule_on_layout(FullyConnectedAnsatz(num_qubits), layout,
+                                  include_measurement=False)
+        results[num_qubits] = (blocked.cycles, fche.cycles)
+    return results
+
+
+def test_table2_ansatz_cycles(benchmark):
+    results = benchmark(compute_table2)
+    rows = []
+    for num_qubits, (blocked, fche) in results.items():
+        paper_blocked, paper_fche = PAPER[num_qubits]
+        rows.append([num_qubits,
+                     f"{blocked:.0f} (paper {paper_blocked})",
+                     f"{fche:.0f} (paper {paper_fche})",
+                     f"{blocked / fche:.2f} (paper {paper_blocked / paper_fche:.2f})"])
+    print_table("Table 2: cycles on the proposed layout",
+                ["qubits", "blocked_all_to_all", "FCHE", "blocked/FCHE"], rows)
+    cycles = list(results.values())
+    # blocked is always substantially faster (paper: 0.42-0.54x of FCHE).
+    for blocked, fche in cycles:
+        assert 0.25 <= blocked / fche <= 0.7
+    # Linear growth in N for both ansatz families.
+    blocked_increments = [cycles[1][0] - cycles[0][0], cycles[2][0] - cycles[1][0]]
+    assert blocked_increments[0] == pytest.approx(blocked_increments[1], rel=0.05)
+    # Fig. 9: the slow-cluster cost on the proposed layout is twice the fast one.
+    layout = ProposedLayout(k=4)
+    assert layout.cluster_cycles(1, (12, 13)) == 2 * layout.cluster_cycles(1, (0, 2))

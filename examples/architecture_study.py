@@ -1,0 +1,85 @@
+"""Architecture scenario: planning an EFT-VQA deployment.
+
+Walks through the paper's architecture-level questions for a target workload:
+
+1. How should logical qubits be laid out?  (packing efficiency and
+   spacetime-volume comparison of the proposed layout vs Compact /
+   Intermediate / Fast / Grid — Table 1.)
+2. Which ansatz should I run?  (blocked_all_to_all vs FCHE latency — Table 2 —
+   and the CNOT:Rz design rule of Sec. 4.4.)
+3. How should rotations be provisioned?  (patch shuffling vs the naive
+   strategy — Fig. 8.)
+4. Does my program fit, and what would the Clifford+T alternative cost?
+   (device resource model behind Figs. 4/5.)
+
+Run with:  python examples/architecture_study.py
+"""
+
+from repro import (BlockedAllToAllAnsatz, EFTDevice, FullyConnectedAnsatz,
+                   CircuitProfile, NISQRegime, PQECRegime,
+                   QECConventionalRegime, estimate_fidelity, get_factory,
+                   make_layout, schedule_on_layout)
+from repro.ansatz import regime_preference
+from repro.core import compare_strategies
+from repro.qec import PAPER_FIG4_FACTORIES
+
+NUM_QUBITS = 36        # k = 8 in the proposed layout
+DEVICE = EFTDevice(10_000)
+
+
+def main() -> None:
+    blocked = BlockedAllToAllAnsatz(NUM_QUBITS, depth=1)
+    fche = FullyConnectedAnsatz(NUM_QUBITS, depth=1)
+
+    # 1. Layout comparison -----------------------------------------------------
+    print(f"=== Layouts for a {NUM_QUBITS}-qubit EFT-VQA ===")
+    baseline = schedule_on_layout(blocked, make_layout("proposed", NUM_QUBITS))
+    print(f"{'layout':>14} {'tiles':>6} {'PE':>6} {'cycles':>8} {'V/V(proposed)':>14}")
+    for name in ("proposed", "compact", "intermediate", "fast", "grid"):
+        layout = make_layout(name, NUM_QUBITS)
+        schedule = schedule_on_layout(blocked, layout)
+        ratio = schedule.spacetime_volume_tiles / baseline.spacetime_volume_tiles
+        print(f"{name:>14} {layout.total_tiles():>6} "
+              f"{layout.packing_efficiency():>6.2f} {schedule.cycles:>8.0f} "
+              f"{ratio:>14.2f}")
+
+    # 2. Ansatz choice ----------------------------------------------------------
+    print("\n=== Ansatz choice ===")
+    layout = make_layout("proposed", NUM_QUBITS)
+    for ansatz in (blocked, fche):
+        schedule = schedule_on_layout(ansatz, layout)
+        preference = regime_preference(ansatz.name, NUM_QUBITS)
+        print(f"{ansatz.name:>20}: {ansatz.cnot_count():>4} CNOTs, "
+              f"{ansatz.rotation_count():>3} rotations, "
+              f"{schedule.cycles:.0f} cycles, CNOT:Rz ratio "
+              f"{preference.ratio:.2f} -> "
+              f"{'pQEC' if preference.prefers_pqec else 'NISQ'} preferred")
+
+    # 3. Rotation provisioning ---------------------------------------------------
+    print("\n=== Rotation provisioning (Fig. 8) ===")
+    point = compare_strategies([NUM_QUBITS])[0]
+    print(f"patch shuffling volume : {point.shuffling_volume:.3e} qubit-cycles")
+    for backups, volume in point.naive_volumes.items():
+        print(f"naive (b={backups}) volume    : {volume:.3e} qubit-cycles "
+              f"({volume / point.shuffling_volume:.2f}x)")
+
+    # 4. Feasibility and the Clifford+T alternative -------------------------------
+    print("\n=== Device feasibility on a 10k-qubit device ===")
+    profile = CircuitProfile.from_ansatz(blocked)
+    print(f"program data patches need {DEVICE.data_patch_qubits(NUM_QUBITS)} "
+          f"physical qubits; fits: {DEVICE.fits_program(NUM_QUBITS)}")
+    pqec = estimate_fidelity(profile, PQECRegime(), DEVICE)
+    nisq = estimate_fidelity(profile, NISQRegime(), DEVICE)
+    print(f"F(NISQ) = {nisq.fidelity:.4f}   F(pQEC) = {pqec.fidelity:.4f}")
+    for name in PAPER_FIG4_FACTORIES:
+        regime = QECConventionalRegime(factory=get_factory(name))
+        breakdown = estimate_fidelity(profile, regime, DEVICE)
+        label = get_factory(name).label
+        if breakdown.feasible:
+            print(f"F(qec-conventional, {label}) = {breakdown.fidelity:.4f}")
+        else:
+            print(f"F(qec-conventional, {label}) : does not fit next to the program")
+
+
+if __name__ == "__main__":
+    main()

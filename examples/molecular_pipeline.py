@@ -1,0 +1,66 @@
+"""Electronic-structure pipeline: integrals → fermions → qubits → EFT-VQA.
+
+The paper's chemistry benchmarks start from PySCF integrals; offline, this
+example runs the same pipeline end to end with the synthetic integral
+generator: build a second-quantized Hamiltonian, map it to qubits with
+Jordan–Wigner and Bravyi–Kitaev, verify the two encodings agree, group the
+terms into measurement circuits, and run a small VQE under the pQEC regime.
+
+Run with:  python examples/molecular_pipeline.py
+"""
+
+from repro import (FullyConnectedAnsatz, PQECRegime, jordan_wigner)
+from repro.operators.fermion import (bravyi_kitaev, fermi_hubbard,
+                                     molecular_fermionic_hamiltonian,
+                                     synthetic_molecular_integrals)
+from repro.operators.grouping import grouped_measurement_overhead, shot_budget
+from repro.vqe import (CobylaOptimizer, DensityMatrixEnergyEvaluator, VQE)
+
+
+def main() -> None:
+    # --- 1. Integrals → second quantization → qubits ------------------------
+    integrals = synthetic_molecular_integrals("LiH", bond_length=1.0,
+                                              num_modes=6)
+    fermionic = molecular_fermionic_hamiltonian(integrals.one_body,
+                                                integrals.two_body,
+                                                integrals.constant)
+    jw = jordan_wigner(fermionic)
+    bk = bravyi_kitaev(fermionic)
+    print(f"Synthetic LiH-like active space: {integrals.num_modes} spin-orbitals")
+    print(f"  fermionic terms      : {fermionic.num_terms}")
+    print(f"  Jordan-Wigner terms  : {jw.num_terms} "
+          f"(max Pauli weight {jw.max_weight()})")
+    print(f"  Bravyi-Kitaev terms  : {bk.num_terms} "
+          f"(max Pauli weight {bk.max_weight()})")
+    e_jw = jw.ground_state_energy()
+    e_bk = bk.ground_state_energy()
+    print(f"  ground energy        : JW {e_jw:.6f}  vs  BK {e_bk:.6f}  "
+          f"(encodings agree to {abs(e_jw - e_bk):.1e})\n")
+
+    # --- 2. Measurement cost of one VQE iteration ----------------------------
+    overhead = grouped_measurement_overhead(jw)
+    budget = shot_budget(jw, target_standard_error=5e-2)
+    print("Measurement cost per VQE iteration:")
+    print(f"  Pauli terms          : {overhead['num_terms']:.0f}")
+    print(f"  QWC measurement bases: {overhead['qwc_groups']:.0f} "
+          f"({overhead['qwc_savings']:.1f}x fewer circuits)")
+    print(f"  shots for 0.05 s.e.  : {budget.total_shots}\n")
+
+    # --- 3. Small VQE under pQEC noise ---------------------------------------
+    ansatz = FullyConnectedAnsatz(jw.num_qubits, depth=1)
+    evaluator = DensityMatrixEnergyEvaluator(jw, PQECRegime().noise_model())
+    vqe = VQE(jw, ansatz, evaluator, CobylaOptimizer(max_iterations=150),
+              reference_energy=e_jw, benchmark_name="LiH-like")
+    result = vqe.run(seed=1)
+    print(f"pQEC VQE energy        : {result.best_energy:.6f}  "
+          f"(gap to exact {result.energy_gap:.6f})")
+
+    # --- 4. Bonus: the Fermi-Hubbard substrate --------------------------------
+    hubbard = jordan_wigner(fermi_hubbard(3, tunneling=1.0, interaction=4.0))
+    print(f"\n3-site Fermi-Hubbard model: {hubbard.num_qubits} qubits, "
+          f"{hubbard.num_terms} Pauli terms, "
+          f"E0 = {hubbard.ground_state_energy():.4f}")
+
+
+if __name__ == "__main__":
+    main()

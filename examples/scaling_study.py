@@ -1,0 +1,46 @@
+"""Scaling scenario: how does the pQEC advantage grow with problem size?
+
+Reproduces a slice of Fig. 12: Clifford-proxy VQE of 1-D Heisenberg chains of
+increasing size, optimized with the genetic algorithm, executed under NISQ
+and pQEC noise, reporting γ per size.  Also prints the analytic prediction of
+the crossover from the Sec. 4.4 gate-count rule for context.
+
+Run with:  python examples/scaling_study.py            (quick: 12-32 qubits)
+           REPRO_FULL=1 python examples/scaling_study.py  (up to 64 qubits)
+"""
+
+import os
+
+from repro import FullyConnectedAnsatz, NISQRegime, PQECRegime, heisenberg_hamiltonian
+from repro.ansatz import cnot_to_rz_ratio
+from repro.vqe import GeneticOptimizer, compare_regimes_clifford
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+SIZES = (12, 20, 32, 48, 64) if FULL else (12, 20, 32)
+COUPLING = 1.0
+
+
+def main() -> None:
+    print("=== gamma(pQEC/NISQ) for 1-D Heisenberg chains (J = 1.0) ===")
+    print(f"{'qubits':>7} {'E0 (Clifford)':>14} {'E pQEC':>10} {'E NISQ':>10} "
+          f"{'gamma':>8} {'CNOT:Rz':>8}")
+    for num_qubits in SIZES:
+        hamiltonian = heisenberg_hamiltonian(num_qubits, COUPLING)
+        ansatz = FullyConnectedAnsatz(num_qubits, depth=1)
+        generations = 12 if FULL else 6
+        outcome = compare_regimes_clifford(
+            hamiltonian, ansatz, PQECRegime(), NISQRegime(),
+            optimizer_factory=lambda: GeneticOptimizer(
+                population_size=16, generations=generations, seed=num_qubits),
+            benchmark_name=f"heisenberg_{num_qubits}", seed=num_qubits)
+        comparison = outcome["comparison"]
+        ratio = cnot_to_rz_ratio("fully_connected", num_qubits)
+        print(f"{num_qubits:>7} {comparison.reference_energy:>14.3f} "
+              f"{comparison.energy_a:>10.3f} {comparison.energy_b:>10.3f} "
+              f"{comparison.gamma:>7.2f}x {ratio:>8.2f}")
+    print("\nThe CNOT:Rz ratio grows linearly with N (Sec. 4.4), so the pQEC "
+          "advantage keeps widening — the paper observes up to 257x at 100 qubits.")
+
+
+if __name__ == "__main__":
+    main()

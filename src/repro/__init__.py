@@ -1,0 +1,120 @@
+"""EFT-VQA: Variational Quantum Algorithms in the era of Early Fault Tolerance.
+
+Reproduction of Dangwal et al., ISCA 2025 (arXiv:2503.20963).  The package is
+organised bottom-up:
+
+* :mod:`repro.circuits` / :mod:`repro.operators` / :mod:`repro.simulators` —
+  circuit IR, Pauli algebra / Hamiltonians, and the statevector /
+  density-matrix / stabilizer / Pauli-propagation simulators;
+* :mod:`repro.qec` — surface-code error models, magic-state distillation and
+  cultivation, Clifford+T synthesis, matching decoder, memory experiments;
+* :mod:`repro.architecture` — logical-qubit layouts, lattice-surgery costs
+  and the spacetime-volume scheduler;
+* :mod:`repro.ansatz` — linear / fully-connected / blocked_all_to_all / UCCSD
+  ansatz families and the Sec. 4.4 gate-count design rules;
+* :mod:`repro.core` — the paper's contribution: execution regimes (NISQ,
+  pQEC, qec-conventional, qec-cultivation), Rz magic-state injection, patch
+  shuffling, circuit fidelity estimation, device resource modelling and the
+  γ metric;
+* :mod:`repro.vqe` / :mod:`repro.mitigation` — the VQE engine (continuous and
+  Clifford-restricted) and NISQ-inherited mitigation (VarSaw, ZNE).
+
+Quick start::
+
+    from repro import (ising_hamiltonian, FullyConnectedAnsatz, NISQRegime,
+                       PQECRegime, compare_regimes_clifford)
+
+    hamiltonian = ising_hamiltonian(16, coupling=1.0)
+    ansatz = FullyConnectedAnsatz(16, depth=1)
+    outcome = compare_regimes_clifford(hamiltonian, ansatz,
+                                       PQECRegime(), NISQRegime())
+    print(outcome["comparison"].gamma)
+"""
+
+from .algorithms import QAOA, QAOAAnsatz, VQD, VariationalClassifier
+from .ansatz import (Ansatz, BlockedAllToAllAnsatz, FCHEAnsatz,
+                     FullyConnectedAnsatz, LinearAnsatz, UCCSDAnsatz,
+                     make_ansatz)
+from .architecture import (EFTCompiler, ProposedLayout, make_layout,
+                           schedule_on_layout)
+from .circuits import Parameter, ParameterVector, QuantumCircuit
+from .core import (EFTDevice, NISQRegime, PQECRegime, QECConventionalRegime,
+                   QECCultivationRegime, CircuitProfile, estimate_fidelity,
+                   injection_error_rate, relative_improvement)
+from .estimation import ResourceEstimator
+from .operators import (FermionicOperator, PauliString, PauliSum,
+                        heisenberg_hamiltonian, ising_hamiltonian,
+                        jordan_wigner, maxcut_cost_hamiltonian,
+                        molecular_hamiltonian)
+from .qec import (FactoryConfig, MWPMDecoder, SurfaceCodePatch,
+                  UnionFindDecoder, get_factory, logical_error_rate,
+                  surface_code_memory_experiment, t_count_for_precision)
+from .simulators import (DensityMatrixSimulator, NoiseModel,
+                         StabilizerSimulator, StatevectorSimulator)
+from .synthesis import approximate_rz
+from .vqe import (VQE, CliffordVQE, CobylaOptimizer, GeneticOptimizer,
+                  SPSAOptimizer, compare_regimes, compare_regimes_clifford,
+                  compare_regimes_opr)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ansatz",
+    "BlockedAllToAllAnsatz",
+    "CircuitProfile",
+    "CliffordVQE",
+    "CobylaOptimizer",
+    "DensityMatrixSimulator",
+    "EFTCompiler",
+    "EFTDevice",
+    "FCHEAnsatz",
+    "FactoryConfig",
+    "FermionicOperator",
+    "FullyConnectedAnsatz",
+    "GeneticOptimizer",
+    "LinearAnsatz",
+    "MWPMDecoder",
+    "NISQRegime",
+    "NoiseModel",
+    "PQECRegime",
+    "Parameter",
+    "ParameterVector",
+    "PauliString",
+    "PauliSum",
+    "ProposedLayout",
+    "QAOA",
+    "QAOAAnsatz",
+    "QECConventionalRegime",
+    "QECCultivationRegime",
+    "QuantumCircuit",
+    "ResourceEstimator",
+    "SPSAOptimizer",
+    "StabilizerSimulator",
+    "StatevectorSimulator",
+    "SurfaceCodePatch",
+    "UCCSDAnsatz",
+    "UnionFindDecoder",
+    "VQD",
+    "VQE",
+    "VariationalClassifier",
+    "__version__",
+    "approximate_rz",
+    "compare_regimes",
+    "compare_regimes_clifford",
+    "compare_regimes_opr",
+    "estimate_fidelity",
+    "get_factory",
+    "heisenberg_hamiltonian",
+    "injection_error_rate",
+    "ising_hamiltonian",
+    "jordan_wigner",
+    "logical_error_rate",
+    "make_ansatz",
+    "make_layout",
+    "maxcut_cost_hamiltonian",
+    "molecular_hamiltonian",
+    "relative_improvement",
+    "schedule_on_layout",
+    "surface_code_memory_experiment",
+    "t_count_for_precision",
+]

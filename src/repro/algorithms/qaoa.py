@@ -1,0 +1,211 @@
+"""The Quantum Approximate Optimization Algorithm (QAOA).
+
+QAOA alternates a *cost* unitary ``exp(−iγ H_C)`` (built from the diagonal
+MaxCut Hamiltonian) with a transverse-field *mixer* ``exp(−iβ Σ X_i)``.  Its
+gate profile — two CNOTs plus one Rz per cost term, one Rx per qubit for the
+mixer — makes it a natural subject for the paper's Rz-to-CNOT-ratio design
+rule (Sec. 4.4): dense graphs give CNOT-heavy circuits that favour pQEC,
+sparse rings do not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..ansatz.base import Ansatz, MacroOp
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.parameters import ParameterVector
+from ..operators.graphs import cut_value, exact_maxcut, maxcut_cost_hamiltonian
+from ..operators.pauli import PauliString, PauliSum
+from ..simulators.statevector import StatevectorSimulator
+from ..vqe.energy import EnergyEvaluator, ExactEnergyEvaluator
+from ..vqe.optimizers import CobylaOptimizer, OptimizationResult, Optimizer
+
+
+def _split_diagonal_hamiltonian(hamiltonian: PauliSum
+                                ) -> Tuple[List[Tuple[int, int, float]],
+                                           List[Tuple[int, float]], float]:
+    """Split a diagonal Hamiltonian into ZZ terms, Z terms and the constant."""
+    zz_terms: List[Tuple[int, int, float]] = []
+    z_terms: List[Tuple[int, float]] = []
+    constant = 0.0
+    for pauli, coeff in hamiltonian.terms():
+        coefficient = float(coeff.real)
+        support = pauli.support()
+        labels = [pauli.pauli_on(q) for q in support]
+        if any(label not in ("Z",) for label in labels):
+            raise ValueError("QAOA cost Hamiltonians must be diagonal "
+                             f"(Z/ZZ terms only); found {pauli.label}")
+        if len(support) == 0:
+            constant += coefficient
+        elif len(support) == 1:
+            z_terms.append((support[0], coefficient))
+        elif len(support) == 2:
+            zz_terms.append((support[0], support[1], coefficient))
+        else:
+            raise ValueError("QAOA cost Hamiltonians with >2-body terms are "
+                             "not supported")
+    return zz_terms, z_terms, constant
+
+
+class QAOAAnsatz(Ansatz):
+    """The depth-``p`` QAOA circuit for a diagonal cost Hamiltonian.
+
+    Parameters are ordered ``(γ_1, β_1, …, γ_p, β_p)``.  The macro schedule
+    exposes each two-qubit cost term as a CNOT cluster and each mixer layer as
+    a rotation layer, so the lattice-surgery scheduler and the Sec. 4.4 ratio
+    analysis apply unchanged.
+    """
+
+    def __init__(self, cost_hamiltonian: PauliSum, depth: int = 1,
+                 name: str = "qaoa"):
+        super().__init__(cost_hamiltonian.num_qubits, depth, name)
+        self.cost_hamiltonian = cost_hamiltonian
+        self._zz_terms, self._z_terms, self._constant = \
+            _split_diagonal_hamiltonian(cost_hamiltonian)
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def zz_terms(self) -> List[Tuple[int, int, float]]:
+        return list(self._zz_terms)
+
+    @property
+    def z_terms(self) -> List[Tuple[int, float]]:
+        return list(self._z_terms)
+
+    def entangling_clusters(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        return [(i, (j,)) for i, j, _ in self._zz_terms]
+
+    def num_parameters(self) -> int:
+        return 2 * self.depth
+
+    def cnot_count(self) -> int:
+        return 2 * len(self._zz_terms) * self.depth
+
+    def rotation_count(self) -> int:
+        """Logical rotations per execution: one Rz per cost term + N mixer Rx."""
+        per_layer = len(self._zz_terms) + len(self._z_terms) + self.num_qubits
+        return per_layer * self.depth
+
+    def macro_schedule(self, include_measurement: bool = True) -> List[MacroOp]:
+        schedule: List[MacroOp] = []
+        for _ in range(self.depth):
+            for control, targets in self.entangling_clusters():
+                schedule.append(MacroOp("cnot_cluster", control=control,
+                                        targets=targets))
+            schedule.append(MacroOp("rotation_layer",
+                                    qubits=tuple(range(self.num_qubits))))
+        if include_measurement:
+            schedule.append(MacroOp("measure_layer",
+                                    qubits=tuple(range(self.num_qubits))))
+        return schedule
+
+    # -- circuit ---------------------------------------------------------------
+    def build(self, parameter_prefix: str = "theta",
+              include_measurement: bool = False) -> QuantumCircuit:
+        circuit = QuantumCircuit(self.num_qubits, name=self.name)
+        parameters = ParameterVector(parameter_prefix, self.num_parameters())
+        for qubit in range(self.num_qubits):
+            circuit.h(qubit)
+        for layer in range(self.depth):
+            gamma = parameters[2 * layer]
+            beta = parameters[2 * layer + 1]
+            for i, j, coefficient in self._zz_terms:
+                circuit.cx(i, j)
+                circuit.rz(2.0 * coefficient * gamma, j)
+                circuit.cx(i, j)
+            for qubit, coefficient in self._z_terms:
+                circuit.rz(2.0 * coefficient * gamma, qubit)
+            for qubit in range(self.num_qubits):
+                circuit.rx(2.0 * beta, qubit)
+        if include_measurement:
+            circuit.measure_all()
+        circuit.metadata["ansatz"] = self.name
+        circuit.metadata["depth"] = self.depth
+        return circuit
+
+
+@dataclass
+class QAOAResult:
+    """Outcome of a QAOA optimization run."""
+
+    best_energy: float
+    best_parameters: np.ndarray
+    best_bitstring: Tuple[int, ...]
+    best_cut: float
+    optimal_cut: Optional[float]
+    num_evaluations: int
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def approximation_ratio(self) -> Optional[float]:
+        if self.optimal_cut in (None, 0):
+            return None
+        return self.best_cut / self.optimal_cut
+
+
+class QAOA:
+    """End-to-end QAOA for MaxCut on a networkx graph."""
+
+    def __init__(self, graph: nx.Graph, depth: int = 1,
+                 evaluator: Optional[EnergyEvaluator] = None,
+                 optimizer: Optional[Optimizer] = None,
+                 compute_optimal_cut: bool = True):
+        self.graph = graph
+        self.hamiltonian = maxcut_cost_hamiltonian(graph)
+        self.ansatz = QAOAAnsatz(self.hamiltonian, depth)
+        self.evaluator = evaluator or ExactEnergyEvaluator(self.hamiltonian)
+        self.optimizer = optimizer or CobylaOptimizer()
+        self.optimal_cut: Optional[float] = None
+        if compute_optimal_cut and graph.number_of_nodes() <= 18:
+            self.optimal_cut = exact_maxcut(graph)[0]
+        self._template = self.ansatz.build()
+        self._sampler = StatevectorSimulator()
+
+    # -- objective ---------------------------------------------------------------
+    def energy(self, parameters: Sequence[float]) -> float:
+        circuit = self._template.bind_parameters(list(parameters))
+        return self.evaluator(circuit)
+
+    def initial_parameters(self, seed: Optional[int] = None) -> np.ndarray:
+        """Linear-ramp initialization, the standard QAOA warm start."""
+        rng = np.random.default_rng(seed)
+        depth = self.ansatz.depth
+        gammas = np.linspace(0.1, 0.8, depth)
+        betas = np.linspace(0.8, 0.1, depth)
+        parameters = np.empty(2 * depth)
+        parameters[0::2] = gammas + 0.02 * rng.standard_normal(depth)
+        parameters[1::2] = betas + 0.02 * rng.standard_normal(depth)
+        return parameters
+
+    def most_probable_bitstring(self, parameters: Sequence[float]
+                                ) -> Tuple[int, ...]:
+        """The computational basis state with the highest probability."""
+        circuit = self._template.bind_parameters(list(parameters))
+        state = self._sampler.run(circuit)
+        probabilities = state.probabilities()
+        index = int(np.argmax(probabilities))
+        bits = [(index >> qubit) & 1 for qubit in range(self.ansatz.num_qubits)]
+        return tuple(bits)
+
+    # -- execution -----------------------------------------------------------------
+    def run(self, initial_parameters: Optional[Sequence[float]] = None,
+            seed: Optional[int] = None) -> QAOAResult:
+        start = (np.asarray(initial_parameters, dtype=float)
+                 if initial_parameters is not None
+                 else self.initial_parameters(seed))
+        result: OptimizationResult = self.optimizer.minimize(self.energy, start)
+        bitstring = self.most_probable_bitstring(result.best_parameters)
+        best_cut = cut_value(self.graph, bitstring)
+        return QAOAResult(best_energy=result.best_value,
+                          best_parameters=result.best_parameters,
+                          best_bitstring=bitstring,
+                          best_cut=best_cut,
+                          optimal_cut=self.optimal_cut,
+                          num_evaluations=result.num_evaluations,
+                          history=result.history)

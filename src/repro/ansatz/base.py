@@ -1,0 +1,163 @@
+"""Ansatz abstractions.
+
+An :class:`Ansatz` builds a parameterized :class:`QuantumCircuit` and also
+exposes a *macro-operation schedule* (rotation layers and single-control
+multi-target CNOT clusters).  The macro schedule is what the lattice-surgery
+scheduler consumes: the paper's latency analysis (Fig. 9 / Table 2) counts
+multi-target CNOT clusters — which cost the same as a single CNOT — rather
+than individual CNOTs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.parameters import Parameter, ParameterVector
+
+
+@dataclass(frozen=True)
+class MacroOp:
+    """A macro-operation in an ansatz schedule.
+
+    ``kind`` is one of
+
+    * ``"rotation_layer"`` — single-qubit RX·RZ rotations applied to
+      ``qubits`` (each rotation realized by magic-state injection in pQEC);
+    * ``"cnot_cluster"`` — a single-control multi-target CNOT with control
+      ``control`` and targets ``targets`` (one lattice-surgery operation);
+    * ``"measure_layer"`` — terminal measurement of ``qubits``.
+    """
+
+    kind: str
+    qubits: Tuple[int, ...] = ()
+    control: Optional[int] = None
+    targets: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in ("rotation_layer", "cnot_cluster", "measure_layer"):
+            raise ValueError(f"unknown macro-op kind {self.kind!r}")
+        if self.kind == "cnot_cluster":
+            if self.control is None or not self.targets:
+                raise ValueError("cnot_cluster needs a control and ≥1 target")
+            if self.control in self.targets:
+                raise ValueError("control cannot also be a target")
+
+    @property
+    def num_cnots(self) -> int:
+        return len(self.targets) if self.kind == "cnot_cluster" else 0
+
+    @property
+    def num_rotations(self) -> int:
+        # Each qubit in a rotation layer receives an RX and an RZ rotation.
+        return 2 * len(self.qubits) if self.kind == "rotation_layer" else 0
+
+    def involved_qubits(self) -> Tuple[int, ...]:
+        if self.kind == "cnot_cluster":
+            return (self.control, *self.targets)
+        return self.qubits
+
+
+class Ansatz(abc.ABC):
+    """Base class for variational ansatz families."""
+
+    def __init__(self, num_qubits: int, depth: int = 1, name: str = "ansatz"):
+        if num_qubits < 2:
+            raise ValueError("an ansatz needs at least two qubits")
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        self.num_qubits = int(num_qubits)
+        self.depth = int(depth)
+        self.name = name
+
+    # -- interface -----------------------------------------------------------
+    @abc.abstractmethod
+    def entangling_clusters(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """The (control, targets) CNOT clusters of ONE ansatz layer, in order."""
+
+    def rotation_qubits(self) -> Tuple[int, ...]:
+        """Qubits that receive RX·RZ rotations in each rotation layer."""
+        return tuple(range(self.num_qubits))
+
+    # -- derived structure ------------------------------------------------------
+    def macro_schedule(self, include_measurement: bool = True) -> List[MacroOp]:
+        """Macro-operation schedule across all ``depth`` layers."""
+        schedule: List[MacroOp] = []
+        rotation = MacroOp("rotation_layer", qubits=self.rotation_qubits())
+        clusters = self.entangling_clusters()
+        for _ in range(self.depth):
+            schedule.append(rotation)
+            for control, targets in clusters:
+                schedule.append(MacroOp("cnot_cluster", control=control,
+                                        targets=tuple(targets)))
+        if include_measurement:
+            schedule.append(MacroOp("measure_layer",
+                                    qubits=tuple(range(self.num_qubits))))
+        return schedule
+
+    def num_parameters(self) -> int:
+        """Number of free rotation angles.
+
+        Each of the ``depth`` layers applies an RX and an RZ rotation to every
+        rotation qubit, so the count is ``2·N·p`` — the convention used by the
+        paper's Sec. 4.4 gate-count formulas.
+        """
+        per_layer = 2 * len(self.rotation_qubits())
+        return per_layer * self.depth
+
+    def cnot_count(self) -> int:
+        """Total CNOT count across all layers."""
+        per_layer = sum(len(targets) for _, targets in self.entangling_clusters())
+        return per_layer * self.depth
+
+    def rotation_count(self) -> int:
+        """Total logical rotation count (RX + RZ) across all layers."""
+        return self.num_parameters()
+
+    def cnot_to_rz_ratio(self, expected_injections_per_rz: float = 1.0) -> float:
+        """CNOT count divided by runtime Rz count (Sec. 4.4 design metric)."""
+        rz = self.rotation_count() * expected_injections_per_rz
+        if rz == 0:
+            return float("inf")
+        return self.cnot_count() / rz
+
+    # -- circuit construction ------------------------------------------------------
+    def build(self, parameter_prefix: str = "theta",
+              include_measurement: bool = False) -> QuantumCircuit:
+        """Build the parameterized circuit."""
+        circuit = QuantumCircuit(self.num_qubits, name=self.name)
+        parameters = ParameterVector(parameter_prefix, self.num_parameters())
+        index = 0
+        rotation_qubits = self.rotation_qubits()
+        clusters = self.entangling_clusters()
+
+        def rotation_layer():
+            nonlocal index
+            for qubit in rotation_qubits:
+                circuit.rx(parameters[index], qubit)
+                index += 1
+                circuit.rz(parameters[index], qubit)
+                index += 1
+
+        for _ in range(self.depth):
+            rotation_layer()
+            for control, targets in clusters:
+                for target in targets:
+                    circuit.cx(control, target)
+        if include_measurement:
+            circuit.measure_all()
+        circuit.metadata["ansatz"] = self.name
+        circuit.metadata["depth"] = self.depth
+        return circuit
+
+    def bound_circuit(self, parameter_values: Sequence[float],
+                      include_measurement: bool = False) -> QuantumCircuit:
+        """Build the circuit with concrete rotation angles."""
+        return self.build(include_measurement=include_measurement).bind_parameters(
+            list(parameter_values))
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(qubits={self.num_qubits}, depth={self.depth}, "
+                f"params={self.num_parameters()}, cnots={self.cnot_count()})")

@@ -1,0 +1,115 @@
+"""The layout-aware ``blocked_all_to_all`` ansatz (paper Sec. 4.3, Fig. 10).
+
+The ansatz is parameterized by ``k`` (the layout parameter of Fig. 3) and acts
+on ``N = 4k + 4`` qubits:
+
+* qubits ``0 … 2k−1`` form block A, qubits ``2k … 4k−1`` form block B — these
+  are the qubits sitting in the four fast rows of the proposed layout;
+* qubits ``4k … 4k+3`` are the four extra column qubits of the layout;
+* inside each block every ordered pair is entangled with a fast 4-cycle
+  single-control multi-target CNOT cluster;
+* the two blocks (and the extra column qubits) are connected by a fixed
+  number (8) of slower "linking" CNOTs.
+
+With E[g] = 2 injected states per logical Rz, the resulting CNOT:Rz ratio is
+``N/8 − 5/4 + 5/N`` which exceeds the 0.76 pQEC-vs-NISQ break-even for
+N ≥ 13 — the Sec. 4.4 design rule the Fig. 11 benchmark validates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Ansatz
+
+#: Number of linking CNOTs between blocks (fixed by the ansatz definition).
+NUM_LINKING_CNOTS = 8
+
+
+def k_for_qubits(num_qubits: int) -> int:
+    """The layout parameter k such that N = 4k + 4."""
+    if num_qubits < 8 or (num_qubits - 4) % 4 != 0:
+        raise ValueError(
+            f"blocked_all_to_all requires N = 4k + 4 with k ≥ 1; got N={num_qubits}")
+    return (num_qubits - 4) // 4
+
+
+class BlockedAllToAllAnsatz(Ansatz):
+    """The paper's EFT-tailored ``blocked_all_to_all`` ansatz."""
+
+    def __init__(self, num_qubits: int, depth: int = 1):
+        self.k = k_for_qubits(num_qubits)
+        super().__init__(num_qubits, depth, name="blocked_all_to_all")
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def block_a(self) -> Tuple[int, ...]:
+        return tuple(range(0, 2 * self.k))
+
+    @property
+    def block_b(self) -> Tuple[int, ...]:
+        return tuple(range(2 * self.k, 4 * self.k))
+
+    @property
+    def extra_qubits(self) -> Tuple[int, ...]:
+        return tuple(range(4 * self.k, 4 * self.k + 4))
+
+    def linking_pairs(self) -> List[Tuple[int, int]]:
+        """The 8 fixed linking CNOTs joining the blocks and extra qubits."""
+        k = self.k
+        block_a = self.block_a
+        block_b = self.block_b
+        extra = self.extra_qubits
+        pairs = [
+            (block_a[0], block_b[0]),            # top of A to top of B
+            (block_a[-1], block_b[-1]),          # bottom of A to bottom of B
+            (block_a[k - 1], block_b[k - 1]),    # row boundary links
+            (block_a[k], block_b[k]),
+            (block_a[0], extra[0]),              # extra column hookups
+            (block_a[-1], extra[1]),
+            (block_b[0], extra[2]),
+            (block_b[-1], extra[3]),
+        ]
+        # Deduplicate while preserving order (k = 1 makes some pairs collide).
+        seen = set()
+        unique: List[Tuple[int, int]] = []
+        for pair in pairs:
+            if pair not in seen and pair[0] != pair[1]:
+                seen.add(pair)
+                unique.append(pair)
+        while len(unique) < NUM_LINKING_CNOTS:
+            # Pad with additional cross-block links for very small k so the
+            # count formula (N²/2 − 5N + 20 CNOTs per layer) holds exactly.
+            for a in self.block_a:
+                for b in self.block_b:
+                    if (a, b) not in seen:
+                        seen.add((a, b))
+                        unique.append((a, b))
+                        break
+                if len(unique) >= NUM_LINKING_CNOTS:
+                    break
+            else:
+                break
+        return unique[:NUM_LINKING_CNOTS]
+
+    def entangling_clusters(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """All-to-all clusters inside each block, then the linking CNOTs."""
+        clusters: List[Tuple[int, Tuple[int, ...]]] = []
+        for block in (self.block_a, self.block_b):
+            for control in block:
+                targets = tuple(q for q in block if q != control)
+                if targets:
+                    clusters.append((control, targets))
+        for control, target in self.linking_pairs():
+            clusters.append((control, (target,)))
+        return clusters
+
+    # -- paper count formulas -----------------------------------------------------
+    def expected_cnot_count_formula(self) -> int:
+        """Closed-form CNOT count per the paper: (N²/2 − 5N + 20)·p."""
+        n = self.num_qubits
+        return int((n * n / 2 - 5 * n + 20) * self.depth)
+
+    def expected_rz_count_formula(self, expected_injections: float = 1.0) -> float:
+        """Closed-form logical-Rz count per the paper: 2·N·p·E[g]."""
+        return 2 * self.num_qubits * self.depth * expected_injections

@@ -1,0 +1,59 @@
+"""Hardware-efficient ansatz families (Kandala et al. style).
+
+Two members used throughout the paper's evaluation:
+
+* :class:`LinearAnsatz` — nearest-neighbour entangling ring (the common NISQ
+  "linear" hardware-efficient ansatz; Sec. 4.4 shows it is a poor fit for the
+  pQEC regime because its CNOT:Rz ratio is only ≈0.25);
+* :class:`FullyConnectedAnsatz` (FCHE) — every pair of qubits entangled each
+  layer; this is the depth-1 ansatz used in Figs. 4, 12 and 13.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .base import Ansatz
+
+
+class LinearAnsatz(Ansatz):
+    """Linear (ring) hardware-efficient ansatz.
+
+    Each layer applies RX·RZ rotations to every qubit followed by a ring of
+    CNOTs ``(0→1, 1→2, …, N−1→0)``, giving N CNOTs and 2N rotations per layer
+    — the counts used in the Sec. 4.4 ratio analysis.
+    """
+
+    def __init__(self, num_qubits: int, depth: int = 1, periodic: bool = True):
+        super().__init__(num_qubits, depth, name="linear")
+        self.periodic = bool(periodic)
+
+    def entangling_clusters(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        clusters = [(qubit, (qubit + 1,)) for qubit in range(self.num_qubits - 1)]
+        if self.periodic and self.num_qubits > 2:
+            clusters.append((self.num_qubits - 1, (0,)))
+        return clusters
+
+
+class FullyConnectedAnsatz(Ansatz):
+    """Fully-connected hardware-efficient ansatz (FCHE).
+
+    Each layer entangles every pair of qubits.  The entanglers are organised
+    as single-control multi-target clusters (control q → targets q+1 … N−1),
+    which is how the lattice-surgery scheduler executes them: all CNOTs
+    sharing a control cost the same as one CNOT (Fig. 9).
+    """
+
+    def __init__(self, num_qubits: int, depth: int = 1):
+        super().__init__(num_qubits, depth, name="fully_connected")
+
+    def entangling_clusters(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        clusters: List[Tuple[int, Tuple[int, ...]]] = []
+        for control in range(self.num_qubits - 1):
+            targets = tuple(range(control + 1, self.num_qubits))
+            clusters.append((control, targets))
+        return clusters
+
+
+#: Alias matching the paper's abbreviation.
+FCHEAnsatz = FullyConnectedAnsatz

@@ -1,0 +1,56 @@
+"""Logical-qubit layouts, lattice-surgery costs, placement, routing and scheduling."""
+
+from .lattice_surgery import (EXPECTED_CONSUMPTION_ATTEMPTS,
+                              FAST_CNOT_CLUSTER_CYCLES, MEASUREMENT_CYCLES,
+                              OperationCost, ROTATION_CONSUMPTION_CYCLES,
+                              SLOW_CNOT_CLUSTER_CYCLES, cnot_cluster_cycles,
+                              rotation_layer_cycles)
+from .layouts import (LAYOUT_FAMILIES, CompactLayout, FastLayout, GridLayout,
+                      IntermediateLayout, Layout, LayoutSpec, ProposedLayout,
+                      make_layout)
+from .pipeline import CompilationResult, EFTCompiler
+from .placement import (PlacedAnsatz, PlacementReport, annealed_placement,
+                        greedy_placement, identity_placement,
+                        optimize_placement, placement_cost)
+from .routing import (BusRouter, ContentionAwareScheduler,
+                      ContentionScheduleResult, ProposedLayoutGeometry, Tile)
+from .scheduler import (LatticeSurgeryScheduler, ScheduleResult,
+                        layout_volume_ratios, schedule_on_layout)
+
+__all__ = [
+    "BusRouter",
+    "CompactLayout",
+    "CompilationResult",
+    "ContentionAwareScheduler",
+    "ContentionScheduleResult",
+    "EFTCompiler",
+    "PlacedAnsatz",
+    "PlacementReport",
+    "ProposedLayoutGeometry",
+    "Tile",
+    "annealed_placement",
+    "greedy_placement",
+    "identity_placement",
+    "optimize_placement",
+    "placement_cost",
+    "EXPECTED_CONSUMPTION_ATTEMPTS",
+    "FAST_CNOT_CLUSTER_CYCLES",
+    "FastLayout",
+    "GridLayout",
+    "IntermediateLayout",
+    "LAYOUT_FAMILIES",
+    "LatticeSurgeryScheduler",
+    "Layout",
+    "LayoutSpec",
+    "MEASUREMENT_CYCLES",
+    "OperationCost",
+    "ProposedLayout",
+    "ROTATION_CONSUMPTION_CYCLES",
+    "SLOW_CNOT_CLUSTER_CYCLES",
+    "ScheduleResult",
+    "cnot_cluster_cycles",
+    "layout_volume_ratios",
+    "make_layout",
+    "rotation_layer_cycles",
+    "schedule_on_layout",
+]

@@ -1,0 +1,84 @@
+"""Lattice-surgery operation cost model (paper Fig. 9).
+
+Logical operations on surface-code patches are performed by lattice surgery:
+a CNOT is an XX measurement plus a ZZ measurement between the control, the
+target and a routing ancilla, possibly preceded by patch rotations to expose
+the correct operator edges.  The paper's latency analysis (Fig. 9) works at
+the granularity of *logical clock cycles* (one merge/split or patch-rotation
+step each) and establishes two facts the scheduler relies on:
+
+* a single-control multi-target CNOT costs the same as a single CNOT — 4
+  cycles when the involved patches already expose the right edges ("fast"
+  clusters, Fig. 9A);
+* clusters that need extra patch rotations to align operator edges cost 8
+  cycles ("slow" clusters, Fig. 9B).
+
+Rotation (Rz) consumption via the Fig. 2(C) circuit is a ZZ/XX merge with the
+magic-state patch followed by a conditional correction; one consumption
+attempt costs one cycle at this granularity and the repeat-until-success
+protocol needs E[g] attempts in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cycles of a fast single-control multi-target CNOT cluster (Fig. 9A).
+FAST_CNOT_CLUSTER_CYCLES = 4
+
+#: Cycles of a slow cluster that needs extra patch rotations (Fig. 9B).
+SLOW_CNOT_CLUSTER_CYCLES = 8
+
+#: Cycles of one Rz magic-state consumption attempt (ZZ/XX merge + correction).
+ROTATION_CONSUMPTION_CYCLES = 1
+
+#: Cycles of a transversal logical measurement layer.
+MEASUREMENT_CYCLES = 1
+
+#: Expected consumption attempts per logical Rz (repeat-until-success, p=1/2).
+EXPECTED_CONSUMPTION_ATTEMPTS = 2.0
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """Space and time cost of one scheduled macro-operation."""
+
+    name: str
+    cycles: float
+    patches: int
+
+    @property
+    def spacetime_volume_patches(self) -> float:
+        """Spacetime volume in units of (patch × cycle)."""
+        return self.cycles * self.patches
+
+
+def cnot_cluster_cycles(crosses_regions: bool,
+                        fast_cycles: int = FAST_CNOT_CLUSTER_CYCLES,
+                        slow_cycles: int = SLOW_CNOT_CLUSTER_CYCLES) -> int:
+    """Latency of a single-control multi-target CNOT cluster."""
+    return slow_cycles if crosses_regions else fast_cycles
+
+
+def rotation_layer_cycles(rotations_per_qubit: int = 2,
+                          expected_attempts: float = EXPECTED_CONSUMPTION_ATTEMPTS,
+                          parallel_fraction: float = 1.0,
+                          num_qubits: int = 1,
+                          max_parallel: int | None = None) -> float:
+    """Latency of a layer of single-qubit rotations implemented by injection.
+
+    ``rotations_per_qubit`` logical rotations are applied to each qubit (RX·RZ
+    → 2 after transpilation to the Clifford+Rz basis); each needs
+    ``expected_attempts`` consumption attempts.  Rotations on different qubits
+    proceed in parallel when the layout provisions injection space next to
+    every data qubit (``max_parallel`` caps the concurrency otherwise).
+    """
+    serial_per_qubit = rotations_per_qubit * expected_attempts * ROTATION_CONSUMPTION_CYCLES
+    if max_parallel is None or max_parallel >= num_qubits:
+        waves = 1.0
+    else:
+        if max_parallel < 1:
+            raise ValueError("max_parallel must be at least 1")
+        waves = -(-num_qubits // max_parallel)  # ceil division
+    del parallel_fraction  # kept for signature stability; waves captures it
+    return serial_per_qubit * waves

@@ -1,0 +1,301 @@
+"""Logical-qubit layouts (paper Sec. 4.1, Fig. 3, Table 1).
+
+A layout determines
+
+* the *space* footprint: how many surface-code tiles (patches) the
+  computation occupies per logical data qubit, including routing ancilla and
+  magic-state storage — summarized by the packing efficiency
+  ``PE = data patches / total patches``;
+* the *time* behaviour: the latency of CNOT clusters (whether extra patch
+  rotations are needed), how many lattice-surgery operations can proceed
+  concurrently, and how many Rz magic states can be consumed in parallel.
+
+The proposed layout of Fig. 3 is parameterized by ``k`` (N = 4k+4 data
+qubits) and reaches PE = 4(k+1)/(6(k+2)) → ≈67%.  The comparison layouts
+(Litinski's Compact / Intermediate / Fast and the Grid layout of
+Javadi-Abhari et al.) are modelled by their per-qubit tile footprints and
+operation latencies, calibrated as documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..qec.surface_code import EFT_CODE_DISTANCE, SurfaceCodePatch
+from .lattice_surgery import (FAST_CNOT_CLUSTER_CYCLES,
+                              SLOW_CNOT_CLUSTER_CYCLES)
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """Static description of a layout hosting ``num_data_qubits`` logical qubits."""
+
+    name: str
+    num_data_qubits: int
+    total_tiles: int
+    cnot_cycles_fast: int
+    cnot_cycles_slow: int
+    supports_parallel_blocks: bool
+    parallel_rotations: int
+    parallel_magic_state_slots: int
+
+    @property
+    def data_tiles(self) -> int:
+        return self.num_data_qubits
+
+    @property
+    def ancilla_tiles(self) -> int:
+        return self.total_tiles - self.num_data_qubits
+
+    @property
+    def packing_efficiency(self) -> float:
+        return self.num_data_qubits / self.total_tiles
+
+    def physical_qubits(self, distance: int = EFT_CODE_DISTANCE) -> int:
+        patch = SurfaceCodePatch(distance)
+        return self.total_tiles * patch.physical_qubits
+
+
+class Layout:
+    """Base class: builds a :class:`LayoutSpec` and answers region queries."""
+
+    name = "layout"
+
+    def __init__(self, num_data_qubits: int):
+        if num_data_qubits < 2:
+            raise ValueError("a layout needs at least two data qubits")
+        self.num_data_qubits = int(num_data_qubits)
+
+    # -- to be provided by subclasses -----------------------------------------
+    def total_tiles(self) -> int:
+        raise NotImplementedError
+
+    def region_of(self, qubit: int) -> int:
+        """Fast-region index of a data qubit (clusters within a region are fast)."""
+        return 0
+
+    def cnot_cycles(self, crosses_regions: bool) -> int:
+        return SLOW_CNOT_CLUSTER_CYCLES if crosses_regions else FAST_CNOT_CLUSTER_CYCLES
+
+    def supports_parallel_blocks(self) -> bool:
+        return False
+
+    def parallel_rotations(self) -> int:
+        """How many Rz consumptions can proceed concurrently."""
+        return self.num_data_qubits
+
+    def parallel_magic_state_slots(self) -> int:
+        """Distinct magic states that can be stored/consumed simultaneously."""
+        return self.num_data_qubits
+
+    # -- derived ---------------------------------------------------------------
+    def spec(self) -> LayoutSpec:
+        return LayoutSpec(
+            name=self.name,
+            num_data_qubits=self.num_data_qubits,
+            total_tiles=self.total_tiles(),
+            cnot_cycles_fast=self.cnot_cycles(False),
+            cnot_cycles_slow=self.cnot_cycles(True),
+            supports_parallel_blocks=self.supports_parallel_blocks(),
+            parallel_rotations=self.parallel_rotations(),
+            parallel_magic_state_slots=self.parallel_magic_state_slots(),
+        )
+
+    def packing_efficiency(self) -> float:
+        return self.num_data_qubits / self.total_tiles()
+
+    def physical_qubits(self, distance: int = EFT_CODE_DISTANCE) -> int:
+        return self.spec().physical_qubits(distance)
+
+    def cluster_crosses_regions(self, control: int, targets: Sequence[int]) -> bool:
+        region = self.region_of(control)
+        return any(self.region_of(target) != region for target in targets)
+
+    def cluster_cycles(self, control: int, targets: Sequence[int]) -> int:
+        """Latency of a single-control multi-target CNOT cluster on this layout."""
+        return self.cnot_cycles(self.cluster_crosses_regions(control, targets))
+
+    def requires_boundary_bus(self, control: int, targets: Sequence[int]) -> bool:
+        """Whether the cluster must serialize on a shared boundary routing channel."""
+        return False
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(data={self.num_data_qubits}, "
+                f"tiles={self.total_tiles()}, PE={self.packing_efficiency():.2f})")
+
+
+class ProposedLayout(Layout):
+    """The paper's layout (Fig. 3), parameterized by k with N = 4k + 4 data qubits.
+
+    * four rows of k data qubits plus a column of 4 extra data qubits;
+    * a routing/injection ancilla row adjacent to each pair of data rows, so
+      every data qubit has injection space next to it;
+    * total footprint 6(k+2) tiles ⇒ PE = 4(k+1) / (6(k+2)) → ≈ 2/3;
+    * qubits 0…2k−1 (upper two rows) and 2k…4k−1 (lower two rows) form two
+      fast regions; clusters confined to one region cost 4 cycles, clusters
+      crossing regions or touching the extra column cost 8 cycles (Fig. 9);
+    * up to 2·⌊k/3⌋ distinct magic states can be stored concurrently in the
+      shared ancilla space.
+    """
+
+    name = "proposed"
+
+    def __init__(self, num_data_qubits: Optional[int] = None, k: Optional[int] = None):
+        if (num_data_qubits is None) == (k is None):
+            raise ValueError("provide exactly one of num_data_qubits or k")
+        if k is None:
+            if num_data_qubits < 8 or (num_data_qubits - 4) % 4 != 0:
+                raise ValueError("the proposed layout hosts N = 4k + 4 data qubits, k ≥ 1")
+            k = (num_data_qubits - 4) // 4
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+        super().__init__(4 * self.k + 4)
+
+    def total_tiles(self) -> int:
+        return 6 * (self.k + 2)
+
+    def region_of(self, qubit: int) -> int:
+        if qubit < 2 * self.k:
+            return 0
+        if qubit < 4 * self.k:
+            return 1
+        return 2  # extra column qubits
+
+    def supports_parallel_blocks(self) -> bool:
+        return True
+
+    def parallel_rotations(self) -> int:
+        # Injection ancilla sit adjacent to every data-qubit row (Fig. 3), so
+        # rotations across data qubits are not serialized by the layout.
+        return self.num_data_qubits
+
+    def parallel_magic_state_slots(self) -> int:
+        return max(1, 2 * (self.k // 3))
+
+    def cluster_cycles(self, control: int, targets: Sequence[int]) -> int:
+        """Fig. 9 cost rule with the linking-CNOT refinement of Fig. 10.
+
+        Multi-target clusters that span both halves of the layout (the upper
+        rows, region 0, and the lower rows, region 1) need the extra
+        patch-rotation steps of Fig. 9(B) and cost 8 cycles.  Everything else
+        — clusters confined to one half, clusters that only reach into the
+        extra column, and single-target CNOTs across the boundary (the
+        blocked ansatz's linking CNOTs, Fig. 10) — uses pre-aligned operator
+        edges and costs 4 cycles.
+        """
+        regions = {self.region_of(control)}
+        regions.update(self.region_of(target) for target in targets)
+        spans_both_halves = 0 in regions and 1 in regions
+        if spans_both_halves and len(targets) > 1:
+            return self.cnot_cycles(True)
+        return self.cnot_cycles(False)
+
+    def requires_boundary_bus(self, control: int, targets: Sequence[int]) -> bool:
+        """Cross-half operations share the single boundary routing channel."""
+        regions = {self.region_of(control)}
+        regions.update(self.region_of(target) for target in targets)
+        return 0 in regions and 1 in regions
+
+    @staticmethod
+    def packing_efficiency_formula(k: int) -> float:
+        """PE = 4(k+1) / (6(k+2)) — the closed form quoted in Sec. 4.1."""
+        return 4.0 * (k + 1) / (6.0 * (k + 2))
+
+
+class CompactLayout(Layout):
+    """Litinski's Compact data block: ≈1.5 tiles per qubit, fully serial ops.
+
+    The single shared ancilla row forces one lattice-surgery operation at a
+    time and requires patch rotations for roughly half the accesses, so CNOT
+    clusters cost 6 cycles on average.
+    """
+
+    name = "compact"
+
+    def total_tiles(self) -> int:
+        return math.ceil(1.5 * self.num_data_qubits) + 1
+
+    def cnot_cycles(self, crosses_regions: bool) -> int:
+        return 6
+
+    def parallel_rotations(self) -> int:
+        return max(1, self.num_data_qubits // 4)
+
+
+class IntermediateLayout(Layout):
+    """Litinski's Intermediate block: 2 tiles per qubit, serial but rotation-free."""
+
+    name = "intermediate"
+
+    def total_tiles(self) -> int:
+        return 2 * self.num_data_qubits + 2
+
+    def cnot_cycles(self, crosses_regions: bool) -> int:
+        return 5
+
+    def parallel_rotations(self) -> int:
+        return max(1, self.num_data_qubits // 2)
+
+
+class FastLayout(Layout):
+    """Litinski's Fast block: ≈4 tiles per qubit, every patch borders routing space.
+
+    Long-range lattice-surgery merges still need the routing region to be
+    prepared and measured out (≈6 cycles per cluster at the Fig. 9
+    granularity); what the extra space buys is concurrency between disjoint
+    operations — which the serial structure of VQA ansatze largely cannot
+    exploit (Sec. 4.1).
+    """
+
+    name = "fast"
+
+    def total_tiles(self) -> int:
+        return 4 * self.num_data_qubits
+
+    def cnot_cycles(self, crosses_regions: bool) -> int:
+        return 6
+
+    def supports_parallel_blocks(self) -> bool:
+        return True
+
+
+class GridLayout(Layout):
+    """Grid layout (Javadi-Abhari et al.): each data patch surrounded by ancilla.
+
+    Maximum routing flexibility at ≈9 tiles per qubit; per-operation latency
+    matches the Fast block, and disjoint operations can run concurrently —
+    capacity a serial VQA ansatz cannot exploit (Sec. 4.1).
+    """
+
+    name = "grid"
+
+    def total_tiles(self) -> int:
+        return math.ceil(9.0 * self.num_data_qubits)
+
+    def cnot_cycles(self, crosses_regions: bool) -> int:
+        return 6
+
+    def supports_parallel_blocks(self) -> bool:
+        return True
+
+
+LAYOUT_FAMILIES = {
+    "proposed": ProposedLayout,
+    "compact": CompactLayout,
+    "intermediate": IntermediateLayout,
+    "fast": FastLayout,
+    "grid": GridLayout,
+}
+
+
+def make_layout(name: str, num_data_qubits: int) -> Layout:
+    """Construct a layout by family name for the given number of data qubits."""
+    if name not in LAYOUT_FAMILIES:
+        supported = ", ".join(sorted(LAYOUT_FAMILIES))
+        raise ValueError(f"unknown layout {name!r}; supported: {supported}")
+    if name == "proposed":
+        return ProposedLayout(num_data_qubits=num_data_qubits)
+    return LAYOUT_FAMILIES[name](num_data_qubits)

@@ -1,0 +1,176 @@
+"""End-to-end EFT-VQA compilation pipeline.
+
+This is the "front door" of the repository: given a VQA workload (ansatz +
+Hamiltonian), an EFT device and an execution regime, the compiler runs every
+architectural stage the paper describes and returns a single report:
+
+1. **placement** — map logical qubits onto the proposed layout
+   (:mod:`repro.architecture.placement`);
+2. **scheduling** — lattice-surgery macro-op schedule, cycles, spacetime
+   volume (:mod:`repro.architecture.scheduler`);
+3. **magic-state provisioning** — injection slots for pQEC, distillation
+   factories or cultivation units for the Clifford+T baselines
+   (:mod:`repro.core.resources`);
+4. **fidelity estimation** — the Sec. 4.4 error accounting for the chosen
+   regime (:mod:`repro.core.fidelity`);
+5. **measurement costing** — circuits per VQE iteration and shots for a
+   target precision (:mod:`repro.operators.grouping`).
+
+The result is what a user would need to decide whether their VQA fits an EFT
+device and which regime to run it under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ansatz.base import Ansatz
+from ..core.fidelity import CircuitProfile, FidelityBreakdown, estimate_fidelity
+from ..core.regimes import (ExecutionRegime, NISQRegime, PQECRegime,
+                            QECConventionalRegime, QECCultivationRegime)
+from ..core.resources import EFTDevice
+from ..operators.grouping import MeasurementBudget, shot_budget
+from ..operators.pauli import PauliSum
+from ..qec.surface_code import EFT_CODE_DISTANCE
+from .layouts import Layout, make_layout
+from .placement import PlacementReport, optimize_placement
+from .scheduler import ScheduleResult, schedule_on_layout
+
+
+@dataclass(frozen=True)
+class CompilationResult:
+    """Everything the compiler learned about one (workload, device, regime)."""
+
+    workload_name: str
+    regime_name: str
+    layout_name: str
+    num_logical_qubits: int
+    fits_device: bool
+    placement: Optional[PlacementReport]
+    schedule: ScheduleResult
+    profile: CircuitProfile
+    fidelity: FidelityBreakdown
+    measurement_budget: Optional[MeasurementBudget]
+    physical_qubits_used: int
+    physical_qubit_budget: int
+
+    @property
+    def estimated_fidelity(self) -> float:
+        return self.fidelity.fidelity
+
+    @property
+    def spacetime_volume(self) -> float:
+        return self.schedule.spacetime_volume_tiles
+
+    @property
+    def execution_cycles(self) -> float:
+        return self.schedule.cycles
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary suitable for tabulation / serialization."""
+        return {
+            "workload": self.workload_name,
+            "regime": self.regime_name,
+            "layout": self.layout_name,
+            "logical_qubits": self.num_logical_qubits,
+            "fits_device": self.fits_device,
+            "cycles": self.execution_cycles,
+            "spacetime_volume_tiles": self.spacetime_volume,
+            "physical_qubits_used": self.physical_qubits_used,
+            "physical_qubit_budget": self.physical_qubit_budget,
+            "estimated_fidelity": self.estimated_fidelity,
+            "cnot_count": self.profile.cnot_count,
+            "rotation_count": self.profile.rotation_count,
+            "measurement_circuits": (self.measurement_budget.num_groups
+                                     if self.measurement_budget else None),
+            "placement_improvement": (self.placement.improvement
+                                      if self.placement else None),
+        }
+
+
+class EFTCompiler:
+    """Compile VQA workloads for an EFT device under a chosen regime."""
+
+    def __init__(self, device: Optional[EFTDevice] = None,
+                 layout_name: str = "proposed",
+                 distance: int = EFT_CODE_DISTANCE,
+                 optimize_qubit_placement: bool = True,
+                 placement_anneal_iterations: int = 150,
+                 seed: int = 7):
+        self.device = device or EFTDevice()
+        self.layout_name = layout_name
+        self.distance = int(distance)
+        self.optimize_qubit_placement = bool(optimize_qubit_placement)
+        self.placement_anneal_iterations = int(placement_anneal_iterations)
+        self.seed = int(seed)
+
+    # -- stages -----------------------------------------------------------------
+    def _place(self, ansatz: Ansatz, layout: Layout) -> Optional[PlacementReport]:
+        if not self.optimize_qubit_placement:
+            return None
+        return optimize_placement(ansatz, layout,
+                                  anneal_iterations=self.placement_anneal_iterations,
+                                  seed=self.seed)
+
+    def _schedule(self, ansatz: Ansatz, layout: Layout) -> ScheduleResult:
+        return schedule_on_layout(ansatz, layout, distance=self.distance)
+
+    # -- public API ----------------------------------------------------------------
+    def compile(self, ansatz: Ansatz, regime: ExecutionRegime,
+                hamiltonian: Optional[PauliSum] = None,
+                workload_name: Optional[str] = None,
+                target_standard_error: float = 1e-2) -> CompilationResult:
+        """Run the full pipeline for one workload under one regime."""
+        workload_name = workload_name or ansatz.name
+        layout = make_layout(self.layout_name, ansatz.num_qubits)
+        placement = self._place(ansatz, layout)
+        schedule = self._schedule(ansatz, layout)
+        profile = CircuitProfile.from_ansatz(ansatz, self.layout_name,
+                                             distance=self.distance)
+        fidelity = estimate_fidelity(profile, regime, device=self.device)
+        budget = (shot_budget(hamiltonian, target_standard_error)
+                  if hamiltonian is not None else None)
+        physical_used = schedule.physical_qubits
+        fits = (physical_used <= self.device.physical_qubits
+                and self.device.fits_program(ansatz.num_qubits))
+        return CompilationResult(
+            workload_name=workload_name,
+            regime_name=regime.name,
+            layout_name=self.layout_name,
+            num_logical_qubits=ansatz.num_qubits,
+            fits_device=fits,
+            placement=placement,
+            schedule=schedule,
+            profile=profile,
+            fidelity=fidelity,
+            measurement_budget=budget,
+            physical_qubits_used=physical_used,
+            physical_qubit_budget=self.device.physical_qubits,
+        )
+
+    def compare_regimes(self, ansatz: Ansatz,
+                        regimes: Optional[Sequence[ExecutionRegime]] = None,
+                        hamiltonian: Optional[PauliSum] = None,
+                        workload_name: Optional[str] = None
+                        ) -> Dict[str, CompilationResult]:
+        """Compile the same workload under several regimes (default: all four)."""
+        if regimes is None:
+            regimes = (NISQRegime(), PQECRegime(), QECConventionalRegime(),
+                       QECCultivationRegime())
+        results = {}
+        for regime in regimes:
+            results[regime.name] = self.compile(ansatz, regime, hamiltonian,
+                                                workload_name)
+        return results
+
+    def recommend_regime(self, ansatz: Ansatz,
+                         hamiltonian: Optional[PauliSum] = None
+                         ) -> Tuple[str, Dict[str, CompilationResult]]:
+        """The regime with the highest estimated fidelity among feasible ones."""
+        results = self.compare_regimes(ansatz, hamiltonian=hamiltonian)
+        feasible = {name: result for name, result in results.items()
+                    if result.fidelity.feasible and result.fits_device}
+        pool = feasible or results
+        best = max(pool, key=lambda name: pool[name].estimated_fidelity)
+        return best, results

@@ -1,0 +1,329 @@
+"""Tile-level geometry and ancilla-bus routing for the proposed layout.
+
+The analytic scheduler (:mod:`repro.architecture.scheduler`) prices every
+macro-operation with the Fig. 9 cycle counts and assumes the layout always has
+a free routing channel.  This module makes the layout geometry explicit so
+that assumption can be checked:
+
+* :class:`ProposedLayoutGeometry` — a concrete tile grid for the paper's
+  Fig. 3 layout (4 data rows of ``k`` qubits plus an extra 4-qubit column,
+  one routing/injection row adjacent to every data row, total ``6·(k+2)``
+  tiles ⇒ PE = 4(k+1)/(6(k+2)));
+* :class:`BusRouter` — shortest-path routing over the ancilla bus with
+  explicit tile reservations, so two lattice-surgery operations can only run
+  concurrently when their routes do not overlap;
+* :class:`ContentionAwareScheduler` — an event-driven scheduler that executes
+  an ansatz's macro-operation list under those reservations and reports the
+  realized cycle count, which can be compared against the analytic model
+  (it must never be faster than the analytic lower bound).
+
+The exact row ordering of Fig. 3 is not fully specified in the paper; the
+geometry here places routing rows so that *every* data qubit is adjacent to
+injection space, which is the property the paper's parallel-rotation argument
+relies on, and reproduces the quoted packing efficiency exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..ansatz.base import Ansatz, MacroOp
+from .lattice_surgery import (EXPECTED_CONSUMPTION_ATTEMPTS,
+                              MEASUREMENT_CYCLES, ROTATION_CONSUMPTION_CYCLES)
+from .layouts import ProposedLayout
+
+#: Tile roles in the grid.
+DATA, BUS, MAGIC = "data", "bus", "magic"
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One surface-code patch slot in the layout grid."""
+
+    row: int
+    column: int
+    kind: str
+    qubit: Optional[int] = None
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        return (self.row, self.column)
+
+
+class ProposedLayoutGeometry:
+    """Concrete tile coordinates for the proposed layout (Fig. 3)."""
+
+    #: Grid rows hosting data qubits, in qubit-numbering order.
+    _DATA_ROWS = (0, 2, 3, 5)
+    #: Grid rows acting as routing / injection buses.
+    _BUS_ROWS = (1, 4)
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+        self.layout = ProposedLayout(k=k)
+        self._tiles: Dict[Tuple[int, int], Tile] = {}
+        self._data_tiles: Dict[int, Tile] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------------
+    def _build(self) -> None:
+        k = self.k
+        qubit = 0
+        for row in self._DATA_ROWS:
+            for column in range(1, k + 1):
+                self._add_tile(Tile(row, column, DATA, qubit))
+                qubit += 1
+        # The extra 4-qubit column on the right edge (qubits 4k … 4k+3).
+        for row in self._DATA_ROWS:
+            self._add_tile(Tile(row, k + 1, DATA, qubit))
+            qubit += 1
+        # Routing / injection rows: every third tile is a magic-state slot,
+        # giving the 2·⌊k/3⌋ concurrent injections quoted in Sec. 4.1.
+        for row in self._BUS_ROWS:
+            for column in range(0, k + 2):
+                kind = MAGIC if (1 <= column <= k and column % 3 == 0) else BUS
+                self._add_tile(Tile(row, column, kind))
+        # Left edge column next to the data rows completes the 6·(k+2) grid.
+        for row in self._DATA_ROWS:
+            self._add_tile(Tile(row, 0, BUS))
+
+    def _add_tile(self, tile: Tile) -> None:
+        self._tiles[tile.position] = tile
+        if tile.kind == DATA:
+            self._data_tiles[tile.qubit] = tile
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def num_data_qubits(self) -> int:
+        return len(self._data_tiles)
+
+    @property
+    def total_tiles(self) -> int:
+        return len(self._tiles)
+
+    def tiles(self) -> List[Tile]:
+        return list(self._tiles.values())
+
+    def data_tile(self, qubit: int) -> Tile:
+        if qubit not in self._data_tiles:
+            raise ValueError(f"qubit {qubit} is not hosted by this layout")
+        return self._data_tiles[qubit]
+
+    def magic_state_tiles(self) -> List[Tile]:
+        return [tile for tile in self._tiles.values() if tile.kind == MAGIC]
+
+    def packing_efficiency(self) -> float:
+        return self.num_data_qubits / self.total_tiles
+
+    def neighbors(self, position: Tuple[int, int]) -> List[Tile]:
+        row, column = position
+        result = []
+        for delta_row, delta_column in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            neighbor = self._tiles.get((row + delta_row, column + delta_column))
+            if neighbor is not None:
+                result.append(neighbor)
+        return result
+
+    def bus_graph(self) -> nx.Graph:
+        """Graph over routing tiles (bus + magic slots act as routing space)."""
+        graph = nx.Graph()
+        for tile in self._tiles.values():
+            if tile.kind in (BUS, MAGIC):
+                graph.add_node(tile.position)
+        for position in list(graph.nodes):
+            for neighbor in self.neighbors(position):
+                if neighbor.kind in (BUS, MAGIC):
+                    graph.add_edge(position, neighbor.position)
+        return graph
+
+    def injection_neighbors(self, qubit: int) -> List[Tile]:
+        """Routing tiles adjacent to a data qubit (where its magic states live)."""
+        return [tile for tile in self.neighbors(self.data_tile(qubit).position)
+                if tile.kind in (BUS, MAGIC)]
+
+    def every_data_qubit_touches_the_bus(self) -> bool:
+        return all(self.injection_neighbors(qubit)
+                   for qubit in range(self.num_data_qubits))
+
+    # -- routing -----------------------------------------------------------------
+    def route(self, qubit_a: int, qubit_b: int,
+              blocked: Optional[Set[Tuple[int, int]]] = None
+              ) -> Optional[List[Tuple[int, int]]]:
+        """Shortest free ancilla path connecting two data patches.
+
+        Returns the list of routing-tile positions, or ``None`` when every
+        connection is blocked by existing reservations.
+        """
+        blocked = blocked or set()
+        graph = self.bus_graph()
+        graph.remove_nodes_from([node for node in blocked if node in graph])
+        sources = [tile.position for tile in self.injection_neighbors(qubit_a)
+                   if tile.position not in blocked]
+        targets = {tile.position for tile in self.injection_neighbors(qubit_b)
+                   if tile.position not in blocked}
+        if not sources or not targets:
+            return None
+        best: Optional[List[Tuple[int, int]]] = None
+        for source in sources:
+            if source not in graph:
+                continue
+            lengths, paths = nx.single_source_dijkstra(graph, source)
+            for target in targets:
+                if target not in paths:
+                    continue
+                candidate = paths[target]
+                if best is None or len(candidate) < len(best):
+                    best = candidate
+        return best
+
+
+@dataclass
+class RouteReservation:
+    """A bus allocation held by an in-flight lattice-surgery operation."""
+
+    tiles: Tuple[Tuple[int, int], ...]
+    release_cycle: float
+    operation_index: int
+
+
+class BusRouter:
+    """Tracks which routing tiles are reserved at any point in time."""
+
+    def __init__(self, geometry: ProposedLayoutGeometry):
+        self.geometry = geometry
+        self._reservations: List[RouteReservation] = []
+
+    def blocked_tiles(self, cycle: float) -> Set[Tuple[int, int]]:
+        return {tile for reservation in self._reservations
+                if reservation.release_cycle > cycle
+                for tile in reservation.tiles}
+
+    def release_expired(self, cycle: float) -> None:
+        self._reservations = [reservation for reservation in self._reservations
+                              if reservation.release_cycle > cycle]
+
+    def try_reserve(self, qubits: Sequence[int], cycle: float, duration: float,
+                    operation_index: int) -> Optional[RouteReservation]:
+        """Reserve a route connecting all ``qubits`` (a single-control cluster).
+
+        A multi-target cluster is one merged lattice-surgery region, so its
+        own path segments may share routing tiles freely; only tiles held by
+        *other* in-flight operations block the reservation.
+        """
+        blocked = self.blocked_tiles(cycle)
+        tiles: List[Tuple[int, int]] = []
+        anchor = qubits[0]
+        for other in qubits[1:]:
+            path = self.geometry.route(anchor, other, blocked=blocked)
+            if path is None:
+                return None
+            tiles.extend(path)
+        reservation = RouteReservation(tuple(dict.fromkeys(tiles)),
+                                       cycle + duration, operation_index)
+        self._reservations.append(reservation)
+        return reservation
+
+    @property
+    def active_reservations(self) -> int:
+        return len(self._reservations)
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """One macro-operation with its realized start/finish cycles."""
+
+    index: int
+    kind: str
+    qubits: Tuple[int, ...]
+    start_cycle: float
+    finish_cycle: float
+    bus_tiles: Tuple[Tuple[int, int], ...]
+
+    @property
+    def duration(self) -> float:
+        return self.finish_cycle - self.start_cycle
+
+
+@dataclass
+class ContentionScheduleResult:
+    """Outcome of the contention-aware scheduling pass."""
+
+    operations: List[ScheduledOperation]
+    total_cycles: float
+    total_tiles: int
+    stalled_cycles: float
+
+    @property
+    def spacetime_volume_tiles(self) -> float:
+        return self.total_cycles * self.total_tiles
+
+
+class ContentionAwareScheduler:
+    """Event-driven scheduler with explicit ancilla-bus reservations.
+
+    Operations become ready when every earlier operation touching one of
+    their qubits has finished (program order per qubit); a ready CNOT cluster
+    additionally needs a free bus route between its patches.  Rotation and
+    measurement layers act on the injection space adjacent to each data patch
+    and do not contend for the shared bus.
+    """
+
+    def __init__(self, geometry: ProposedLayoutGeometry,
+                 expected_injections: float = EXPECTED_CONSUMPTION_ATTEMPTS):
+        self.geometry = geometry
+        self.expected_injections = float(expected_injections)
+
+    def _duration(self, op: MacroOp) -> float:
+        if op.kind == "rotation_layer":
+            return 2 * self.expected_injections * ROTATION_CONSUMPTION_CYCLES
+        if op.kind == "measure_layer":
+            return float(MEASUREMENT_CYCLES)
+        return float(self.geometry.layout.cluster_cycles(op.control, op.targets))
+
+    def schedule(self, ansatz: Ansatz,
+                 include_measurement: bool = True) -> ContentionScheduleResult:
+        macro_ops = ansatz.macro_schedule(include_measurement=include_measurement)
+        if ansatz.num_qubits > self.geometry.num_data_qubits:
+            raise ValueError("ansatz does not fit in this layout geometry")
+        router = BusRouter(self.geometry)
+        qubit_free_at: Dict[int, float] = {q: 0.0 for q in range(ansatz.num_qubits)}
+        scheduled: List[ScheduledOperation] = []
+        clock = 0.0
+        stalled = 0.0
+        for index, op in enumerate(macro_ops):
+            qubits = op.involved_qubits()
+            ready = max((qubit_free_at[q] for q in qubits), default=clock)
+            start = max(ready, 0.0)
+            duration = self._duration(op)
+            tiles: Tuple[Tuple[int, int], ...] = ()
+            if op.kind == "cnot_cluster":
+                router.release_expired(start)
+                reservation = router.try_reserve(list(qubits), start, duration, index)
+                while reservation is None:
+                    # Stall until the earliest reservation drains, then retry.
+                    pending = [r.release_cycle for r in router._reservations
+                               if r.release_cycle > start]
+                    if not pending:
+                        raise RuntimeError("bus routing deadlock")
+                    stalled += min(pending) - start
+                    start = min(pending)
+                    router.release_expired(start)
+                    reservation = router.try_reserve(list(qubits), start,
+                                                     duration, index)
+                tiles = reservation.tiles
+            finish = start + duration
+            for qubit in qubits:
+                qubit_free_at[qubit] = finish
+            clock = max(clock, finish)
+            scheduled.append(ScheduledOperation(
+                index=index, kind=op.kind, qubits=tuple(qubits),
+                start_cycle=start, finish_cycle=finish, bus_tiles=tiles))
+        return ContentionScheduleResult(
+            operations=scheduled, total_cycles=clock,
+            total_tiles=self.geometry.total_tiles, stalled_cycles=stalled)

@@ -1,0 +1,190 @@
+"""Lattice-surgery scheduling of ansatz macro-operations onto a layout.
+
+Produces the three resource metrics the paper defines in Sec. 4:
+
+* **space** ``N_circ`` — physical qubits allocated to the computation (all
+  tiles of the layout, data + routing + injection, times the patch size);
+* **time** ``t_circ`` — logical clock cycles along the critical path, using
+  the Fig. 9 per-operation latencies and an ASAP schedule that exploits
+  whatever parallelism the layout offers (e.g. the two blocks of the proposed
+  layout run concurrently, whereas Compact/Intermediate serialize on their
+  single routing bus);
+* **spacetime volume** ``V_circ`` — reported in two flavours: the
+  footprint-based ``N_circ · t_circ`` used for the layout comparison of
+  Table 1, and the per-operation sum ``Σ t_op · N_op`` of the paper's formal
+  definition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ansatz.base import Ansatz, MacroOp
+from ..qec.surface_code import EFT_CODE_DISTANCE, SurfaceCodePatch
+from .lattice_surgery import (EXPECTED_CONSUMPTION_ATTEMPTS,
+                              MEASUREMENT_CYCLES, OperationCost,
+                              rotation_layer_cycles)
+from .layouts import Layout
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one circuit onto one layout."""
+
+    layout_name: str
+    ansatz_name: str
+    num_data_qubits: int
+    distance: int
+    cycles: float
+    total_tiles: int
+    operation_costs: Tuple[OperationCost, ...]
+
+    @property
+    def physical_qubits(self) -> int:
+        patch = SurfaceCodePatch(self.distance)
+        return self.total_tiles * patch.physical_qubits
+
+    @property
+    def spacetime_volume_tiles(self) -> float:
+        """Footprint-based volume (tiles × cycles) — the Table 1 metric."""
+        return self.total_tiles * self.cycles
+
+    @property
+    def spacetime_volume_physical(self) -> float:
+        """Footprint-based volume in physical-qubit × cycles."""
+        return self.physical_qubits * self.cycles
+
+    @property
+    def spacetime_volume_engaged(self) -> float:
+        """Per-operation volume Σ t_op · N_op (tiles × cycles)."""
+        return float(sum(op.spacetime_volume_patches for op in self.operation_costs))
+
+    @property
+    def wall_clock_rounds(self) -> float:
+        """Total syndrome-measurement rounds (cycles × d)."""
+        return self.cycles * self.distance
+
+
+class LatticeSurgeryScheduler:
+    """Schedules an ansatz's macro-operations on a layout (ASAP policy)."""
+
+    def __init__(self, layout: Layout, distance: int = EFT_CODE_DISTANCE,
+                 expected_injections: float = EXPECTED_CONSUMPTION_ATTEMPTS):
+        self.layout = layout
+        self.distance = int(distance)
+        self.expected_injections = float(expected_injections)
+
+    # -- per-op costing ---------------------------------------------------------
+    def _rotation_layer_cost(self, op: MacroOp) -> OperationCost:
+        cycles = rotation_layer_cycles(
+            rotations_per_qubit=2,
+            expected_attempts=self.expected_injections,
+            num_qubits=len(op.qubits),
+            max_parallel=self.layout.parallel_rotations(),
+        )
+        # Each rotating qubit engages its data patch plus one injection patch.
+        patches = 2 * len(op.qubits)
+        return OperationCost("rotation_layer", cycles, patches)
+
+    def _cnot_cluster_cost(self, op: MacroOp) -> OperationCost:
+        cycles = self.layout.cluster_cycles(op.control, op.targets)
+        # Control + targets + one routing ancilla patch per involved region.
+        patches = 1 + len(op.targets) + 1
+        return OperationCost("cnot_cluster", float(cycles), patches)
+
+    def _measure_layer_cost(self, op: MacroOp) -> OperationCost:
+        return OperationCost("measure_layer", float(MEASUREMENT_CYCLES),
+                             len(op.qubits))
+
+    def cost_of(self, op: MacroOp) -> OperationCost:
+        if op.kind == "rotation_layer":
+            return self._rotation_layer_cost(op)
+        if op.kind == "cnot_cluster":
+            return self._cnot_cluster_cost(op)
+        return self._measure_layer_cost(op)
+
+    # -- scheduling --------------------------------------------------------------
+    def schedule(self, ansatz: Ansatz,
+                 include_measurement: bool = True) -> ScheduleResult:
+        """ASAP-schedule the ansatz and return the resource metrics."""
+        if ansatz.num_qubits > self.layout.num_data_qubits:
+            raise ValueError(
+                f"ansatz needs {ansatz.num_qubits} data qubits but the layout hosts "
+                f"{self.layout.num_data_qubits}")
+        macro_ops = ansatz.macro_schedule(include_measurement=include_measurement)
+        ready = [0.0] * self.layout.num_data_qubits
+        bus_ready = 0.0
+        boundary_bus_ready = 0.0
+        serialize_all = not self.layout.supports_parallel_blocks()
+        costs: List[OperationCost] = []
+        finish = 0.0
+        for op in macro_ops:
+            cost = self.cost_of(op)
+            costs.append(cost)
+            involved = op.involved_qubits()
+            start = max((ready[q] for q in involved), default=0.0)
+            uses_global_bus = serialize_all and op.kind == "cnot_cluster"
+            uses_boundary_bus = (op.kind == "cnot_cluster"
+                                 and self.layout.requires_boundary_bus(
+                                     op.control, op.targets))
+            if uses_global_bus:
+                # A single shared routing bus serializes lattice-surgery ops.
+                start = max(start, bus_ready)
+            if uses_boundary_bus:
+                # Cross-half operations contend for the boundary routing channel.
+                start = max(start, boundary_bus_ready)
+            end = start + cost.cycles
+            for qubit in involved:
+                ready[qubit] = end
+            if uses_global_bus:
+                bus_ready = end
+            if uses_boundary_bus:
+                boundary_bus_ready = end
+            finish = max(finish, end)
+        return ScheduleResult(
+            layout_name=self.layout.name,
+            ansatz_name=ansatz.name,
+            num_data_qubits=ansatz.num_qubits,
+            distance=self.distance,
+            cycles=finish,
+            total_tiles=self.layout.total_tiles(),
+            operation_costs=tuple(costs),
+        )
+
+
+def schedule_on_layout(ansatz: Ansatz, layout: Layout,
+                       distance: int = EFT_CODE_DISTANCE,
+                       include_measurement: bool = True) -> ScheduleResult:
+    """Convenience wrapper: schedule ``ansatz`` on ``layout``."""
+    scheduler = LatticeSurgeryScheduler(layout, distance=distance)
+    return scheduler.schedule(ansatz, include_measurement=include_measurement)
+
+
+def layout_volume_ratios(ansatz_factory, num_qubits_list: Sequence[int],
+                         layout_names: Sequence[str] = ("compact", "intermediate",
+                                                        "fast", "grid"),
+                         distance: int = EFT_CODE_DISTANCE) -> Dict[str, float]:
+    """Average spacetime-volume ratio of each layout relative to the proposed one.
+
+    This is the Table 1 computation: for each ansatz instance compute
+    ``V(layout) / V(proposed)`` and average over the size sweep.
+    """
+    from .layouts import make_layout
+
+    totals = {name: 0.0 for name in layout_names}
+    count = 0
+    for num_qubits in num_qubits_list:
+        ansatz = ansatz_factory(num_qubits)
+        baseline = schedule_on_layout(
+            ansatz, make_layout("proposed", num_qubits), distance=distance)
+        baseline_volume = baseline.spacetime_volume_tiles
+        if baseline_volume <= 0:
+            raise RuntimeError("degenerate baseline schedule")
+        for name in layout_names:
+            result = schedule_on_layout(
+                ansatz, make_layout(name, num_qubits), distance=distance)
+            totals[name] += result.spacetime_volume_tiles / baseline_volume
+        count += 1
+    return {name: total / count for name, total in totals.items()}

@@ -1,0 +1,36 @@
+"""Quantum circuit intermediate representation and rewriting passes."""
+
+from .circuit import Instruction, QuantumCircuit
+from .gates import (CLIFFORD_GATE_NAMES, Gate, PAULI_MATRICES, gate_arity,
+                    gate_fidelity, is_clifford_angle, rx_matrix, ry_matrix,
+                    rz_matrix, rzz_matrix, u3_matrix)
+from .parameters import Parameter, ParameterExpression, ParameterVector
+from .transpile import (GateCensus, bind_and_canonicalize,
+                        decompose_to_clifford_rz, gate_census, merge_rz_runs,
+                        remove_barriers, snap_to_clifford)
+
+__all__ = [
+    "CLIFFORD_GATE_NAMES",
+    "Gate",
+    "GateCensus",
+    "Instruction",
+    "PAULI_MATRICES",
+    "Parameter",
+    "ParameterExpression",
+    "ParameterVector",
+    "QuantumCircuit",
+    "bind_and_canonicalize",
+    "decompose_to_clifford_rz",
+    "gate_arity",
+    "gate_census",
+    "gate_fidelity",
+    "is_clifford_angle",
+    "merge_rz_runs",
+    "remove_barriers",
+    "rx_matrix",
+    "ry_matrix",
+    "rz_matrix",
+    "rzz_matrix",
+    "snap_to_clifford",
+    "u3_matrix",
+]

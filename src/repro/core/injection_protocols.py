@@ -1,0 +1,240 @@
+"""Extended Rz(θ) injection protocols: extra post-selection and pre-distillation.
+
+The paper's Sec. 2.6 notes that the fidelity of an injected Rz(θ) state "can
+be improved by post-selecting over multiple (more than two) rounds or
+'pre-distillation' … however, this comes at additional overhead.  The cost vs
+benefit trade-offs for these techniques are worthy of exploration in future
+work."  This module implements that exploration so the trade-off can be
+measured instead of deferred:
+
+* **extra post-selection rounds** — the baseline Lao–Criger protocol
+  post-selects over two rounds of stabilizer measurements and leaves an error
+  of ``23·p/30``.  Additional rounds catch part of the *detectable* residual
+  (errors that fired during earlier measurement rounds) but cannot touch the
+  undetectable floor (errors on the injection qubit before it is protected by
+  the code), and every extra round lowers the acceptance probability, i.e.
+  raises the injection latency;
+* **pre-distillation** — a Campbell–Howard-style parity check between two
+  injected states detects first-order errors, squaring the error rate at the
+  cost of one extra patch and one extra lattice-surgery check per accepted
+  state.
+
+:class:`ProtocolPQECRegime` plugs any protocol into the standard pQEC fidelity
+and noise-model machinery, and :func:`protocol_tradeoff` quantifies the
+fidelity-versus-spacetime-volume exchange for a rotation workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..qec.surface_code import EFT_CODE_DISTANCE, EFT_PHYSICAL_ERROR_RATE
+from .injection import (CONSUMPTION_SUCCESS_PROBABILITY,
+                        INJECTION_ERROR_BIAS, InjectionStatistics,
+                        expected_consumptions_per_rotation,
+                        injection_error_rate)
+from .regimes import PQECRegime
+
+#: Fraction of the Lao–Criger injected-state error that later stabilizer
+#: rounds can never detect (it acts on the injection qubit before the patch is
+#: protected).  Extra post-selection rounds only suppress the remainder.
+UNDETECTABLE_ERROR_FRACTION = 0.4
+
+#: Fraction of the *detectable* residual that survives each additional
+#: post-selection round (a round is one more cycle of stabilizer measurements
+#: whose syndrome must come back clean).
+DETECTION_MISS_PER_ROUND = 0.25
+
+#: Error-suppression coefficient of the parity-check pre-distillation step:
+#: error_out ≈ coefficient · error_in².
+PRE_DISTILLATION_COEFFICIENT = 3.0
+
+#: Extra patches and lattice-surgery cycles one pre-distillation check costs.
+PRE_DISTILLATION_EXTRA_PATCHES = 2
+PRE_DISTILLATION_EXTRA_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class InjectionProtocol:
+    """A configured Rz(θ) injection procedure.
+
+    ``post_selection_rounds = 2`` and ``use_pre_distillation = False`` is the
+    baseline protocol the paper evaluates; anything beyond that is the
+    "future work" territory this module explores.
+    """
+
+    post_selection_rounds: int = 2
+    use_pre_distillation: bool = False
+    physical_error_rate: float = EFT_PHYSICAL_ERROR_RATE
+    distance: int = EFT_CODE_DISTANCE
+
+    def __post_init__(self):
+        if self.post_selection_rounds < 2:
+            raise ValueError("the injection protocol needs at least the two "
+                             "baseline post-selection rounds")
+        if not 0.0 <= self.physical_error_rate < 0.5:
+            raise ValueError("physical error rate must be in [0, 0.5)")
+        if self.distance < 3:
+            raise ValueError("code distance must be at least 3")
+
+    # -- error rate --------------------------------------------------------------
+    @property
+    def baseline_error(self) -> float:
+        """The two-round Lao–Criger injected-state error (23·p/30)."""
+        return injection_error_rate(self.physical_error_rate)
+
+    @property
+    def post_selected_error(self) -> float:
+        """Injected-state error after the configured post-selection rounds."""
+        floor = UNDETECTABLE_ERROR_FRACTION * self.baseline_error
+        detectable = self.baseline_error - floor
+        extra_rounds = self.post_selection_rounds - 2
+        return floor + detectable * (DETECTION_MISS_PER_ROUND ** extra_rounds)
+
+    @property
+    def injected_state_error(self) -> float:
+        """Final per-state error, including pre-distillation when enabled."""
+        error = self.post_selected_error
+        if self.use_pre_distillation:
+            error = min(error, PRE_DISTILLATION_COEFFICIENT * error ** 2)
+        return error
+
+    # -- acceptance and latency -----------------------------------------------------
+    @property
+    def single_round_pass_probability(self) -> float:
+        """Probability one round of post-selection sees a clean syndrome (Sec. 9)."""
+        p = self.physical_error_rate
+        return 1.0 - 2.0 * p * (1.0 - p) * (self.distance ** 2 - 1)
+
+    @property
+    def acceptance_probability(self) -> float:
+        """Probability an injection attempt survives every acceptance check."""
+        accept = self.single_round_pass_probability ** self.post_selection_rounds
+        if self.use_pre_distillation:
+            # The parity check discards the pair when either input carries a
+            # detectable error.
+            accept *= (1.0 - 2.0 * self.post_selected_error)
+        return max(accept, 1e-12)
+
+    @property
+    def expected_attempts(self) -> float:
+        """Expected injection attempts before a state is accepted."""
+        return 1.0 / self.acceptance_probability
+
+    @property
+    def cycles_per_accepted_state(self) -> float:
+        """Expected syndrome-measurement cycles to produce one accepted state."""
+        cycles_per_attempt = float(self.post_selection_rounds)
+        cycles = self.expected_attempts * cycles_per_attempt
+        if self.use_pre_distillation:
+            # Two states feed one check, and the check itself takes cycles.
+            cycles = 2.0 * cycles + PRE_DISTILLATION_EXTRA_CYCLES
+        return cycles
+
+    @property
+    def extra_patches(self) -> int:
+        """Ancilla patches needed beyond the single baseline injection patch."""
+        return PRE_DISTILLATION_EXTRA_PATCHES if self.use_pre_distillation else 0
+
+    @property
+    def supports_stall_free_shuffling(self) -> bool:
+        """Whether an accepted state is ready within one consumption window (2d)."""
+        return self.cycles_per_accepted_state <= 2.0 * self.distance
+
+    # -- per-rotation view -------------------------------------------------------------
+    def rotation_error(self,
+                       consumption_success_probability: float =
+                       CONSUMPTION_SUCCESS_PROBABILITY) -> float:
+        """Error accumulated by one logical rotation (E[g] accepted states)."""
+        return (expected_consumptions_per_rotation(consumption_success_probability)
+                * self.injected_state_error)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "post_selection_rounds": float(self.post_selection_rounds),
+            "pre_distillation": float(self.use_pre_distillation),
+            "injected_state_error": self.injected_state_error,
+            "acceptance_probability": self.acceptance_probability,
+            "cycles_per_accepted_state": self.cycles_per_accepted_state,
+            "extra_patches": float(self.extra_patches),
+        }
+
+
+class ProtocolPQECRegime(PQECRegime):
+    """A pQEC regime whose rotation error follows a configured protocol."""
+
+    name = "pqec_protocol"
+
+    def __init__(self, protocol: InjectionProtocol,
+                 consumption_success_probability: float =
+                 CONSUMPTION_SUCCESS_PROBABILITY):
+        super().__init__(physical_error_rate=protocol.physical_error_rate,
+                         distance=protocol.distance,
+                         consumption_success_probability=
+                         consumption_success_probability)
+        self.protocol = protocol
+
+    @property
+    def rz_injection_error(self) -> float:
+        return self.protocol.injected_state_error
+
+    @property
+    def rz_error(self) -> float:
+        return self.protocol.rotation_error(self.consumption_success_probability)
+
+    def _scaled_injection_probabilities(self) -> Dict[str, float]:
+        total = self.rz_error
+        probabilities = {pauli: bias * total
+                         for pauli, bias in INJECTION_ERROR_BIAS.items()}
+        probabilities["I"] = 1.0 - sum(probabilities.values())
+        return probabilities
+
+
+@dataclass(frozen=True)
+class ProtocolTradeoff:
+    """Fidelity and latency of a rotation workload under one protocol."""
+
+    protocol: InjectionProtocol
+    rotation_survival: float
+    injection_cycles: float
+    spacetime_volume: float
+
+    @property
+    def label(self) -> str:
+        suffix = "+predistill" if self.protocol.use_pre_distillation else ""
+        return f"r={self.protocol.post_selection_rounds}{suffix}"
+
+
+def protocol_tradeoff(num_rotations: int,
+                      protocol: InjectionProtocol,
+                      consumption_success_probability: float =
+                      CONSUMPTION_SUCCESS_PROBABILITY) -> ProtocolTradeoff:
+    """Cost/benefit of one protocol for a workload of ``num_rotations``.
+
+    The benefit is the survival probability of all rotation injections
+    (``(1 − ε)^(E[g]·R)``); the cost is the injection latency and the
+    spacetime volume of the injection patches (baseline patch + extras, times
+    cycles per accepted state, times accepted states).
+    """
+    if num_rotations < 1:
+        raise ValueError("the workload needs at least one rotation")
+    expected_states = (num_rotations *
+                       expected_consumptions_per_rotation(
+                           consumption_success_probability))
+    survival = (1.0 - protocol.injected_state_error) ** expected_states
+    cycles = protocol.cycles_per_accepted_state * expected_states
+    patches = 1 + protocol.extra_patches
+    return ProtocolTradeoff(protocol=protocol,
+                            rotation_survival=survival,
+                            injection_cycles=cycles,
+                            spacetime_volume=patches * cycles)
+
+
+def compare_protocols(num_rotations: int,
+                      protocols: Sequence[InjectionProtocol]
+                      ) -> List[ProtocolTradeoff]:
+    """Evaluate several protocols on the same rotation workload."""
+    return [protocol_tradeoff(num_rotations, protocol)
+            for protocol in protocols]

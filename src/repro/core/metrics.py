@@ -1,0 +1,83 @@
+"""Evaluation metrics (paper Sec. 5.3).
+
+The headline metric is the *relative improvement*
+
+    γ_{A/B} = (E0 − E_B) / (E0 − E_A)            (Eq. 3)
+
+which quantifies how much closer regime A (e.g. pQEC) gets to the reference
+energy E0 than regime B (e.g. NISQ).  E0 is the exact ground-state energy for
+≤12-qubit Hamiltonians and the best noiseless Clifford-state energy for
+larger systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+
+def relative_improvement(reference_energy: float, energy_a: float,
+                         energy_b: float, floor: float = 1e-12) -> float:
+    """γ_{A/B} = (E0 − E_B) / (E0 − E_A).
+
+    Larger is better for regime A.  Energies below the reference (which can
+    happen with noisy estimators on small gaps) are clamped so the gap stays
+    non-negative; a vanishing gap for A is floored to avoid division by zero.
+    """
+    gap_a = max(energy_a - reference_energy, 0.0)
+    gap_b = max(energy_b - reference_energy, 0.0)
+    gap_a = max(gap_a, floor)
+    return gap_b / gap_a
+
+
+@dataclass(frozen=True)
+class RegimeComparison:
+    """The γ comparison of two regimes on one benchmark Hamiltonian."""
+
+    benchmark: str
+    reference_energy: float
+    energy_a: float
+    energy_b: float
+    regime_a: str = "pqec"
+    regime_b: str = "nisq"
+
+    @property
+    def gamma(self) -> float:
+        return relative_improvement(self.reference_energy, self.energy_a,
+                                    self.energy_b)
+
+    @property
+    def energy_gap_a(self) -> float:
+        return self.energy_a - self.reference_energy
+
+    @property
+    def energy_gap_b(self) -> float:
+        return self.energy_b - self.reference_energy
+
+    def __repr__(self):
+        return (f"RegimeComparison({self.benchmark}: γ_{self.regime_a}/"
+                f"{self.regime_b}={self.gamma:.2f})")
+
+
+def summarize_gammas(comparisons: Sequence[RegimeComparison]) -> Dict[str, float]:
+    """Average / max / min / geometric-mean γ over a benchmark sweep."""
+    if not comparisons:
+        raise ValueError("need at least one comparison")
+    gammas = [comparison.gamma for comparison in comparisons]
+    log_sum = sum(math.log(max(g, 1e-12)) for g in gammas)
+    return {
+        "mean": sum(gammas) / len(gammas),
+        "max": max(gammas),
+        "min": min(gammas),
+        "geometric_mean": math.exp(log_sum / len(gammas)),
+        "count": float(len(gammas)),
+    }
+
+
+def win_fraction(fidelities_a: Sequence[float], fidelities_b: Sequence[float]) -> float:
+    """Fraction of benchmarks on which regime A strictly beats regime B (Fig. 5)."""
+    if len(fidelities_a) != len(fidelities_b) or not fidelities_a:
+        raise ValueError("need two equal-length, non-empty fidelity lists")
+    wins = sum(1 for a, b in zip(fidelities_a, fidelities_b) if a > b)
+    return wins / len(fidelities_a)

@@ -1,0 +1,145 @@
+"""EFT device resource model: qubit budgets, factory fitting, feasibility.
+
+Implements the accounting behind Figs. 4, 5 and 6:
+
+* a program of ``n`` logical qubits occupies ``n`` surface-code data patches
+  (the paper's feasibility accounting for the Clifford+T baselines — routing
+  ancilla are charged separately by the layout model when relevant);
+* whatever physical qubits remain can host magic-state factories or
+  cultivation units; the number that fit determines the T-state production
+  rate and hence how long the program stalls per T gate;
+* a configuration is infeasible (a "white square" in Fig. 5) when the data
+  patches alone exceed the device, or when not even one T-state source fits
+  alongside them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..qec.cultivation import CultivationFarm, CultivationUnit, max_units_fitting
+from ..qec.distillation import (FactoryConfig, FactoryFarm,
+                                PAPER_FIG4_FACTORIES, get_factory,
+                                max_factories_fitting)
+from ..qec.surface_code import (EFT_CODE_DISTANCE, EFT_PHYSICAL_ERROR_RATE,
+                                EFT_PHYSICAL_QUBIT_BUDGET, SurfaceCodePatch)
+
+
+@dataclass(frozen=True)
+class EFTDevice:
+    """An early-fault-tolerance device: a physical-qubit budget at a given p."""
+
+    physical_qubits: int = EFT_PHYSICAL_QUBIT_BUDGET
+    physical_error_rate: float = EFT_PHYSICAL_ERROR_RATE
+    distance: int = EFT_CODE_DISTANCE
+
+    def __post_init__(self):
+        if self.physical_qubits < 1:
+            raise ValueError("the device needs at least one physical qubit")
+
+    @property
+    def patch(self) -> SurfaceCodePatch:
+        return SurfaceCodePatch(self.distance, self.physical_error_rate)
+
+    def data_patch_qubits(self, num_logical_qubits: int) -> int:
+        """Physical qubits consumed by the program's data patches."""
+        return num_logical_qubits * self.patch.physical_qubits
+
+    def fits_program(self, num_logical_qubits: int) -> bool:
+        """Feasibility check used for the white squares of Fig. 5."""
+        return self.data_patch_qubits(num_logical_qubits) <= self.physical_qubits
+
+    def qubits_left_for_magic(self, num_logical_qubits: int) -> int:
+        """Physical qubits available for factories / cultivation units."""
+        return max(0, self.physical_qubits - self.data_patch_qubits(num_logical_qubits))
+
+    def max_logical_qubits(self) -> int:
+        return self.physical_qubits // self.patch.physical_qubits
+
+
+@dataclass(frozen=True)
+class MagicStateProvision:
+    """A T-state supply plan for a program on a device."""
+
+    source_name: str
+    source_count: int
+    source_qubits: int
+    t_state_error: float
+    cycles_per_tstate: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.source_count >= 1
+
+    def stall_cycles_per_tstate(self, consumption_interval_cycles: float) -> float:
+        """Stall per consumed T state when the program wants one every interval."""
+        if not self.feasible:
+            return math.inf
+        return max(0.0, self.cycles_per_tstate - consumption_interval_cycles)
+
+
+def provision_distillation(device: EFTDevice, num_logical_qubits: int,
+                           factory: FactoryConfig) -> MagicStateProvision:
+    """Fit as many copies of ``factory`` as possible next to the program."""
+    available = device.qubits_left_for_magic(num_logical_qubits)
+    count = max_factories_fitting(factory, available)
+    farm = FactoryFarm(factory, count)
+    return MagicStateProvision(
+        source_name=factory.label,
+        source_count=count,
+        source_qubits=farm.physical_qubits,
+        t_state_error=factory.output_error(device.physical_error_rate),
+        cycles_per_tstate=farm.cycles_per_tstate(),
+    )
+
+
+def provision_cultivation(device: EFTDevice, num_logical_qubits: int,
+                          unit: Optional[CultivationUnit] = None) -> MagicStateProvision:
+    """Fit as many cultivation units as possible next to the program."""
+    unit = unit or CultivationUnit(distance=device.distance,
+                                   physical_error_rate=device.physical_error_rate)
+    available = device.qubits_left_for_magic(num_logical_qubits)
+    count = max_units_fitting(unit, available)
+    farm = CultivationFarm(unit, count)
+    return MagicStateProvision(
+        source_name="cultivation",
+        source_count=count,
+        source_qubits=farm.physical_qubits,
+        t_state_error=unit.output_error(device.physical_error_rate),
+        cycles_per_tstate=farm.cycles_per_tstate(),
+    )
+
+
+def best_distillation_provision(device: EFTDevice, num_logical_qubits: int,
+                                candidates: Iterable[str] = PAPER_FIG4_FACTORIES,
+                                t_demand_interval_cycles: float = 1.0
+                                ) -> Optional[MagicStateProvision]:
+    """The factory choice minimizing (T error + stall-induced memory exposure).
+
+    Used by the Fig. 5 win-percentage analysis, which assumes the
+    qec-conventional baseline always picks its best available factory.
+    Returns ``None`` when no factory fits alongside the program.
+    """
+    best: Optional[MagicStateProvision] = None
+    best_score = math.inf
+    for name in candidates:
+        provision = provision_distillation(device, num_logical_qubits,
+                                           get_factory(name))
+        if not provision.feasible:
+            continue
+        stall = provision.stall_cycles_per_tstate(t_demand_interval_cycles)
+        memory_exposure = stall * num_logical_qubits \
+            * 1e-7  # per-cycle logical memory error at the EFT operating point
+        score = provision.t_state_error + memory_exposure
+        if score < best_score:
+            best_score = score
+            best = provision
+    return best
+
+
+def device_size_sweep(min_qubits: int = 10_000, max_qubits: int = 60_000,
+                      step: int = 10_000) -> List[int]:
+    """The device sizes swept in Fig. 5."""
+    return list(range(min_qubits, max_qubits + 1, step))

@@ -1,0 +1,163 @@
+"""Workload / device resource estimation sweeps.
+
+The estimator composes the compiler pipeline (placement, scheduling, fidelity)
+with the magic-state provisioning models to answer the questions the paper's
+evaluation asks per configuration: does the program fit, how many physical
+qubits go to data patches versus magic-state production, how long does one
+VQE iteration take, and which regime gives the best fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ansatz.base import Ansatz
+from ..architecture.pipeline import CompilationResult, EFTCompiler
+from ..core.fidelity import CircuitProfile
+from ..core.regimes import (ExecutionRegime, NISQRegime, PQECRegime,
+                            QECConventionalRegime, QECCultivationRegime)
+from ..core.resources import (EFTDevice, provision_cultivation,
+                              provision_distillation)
+from ..operators.pauli import PauliSum
+from ..qec.surface_code import EFT_CODE_DISTANCE
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """A flattened per-(workload, regime) resource record."""
+
+    workload: str
+    regime: str
+    logical_qubits: int
+    fits_device: bool
+    estimated_fidelity: float
+    execution_cycles: float
+    spacetime_volume_tiles: float
+    data_patch_qubits: int
+    magic_state_qubits: int
+    physical_qubits_used: int
+    physical_qubit_budget: int
+
+    @property
+    def device_utilization(self) -> float:
+        return min(1.0, self.physical_qubits_used / self.physical_qubit_budget)
+
+
+@dataclass(frozen=True)
+class RegimeRecommendation:
+    """Which regime the estimator recommends for a workload and why."""
+
+    workload: str
+    recommended_regime: str
+    estimates: Tuple[ResourceEstimate, ...]
+
+    def estimate_for(self, regime_name: str) -> ResourceEstimate:
+        for estimate in self.estimates:
+            if estimate.regime == regime_name:
+                return estimate
+        raise KeyError(f"no estimate for regime {regime_name!r}")
+
+
+class ResourceEstimator:
+    """Sweep workloads, regimes and device sizes through the compiler."""
+
+    def __init__(self, device: Optional[EFTDevice] = None,
+                 distance: int = EFT_CODE_DISTANCE,
+                 optimize_qubit_placement: bool = False):
+        self.device = device or EFTDevice()
+        self.distance = int(distance)
+        self.compiler = EFTCompiler(device=self.device, distance=self.distance,
+                                    optimize_qubit_placement=optimize_qubit_placement)
+
+    # -- single estimates ---------------------------------------------------------
+    def _magic_state_qubits(self, regime: ExecutionRegime,
+                            num_logical_qubits: int) -> int:
+        if isinstance(regime, QECConventionalRegime):
+            provision = provision_distillation(self.device, num_logical_qubits,
+                                               regime.factory)
+            return provision.source_qubits if provision.feasible else 0
+        if isinstance(regime, QECCultivationRegime):
+            provision = provision_cultivation(self.device, num_logical_qubits,
+                                              regime.unit)
+            return provision.source_qubits if provision.feasible else 0
+        return 0
+
+    def estimate(self, ansatz: Ansatz, regime: ExecutionRegime,
+                 hamiltonian: Optional[PauliSum] = None,
+                 workload_name: Optional[str] = None) -> ResourceEstimate:
+        result: CompilationResult = self.compiler.compile(
+            ansatz, regime, hamiltonian, workload_name)
+        magic_qubits = self._magic_state_qubits(regime, ansatz.num_qubits)
+        data_qubits = self.device.data_patch_qubits(ansatz.num_qubits)
+        return ResourceEstimate(
+            workload=result.workload_name,
+            regime=result.regime_name,
+            logical_qubits=ansatz.num_qubits,
+            fits_device=result.fits_device,
+            estimated_fidelity=result.estimated_fidelity,
+            execution_cycles=result.execution_cycles,
+            spacetime_volume_tiles=result.spacetime_volume,
+            data_patch_qubits=data_qubits,
+            magic_state_qubits=magic_qubits,
+            physical_qubits_used=min(self.device.physical_qubits,
+                                     data_qubits + magic_qubits),
+            physical_qubit_budget=self.device.physical_qubits,
+        )
+
+    # -- sweeps --------------------------------------------------------------------
+    def compare_regimes(self, ansatz: Ansatz,
+                        hamiltonian: Optional[PauliSum] = None,
+                        regimes: Optional[Sequence[ExecutionRegime]] = None,
+                        workload_name: Optional[str] = None
+                        ) -> RegimeRecommendation:
+        regimes = regimes or (NISQRegime(), PQECRegime(),
+                              QECConventionalRegime(), QECCultivationRegime())
+        estimates = tuple(self.estimate(ansatz, regime, hamiltonian, workload_name)
+                          for regime in regimes)
+        feasible = [e for e in estimates if e.fits_device] or list(estimates)
+        best = max(feasible, key=lambda e: e.estimated_fidelity)
+        return RegimeRecommendation(workload=best.workload,
+                                    recommended_regime=best.regime,
+                                    estimates=estimates)
+
+    def size_sweep(self, ansatz_factory, num_qubits_list: Sequence[int],
+                   regime: ExecutionRegime) -> List[ResourceEstimate]:
+        """Estimate one regime across program sizes (the Fig. 5 x-axis)."""
+        return [self.estimate(ansatz_factory(num_qubits), regime)
+                for num_qubits in num_qubits_list]
+
+
+def device_capacity_table(device_sizes: Sequence[int],
+                          distance: int = EFT_CODE_DISTANCE
+                          ) -> List[Dict[str, object]]:
+    """Maximum program sizes per device size (the Fig. 5 feasibility frontier)."""
+    rows = []
+    for physical_qubits in device_sizes:
+        device = EFTDevice(physical_qubits=physical_qubits, distance=distance)
+        rows.append({
+            "physical_qubits": physical_qubits,
+            "max_logical_qubits": device.max_logical_qubits(),
+            "qubits_per_patch": device.patch.physical_qubits,
+        })
+    return rows
+
+
+def format_estimate_table(estimates: Sequence[ResourceEstimate]) -> str:
+    """Fixed-width text table of resource estimates (for examples / reports)."""
+    header = ["workload", "regime", "qubits", "fits", "fidelity", "cycles",
+              "data phys.", "magic phys.", "utilization"]
+    rows = [[e.workload, e.regime, e.logical_qubits,
+             "yes" if e.fits_device else "no",
+             f"{e.estimated_fidelity:.4f}", f"{e.execution_cycles:.0f}",
+             e.data_patch_qubits, e.magic_state_qubits,
+             f"{e.device_utilization:.0%}"] for e in estimates]
+    widths = [max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+              for i in range(len(header))]
+    lines = ["  ".join(str(cell).ljust(width)
+                       for cell, width in zip(header, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)

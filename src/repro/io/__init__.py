@@ -1,0 +1,35 @@
+"""Interchange formats: OpenQASM 2.0, JSON serialization and report writing.
+
+Downstream users of an EFT-VQA compiler need to move circuits and results in
+and out of the toolchain — exporting ansatz circuits to other simulators,
+checkpointing optimized parameters, and recording experiment tables.  This
+package provides the three formats the examples and benchmark harness rely
+on:
+
+* :mod:`repro.io.qasm` — OpenQASM 2.0 export/import for the circuit IR;
+* :mod:`repro.io.serialization` — JSON round-tripping of circuits, Pauli
+  operators and result records;
+* :mod:`repro.io.reports` — markdown experiment tables (the generator behind
+  ``EXPERIMENTS.md``).
+"""
+
+from .qasm import from_qasm, to_qasm
+from .reports import ExperimentRecord, ExperimentReport, markdown_table
+from .serialization import (circuit_from_dict, circuit_to_dict,
+                            load_json, pauli_sum_from_dict, pauli_sum_to_dict,
+                            result_to_dict, save_json)
+
+__all__ = [
+    "ExperimentRecord",
+    "ExperimentReport",
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "from_qasm",
+    "load_json",
+    "markdown_table",
+    "pauli_sum_from_dict",
+    "pauli_sum_to_dict",
+    "result_to_dict",
+    "save_json",
+    "to_qasm",
+]

@@ -1,0 +1,162 @@
+"""OpenQASM 2.0 export and import for the circuit IR.
+
+Only the gate vocabulary the repository actually uses is supported; circuits
+with unbound parameters cannot be exported (OpenQASM 2.0 has no symbolic
+parameters), and ``rzz`` is emitted as its standard ``cx · rz · cx``
+decomposition so the output loads in any OpenQASM 2.0 consumer.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+
+#: Gates emitted verbatim (same name and operand order in OpenQASM 2.0).
+_DIRECT_GATES = {"x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "cx", "cz",
+                 "swap", "rx", "ry", "rz", "u3", "id"}
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, using exact pi fractions when they apply."""
+    for denominator in (1, 2, 3, 4, 6, 8):
+        for numerator in range(-8 * denominator, 8 * denominator + 1):
+            if numerator == 0:
+                continue
+            if math.isclose(value, numerator * math.pi / denominator,
+                            rel_tol=0.0, abs_tol=1e-12):
+                sign = "-" if numerator < 0 else ""
+                numerator = abs(numerator)
+                prefix = "" if numerator == 1 else f"{numerator}*"
+                suffix = "" if denominator == 1 else f"/{denominator}"
+                return f"{sign}{prefix}pi{suffix}"
+    if math.isclose(value, 0.0, abs_tol=1e-15):
+        return "0"
+    return repr(float(value))
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a bound circuit to OpenQASM 2.0 text."""
+    lines = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    lines.append(f"creg c[{circuit.num_clbits}];")
+    for inst in circuit.instructions:
+        name = inst.name
+        qubits = inst.qubits
+        if name == "barrier":
+            operands = ", ".join(f"q[{q}]" for q in qubits) if qubits else "q"
+            lines.append(f"barrier {operands};")
+            continue
+        if name == "measure":
+            clbit = inst.clbits[0] if inst.clbits else qubits[0]
+            lines.append(f"measure q[{qubits[0]}] -> c[{clbit}];")
+            continue
+        if name == "reset":
+            lines.append(f"reset q[{qubits[0]}];")
+            continue
+        if inst.gate.is_parameterized:
+            raise ValueError("cannot export a circuit with unbound parameters "
+                             "to OpenQASM 2.0; bind them first")
+        if name in ("cnot",):
+            name = "cx"
+        if name == "i":
+            name = "id"
+        if name == "sxdg":
+            # qelib1 has no sxdg; sdg·h·sdg implements it up to global phase.
+            qubit = qubits[0]
+            lines.append(f"sdg q[{qubit}];")
+            lines.append(f"h q[{qubit}];")
+            lines.append(f"sdg q[{qubit}];")
+            continue
+        if name == "rzz":
+            theta = _format_angle(float(inst.gate.bound_params()[0]))
+            control, target = qubits
+            lines.append(f"cx q[{control}],q[{target}];")
+            lines.append(f"rz({theta}) q[{target}];")
+            lines.append(f"cx q[{control}],q[{target}];")
+            continue
+        if name not in _DIRECT_GATES:
+            raise ValueError(f"gate {name!r} has no OpenQASM 2.0 export rule")
+        operands = ",".join(f"q[{q}]" for q in qubits)
+        if inst.gate.params:
+            params = ",".join(_format_angle(float(p))
+                              for p in inst.gate.bound_params())
+            lines.append(f"{name}({params}) {operands};")
+        else:
+            lines.append(f"{name} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+_QASM_STATEMENT = re.compile(
+    r"^\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<operands>[^;]*);\s*$")
+_QUBIT_REF = re.compile(r"q\[(\d+)\]")
+_CLBIT_REF = re.compile(r"c\[(\d+)\]")
+
+
+def _parse_angle(token: str) -> float:
+    token = token.strip().replace(" ", "")
+    if not token:
+        raise ValueError("empty angle expression")
+    # Support the limited arithmetic _format_angle emits: [-][n*]pi[/m] | float.
+    match = re.fullmatch(r"(-?)(?:(\d+(?:\.\d+)?)\*)?pi(?:/(\d+(?:\.\d+)?))?",
+                         token)
+    if match:
+        sign = -1.0 if match.group(1) == "-" else 1.0
+        numerator = float(match.group(2)) if match.group(2) else 1.0
+        denominator = float(match.group(3)) if match.group(3) else 1.0
+        return sign * numerator * math.pi / denominator
+    return float(token)
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (and similar).
+
+    Supports a single quantum register, the qelib1 gate names used by this
+    repository, ``measure``, ``reset`` and ``barrier``.
+    """
+    circuit: Optional[QuantumCircuit] = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line or line.startswith(("OPENQASM", "include")):
+            continue
+        match = _QASM_STATEMENT.match(line)
+        if match is None:
+            raise ValueError(f"cannot parse OpenQASM statement: {raw_line!r}")
+        name = match.group("name").lower()
+        params_text = match.group("params")
+        operands_text = match.group("operands")
+        if name == "qreg":
+            size = int(re.search(r"\[(\d+)\]", operands_text).group(1))
+            circuit = QuantumCircuit(size, name="from_qasm")
+            continue
+        if name == "creg":
+            continue
+        if circuit is None:
+            raise ValueError("OpenQASM text declares gates before any qreg")
+        qubits = [int(q) for q in _QUBIT_REF.findall(operands_text)]
+        if name == "barrier":
+            circuit.barrier(*qubits)
+            continue
+        if name == "measure":
+            clbits = [int(c) for c in _CLBIT_REF.findall(operands_text)]
+            circuit.measure(qubits[0], clbits[0] if clbits else None)
+            continue
+        if name == "reset":
+            circuit.append(Gate("reset"), (qubits[0],))
+            continue
+        if name == "id":
+            name = "i"
+        params: Tuple[float, ...] = ()
+        if params_text:
+            params = tuple(_parse_angle(p) for p in params_text.split(","))
+        circuit.append(Gate(name, params), tuple(qubits))
+    if circuit is None:
+        raise ValueError("OpenQASM text contains no qreg declaration")
+    return circuit

@@ -1,0 +1,148 @@
+"""JSON serialization of circuits, Pauli operators and result records.
+
+Everything round-trips through plain ``dict`` / ``list`` structures so the
+output is stable, diffable and consumable outside Python.  Complex Hamiltonian
+coefficients are stored as ``[real, imag]`` pairs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..operators.pauli import PauliString, PauliSum
+
+#: Format tags written into every serialized payload.
+CIRCUIT_FORMAT = "repro-circuit-v1"
+PAULI_SUM_FORMAT = "repro-pauli-sum-v1"
+
+
+# ---------------------------------------------------------------------------
+# Circuits
+# ---------------------------------------------------------------------------
+
+def circuit_to_dict(circuit: QuantumCircuit) -> Dict[str, Any]:
+    """Serialize a *bound* circuit (symbolic parameters are rejected)."""
+    instructions: List[Dict[str, Any]] = []
+    for inst in circuit.instructions:
+        if inst.gate.is_parameterized:
+            raise ValueError("cannot serialize a circuit with unbound parameters")
+        entry: Dict[str, Any] = {"name": inst.name,
+                                 "qubits": list(inst.qubits)}
+        if inst.gate.params:
+            entry["params"] = [float(p) for p in inst.gate.bound_params()]
+        if inst.clbits:
+            entry["clbits"] = list(inst.clbits)
+        instructions.append(entry)
+    return {
+        "format": CIRCUIT_FORMAT,
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "metadata": {key: value for key, value in circuit.metadata.items()
+                     if isinstance(value, (str, int, float, bool))},
+        "instructions": instructions,
+    }
+
+
+def circuit_from_dict(payload: Mapping[str, Any]) -> QuantumCircuit:
+    """Rebuild a circuit serialized by :func:`circuit_to_dict`."""
+    if payload.get("format") != CIRCUIT_FORMAT:
+        raise ValueError(f"not a serialized circuit (format tag "
+                         f"{payload.get('format')!r})")
+    circuit = QuantumCircuit(int(payload["num_qubits"]),
+                             name=str(payload.get("name", "circuit")))
+    circuit.metadata.update(payload.get("metadata", {}))
+    for entry in payload["instructions"]:
+        name = entry["name"]
+        qubits = tuple(int(q) for q in entry["qubits"])
+        if name == "barrier":
+            circuit.barrier(*qubits)
+            continue
+        if name == "measure":
+            clbits = entry.get("clbits", [])
+            circuit.measure(qubits[0], clbits[0] if clbits else None)
+            continue
+        params = tuple(float(p) for p in entry.get("params", ()))
+        circuit.append(Gate(name, params), qubits)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Pauli operators
+# ---------------------------------------------------------------------------
+
+def pauli_sum_to_dict(hamiltonian: PauliSum) -> Dict[str, Any]:
+    """Serialize a PauliSum as a label → coefficient table."""
+    terms = []
+    for pauli, coefficient in hamiltonian.terms():
+        terms.append({"label": pauli.label,
+                      "coefficient": [float(coefficient.real),
+                                      float(coefficient.imag)]})
+    return {
+        "format": PAULI_SUM_FORMAT,
+        "num_qubits": hamiltonian.num_qubits,
+        "terms": terms,
+    }
+
+
+def pauli_sum_from_dict(payload: Mapping[str, Any]) -> PauliSum:
+    """Rebuild a PauliSum serialized by :func:`pauli_sum_to_dict`."""
+    if payload.get("format") != PAULI_SUM_FORMAT:
+        raise ValueError(f"not a serialized PauliSum (format tag "
+                         f"{payload.get('format')!r})")
+    result = PauliSum(int(payload["num_qubits"]))
+    for entry in payload["terms"]:
+        real, imag = entry["coefficient"]
+        result.add_term(PauliString(entry["label"]), complex(real, imag))
+    return result.simplify()
+
+
+# ---------------------------------------------------------------------------
+# Result records
+# ---------------------------------------------------------------------------
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [float(v) for v in value.ravel()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def result_to_dict(result: Any) -> Dict[str, Any]:
+    """Serialize any result record (dataclass, dict or object with summary())."""
+    if hasattr(result, "summary") and callable(result.summary):
+        return _jsonable(result.summary())
+    return _jsonable(result)
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+def save_json(payload: Any, path: Union[str, Path]) -> Path:
+    """Write a JSON-serializable payload to ``path`` (creating parents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(payload), indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Read a JSON payload written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

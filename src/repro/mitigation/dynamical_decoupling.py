@@ -1,0 +1,187 @@
+"""Dynamical decoupling (DD) insertion and VAQEM-style sequence selection.
+
+The paper's discussion (Sec. 7) singles out dynamical decoupling as a NISQ
+technique whose EFT transition is "less direct": DD helps against slowly
+varying coherent phase drift on idling qubits, which matters both for NISQ
+idling and for stabilizer-circuit idling inside QEC.  This module provides
+
+* circuit *idle-window* analysis on the circuit's greedy layering;
+* insertion of X–X and XY4 DD sequences distributed across idle windows (one
+  pulse per idle layer, placed in complete sequence groups so the ideal
+  unitary is preserved up to a global phase);
+* a joint drift + DD scheduler: coherent Z-drift accumulates on every idle
+  (qubit, layer) slot of the *original* schedule, and DD pulses interleave
+  with those accumulations — which is the spin-echo mechanism that makes the
+  benefit measurable in simulation (purely Markovian relaxation channels
+  cannot be echoed by construction);
+* a small VAQEM-style selector that picks the best sequence per circuit by
+  measuring the resulting energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..operators.pauli import PauliSum
+from ..vqe.energy import EnergyEvaluator
+
+#: Supported DD sequences: gate names making up one complete echo group.
+DD_SEQUENCES: Dict[str, Tuple[str, ...]] = {
+    "none": (),
+    "xx": ("x", "x"),
+    "xy4": ("x", "y", "x", "y"),
+}
+
+
+def _layer_idle_sets(circuit: QuantumCircuit) -> List[set]:
+    """Idle qubits per layer; measurement/barrier-only layers idle nobody."""
+    idle_sets: List[set] = []
+    for layer in circuit.layers():
+        names = {inst.name for inst in layer}
+        if names <= {"measure", "barrier"}:
+            idle_sets.append(set())
+            continue
+        busy = set()
+        for inst in layer:
+            busy.update(inst.qubits)
+        idle_sets.append(set(range(circuit.num_qubits)) - busy)
+    return idle_sets
+
+
+def idle_windows(circuit: QuantumCircuit) -> List[Tuple[int, Tuple[int, ...]]]:
+    """``(layer_index, idle_qubits)`` for every layer with at least one idle qubit."""
+    windows = []
+    for layer_index, idle in enumerate(_layer_idle_sets(circuit)):
+        if idle:
+            windows.append((layer_index, tuple(sorted(idle))))
+    return windows
+
+
+def total_idle_slots(circuit: QuantumCircuit) -> int:
+    """Number of (qubit, layer) idle slots — the exposure DD tries to protect."""
+    return sum(len(idle) for idle in _layer_idle_sets(circuit))
+
+
+def _pulse_plan(circuit: QuantumCircuit, sequence: str) -> Dict[Tuple[int, int], str]:
+    """Map ``(layer_index, qubit) -> pulse name`` for the chosen sequence.
+
+    Pulses are distributed one per idle layer along each maximal idle run of a
+    qubit, truncated to complete sequence groups so every run's pulses multiply
+    to the identity (up to phase).
+    """
+    if sequence not in DD_SEQUENCES:
+        raise ValueError(f"unknown DD sequence {sequence!r}; choose from "
+                         f"{sorted(DD_SEQUENCES)}")
+    pulses = DD_SEQUENCES[sequence]
+    plan: Dict[Tuple[int, int], str] = {}
+    if not pulses:
+        return plan
+    idle_sets = _layer_idle_sets(circuit)
+    for qubit in range(circuit.num_qubits):
+        run: List[int] = []
+        runs: List[List[int]] = []
+        for layer_index, idle in enumerate(idle_sets):
+            if qubit in idle:
+                run.append(layer_index)
+            elif run:
+                runs.append(run)
+                run = []
+        if run:
+            runs.append(run)
+        for run_layers in runs:
+            usable = (len(run_layers) // len(pulses)) * len(pulses)
+            for position in range(usable):
+                plan[(run_layers[position], qubit)] = pulses[position % len(pulses)]
+    return plan
+
+
+def insert_dd_sequences(circuit: QuantumCircuit, sequence: str = "xx"
+                        ) -> QuantumCircuit:
+    """Insert the named DD sequence into the circuit's idle windows.
+
+    The ideal circuit unitary is unchanged up to a global phase because each
+    idle run receives complete pulse groups only.
+    """
+    plan = _pulse_plan(circuit, sequence)
+    decorated = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_dd")
+    decorated.metadata = dict(circuit.metadata)
+    for layer_index, layer in enumerate(circuit.layers()):
+        for inst in layer:
+            decorated.append_instruction(inst)
+        for qubit in range(circuit.num_qubits):
+            pulse = plan.get((layer_index, qubit))
+            if pulse is not None:
+                decorated.append(Gate(pulse), (qubit,))
+    return decorated
+
+
+def dd_pulse_count(circuit: QuantumCircuit, sequence: str = "xx") -> int:
+    """How many pulses the insertion pass would add (the DD overhead)."""
+    return len(_pulse_plan(circuit, sequence))
+
+
+def schedule_with_idle_drift(circuit: QuantumCircuit, drift_angle: float,
+                             sequence: str = "none") -> QuantumCircuit:
+    """Attach coherent Z-drift to idle slots, interleaved with DD pulses.
+
+    Drift is determined by the *original* schedule: every (qubit, layer) idle
+    slot accumulates ``Rz(drift_angle)``.  When a DD pulse follows the
+    accumulation, the next accumulation is echoed (``X·Rz(θ)·X = Rz(−θ)``),
+    which is how X–X and XY4 sequences cancel the drift pairwise.
+    """
+    plan = _pulse_plan(circuit, sequence)
+    idle_sets = _layer_idle_sets(circuit)
+    scheduled = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_drift")
+    scheduled.metadata = dict(circuit.metadata)
+    for layer_index, layer in enumerate(circuit.layers()):
+        for inst in layer:
+            scheduled.append_instruction(inst)
+        for qubit in sorted(idle_sets[layer_index]):
+            if drift_angle:
+                scheduled.rz(drift_angle, qubit)
+            pulse = plan.get((layer_index, qubit))
+            if pulse is not None:
+                scheduled.append(Gate(pulse), (qubit,))
+    return scheduled
+
+
+@dataclass(frozen=True)
+class DDSelectionResult:
+    """Outcome of the VAQEM-style per-circuit DD sequence search."""
+
+    best_sequence: str
+    energies: Dict[str, float]
+
+    @property
+    def improvement(self) -> float:
+        """Energy reduction of the best sequence relative to no DD."""
+        return self.energies["none"] - self.energies[self.best_sequence]
+
+
+class DynamicalDecouplingSelector:
+    """Pick the DD sequence that minimizes the measured energy (VAQEM-style)."""
+
+    def __init__(self, evaluator: EnergyEvaluator,
+                 sequences: Sequence[str] = ("none", "xx", "xy4"),
+                 drift_angle: float = 0.0):
+        for name in sequences:
+            if name not in DD_SEQUENCES:
+                raise ValueError(f"unknown DD sequence {name!r}")
+        self.evaluator = evaluator
+        self.sequences = tuple(dict.fromkeys(("none",) + tuple(sequences)))
+        self.drift_angle = float(drift_angle)
+
+    def _prepared(self, circuit: QuantumCircuit, sequence: str) -> QuantumCircuit:
+        return schedule_with_idle_drift(circuit, self.drift_angle, sequence)
+
+    def select(self, circuit: QuantumCircuit) -> DDSelectionResult:
+        energies = {name: self.evaluator(self._prepared(circuit, name))
+                    for name in self.sequences}
+        best = min(energies, key=energies.get)
+        return DDSelectionResult(best_sequence=best, energies=energies)

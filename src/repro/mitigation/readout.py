@@ -1,0 +1,166 @@
+"""Tensored readout-calibration-matrix mitigation.
+
+The VarSaw module (:mod:`repro.mitigation.varsaw`) applies measurement-error
+mitigation at the level of Pauli expectation values; this module provides the
+complementary *counts-level* technique: build per-qubit confusion matrices
+from calibration data, invert their tensor product, and apply the inverse to
+measured bitstring distributions.  Both flows are exercised by the Fig. 15
+style benches so the two mitigation layers can be compared.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..operators.pauli import PauliString, PauliSum
+
+
+@dataclass(frozen=True)
+class QubitConfusion:
+    """Per-qubit readout confusion probabilities."""
+
+    p0_given_1: float   # probability of reading 0 when the state is 1
+    p1_given_0: float   # probability of reading 1 when the state is 0
+
+    def __post_init__(self):
+        for value in (self.p0_given_1, self.p1_given_0):
+            if not 0.0 <= value < 0.5:
+                raise ValueError("confusion probabilities must be in [0, 0.5)")
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Column-stochastic 2×2 matrix: columns = true state, rows = readout."""
+        return np.array([[1.0 - self.p1_given_0, self.p0_given_1],
+                         [self.p1_given_0, 1.0 - self.p0_given_1]])
+
+
+class ReadoutCalibrationMatrix:
+    """Tensored readout calibration and its (pseudo-)inverse."""
+
+    def __init__(self, confusions: Sequence[QubitConfusion]):
+        if not confusions:
+            raise ValueError("need at least one qubit confusion entry")
+        self._confusions = list(confusions)
+        self._inverses = [np.linalg.inv(c.matrix) for c in self._confusions]
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def uniform(cls, num_qubits: int, error_probability: float
+                ) -> "ReadoutCalibrationMatrix":
+        """Symmetric readout error of the same strength on every qubit."""
+        confusion = QubitConfusion(error_probability, error_probability)
+        return cls([confusion] * num_qubits)
+
+    @classmethod
+    def from_calibration_counts(cls, zero_counts: Sequence[Mapping[str, int]],
+                                one_counts: Sequence[Mapping[str, int]]
+                                ) -> "ReadoutCalibrationMatrix":
+        """Estimate per-qubit confusions from |0⟩ / |1⟩ preparation counts.
+
+        ``zero_counts[q]`` / ``one_counts[q]`` are single-qubit counts
+        (``{"0": n0, "1": n1}``) measured after preparing qubit ``q`` in |0⟩
+        and |1⟩ respectively.
+        """
+        if len(zero_counts) != len(one_counts):
+            raise ValueError("calibration data must cover the same qubits")
+        confusions = []
+        for zeros, ones in zip(zero_counts, one_counts):
+            total_zero = sum(zeros.values())
+            total_one = sum(ones.values())
+            if total_zero == 0 or total_one == 0:
+                raise ValueError("calibration counts cannot be empty")
+            p1_given_0 = zeros.get("1", 0) / total_zero
+            p0_given_1 = ones.get("0", 0) / total_one
+            confusions.append(QubitConfusion(p0_given_1=min(p0_given_1, 0.499),
+                                             p1_given_0=min(p1_given_0, 0.499)))
+        return cls(confusions)
+
+    # -- properties --------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return len(self._confusions)
+
+    def confusion(self, qubit: int) -> QubitConfusion:
+        return self._confusions[qubit]
+
+    # -- counts mitigation ----------------------------------------------------------
+    def _distribution_from_counts(self, counts: Mapping[str, int]) -> np.ndarray:
+        total = sum(counts.values())
+        if total == 0:
+            raise ValueError("counts cannot be empty")
+        distribution = np.zeros(2 ** self.num_qubits)
+        for bitstring, count in counts.items():
+            if len(bitstring) != self.num_qubits:
+                raise ValueError(f"bitstring {bitstring!r} has the wrong length")
+            # Bitstring convention: character i is qubit i (qubit 0 left-most).
+            index = sum(int(bit) << qubit for qubit, bit in enumerate(bitstring))
+            distribution[index] += count / total
+        return distribution
+
+    def mitigate_counts(self, counts: Mapping[str, int],
+                        clip_negative: bool = True) -> Dict[str, float]:
+        """Apply the tensored inverse to a measured bitstring distribution."""
+        distribution = self._distribution_from_counts(counts)
+        tensor = distribution.reshape([2] * self.num_qubits)
+        for qubit in range(self.num_qubits):
+            # Axis for qubit q: with index = Σ bit_q << q, C-order reshape puts
+            # qubit (n−1) on axis 0, so qubit q lives on axis (n−1−q).
+            axis = self.num_qubits - 1 - qubit
+            tensor = np.apply_along_axis(
+                lambda column: self._inverses[qubit] @ column, axis, tensor)
+        mitigated = tensor.reshape(-1)
+        if clip_negative:
+            mitigated = np.clip(mitigated, 0.0, None)
+            total = mitigated.sum()
+            if total > 0:
+                mitigated = mitigated / total
+        result: Dict[str, float] = {}
+        for index, probability in enumerate(mitigated):
+            if probability <= 1e-12:
+                continue
+            bits = "".join(str((index >> qubit) & 1)
+                           for qubit in range(self.num_qubits))
+            result[bits] = float(probability)
+        return result
+
+    # -- expectation mitigation --------------------------------------------------------
+    def expectation_damping(self, pauli: PauliString) -> float:
+        """The factor by which readout noise shrinks ⟨P⟩ for a Z-type Pauli."""
+        damping = 1.0
+        for qubit in pauli.support():
+            confusion = self._confusions[qubit]
+            damping *= 1.0 - confusion.p0_given_1 - confusion.p1_given_0
+        return damping
+
+    def mitigate_expectation(self, pauli: PauliString,
+                             measured_value: float) -> float:
+        """Invert the per-qubit damping of a diagonal Pauli expectation."""
+        damping = self.expectation_damping(pauli)
+        if damping <= 0:
+            return measured_value
+        corrected = measured_value / damping
+        return float(np.clip(corrected, -1.0, 1.0))
+
+    def mitigate_diagonal_energy(self, hamiltonian: PauliSum,
+                                 term_values: Mapping[bytes, float]) -> float:
+        """Readout-corrected ⟨H⟩ from measured per-term expectation values.
+
+        ``term_values`` maps each Pauli term's key (``PauliString.key()[1]``,
+        the Z-mask bytes) to its measured expectation; identity terms are added
+        from the Hamiltonian's coefficients directly.
+        """
+        energy = 0.0
+        for pauli, coeff in hamiltonian.terms():
+            if pauli.is_identity():
+                energy += coeff.real
+                continue
+            key = pauli.key()[1]
+            if key not in term_values:
+                raise KeyError(f"missing measured value for term {pauli.label}")
+            energy += coeff.real * self.mitigate_expectation(
+                pauli, term_values[key])
+        return energy

@@ -1,0 +1,168 @@
+"""VarSaw-style measurement-error mitigation for VQAs (paper Sec. 7, Fig. 15).
+
+VarSaw (Dangwal et al., ASPLOS 2023) tailors measurement-error mitigation to
+VQA workloads by exploiting the structure of the Pauli measurement groups.
+The reproduction implements the mechanism the paper's Fig. 15 exercises:
+
+* calibrate a per-qubit symmetric readout-flip probability (from the regime's
+  noise model or from calibration-circuit sampling), and
+* invert the readout channel analytically on every Pauli expectation value —
+  for uncorrelated symmetric flips the measured expectation of a weight-w
+  Pauli is the ideal one scaled by ``(1 − 2·p_meas)^w``, so the corrected
+  estimate divides that factor out, per qubit-wise-commuting group.
+
+The result is a drop-in :class:`MitigatedEnergyEvaluator` whose VQE
+convergence can be compared against the unmitigated evaluator under both the
+NISQ and pQEC regimes, as in Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..operators.pauli import PauliString, PauliSum
+from ..simulators.noise import NoiseModel
+from ..vqe.energy import EnergyEvaluator
+
+
+@dataclass(frozen=True)
+class ReadoutCalibration:
+    """Per-qubit symmetric readout flip probabilities."""
+
+    flip_probabilities: tuple
+
+    @classmethod
+    def uniform(cls, num_qubits: int, probability: float) -> "ReadoutCalibration":
+        if not 0.0 <= probability < 0.5:
+            raise ValueError("readout flip probability must lie in [0, 0.5)")
+        return cls(tuple(float(probability) for _ in range(num_qubits)))
+
+    @classmethod
+    def from_noise_model(cls, num_qubits: int,
+                         noise_model: Optional[NoiseModel]) -> "ReadoutCalibration":
+        probability = noise_model.readout_error if noise_model is not None else 0.0
+        return cls.uniform(num_qubits, probability)
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.flip_probabilities)
+
+    def damping_factor(self, pauli: PauliString) -> float:
+        """(1 − 2p_q) over the support of the Pauli — the readout attenuation."""
+        factor = 1.0
+        for qubit in pauli.support():
+            factor *= 1.0 - 2.0 * self.flip_probabilities[qubit]
+        return factor
+
+
+class VarSawMitigator:
+    """Inverts the readout attenuation of each Pauli group's expectation values."""
+
+    def __init__(self, hamiltonian: PauliSum, calibration: ReadoutCalibration,
+                 min_factor: float = 1e-3):
+        if calibration.num_qubits != hamiltonian.num_qubits:
+            raise ValueError("calibration and Hamiltonian qubit counts differ")
+        self.hamiltonian = hamiltonian
+        self.calibration = calibration
+        self.min_factor = min_factor
+        self._groups = hamiltonian.group_qubitwise_commuting()
+
+    @property
+    def num_measurement_groups(self) -> int:
+        return len(self._groups)
+
+    def correct_term(self, pauli: PauliString, measured_value: float) -> float:
+        """Undo the readout attenuation of one Pauli expectation value."""
+        factor = self.calibration.damping_factor(pauli)
+        factor = max(abs(factor), self.min_factor) * (1.0 if factor >= 0 else -1.0)
+        corrected = measured_value / factor
+        return float(np.clip(corrected, -1.0, 1.0))
+
+    def correct_energy(self, term_values: Dict[bytes, float]) -> float:
+        """Re-assemble the energy from corrected per-term expectation values.
+
+        ``term_values`` maps the phase-free Pauli key to the *measured*
+        (attenuated) expectation value.
+        """
+        total = 0.0
+        for pauli, coeff in self.hamiltonian.terms():
+            if pauli.is_identity():
+                total += float(np.real(coeff))
+                continue
+            measured = term_values.get(pauli.key())
+            if measured is None:
+                raise KeyError(f"missing measured value for term {pauli.label}")
+            total += float(np.real(coeff)) * self.correct_term(pauli, measured)
+        return total
+
+
+class MitigatedEnergyEvaluator(EnergyEvaluator):
+    """Wraps a noisy evaluator and applies VarSaw readout correction.
+
+    Per-term (attenuated) expectation values are obtained in a single
+    simulation pass — from the final density matrix for
+    :class:`~repro.vqe.energy.DensityMatrixEnergyEvaluator`, or from one Pauli
+    propagation for :class:`~repro.vqe.energy.CliffordEnergyEvaluator` — then
+    each term is corrected by dividing out its calibrated readout attenuation.
+    """
+
+    def __init__(self, base_evaluator: EnergyEvaluator,
+                 calibration: Optional[ReadoutCalibration] = None):
+        super().__init__(base_evaluator.hamiltonian)
+        self.base_evaluator = base_evaluator
+        noise_model = getattr(base_evaluator, "noise_model", None)
+        self.noise_model = noise_model
+        self.calibration = calibration or ReadoutCalibration.from_noise_model(
+            base_evaluator.hamiltonian.num_qubits, noise_model)
+        self.mitigator = VarSawMitigator(base_evaluator.hamiltonian, self.calibration)
+
+    # -- per-term measured expectations (one simulation pass) -------------------
+    def _measured_term_values(self, circuit: QuantumCircuit) -> Dict[bytes, float]:
+        from ..circuits.transpile import decompose_to_clifford_rz, merge_rz_runs
+        from ..simulators.density_matrix import DensityMatrixSimulator
+        from ..simulators.pauli_propagation import PauliPropagator
+        from ..vqe.energy import (CliffordEnergyEvaluator,
+                                  DensityMatrixEnergyEvaluator)
+
+        readout = self.noise_model.readout_error if self.noise_model is not None else 0.0
+        canonical = merge_rz_runs(decompose_to_clifford_rz(circuit))
+        measured: Dict[bytes, float] = {}
+        if isinstance(self.base_evaluator, CliffordEnergyEvaluator):
+            propagator = PauliPropagator(self.hamiltonian)
+            locations = {}
+            if self.noise_model is not None and self.noise_model.has_noise():
+                for location in self.noise_model.error_locations(canonical):
+                    locations.setdefault(location.instruction_index, []).append(location)
+            instructions = list(canonical)
+            for index in range(len(instructions) - 1, -1, -1):
+                for location in locations.get(index, []):
+                    propagator.apply_error_location(location)
+                propagator.conjugate_instruction(instructions[index])
+            values = propagator.term_values()
+            for (pauli, _), value in zip(self.hamiltonian.terms(), values):
+                measured[pauli.key()] = float(value) \
+                    * (1.0 - 2.0 * readout) ** pauli.weight()
+            return measured
+        if isinstance(self.base_evaluator, DensityMatrixEnergyEvaluator):
+            simulator = DensityMatrixSimulator(self.noise_model)
+            state = simulator.run(canonical.without_measurements())
+            for pauli, _ in self.hamiltonian.terms():
+                matrix = pauli.to_matrix(sparse_output=True)
+                raw = float(np.real((matrix.multiply(state.data.T)).sum()))
+                measured[pauli.key()] = raw * (1.0 - 2.0 * readout) ** pauli.weight()
+            return measured
+        # Generic fallback: one evaluation per term through the base backend.
+        for pauli, _ in self.hamiltonian.terms():
+            if pauli.is_identity():
+                continue
+            single = PauliSum(self.hamiltonian.num_qubits, [(pauli, 1.0)])
+            evaluator = type(self.base_evaluator)(single, self.noise_model)
+            measured[pauli.key()] = evaluator.evaluate(circuit)
+        return measured
+
+    def evaluate(self, circuit: QuantumCircuit) -> float:
+        return self.mitigator.correct_energy(self._measured_term_values(circuit))

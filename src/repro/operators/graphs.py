@@ -1,0 +1,179 @@
+"""Graph-problem instances for QAOA-style variational workloads.
+
+The paper focuses on VQE but notes that its EFT-VQA analysis "extends to
+other VQAs like QAOA and QML" (Sec. 2.1).  This module provides the
+combinatorial-optimization substrate for the QAOA implementation in
+:mod:`repro.algorithms.qaoa`:
+
+* deterministic graph-instance generators (rings, random d-regular,
+  Erdős–Rényi, complete graphs) built on :mod:`networkx`;
+* MaxCut cost Hamiltonians and exact classical solutions for small
+  instances (used as the γ-metric reference energy);
+* a benchmark registry analogous to
+  :func:`repro.operators.hamiltonians.physics_benchmark_suite`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .pauli import PauliString, PauliSum
+
+
+def ring_graph(num_nodes: int) -> nx.Graph:
+    """A cycle graph on ``num_nodes`` nodes (the simplest QAOA benchmark)."""
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least three nodes")
+    return nx.cycle_graph(num_nodes)
+
+
+def complete_graph(num_nodes: int) -> nx.Graph:
+    """The complete graph on ``num_nodes`` nodes."""
+    if num_nodes < 2:
+        raise ValueError("a complete graph needs at least two nodes")
+    return nx.complete_graph(num_nodes)
+
+
+def random_regular_graph(num_nodes: int, degree: int = 3,
+                         seed: int = 7) -> nx.Graph:
+    """A random ``degree``-regular graph (the canonical QAOA MaxCut family)."""
+    if num_nodes * degree % 2:
+        raise ValueError("num_nodes · degree must be even for a regular graph")
+    if degree >= num_nodes:
+        raise ValueError("degree must be smaller than the number of nodes")
+    return nx.random_regular_graph(degree, num_nodes, seed=seed)
+
+
+def erdos_renyi_graph(num_nodes: int, edge_probability: float = 0.5,
+                      seed: int = 7) -> nx.Graph:
+    """An Erdős–Rényi G(n, p) graph; resampled until it is connected."""
+    if not 0.0 < edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in (0, 1]")
+    for attempt in range(64):
+        graph = nx.erdos_renyi_graph(num_nodes, edge_probability,
+                                     seed=seed + attempt)
+        if nx.is_connected(graph):
+            return graph
+    raise RuntimeError("could not sample a connected Erdős–Rényi graph; "
+                       "increase edge_probability")
+
+
+def weighted_edges(graph: nx.Graph) -> List[Tuple[int, int, float]]:
+    """Edge list with weights (defaulting to 1.0 for unweighted graphs)."""
+    edges = []
+    for u, v, data in graph.edges(data=True):
+        edges.append((int(u), int(v), float(data.get("weight", 1.0))))
+    return edges
+
+
+def maxcut_cost_hamiltonian(graph: nx.Graph) -> PauliSum:
+    """The MaxCut cost Hamiltonian ``C = Σ_(i,j) w_ij (Z_i Z_j − 1)/2``.
+
+    Ground states of ``C`` encode maximum cuts: ``⟨C⟩ = −(cut value)`` for a
+    computational-basis state, so *minimizing* the expectation maximizes the
+    cut (matching the VQE/γ-metric convention used across the repository).
+    """
+    num_qubits = graph.number_of_nodes()
+    if num_qubits < 2:
+        raise ValueError("MaxCut needs at least two nodes")
+    hamiltonian = PauliSum(num_qubits)
+    for u, v, weight in weighted_edges(graph):
+        hamiltonian.add_term(
+            PauliString.from_sparse(num_qubits, {u: "Z", v: "Z"}), 0.5 * weight)
+        hamiltonian.add_term(PauliString.identity(num_qubits), -0.5 * weight)
+    return hamiltonian.simplify()
+
+
+def cut_value(graph: nx.Graph, bitstring: Sequence[int]) -> float:
+    """Weight of the cut defined by ``bitstring`` (qubit i on side bit[i])."""
+    bits = list(int(b) for b in bitstring)
+    if len(bits) != graph.number_of_nodes():
+        raise ValueError("bitstring length must equal the number of nodes")
+    total = 0.0
+    for u, v, weight in weighted_edges(graph):
+        if bits[u] != bits[v]:
+            total += weight
+    return total
+
+
+def exact_maxcut(graph: nx.Graph) -> Tuple[float, Tuple[int, ...]]:
+    """Brute-force maximum cut (value, partition) for graphs up to 22 nodes."""
+    num_nodes = graph.number_of_nodes()
+    if num_nodes > 22:
+        raise ValueError("exact_maxcut is limited to 22 nodes "
+                         "(use goemans_williamson_bound instead)")
+    edges = weighted_edges(graph)
+    best_value = -1.0
+    best_assignment: Tuple[int, ...] = tuple([0] * num_nodes)
+    # Fix node 0 on side 0 — the cut is symmetric under global flip.
+    for assignment in itertools.product((0, 1), repeat=num_nodes - 1):
+        bits = (0,) + assignment
+        value = 0.0
+        for u, v, weight in edges:
+            if bits[u] != bits[v]:
+                value += weight
+        if value > best_value:
+            best_value = value
+            best_assignment = bits
+    return best_value, best_assignment
+
+
+def goemans_williamson_bound(graph: nx.Graph) -> float:
+    """A cheap upper bound on the maximum cut: total edge weight.
+
+    Used as a sanity reference for instances too large for brute force (the
+    true optimum is at least 0.878 of the SDP bound; the total weight is a
+    looser but dependency-free bound).
+    """
+    return sum(weight for _, _, weight in weighted_edges(graph))
+
+
+@dataclass(frozen=True)
+class GraphInstance:
+    """A named graph problem instance used by the QAOA benchmarks."""
+
+    name: str
+    graph: nx.Graph
+    hamiltonian: PauliSum
+    optimal_cut: Optional[float]
+
+    @property
+    def num_qubits(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def reference_energy(self) -> Optional[float]:
+        """Ground-state energy of the cost Hamiltonian (−optimal cut)."""
+        if self.optimal_cut is None:
+            return None
+        return -self.optimal_cut
+
+
+def graph_benchmark_suite(num_nodes_list: Sequence[int] = (8, 10, 12),
+                          families: Sequence[str] = ("ring", "regular3"),
+                          seed: int = 11) -> List[GraphInstance]:
+    """Deterministic registry of QAOA MaxCut benchmark instances."""
+    builders = {
+        "ring": lambda n, s: ring_graph(n),
+        "complete": lambda n, s: complete_graph(n),
+        "regular3": lambda n, s: random_regular_graph(n, 3, seed=s),
+        "erdos_renyi": lambda n, s: erdos_renyi_graph(n, 0.5, seed=s),
+    }
+    instances: List[GraphInstance] = []
+    for family in families:
+        if family not in builders:
+            raise ValueError(f"unknown graph family {family!r}; choose from "
+                             f"{sorted(builders)}")
+        for num_nodes in num_nodes_list:
+            graph = builders[family](num_nodes, seed)
+            hamiltonian = maxcut_cost_hamiltonian(graph)
+            optimal = exact_maxcut(graph)[0] if num_nodes <= 18 else None
+            instances.append(GraphInstance(
+                name=f"maxcut-{family}-{num_nodes}",
+                graph=graph, hamiltonian=hamiltonian, optimal_cut=optimal))
+    return instances

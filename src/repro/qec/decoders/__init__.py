@@ -1,0 +1,41 @@
+"""Syndrome decoders for surface-code quantum error correction.
+
+The paper (Sec. 7) notes that approximate, low-cost decoders — Union-Find,
+clique-style predecoders, lookup-table decoders — are "particularly attractive
+in the EFT era due to less stringent error rate requirements".  This package
+implements the decoding substrate so those trade-offs can be measured rather
+than asserted:
+
+* :mod:`repro.qec.decoders.graph` — space-time decoding graphs for the
+  repetition code and the rotated surface code under phenomenological noise;
+* :mod:`repro.qec.decoders.mwpm` — minimum-weight perfect matching on the
+  defect graph (exact distances via Dijkstra, matching via networkx);
+* :mod:`repro.qec.decoders.union_find` — the Union-Find cluster-growth +
+  peeling decoder (almost-linear time, slightly lower threshold);
+* :mod:`repro.qec.decoders.lookup` — a bounded-weight lookup-table decoder
+  (an Astrea-style exhaustive decoder for small distances);
+* :mod:`repro.qec.decoders.predecoder` — a clique-style predecoder that
+  resolves isolated adjacent defect pairs before handing the residual
+  syndrome to a backing decoder.
+
+The memory-experiment driver that exercises all of them lives in
+:mod:`repro.qec.surface_memory`.
+"""
+
+from .graph import (DecodingEdge, DecodingGraph, repetition_code_graph,
+                    rotated_surface_code_graph)
+from .lookup import LookupDecoder
+from .mwpm import MWPMDecoder
+from .predecoder import CliquePredecoder
+from .union_find import UnionFindDecoder
+
+__all__ = [
+    "CliquePredecoder",
+    "DecodingEdge",
+    "DecodingGraph",
+    "LookupDecoder",
+    "MWPMDecoder",
+    "UnionFindDecoder",
+    "repetition_code_graph",
+    "rotated_surface_code_graph",
+]

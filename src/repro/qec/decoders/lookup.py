@@ -1,0 +1,82 @@
+"""Bounded-weight lookup-table decoder.
+
+Astrea-style decoders precompute the correction for every syndrome reachable
+from a small number of elementary errors, which is feasible for the small code
+distances of the EFT era.  This decoder enumerates all error sets up to
+``max_error_weight`` elementary mechanisms (decoding-graph edges), stores the
+minimum-weight correction for every resulting syndrome, and falls back to a
+backing decoder (MWPM by default) for syndromes outside the table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
+from .mwpm import DecodeOutcome, MWPMDecoder
+
+
+def syndrome_of_edges(edges: Sequence[DecodingEdge]) -> FrozenSet[Detector]:
+    """Detectors flipped an odd number of times by a set of error edges."""
+    counts: Dict[Detector, int] = {}
+    for edge in edges:
+        for node in (edge.node_a, edge.node_b):
+            if node == BOUNDARY:
+                continue
+            counts[node] = counts.get(node, 0) + 1
+    return frozenset(node for node, count in counts.items() if count % 2)
+
+
+class LookupDecoder:
+    """Exhaustive bounded-weight decoder with a configurable fallback."""
+
+    name = "lookup"
+
+    def __init__(self, graph: DecodingGraph, max_error_weight: int = 2,
+                 fallback: Optional[object] = None):
+        if max_error_weight < 1:
+            raise ValueError("max_error_weight must be at least 1")
+        self._graph = graph
+        self._max_error_weight = int(max_error_weight)
+        self._fallback = fallback if fallback is not None else MWPMDecoder(graph)
+        self._table = self._build_table()
+        self.fallback_count = 0
+
+    @property
+    def decoding_graph(self) -> DecodingGraph:
+        return self._graph
+
+    @property
+    def table_size(self) -> int:
+        return len(self._table)
+
+    @property
+    def max_error_weight(self) -> int:
+        return self._max_error_weight
+
+    def _build_table(self) -> Dict[FrozenSet[Detector], Tuple[DecodingEdge, ...]]:
+        table: Dict[FrozenSet[Detector], Tuple[DecodingEdge, ...]] = {
+            frozenset(): ()}
+        edges = self._graph.edges
+        for weight in range(1, self._max_error_weight + 1):
+            for combination in itertools.combinations(edges, weight):
+                syndrome = syndrome_of_edges(combination)
+                total = sum(edge.weight for edge in combination)
+                existing = table.get(syndrome)
+                if existing is None or total < sum(e.weight for e in existing):
+                    table[syndrome] = tuple(combination)
+        return table
+
+    def decode(self, defects: Sequence[Detector]) -> DecodeOutcome:
+        syndrome = frozenset(defects)
+        for defect in syndrome:
+            if defect not in self._graph.graph:
+                raise ValueError(f"unknown detector {defect!r}")
+        entry = self._table.get(syndrome)
+        if entry is None:
+            self.fallback_count += 1
+            return self._fallback.decode(list(syndrome))
+        correction = list(entry)
+        return DecodeOutcome(correction=correction, matched_pairs=[],
+                             total_weight=sum(edge.weight for edge in correction))

@@ -1,0 +1,111 @@
+"""Minimum-weight perfect matching decoder.
+
+The reference decoder for surface codes: every defect (flipped detector) is
+matched either to another defect or to the boundary such that the total weight
+of the implied error chains is minimal.  Pairwise chain weights are exact
+Dijkstra distances on the decoding graph; the matching itself uses networkx's
+blossom implementation (``max_weight_matching`` on negated weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
+
+
+@dataclass
+class DecodeOutcome:
+    """Correction edges plus bookkeeping shared by all decoders."""
+
+    correction: List[DecodingEdge]
+    matched_pairs: List[Tuple[object, object]]
+    total_weight: float
+
+    @property
+    def flips_logical(self) -> bool:
+        return sum(1 for edge in self.correction if edge.flips_logical) % 2 == 1
+
+
+class MWPMDecoder:
+    """Exact minimum-weight perfect matching on the defect graph."""
+
+    name = "mwpm"
+
+    def __init__(self, graph: DecodingGraph):
+        self._graph = graph
+        self._distance_cache: Dict[object, Tuple[Dict, Dict]] = {}
+
+    @property
+    def decoding_graph(self) -> DecodingGraph:
+        return self._graph
+
+    # -- internals -----------------------------------------------------------
+    def _distances_from(self, source) -> Tuple[Dict, Dict]:
+        if source not in self._distance_cache:
+            distances, paths = nx.single_source_dijkstra(
+                self._graph.graph, source, weight="weight")
+            self._distance_cache[source] = (distances, paths)
+        return self._distance_cache[source]
+
+    def _chain(self, source, target) -> Tuple[float, List[DecodingEdge]]:
+        distances, paths = self._distances_from(source)
+        if target not in distances:
+            raise ValueError(f"no path between {source} and {target}")
+        return distances[target], self._graph.path_edges(paths[target])
+
+    # -- decoding ------------------------------------------------------------
+    def decode(self, defects: Sequence[Detector]) -> DecodeOutcome:
+        """Match the defects and return the implied correction edges.
+
+        Each defect may be matched to another defect or to its own copy of the
+        virtual boundary node; the standard construction adds one boundary
+        twin per defect, connected to its defect at the defect-to-boundary
+        distance and to the other twins at zero weight.
+        """
+        defects = list(dict.fromkeys(defects))
+        if not defects:
+            return DecodeOutcome([], [], 0.0)
+        for defect in defects:
+            if defect not in self._graph.graph:
+                raise ValueError(f"unknown detector {defect!r}")
+
+        matching_graph = nx.Graph()
+        boundary_twin = {defect: ("twin", index)
+                         for index, defect in enumerate(defects)}
+        for i, defect_i in enumerate(defects):
+            distance_to_boundary, _ = self._chain(defect_i, BOUNDARY)
+            matching_graph.add_edge(defect_i, boundary_twin[defect_i],
+                                    weight=-distance_to_boundary)
+            for j in range(i + 1, len(defects)):
+                defect_j = defects[j]
+                pair_distance, _ = self._chain(defect_i, defect_j)
+                matching_graph.add_edge(defect_i, defect_j,
+                                        weight=-pair_distance)
+                matching_graph.add_edge(boundary_twin[defect_i],
+                                        boundary_twin[defect_j], weight=0.0)
+
+        matching = nx.max_weight_matching(matching_graph, maxcardinality=True)
+
+        correction: List[DecodingEdge] = []
+        matched_pairs: List[Tuple[object, object]] = []
+        total_weight = 0.0
+        for node_a, node_b in matching:
+            a_is_twin = isinstance(node_a, tuple) and node_a and node_a[0] == "twin"
+            b_is_twin = isinstance(node_b, tuple) and node_b and node_b[0] == "twin"
+            if a_is_twin and b_is_twin:
+                continue
+            if a_is_twin or b_is_twin:
+                defect = node_b if a_is_twin else node_a
+                weight, chain = self._chain(defect, BOUNDARY)
+                matched_pairs.append((defect, BOUNDARY))
+            else:
+                weight, chain = self._chain(node_a, node_b)
+                matched_pairs.append((node_a, node_b))
+            total_weight += weight
+            correction.extend(chain)
+        return DecodeOutcome(correction=correction, matched_pairs=matched_pairs,
+                             total_weight=total_weight)

@@ -1,0 +1,197 @@
+"""Magic-state distillation factory models (``qec-conventional`` baseline).
+
+The paper's qec-conventional baseline executes VQAs over Clifford+T with T
+states produced by (15-to-1) distillation factories à la Litinski ("Magic
+state distillation: not as costly as you think").  The evaluation needs, per
+factory configuration (d_X, d_Z, d_m):
+
+* the physical-qubit footprint,
+* the number of clock cycles to produce one output T state, and
+* the output T-state error rate at a given physical error rate.
+
+The catalogue below encodes the configurations the paper uses (Fig. 4), with
+the numbers the paper itself quotes where available ((15-to-1)7,3,3 → 810
+qubits / 22 cycles / 5.4e-4, (15-to-1)17,7,7 → ≈46% of a 10k-qubit device /
+42 cycles / 4.5e-8) and Litinski-interpolated values for the intermediate
+configurations.  Output error scales with physical error rate as
+``35 · p_inj³`` (the 15-to-1 protocol's cubic suppression of the injected
+error), anchored at the catalogued p = 1e-3 value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .surface_code import EFT_PHYSICAL_ERROR_RATE, SurfaceCodePatch
+
+
+@dataclass(frozen=True)
+class FactoryConfig:
+    """A magic state factory configuration.
+
+    ``output_error_at_1e3`` is the T-state error rate at physical error rate
+    1e-3; other physical error rates are obtained by the cubic scaling of the
+    15-to-1 protocol (``error ∝ p³`` to leading order).
+    """
+
+    name: str
+    input_states: int
+    output_states: int
+    dx: int
+    dz: int
+    dm: int
+    physical_qubits: int
+    cycles_per_batch: float
+    output_error_at_1e3: float
+
+    @property
+    def cycles_per_tstate(self) -> float:
+        """Clock cycles to produce one T state (batch time / outputs)."""
+        return self.cycles_per_batch / self.output_states
+
+    def output_error(self, physical_error_rate: float = EFT_PHYSICAL_ERROR_RATE) -> float:
+        """T-state output error at the requested physical error rate."""
+        if physical_error_rate < 0:
+            raise ValueError("physical error rate must be non-negative")
+        if physical_error_rate == 0:
+            return 0.0
+        scale = (physical_error_rate / 1e-3) ** 3
+        return float(min(1.0, self.output_error_at_1e3 * scale))
+
+    def production_rate(self) -> float:
+        """T states produced per clock cycle by a single factory."""
+        return self.output_states / self.cycles_per_batch
+
+    @property
+    def label(self) -> str:
+        return (f"({self.input_states}-to-{self.output_states})"
+                f"{self.dx},{self.dz},{self.dm}")
+
+    def __repr__(self):
+        return (f"FactoryConfig({self.label}, qubits={self.physical_qubits}, "
+                f"cycles/T={self.cycles_per_tstate:.1f}, "
+                f"err@1e-3={self.output_error_at_1e3:.2e})")
+
+
+#: Factory catalogue.  The (7,3,3) and (17,7,7) rows use the paper's quoted
+#: numbers; (9,3,3) and (11,5,5) interpolate Litinski's tables ((11,5,5) is
+#: the paper's "sweet spot" configuration); the (20-to-4) entry is included
+#: for the higher-throughput regime discussed in Sec. 2.4.
+FACTORY_CATALOGUE: Dict[str, FactoryConfig] = {
+    "15-to-1_7,3,3": FactoryConfig(
+        name="15-to-1_7,3,3", input_states=15, output_states=1,
+        dx=7, dz=3, dm=3, physical_qubits=810, cycles_per_batch=22.0,
+        output_error_at_1e3=5.4e-4),
+    "15-to-1_9,3,3": FactoryConfig(
+        name="15-to-1_9,3,3", input_states=15, output_states=1,
+        dx=9, dz=3, dm=3, physical_qubits=1150, cycles_per_batch=24.0,
+        output_error_at_1e3=1.5e-4),
+    "15-to-1_11,5,5": FactoryConfig(
+        name="15-to-1_11,5,5", input_states=15, output_states=1,
+        dx=11, dz=5, dm=5, physical_qubits=2070, cycles_per_batch=30.0,
+        output_error_at_1e3=1.1e-5),
+    "15-to-1_17,7,7": FactoryConfig(
+        name="15-to-1_17,7,7", input_states=15, output_states=1,
+        dx=17, dz=7, dm=7, physical_qubits=4620, cycles_per_batch=42.0,
+        output_error_at_1e3=4.5e-8),
+    "20-to-4_15,7,9": FactoryConfig(
+        name="20-to-4_15,7,9", input_states=20, output_states=4,
+        dx=15, dz=7, dm=9, physical_qubits=14400, cycles_per_batch=65.0,
+        output_error_at_1e3=1.4e-7),
+}
+
+#: The four (15-to-1) configurations swept in the paper's Fig. 4.
+PAPER_FIG4_FACTORIES: Tuple[str, ...] = (
+    "15-to-1_7,3,3", "15-to-1_9,3,3", "15-to-1_11,5,5", "15-to-1_17,7,7")
+
+
+def get_factory(name: str) -> FactoryConfig:
+    """Look up a factory configuration by name (see :data:`FACTORY_CATALOGUE`)."""
+    if name not in FACTORY_CATALOGUE:
+        supported = ", ".join(sorted(FACTORY_CATALOGUE))
+        raise ValueError(f"unknown factory {name!r}; available: {supported}")
+    return FACTORY_CATALOGUE[name]
+
+
+def list_factories() -> List[FactoryConfig]:
+    return [FACTORY_CATALOGUE[key] for key in sorted(FACTORY_CATALOGUE)]
+
+
+@dataclass
+class FactoryFarm:
+    """A collection of identical factories sharing a physical-qubit allocation.
+
+    Captures the space/throughput trade-off of Sec. 2.5: more factories
+    increase the T-state production rate (fewer program stalls and memory
+    errors) but eat into the qubits available for logical data patches.
+    """
+
+    config: FactoryConfig
+    count: int
+
+    def __post_init__(self):
+        if self.count < 0:
+            raise ValueError("factory count must be non-negative")
+
+    @property
+    def physical_qubits(self) -> int:
+        return self.count * self.config.physical_qubits
+
+    def production_rate(self) -> float:
+        """T states per clock cycle produced by the whole farm."""
+        return self.count * self.config.production_rate()
+
+    def cycles_per_tstate(self) -> float:
+        """Average cycles between consecutive T states from the farm."""
+        if self.count == 0:
+            return math.inf
+        return self.config.cycles_per_tstate / self.count
+
+    def stall_cycles_per_tstate(self, consumption_interval_cycles: float) -> float:
+        """Expected stall per T gate when the program wants a T every ``interval``.
+
+        If the farm produces T states slower than the program consumes them,
+        the program stalls by the difference; otherwise stalls are zero
+        (buffering hides the latency).
+        """
+        if self.count == 0:
+            return math.inf
+        deficit = self.cycles_per_tstate() - consumption_interval_cycles
+        return max(0.0, deficit)
+
+
+def max_factories_fitting(config: FactoryConfig, physical_qubit_budget: int) -> int:
+    """How many copies of ``config`` fit in a qubit budget."""
+    if physical_qubit_budget < 0:
+        raise ValueError("budget must be non-negative")
+    return physical_qubit_budget // config.physical_qubits
+
+
+def best_factory_for_budget(physical_qubit_budget: int,
+                            physical_error_rate: float = EFT_PHYSICAL_ERROR_RATE,
+                            required_rate: float = 0.0,
+                            candidates: Optional[Iterable[str]] = None) -> FactoryConfig:
+    """Pick the lowest-output-error factory that fits the budget.
+
+    ``required_rate`` (T states per cycle) optionally constrains throughput:
+    configurations whose farm (all copies that fit) cannot sustain the rate
+    are skipped.
+    """
+    names = list(candidates) if candidates is not None else list(PAPER_FIG4_FACTORIES)
+    viable: List[FactoryConfig] = []
+    for name in names:
+        config = get_factory(name)
+        count = max_factories_fitting(config, physical_qubit_budget)
+        if count == 0:
+            continue
+        farm = FactoryFarm(config, count)
+        if farm.production_rate() < required_rate:
+            continue
+        viable.append(config)
+    if not viable:
+        raise ValueError(
+            f"no factory configuration fits a budget of {physical_qubit_budget} qubits "
+            f"with rate ≥ {required_rate}")
+    return min(viable, key=lambda cfg: cfg.output_error(physical_error_rate))

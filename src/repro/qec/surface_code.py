@@ -1,0 +1,170 @@
+"""Surface-code resource and logical-error models.
+
+The paper's pQEC evaluation needs per-operation logical error rates for
+error-corrected Clifford operations (memory, CNOT via lattice surgery, H, S,
+measurement) at EFT-era parameters (code distance d = 11, physical error rate
+p = 1e-3), and physical-qubit footprints for patches.  Two models are
+provided:
+
+* an analytic scaling model ``p_L(d, p) = A · (p / p_th)^((d+1)/2)`` per
+  logical operation (A and p_th calibrated so that d=11, p=1e-3 gives the
+  ≈1e-7 per-operation rates quoted in Sec. 4.4 of the paper), and
+* the empirical Monte-Carlo memory experiment in
+  :mod:`repro.qec.memory_experiment`, which the ablation benchmark compares
+  against the analytic model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Default EFT-era parameters used throughout the paper.
+EFT_PHYSICAL_ERROR_RATE = 1e-3
+EFT_CODE_DISTANCE = 11
+EFT_PHYSICAL_QUBIT_BUDGET = 10_000
+
+#: Calibration of the analytic logical error model:
+#: p_L = PREFACTOR · (p / THRESHOLD)^((d+1)/2).
+#: With PREFACTOR=0.1 and THRESHOLD=1e-2, d=11 and p=1e-3 give p_L = 1e-7,
+#: matching the paper's "approximately 1e-7" per-operation quote.
+SURFACE_CODE_PREFACTOR = 0.1
+SURFACE_CODE_THRESHOLD = 1e-2
+
+
+def logical_error_rate(distance: int, physical_error_rate: float,
+                       prefactor: float = SURFACE_CODE_PREFACTOR,
+                       threshold: float = SURFACE_CODE_THRESHOLD) -> float:
+    """Logical error probability of one logical operation (d rounds) of a patch."""
+    if distance < 1 or distance % 2 == 0:
+        raise ValueError("code distance must be a positive odd integer")
+    if physical_error_rate < 0:
+        raise ValueError("physical error rate must be non-negative")
+    if physical_error_rate == 0:
+        return 0.0
+    exponent = (distance + 1) / 2.0
+    rate = prefactor * (physical_error_rate / threshold) ** exponent
+    return float(min(rate, 1.0))
+
+
+def minimum_distance_for_target(target_logical_error: float,
+                                physical_error_rate: float,
+                                max_distance: int = 51) -> int:
+    """Smallest odd code distance achieving ``p_L ≤ target_logical_error``."""
+    if target_logical_error <= 0:
+        raise ValueError("target logical error must be positive")
+    for distance in range(3, max_distance + 1, 2):
+        rate = logical_error_rate(distance, physical_error_rate)
+        if rate <= target_logical_error * (1.0 + 1e-9):
+            return distance
+    raise ValueError(
+        f"no distance ≤ {max_distance} reaches logical error {target_logical_error}")
+
+
+@dataclass(frozen=True)
+class SurfaceCodePatch:
+    """A rotated-surface-code logical qubit patch.
+
+    A distance-d rotated surface code uses d² data qubits and d²−1 ancilla
+    (syndrome) qubits, i.e. 2d²−1 physical qubits per patch (Sec. 2.2).
+    """
+
+    distance: int
+    physical_error_rate: float = EFT_PHYSICAL_ERROR_RATE
+
+    def __post_init__(self):
+        if self.distance < 3 or self.distance % 2 == 0:
+            raise ValueError("patch distance must be an odd integer ≥ 3")
+
+    @property
+    def data_qubits(self) -> int:
+        return self.distance ** 2
+
+    @property
+    def ancilla_qubits(self) -> int:
+        return self.distance ** 2 - 1
+
+    @property
+    def physical_qubits(self) -> int:
+        return 2 * self.distance ** 2 - 1
+
+    @property
+    def cycle_time_rounds(self) -> int:
+        """Syndrome-measurement rounds per logical clock cycle (= d)."""
+        return self.distance
+
+    def logical_error_per_cycle(self) -> float:
+        """Logical error probability of idling for one logical cycle (d rounds)."""
+        return logical_error_rate(self.distance, self.physical_error_rate)
+
+    def logical_error_per_round(self) -> float:
+        """Per-syndrome-round logical error probability."""
+        return self.logical_error_per_cycle() / self.distance
+
+
+@dataclass(frozen=True)
+class LogicalOperationErrorModel:
+    """Per-operation logical error rates of error-corrected operations.
+
+    The paper (Sec. 4.4, Sec. 5.2.1) treats memory, CNOT, H, S and measurement
+    as error-corrected operations whose rates it extracts from Stim
+    simulations; at d=11, p=1e-3 they are all ≈1e-7.  We model each as a small
+    multiple of the patch logical error per cycle:
+
+    * memory — one idle logical cycle of one patch;
+    * single-qubit Clifford (H, S) — one patch cycle (transversal / in-place);
+    * CNOT via lattice surgery — two patches plus the routing ancilla are
+      exposed for two merge/split steps, so ~4× the single-patch rate;
+    * logical measurement — one transversal readout, ≈ one patch cycle.
+    """
+
+    distance: int = EFT_CODE_DISTANCE
+    physical_error_rate: float = EFT_PHYSICAL_ERROR_RATE
+    cnot_multiplier: float = 4.0
+    measure_multiplier: float = 1.0
+    clifford_multiplier: float = 1.0
+
+    def _base(self) -> float:
+        return logical_error_rate(self.distance, self.physical_error_rate)
+
+    @property
+    def memory(self) -> float:
+        return self._base()
+
+    @property
+    def cnot(self) -> float:
+        return min(1.0, self.cnot_multiplier * self._base())
+
+    @property
+    def single_qubit_clifford(self) -> float:
+        return min(1.0, self.clifford_multiplier * self._base())
+
+    @property
+    def measurement(self) -> float:
+        return min(1.0, self.measure_multiplier * self._base())
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "memory": self.memory,
+            "cx": self.cnot,
+            "h": self.single_qubit_clifford,
+            "s": self.single_qubit_clifford,
+            "measure": self.measurement,
+        }
+
+
+def patches_fitting_budget(physical_qubit_budget: int, distance: int,
+                           routing_overhead_fraction: float = 0.0) -> int:
+    """How many logical patches fit in a physical-qubit budget.
+
+    ``routing_overhead_fraction`` reserves a fraction of the budget for
+    routing ancilla patches (layout-dependent; the layouts module computes
+    exact numbers — this helper is for coarse feasibility checks like the
+    white squares of Fig. 5).
+    """
+    if not 0.0 <= routing_overhead_fraction < 1.0:
+        raise ValueError("routing overhead fraction must be in [0, 1)")
+    patch = SurfaceCodePatch(distance)
+    usable = physical_qubit_budget * (1.0 - routing_overhead_fraction)
+    return int(usable // patch.physical_qubits)

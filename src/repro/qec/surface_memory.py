@@ -1,0 +1,218 @@
+"""Phenomenological surface-code memory experiments.
+
+This is the Monte-Carlo counterpart of the analytic logical-error-rate model
+in :mod:`repro.qec.surface_code` (which supplies the per-operation error rates
+the paper's pQEC regime assumes).  A memory experiment repeatedly
+
+1. samples independent data-qubit errors per round and measurement errors per
+   stabilizer readout on the space-time decoding graph,
+2. extracts the detector syndrome (XOR of consecutive rounds),
+3. runs a decoder (:mod:`repro.qec.decoders`), and
+4. checks whether the residual error commutes with the logical operator.
+
+Because errors, syndromes and corrections are all expressed as edge sets of
+the same :class:`~repro.qec.decoders.graph.DecodingGraph`, any decoder with a
+``decode(defects)`` method can be plugged in and compared — which is what the
+decoder-ablation benchmark does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .decoders.graph import (BOUNDARY, DecodingEdge, DecodingGraph,
+                             repetition_code_graph,
+                             rotated_surface_code_graph)
+from .decoders.mwpm import MWPMDecoder
+
+
+@dataclass(frozen=True)
+class MemoryTrialResult:
+    """One Monte-Carlo shot of the memory experiment."""
+
+    num_error_edges: int
+    num_defects: int
+    decoder_flips_logical: bool
+    error_flips_logical: bool
+
+    @property
+    def logical_failure(self) -> bool:
+        return self.decoder_flips_logical != self.error_flips_logical
+
+
+@dataclass
+class MemoryExperimentOutcome:
+    """Aggregate statistics of a memory experiment."""
+
+    code: str
+    distance: int
+    rounds: int
+    physical_error_rate: float
+    shots: int
+    failures: int
+    decoder_name: str
+    average_defects: float
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.failures / self.shots if self.shots else 0.0
+
+    @property
+    def logical_error_per_round(self) -> float:
+        """Per-round failure rate, assuming independent rounds."""
+        if self.shots == 0:
+            return 0.0
+        survival = 1.0 - self.logical_error_rate
+        survival = min(max(survival, 1e-12), 1.0)
+        return 1.0 - survival ** (1.0 / max(self.rounds, 1))
+
+    @property
+    def standard_error(self) -> float:
+        rate = self.logical_error_rate
+        return math.sqrt(max(rate * (1.0 - rate), 0.0) / max(self.shots, 1))
+
+
+class SurfaceCodeMemory:
+    """Monte-Carlo memory experiment driver over a decoding graph."""
+
+    def __init__(self, graph: DecodingGraph,
+                 decoder_factory: Optional[Callable[[DecodingGraph], object]] = None,
+                 seed: Optional[int] = None):
+        self._graph = graph
+        factory = decoder_factory if decoder_factory is not None else MWPMDecoder
+        self._decoder = factory(graph)
+        self._rng = np.random.default_rng(seed)
+        # Pre-compute the sampling probability of every elementary mechanism.
+        self._edges = graph.edges
+        self._probabilities = np.array(
+            [1.0 / (1.0 + math.exp(edge.weight)) for edge in self._edges])
+
+    @property
+    def decoder(self):
+        return self._decoder
+
+    @property
+    def decoding_graph(self) -> DecodingGraph:
+        return self._graph
+
+    # -- sampling -----------------------------------------------------------------
+    def sample_error(self) -> List[DecodingEdge]:
+        """Draw one independent-error sample over all elementary mechanisms."""
+        draws = self._rng.random(len(self._edges))
+        return [edge for edge, draw, probability
+                in zip(self._edges, draws, self._probabilities)
+                if draw < probability]
+
+    @staticmethod
+    def syndrome_of(error_edges: Sequence[DecodingEdge]) -> List:
+        """Detectors flipped an odd number of times by the error edges."""
+        counts: Dict[object, int] = {}
+        for edge in error_edges:
+            for node in (edge.node_a, edge.node_b):
+                if node == BOUNDARY:
+                    continue
+                counts[node] = counts.get(node, 0) + 1
+        return [node for node, count in counts.items() if count % 2]
+
+    # -- running -----------------------------------------------------------------
+    def run_trial(self) -> MemoryTrialResult:
+        error_edges = self.sample_error()
+        defects = self.syndrome_of(error_edges)
+        outcome = self._decoder.decode(defects)
+        error_flips = self._graph.correction_flips_logical(error_edges)
+        return MemoryTrialResult(
+            num_error_edges=len(error_edges),
+            num_defects=len(defects),
+            decoder_flips_logical=outcome.flips_logical,
+            error_flips_logical=error_flips)
+
+    def run(self, shots: int = 200) -> MemoryExperimentOutcome:
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        failures = 0
+        total_defects = 0
+        for _ in range(shots):
+            trial = self.run_trial()
+            failures += int(trial.logical_failure)
+            total_defects += trial.num_defects
+        return MemoryExperimentOutcome(
+            code=self._graph.name, distance=self._graph.distance,
+            rounds=self._graph.rounds,
+            physical_error_rate=float(self._probabilities.max(initial=0.0)),
+            shots=shots, failures=failures,
+            decoder_name=getattr(self._decoder, "name", type(self._decoder).__name__),
+            average_defects=total_defects / shots)
+
+
+# ---------------------------------------------------------------------------
+# Convenience drivers
+# ---------------------------------------------------------------------------
+
+def surface_code_memory_experiment(distance: int, physical_error_rate: float,
+                                   rounds: Optional[int] = None,
+                                   shots: int = 200,
+                                   decoder_factory: Optional[Callable] = None,
+                                   seed: Optional[int] = 7
+                                   ) -> MemoryExperimentOutcome:
+    """Rotated-surface-code memory experiment with ``rounds`` defaulting to d."""
+    rounds = rounds if rounds is not None else distance
+    graph = rotated_surface_code_graph(distance, rounds, physical_error_rate)
+    memory = SurfaceCodeMemory(graph, decoder_factory, seed=seed)
+    return memory.run(shots)
+
+
+def repetition_code_memory_experiment(distance: int, physical_error_rate: float,
+                                      rounds: Optional[int] = None,
+                                      shots: int = 400,
+                                      decoder_factory: Optional[Callable] = None,
+                                      seed: Optional[int] = 7
+                                      ) -> MemoryExperimentOutcome:
+    """Repetition-code memory experiment with ``rounds`` defaulting to d."""
+    rounds = rounds if rounds is not None else distance
+    graph = repetition_code_graph(distance, rounds, physical_error_rate)
+    memory = SurfaceCodeMemory(graph, decoder_factory, seed=seed)
+    return memory.run(shots)
+
+
+def decoder_comparison(distance: int, physical_error_rate: float,
+                       decoder_factories: Dict[str, Callable],
+                       shots: int = 200, rounds: Optional[int] = None,
+                       code: str = "rotated_surface",
+                       seed: int = 11) -> Dict[str, MemoryExperimentOutcome]:
+    """Run the same error realizations through several decoders.
+
+    All decoders share the code, error rate and shot budget (but not the
+    literal samples); the returned mapping feeds the decoder-ablation bench.
+    """
+    rounds = rounds if rounds is not None else distance
+    builder = (rotated_surface_code_graph if code == "rotated_surface"
+               else repetition_code_graph)
+    results: Dict[str, MemoryExperimentOutcome] = {}
+    for name, factory in decoder_factories.items():
+        graph = builder(distance, rounds, physical_error_rate)
+        memory = SurfaceCodeMemory(graph, factory, seed=seed)
+        results[name] = memory.run(shots)
+    return results
+
+
+def logical_error_rate_curve(distances: Sequence[int],
+                             physical_error_rates: Sequence[float],
+                             shots: int = 200,
+                             code: str = "rotated_surface",
+                             decoder_factory: Optional[Callable] = None,
+                             seed: int = 3
+                             ) -> Dict[Tuple[int, float], float]:
+    """Logical error rate over a (distance × physical error rate) sweep."""
+    builder = (rotated_surface_code_graph if code == "rotated_surface"
+               else repetition_code_graph)
+    curve: Dict[Tuple[int, float], float] = {}
+    for distance in distances:
+        for error_rate in physical_error_rates:
+            graph = builder(distance, distance, error_rate)
+            memory = SurfaceCodeMemory(graph, decoder_factory, seed=seed)
+            curve[(distance, float(error_rate))] = memory.run(shots).logical_error_rate
+    return curve

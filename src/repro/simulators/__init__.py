@@ -1,0 +1,36 @@
+"""Quantum state simulators and noise models."""
+
+from .density_matrix import DensityMatrix, DensityMatrixSimulator
+from .noise import (ErrorLocation, NoiseModel, PauliChannel, QuantumChannel,
+                    amplitude_damping_channel, bit_flip_channel,
+                    depolarizing_channel, pauli_error_channel, pauli_twirl,
+                    phase_damping_channel, phase_flip_channel,
+                    thermal_relaxation_channel, two_qubit_tensor_channel)
+from .pauli_propagation import PauliPropagator, expectation_value
+from .stabilizer import StabilizerSimulator, StabilizerState
+from .statevector import Statevector, StatevectorSimulator, circuit_unitary
+
+__all__ = [
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "ErrorLocation",
+    "NoiseModel",
+    "PauliChannel",
+    "PauliPropagator",
+    "QuantumChannel",
+    "StabilizerSimulator",
+    "StabilizerState",
+    "Statevector",
+    "StatevectorSimulator",
+    "amplitude_damping_channel",
+    "bit_flip_channel",
+    "circuit_unitary",
+    "depolarizing_channel",
+    "expectation_value",
+    "pauli_error_channel",
+    "pauli_twirl",
+    "phase_damping_channel",
+    "phase_flip_channel",
+    "thermal_relaxation_channel",
+    "two_qubit_tensor_channel",
+]

@@ -1,0 +1,368 @@
+"""Aaronson–Gottesman (CHP) stabilizer-tableau simulator.
+
+This is the from-scratch substitute for Stim used by the paper for
+
+* Clifford-state ("stabilizer proxy") evaluation of 16–100 qubit VQAs
+  (Sec. 5.2.2), and
+* deriving error-corrected operation error rates by simulating surface-code
+  circuits (Sec. 5.2.1) — see :mod:`repro.qec.memory_experiment`.
+
+The tableau stores ``2n`` rows (n destabilizers followed by n stabilizers)
+with X/Z bit matrices and a sign bit per row.  Supported Clifford gates:
+H, S, Sdg, X, Y, Z, CX, CZ, SWAP, plus ``rz``/``rx``/``ry`` at multiples of
+π/2.  Pauli errors can be injected directly (used by Monte-Carlo noisy
+trajectories), and expectation values of Pauli observables are computed
+exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import is_clifford_angle
+from ..operators.pauli import PauliString, PauliSum
+from .noise import NoiseModel, PauliChannel, pauli_twirl
+
+
+class StabilizerState:
+    """A pure stabilizer state on ``num_qubits`` qubits (CHP tableau)."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.num_qubits = int(num_qubits)
+        n = self.num_qubits
+        # Rows 0..n-1: destabilizers (initially X_i); rows n..2n-1: stabilizers (Z_i).
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        for i in range(n):
+            self.x[i, i] = 1
+            self.z[n + i, i] = 1
+
+    # -- helpers ------------------------------------------------------------
+    def copy(self) -> "StabilizerState":
+        new = StabilizerState(self.num_qubits)
+        new.x = self.x.copy()
+        new.z = self.z.copy()
+        new.r = self.r.copy()
+        return new
+
+    @staticmethod
+    def _g(x1, z1, x2, z2) -> int:
+        """Phase exponent contributed when multiplying single-qubit Paulis."""
+        if x1 == 0 and z1 == 0:
+            return 0
+        if x1 == 1 and z1 == 1:  # Y
+            return int(z2) - int(x2)
+        if x1 == 1 and z1 == 0:  # X
+            return int(z2) * (2 * int(x2) - 1)
+        # Z
+        return int(x2) * (1 - 2 * int(z2))
+
+    def _rowsum_into(self, target_x, target_z, target_phase: int,
+                     row: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Multiply an external Pauli row by tableau ``row`` (phase in units of i^2)."""
+        n = self.num_qubits
+        phase = 2 * int(self.r[row]) + target_phase
+        for j in range(n):
+            phase += self._g(int(self.x[row, j]), int(self.z[row, j]),
+                             int(target_x[j]), int(target_z[j]))
+        new_x = target_x ^ self.x[row]
+        new_z = target_z ^ self.z[row]
+        return new_x, new_z, phase % 4
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Tableau rowsum: row h ← row h · row i (Aaronson–Gottesman)."""
+        new_x, new_z, phase = self._rowsum_into(self.x[h].copy(), self.z[h].copy(),
+                                                2 * int(self.r[h]), i)
+        if phase not in (0, 2):
+            raise RuntimeError("rowsum produced imaginary phase; tableau corrupted")
+        self.r[h] = phase // 2
+        self.x[h] = new_x
+        self.z[h] = new_z
+
+    # -- gate application -----------------------------------------------------
+    def apply_h(self, qubit: int) -> None:
+        xq = self.x[:, qubit].copy()
+        zq = self.z[:, qubit].copy()
+        self.r ^= xq & zq
+        self.x[:, qubit] = zq
+        self.z[:, qubit] = xq
+
+    def apply_s(self, qubit: int) -> None:
+        xq = self.x[:, qubit]
+        zq = self.z[:, qubit]
+        self.r ^= xq & zq
+        self.z[:, qubit] = zq ^ xq
+
+    def apply_sdg(self, qubit: int) -> None:
+        # Sdg = Z · S
+        self.apply_z(qubit)
+        self.apply_s(qubit)
+
+    def apply_x(self, qubit: int) -> None:
+        self.r ^= self.z[:, qubit]
+
+    def apply_z(self, qubit: int) -> None:
+        self.r ^= self.x[:, qubit]
+
+    def apply_y(self, qubit: int) -> None:
+        self.r ^= self.x[:, qubit] ^ self.z[:, qubit]
+
+    def apply_cx(self, control: int, target: int) -> None:
+        xa = self.x[:, control].copy()
+        za = self.z[:, control].copy()
+        xb = self.x[:, target].copy()
+        zb = self.z[:, target].copy()
+        self.r ^= xa & zb & (xb ^ za ^ 1)
+        self.x[:, target] = xb ^ xa
+        self.z[:, control] = za ^ zb
+
+    def apply_cz(self, qubit_a: int, qubit_b: int) -> None:
+        self.apply_h(qubit_b)
+        self.apply_cx(qubit_a, qubit_b)
+        self.apply_h(qubit_b)
+
+    def apply_swap(self, qubit_a: int, qubit_b: int) -> None:
+        for array in (self.x, self.z):
+            array[:, [qubit_a, qubit_b]] = array[:, [qubit_b, qubit_a]]
+
+    def apply_rz_clifford(self, theta: float, qubit: int) -> None:
+        """Apply Rz at a multiple of π/2 (up to global phase)."""
+        if not is_clifford_angle(theta):
+            raise ValueError(f"Rz angle {theta} is not a Clifford angle")
+        quarter_turns = int(round(theta / (math.pi / 2.0))) % 4
+        if quarter_turns == 1:
+            self.apply_s(qubit)
+        elif quarter_turns == 2:
+            self.apply_z(qubit)
+        elif quarter_turns == 3:
+            self.apply_sdg(qubit)
+
+    def apply_pauli(self, pauli: PauliString) -> None:
+        """Apply a Pauli operator (e.g. an injected error) to the state."""
+        if pauli.num_qubits != self.num_qubits:
+            raise ValueError("Pauli string size mismatch")
+        for qubit in pauli.support():
+            label = pauli.pauli_on(qubit)
+            if label == "X":
+                self.apply_x(qubit)
+            elif label == "Y":
+                self.apply_y(qubit)
+            elif label == "Z":
+                self.apply_z(qubit)
+
+    def apply_pauli_label(self, label: str, qubits: Sequence[int]) -> None:
+        """Apply a short Pauli label to specific qubits (for channel sampling)."""
+        for character, qubit in zip(label, qubits):
+            if character == "X":
+                self.apply_x(qubit)
+            elif character == "Y":
+                self.apply_y(qubit)
+            elif character == "Z":
+                self.apply_z(qubit)
+
+    # -- measurement -------------------------------------------------------------
+    def measure(self, qubit: int, rng: Optional[np.random.Generator] = None) -> int:
+        """Measure a qubit in the Z basis, collapsing the state."""
+        rng = rng or np.random.default_rng()
+        n = self.num_qubits
+        # Random outcome iff some stabilizer anticommutes with Z_qubit,
+        # i.e. has an X component on the qubit.
+        candidates = [p for p in range(n, 2 * n) if self.x[p, qubit]]
+        if candidates:
+            p = candidates[0]
+            for i in range(2 * n):
+                if i != p and self.x[i, qubit]:
+                    self._rowsum(i, p)
+            # Destabilizer p-n ← old stabilizer p; stabilizer p ← ±Z_qubit.
+            self.x[p - n] = self.x[p].copy()
+            self.z[p - n] = self.z[p].copy()
+            self.r[p - n] = self.r[p]
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, qubit] = 1
+            outcome = int(rng.integers(0, 2))
+            self.r[p] = outcome
+            return outcome
+        # Deterministic outcome.
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        phase = 0
+        for i in range(n):
+            if self.x[i, qubit]:
+                scratch_x, scratch_z, phase = self._rowsum_into(
+                    scratch_x, scratch_z, phase, i + n)
+        return int(phase // 2)
+
+    def reset(self, qubit: int, rng: Optional[np.random.Generator] = None) -> None:
+        outcome = self.measure(qubit, rng)
+        if outcome == 1:
+            self.apply_x(qubit)
+
+    # -- expectation values ---------------------------------------------------------
+    def expectation_pauli(self, pauli: PauliString) -> float:
+        """⟨P⟩ for a Hermitian Pauli operator: exactly -1, 0 or +1."""
+        if pauli.num_qubits != self.num_qubits:
+            raise ValueError("Pauli string size mismatch")
+        if pauli.is_identity():
+            return float(pauli.phase.real)
+        n = self.num_qubits
+        px = pauli.x.astype(np.uint8)
+        pz = pauli.z.astype(np.uint8)
+        # Anticommutes with some stabilizer → expectation 0.
+        anti_stab = ((self.x[n:] & pz[None, :]) ^ (self.z[n:] & px[None, :])).sum(axis=1) % 2
+        if np.any(anti_stab):
+            return 0.0
+        # P equals ± the product of stabilizers indexed by destabilizers that
+        # anticommute with P.
+        anti_destab = ((self.x[:n] & pz[None, :]) ^ (self.z[:n] & px[None, :])).sum(axis=1) % 2
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        phase = 0
+        for i in np.nonzero(anti_destab)[0]:
+            scratch_x, scratch_z, phase = self._rowsum_into(
+                scratch_x, scratch_z, phase, int(i) + n)
+        if not (np.array_equal(scratch_x, px) and np.array_equal(scratch_z, pz)):
+            raise RuntimeError("stabilizer decomposition failed; tableau corrupted")
+        sign = 1.0 if phase == 0 else -1.0
+        # Account for the observable's own phase (must be ±1 for Hermitian P).
+        return sign * float(pauli.phase.real)
+
+    def expectation(self, observable: PauliSum) -> float:
+        total = 0.0
+        for pauli, coeff in observable.terms():
+            total += float(np.real(coeff)) * self.expectation_pauli(pauli)
+        return total
+
+    def stabilizer_strings(self) -> List[PauliString]:
+        """The n stabilizer generators as PauliString objects."""
+        n = self.num_qubits
+        strings = []
+        for row in range(n, 2 * n):
+            phase_power = 2 if self.r[row] else 0
+            strings.append(PauliString(self.x[row].copy(), self.z[row].copy(),
+                                       phase_power))
+        return strings
+
+
+class StabilizerSimulator:
+    """Executes Clifford circuits on stabilizer states, optionally with Pauli noise.
+
+    With a noise model, ``expectation`` averages Monte-Carlo Pauli-error
+    trajectories; the deterministic alternative is
+    :class:`repro.simulators.pauli_propagation.PauliPropagator`, which is
+    exact for the same noise class and is what the evaluation pipeline uses.
+    """
+
+    def __init__(self, noise_model: Optional[NoiseModel] = None,
+                 seed: Optional[int] = None):
+        self.noise_model = noise_model
+        self._rng = np.random.default_rng(seed)
+
+    def _apply_instruction(self, state: StabilizerState, inst) -> None:
+        name = inst.name
+        if name in ("barrier", "measure"):
+            return
+        if name == "reset":
+            state.reset(inst.qubits[0], self._rng)
+            return
+        if name in ("i", "id"):
+            return
+        if name == "h":
+            state.apply_h(inst.qubits[0])
+        elif name == "s":
+            state.apply_s(inst.qubits[0])
+        elif name == "sdg":
+            state.apply_sdg(inst.qubits[0])
+        elif name == "x":
+            state.apply_x(inst.qubits[0])
+        elif name == "y":
+            state.apply_y(inst.qubits[0])
+        elif name == "z":
+            state.apply_z(inst.qubits[0])
+        elif name in ("cx", "cnot"):
+            state.apply_cx(*inst.qubits)
+        elif name == "cz":
+            state.apply_cz(*inst.qubits)
+        elif name == "swap":
+            state.apply_swap(*inst.qubits)
+        elif name == "rz":
+            state.apply_rz_clifford(float(inst.params[0]), inst.qubits[0])
+        elif name == "rx":
+            qubit = inst.qubits[0]
+            state.apply_h(qubit)
+            state.apply_rz_clifford(float(inst.params[0]), qubit)
+            state.apply_h(qubit)
+        elif name == "ry":
+            qubit = inst.qubits[0]
+            state.apply_sdg(qubit)
+            state.apply_h(qubit)
+            state.apply_rz_clifford(float(inst.params[0]), qubit)
+            state.apply_h(qubit)
+            state.apply_s(qubit)
+        else:
+            raise ValueError(f"gate {name!r} is not supported by the stabilizer simulator")
+
+    def _sample_channel(self, state: StabilizerState, channel,
+                        qubits: Sequence[int]) -> None:
+        pauli_channel = channel if isinstance(channel, PauliChannel) else pauli_twirl(channel)
+        label = pauli_channel.sample(self._rng)
+        state.apply_pauli_label(label, qubits)
+
+    def run(self, circuit: QuantumCircuit,
+            inject_noise: bool = True) -> StabilizerState:
+        """Run a single (possibly noisy) trajectory of the circuit."""
+        state = StabilizerState(circuit.num_qubits)
+        noise = self.noise_model if inject_noise else None
+        idle_channel = noise.idle_channel if noise is not None else None
+        for layer in circuit.layers():
+            busy: set = set()
+            for inst in layer:
+                busy.update(inst.qubits)
+                self._apply_instruction(state, inst)
+                if noise is not None and inst.gate.is_unitary and inst.name != "barrier":
+                    for channel in noise.gate_channels(inst.name):
+                        self._sample_channel(state, channel, inst.qubits)
+            if idle_channel is not None:
+                for qubit in range(circuit.num_qubits):
+                    if qubit not in busy:
+                        self._sample_channel(state, idle_channel, (qubit,))
+        return state
+
+    def expectation(self, circuit: QuantumCircuit, observable: PauliSum,
+                    trajectories: int = 200) -> float:
+        """Noisy expectation value averaged over Monte-Carlo trajectories."""
+        if self.noise_model is None or not self.noise_model.has_noise():
+            state = self.run(circuit, inject_noise=False)
+            return state.expectation(observable)
+        total = 0.0
+        readout_damping = 1.0 - 2.0 * self.noise_model.readout_error
+        for _ in range(trajectories):
+            state = self.run(circuit, inject_noise=True)
+            for pauli, coeff in observable.terms():
+                value = state.expectation_pauli(pauli)
+                total += float(np.real(coeff)) * value * readout_damping ** pauli.weight()
+        return total / trajectories
+
+    def sample(self, circuit: QuantumCircuit, shots: int) -> Dict[str, int]:
+        """Sample measurement outcomes over full trajectories (1 shot = 1 run)."""
+        counts: Dict[str, int] = {}
+        for _ in range(shots):
+            state = self.run(circuit)
+            bits = []
+            flip_probability = (self.noise_model.readout_error
+                                if self.noise_model is not None else 0.0)
+            for qubit in range(circuit.num_qubits):
+                outcome = state.measure(qubit, self._rng)
+                if flip_probability > 0 and self._rng.random() < flip_probability:
+                    outcome ^= 1
+                bits.append(str(outcome))
+            key = "".join(bits)
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,178 @@
+"""Dense statevector simulator.
+
+Used for noiseless reference energies, ansatz expressibility studies
+(Fig. 14's ideal-energy ratio), and as ground truth in the test suite.  The
+qubit-index convention is little-endian: qubit ``q`` is bit ``q`` of the
+computational-basis index.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Instruction, QuantumCircuit
+from ..operators.pauli import PauliSum
+
+
+class Statevector:
+    """A normalized pure state on ``num_qubits`` qubits."""
+
+    def __init__(self, data: np.ndarray, num_qubits: Optional[int] = None):
+        data = np.asarray(data, dtype=complex).ravel()
+        inferred = int(round(math.log2(data.size)))
+        if 2 ** inferred != data.size:
+            raise ValueError("statevector length must be a power of two")
+        if num_qubits is not None and num_qubits != inferred:
+            raise ValueError("num_qubits does not match data length")
+        self._data = data
+        self._num_qubits = inferred
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        data = np.zeros(2 ** num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data)
+
+    @classmethod
+    def from_bitstring(cls, bits: Sequence[int]) -> "Statevector":
+        num_qubits = len(bits)
+        index = sum((1 << q) for q, bit in enumerate(bits) if bit)
+        data = np.zeros(2 ** num_qubits, dtype=complex)
+        data[index] = 1.0
+        return cls(data)
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._data))
+
+    def normalized(self) -> "Statevector":
+        return Statevector(self._data / self.norm())
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self._data) ** 2
+
+    def fidelity(self, other: "Statevector") -> float:
+        """|⟨ψ|φ⟩|² between two pure states."""
+        return float(abs(np.vdot(self._data, other._data)) ** 2)
+
+    def expectation(self, observable: PauliSum) -> float:
+        return observable.expectation(self._data)
+
+    def sample_counts(self, shots: int, rng: Optional[np.random.Generator] = None
+                      ) -> Dict[str, int]:
+        """Sample measurement outcomes in the computational basis.
+
+        Keys are bitstrings with qubit 0 as the left-most character, matching
+        the Pauli-label convention.
+        """
+        rng = rng or np.random.default_rng()
+        probabilities = self.probabilities()
+        outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+        counts: Dict[str, int] = {}
+        for outcome in outcomes:
+            bits = "".join(str((outcome >> q) & 1) for q in range(self._num_qubits))
+            counts[bits] = counts.get(bits, 0) + 1
+        return counts
+
+
+def _apply_unitary(state: np.ndarray, matrix: np.ndarray,
+                   qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Apply ``matrix`` to ``qubits`` of a statevector via tensor contraction."""
+    k = len(qubits)
+    tensor = state.reshape([2] * num_qubits)
+    # Axis for qubit q is (num_qubits - 1 - q) in C-order reshaping.
+    axes = [num_qubits - 1 - q for q in qubits]
+    gate_tensor = matrix.reshape([2] * (2 * k))
+    # gate indices: first k are output (row), last k are input (column).
+    # The matrix convention is: row/col index bit order matches `qubits`
+    # little-endian, i.e. qubits[0] is the least-significant bit.
+    # Reorder gate tensor axes so that the slowest-varying tensor axis is
+    # qubits[-1] (the most significant bit of the matrix index).
+    tensor = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)),
+                                                     list(reversed(axes))))
+    # tensordot put the new output axes first in the order qubits[k-1..0];
+    # move them back to their original positions.
+    current = list(range(k))
+    destinations = list(reversed(axes))
+    tensor = np.moveaxis(tensor, current, destinations)
+    return tensor.reshape(-1)
+
+
+class StatevectorSimulator:
+    """Executes circuits on dense statevectors (no noise)."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, circuit: QuantumCircuit,
+            initial_state: Optional[Statevector] = None) -> Statevector:
+        """Simulate ``circuit`` (ignoring measurements) and return the state."""
+        if initial_state is None:
+            state = Statevector.zero_state(circuit.num_qubits).data.copy()
+        else:
+            if initial_state.num_qubits != circuit.num_qubits:
+                raise ValueError("initial state size mismatch")
+            state = initial_state.data.copy()
+        num_qubits = circuit.num_qubits
+        for inst in circuit:
+            if inst.name in ("barrier", "measure"):
+                continue
+            if inst.name == "reset":
+                state = self._reset_qubit(state, inst.qubits[0], num_qubits)
+                continue
+            matrix = inst.gate.matrix()
+            state = _apply_unitary(state, matrix, inst.qubits, num_qubits)
+        return Statevector(state)
+
+    def _reset_qubit(self, state: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+        """Project qubit onto |0⟩/|1⟩ probabilistically, then set it to |0⟩."""
+        dim = state.size
+        indices = np.arange(dim)
+        mask_one = (indices >> qubit) & 1 == 1
+        prob_one = float(np.sum(np.abs(state[mask_one]) ** 2))
+        if self._rng.random() < prob_one:
+            new_state = np.zeros_like(state)
+            # outcome 1: move amplitude from |...1...> to |...0...>
+            new_state[indices[mask_one] ^ (1 << qubit)] = state[mask_one]
+            norm = math.sqrt(prob_one)
+        else:
+            new_state = state.copy()
+            new_state[mask_one] = 0.0
+            norm = math.sqrt(max(1.0 - prob_one, 1e-300))
+        return new_state / norm
+
+    def expectation(self, circuit: QuantumCircuit, observable: PauliSum,
+                    initial_state: Optional[Statevector] = None) -> float:
+        """⟨H⟩ of the state prepared by ``circuit`` (noiseless)."""
+        state = self.run(circuit.without_measurements(), initial_state)
+        return state.expectation(observable)
+
+    def sample(self, circuit: QuantumCircuit, shots: int) -> Dict[str, int]:
+        state = self.run(circuit.without_measurements())
+        return state.sample_counts(shots, self._rng)
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of a (measurement-free) circuit. Exponential in qubits."""
+    num_qubits = circuit.num_qubits
+    dim = 2 ** num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    simulator = StatevectorSimulator()
+    columns = []
+    for basis_index in range(dim):
+        data = np.zeros(dim, dtype=complex)
+        data[basis_index] = 1.0
+        out = simulator.run(circuit.without_measurements(), Statevector(data))
+        columns.append(out.data)
+    unitary = np.stack(columns, axis=1)
+    return unitary

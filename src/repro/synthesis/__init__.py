@@ -1,0 +1,50 @@
+"""Single-qubit gate synthesis into the Clifford+T gate set.
+
+The ``qec-conventional`` baseline (paper Secs. 2.3–2.5) decomposes every
+``Rz(θ)`` rotation of the VQA ansatz into a long Clifford+T word using
+Gridsynth-style synthesis.  :mod:`repro.qec.clifford_t` models the *cost* of
+that synthesis (T-count and depth inflation versus precision); this package
+implements the synthesis itself so the repository can generate, verify and
+ablate actual Clifford+T sequences:
+
+* :mod:`repro.synthesis.clifford_group` — the 24-element single-qubit
+  Clifford group, exact decompositions into {H, S} words, and nearest-Clifford
+  projection;
+* :mod:`repro.synthesis.verification` — phase-invariant distance metrics and
+  sequence verification utilities;
+* :mod:`repro.synthesis.gridsynth` — breadth-first ε-net search over
+  Clifford+T words (a dependency-free stand-in for Ross–Selinger Gridsynth)
+  with the paper's T-count scaling model as the asymptotic fallback;
+* :mod:`repro.synthesis.solovay_kitaev` — the Solovay–Kitaev recursion for
+  refining an ε-net approximation to arbitrary precision.
+"""
+
+from .clifford_group import (CLIFFORD_WORDS, CliffordElement,
+                             clifford_group_elements, closest_clifford,
+                             is_clifford_unitary)
+from .gridsynth import (EpsilonNet, GridsynthResult, approximate_rz,
+                        build_epsilon_net, sequence_to_circuit,
+                        t_count_of_sequence)
+from .solovay_kitaev import SolovayKitaevSynthesizer, group_commutator_decompose
+from .verification import (operator_distance, process_fidelity,
+                           sequence_unitary, verify_sequence)
+
+__all__ = [
+    "CLIFFORD_WORDS",
+    "CliffordElement",
+    "EpsilonNet",
+    "GridsynthResult",
+    "SolovayKitaevSynthesizer",
+    "approximate_rz",
+    "build_epsilon_net",
+    "clifford_group_elements",
+    "closest_clifford",
+    "group_commutator_decompose",
+    "is_clifford_unitary",
+    "operator_distance",
+    "process_fidelity",
+    "sequence_to_circuit",
+    "sequence_unitary",
+    "t_count_of_sequence",
+    "verify_sequence",
+]

@@ -1,0 +1,102 @@
+"""Distance metrics and sequence verification for single-qubit synthesis.
+
+All metrics are *global-phase invariant*: synthesized Clifford+T words only
+ever match the target rotation up to a phase, and that phase is irrelevant
+for circuit execution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.gates import Gate
+
+#: Matrices of the single-qubit gates synthesis sequences are built from.
+_GATE_MATRICES: Dict[str, np.ndarray] = {
+    "i": np.eye(2, dtype=complex),
+    "h": np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2),
+    "s": np.diag([1.0, 1.0j]),
+    "sdg": np.diag([1.0, -1.0j]),
+    "t": np.diag([1.0, np.exp(1.0j * math.pi / 4)]),
+    "tdg": np.diag([1.0, np.exp(-1.0j * math.pi / 4)]),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1.0j], [1.0j, 0]], dtype=complex),
+    "z": np.diag([1.0, -1.0]),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex),
+}
+
+#: Gate names whose inverse is themselves / their partner.
+_INVERSES = {"h": "h", "x": "x", "y": "y", "z": "z", "i": "i",
+             "s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+
+
+def gate_matrix(name: str) -> np.ndarray:
+    """The 2×2 matrix of a named single-qubit synthesis gate."""
+    key = name.lower()
+    if key not in _GATE_MATRICES:
+        raise ValueError(f"unknown synthesis gate {name!r}; known gates: "
+                         f"{sorted(_GATE_MATRICES)}")
+    return _GATE_MATRICES[key]
+
+
+def sequence_unitary(sequence: Sequence[str]) -> np.ndarray:
+    """Unitary of a gate-name word, applied left-to-right in circuit order.
+
+    ``sequence_unitary(["h", "t"])`` is the unitary of a circuit that applies
+    H first and then T, i.e. the matrix product ``T · H``.
+    """
+    unitary = np.eye(2, dtype=complex)
+    for name in sequence:
+        unitary = gate_matrix(name) @ unitary
+    return unitary
+
+
+def invert_sequence(sequence: Sequence[str]) -> Tuple[str, ...]:
+    """The gate word implementing the inverse unitary."""
+    inverted = []
+    for name in reversed(list(sequence)):
+        key = name.lower()
+        if key not in _INVERSES:
+            raise ValueError(f"gate {name!r} has no registered inverse")
+        inverted.append(_INVERSES[key])
+    return tuple(inverted)
+
+
+def operator_distance(actual: np.ndarray, target: np.ndarray) -> float:
+    """Phase-invariant operator-norm distance ``min_φ ‖actual − e^{iφ} target‖``.
+
+    This is the metric the Solovay–Kitaev analysis is stated in; for 2×2
+    unitaries the optimal phase is the phase of ``tr(target† actual)``.
+    """
+    actual = np.asarray(actual, dtype=complex)
+    target = np.asarray(target, dtype=complex)
+    overlap = np.trace(target.conj().T @ actual)
+    if abs(overlap) < 1e-15:
+        phase = 1.0
+    else:
+        phase = overlap / abs(overlap)
+    difference = actual - phase * target
+    return float(np.linalg.norm(difference, ord=2))
+
+
+def process_fidelity(actual: np.ndarray, target: np.ndarray) -> float:
+    """Average-gate-fidelity-style overlap ``|tr(target† actual)|² / d²``."""
+    actual = np.asarray(actual, dtype=complex)
+    target = np.asarray(target, dtype=complex)
+    dimension = actual.shape[0]
+    overlap = np.trace(target.conj().T @ actual)
+    return float(abs(overlap) ** 2 / dimension ** 2)
+
+
+def rz_unitary(theta: float) -> np.ndarray:
+    """The target ``Rz(θ) = diag(e^{−iθ/2}, e^{iθ/2})``."""
+    return np.diag([np.exp(-0.5j * theta), np.exp(0.5j * theta)])
+
+
+def verify_sequence(sequence: Sequence[str], target: np.ndarray,
+                    tolerance: float) -> bool:
+    """Whether the word implements ``target`` to within ``tolerance``."""
+    return operator_distance(sequence_unitary(sequence), target) <= tolerance

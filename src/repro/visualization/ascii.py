@@ -1,0 +1,160 @@
+"""ASCII rendering primitives used by the examples and benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..architecture.routing import ProposedLayoutGeometry
+from ..circuits.circuit import QuantumCircuit
+
+
+def ascii_bar_chart(values: Mapping[str, float], width: int = 40,
+                    title: Optional[str] = None,
+                    value_format: str = "{:.2f}") -> str:
+    """Horizontal bar chart; bar lengths are scaled to the largest value."""
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    if width < 5:
+        raise ValueError("width must be at least 5 characters")
+    labels = list(values)
+    label_width = max(len(str(label)) for label in labels)
+    maximum = max(abs(v) for v in values.values()) or 1.0
+    lines = [] if title is None else [title, "-" * len(title)]
+    for label in labels:
+        value = values[label]
+        bar = "#" * max(1, int(round(abs(value) / maximum * width)))
+        lines.append(f"{str(label).ljust(label_width)} | "
+                     f"{bar} {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def ascii_line_plot(x_values: Sequence[float],
+                    series: Mapping[str, Sequence[float]],
+                    height: int = 12, width: int = 60,
+                    title: Optional[str] = None) -> str:
+    """Plot one or more series over shared x values on a character canvas."""
+    if height < 3 or width < 10:
+        raise ValueError("canvas too small")
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length does not match x values")
+    markers = "*o+x@%&"
+    all_values = [y for ys in series.values() for y in ys]
+    low, high = min(all_values), max(all_values)
+    if math.isclose(low, high):
+        high = low + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    x_low, x_high = min(x_values), max(x_values)
+    x_span = (x_high - x_low) or 1.0
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, ys):
+            column = int(round((x - x_low) / x_span * (width - 1)))
+            row = int(round((high - y) / (high - low) * (height - 1)))
+            canvas[row][column] = marker
+    lines = [] if title is None else [title, "-" * len(title)]
+    lines.append(f"{high:10.3g} +" + "".join(canvas[0]))
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{low:10.3g} +" + "".join(canvas[-1]))
+    lines.append(" " * 12 + f"{x_low:<10.4g}" + " " * max(0, width - 20)
+                 + f"{x_high:>10.4g}")
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_heatmap(matrix: Sequence[Sequence[float]],
+                  row_labels: Optional[Sequence[object]] = None,
+                  column_labels: Optional[Sequence[object]] = None,
+                  title: Optional[str] = None,
+                  palette: str = " .:-=+*#%@") -> str:
+    """Render a matrix as a character-density heatmap (Fig. 5 style)."""
+    rows = [list(row) for row in matrix]
+    if not rows or not rows[0]:
+        raise ValueError("heatmap needs a non-empty matrix")
+    num_columns = len(rows[0])
+    if any(len(row) != num_columns for row in rows):
+        raise ValueError("heatmap rows must have equal length")
+    flat = [value for row in rows for value in row]
+    low, high = min(flat), max(flat)
+    span = (high - low) or 1.0
+    row_labels = list(row_labels) if row_labels is not None \
+        else list(range(len(rows)))
+    column_labels = list(column_labels) if column_labels is not None \
+        else list(range(num_columns))
+    label_width = max(len(str(label)) for label in row_labels)
+    lines = [] if title is None else [title, "-" * len(title)]
+    for label, row in zip(row_labels, rows):
+        cells = []
+        for value in row:
+            index = int((value - low) / span * (len(palette) - 1))
+            cells.append(palette[index] * 2)
+        lines.append(f"{str(label).rjust(label_width)} |" + "".join(cells))
+    footer_cells = "".join(str(label)[:2].ljust(2) for label in column_labels)
+    lines.append(" " * label_width + " +" + "-" * (2 * num_columns))
+    lines.append(" " * label_width + "  " + footer_cells)
+    lines.append(f"scale: '{palette[0]}' = {low:.3g}  …  "
+                 f"'{palette[-1]}' = {high:.3g}")
+    return "\n".join(lines)
+
+
+def render_layout(geometry: ProposedLayoutGeometry) -> str:
+    """Draw the proposed layout's tile grid (Fig. 3).
+
+    Data tiles show their qubit number, routing tiles show ``..`` and
+    magic-state injection slots show ``MM``.
+    """
+    cell_width = max(3, len(str(geometry.num_data_qubits - 1)) + 1)
+    rows: Dict[int, Dict[int, str]] = {}
+    for tile in geometry.tiles():
+        if tile.kind == "data":
+            text = str(tile.qubit)
+        elif tile.kind == "magic":
+            text = "M" * 2
+        else:
+            text = ".."
+        rows.setdefault(tile.row, {})[tile.column] = text.center(cell_width)
+    lines = [f"proposed layout, k={geometry.k}  "
+             f"(PE = {geometry.packing_efficiency():.2%})"]
+    for row_index in sorted(rows):
+        columns = rows[row_index]
+        line = "".join(columns.get(column, " " * cell_width)
+                       for column in range(max(columns) + 1))
+        lines.append(line)
+    lines.append("legend: numbers = data patches, .. = routing ancilla, "
+                 "MM = magic-state slot")
+    return "\n".join(lines)
+
+
+def draw_circuit(circuit: QuantumCircuit, max_columns: int = 24) -> str:
+    """A compact one-line-per-qubit text drawing of a circuit."""
+    layers = circuit.layers()
+    grid: List[List[str]] = [[] for _ in range(circuit.num_qubits)]
+    for layer in layers[:max_columns]:
+        cells = ["-" for _ in range(circuit.num_qubits)]
+        for inst in layer:
+            if inst.name in ("cx", "cnot"):
+                control, target = inst.qubits
+                cells[control] = "●"
+                cells[target] = "⊕"
+            elif inst.name == "measure":
+                cells[inst.qubits[0]] = "M"
+            elif inst.name == "barrier":
+                for qubit in inst.qubits or range(circuit.num_qubits):
+                    cells[qubit] = "|"
+            else:
+                label = inst.name[:1].upper()
+                for qubit in inst.qubits:
+                    cells[qubit] = label
+        column_width = 3
+        for qubit in range(circuit.num_qubits):
+            grid[qubit].append(cells[qubit].center(column_width, "-"))
+    truncated = "…" if len(layers) > max_columns else ""
+    lines = [f"q{qubit}: " + "".join(cells) + truncated
+             for qubit, cells in enumerate(grid)]
+    return "\n".join(lines)

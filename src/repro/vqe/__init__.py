@@ -1,0 +1,37 @@
+"""Variational quantum eigensolver engine."""
+
+from .clifford_vqe import (CLIFFORD_ANGLES, CliffordVQE, CliffordVQEResult,
+                           best_noiseless_clifford_energy,
+                           compare_regimes_clifford, indices_to_angles)
+from .energy import (CliffordEnergyEvaluator, DensityMatrixEnergyEvaluator,
+                     EnergyEvaluator, ExactEnergyEvaluator,
+                     MonteCarloStabilizerEvaluator)
+from .optimizers import (CobylaOptimizer, GeneticOptimizer, NelderMeadOptimizer,
+                         OptimizationResult, Optimizer, SPSAOptimizer)
+from .runner import (VQE, VQEResult, compare_regimes, compare_regimes_opr,
+                     run_vqe_under_noise)
+
+__all__ = [
+    "CLIFFORD_ANGLES",
+    "CliffordEnergyEvaluator",
+    "CliffordVQE",
+    "CliffordVQEResult",
+    "CobylaOptimizer",
+    "DensityMatrixEnergyEvaluator",
+    "EnergyEvaluator",
+    "ExactEnergyEvaluator",
+    "GeneticOptimizer",
+    "MonteCarloStabilizerEvaluator",
+    "NelderMeadOptimizer",
+    "OptimizationResult",
+    "Optimizer",
+    "SPSAOptimizer",
+    "VQE",
+    "VQEResult",
+    "best_noiseless_clifford_energy",
+    "compare_regimes",
+    "compare_regimes_clifford",
+    "compare_regimes_opr",
+    "indices_to_angles",
+    "run_vqe_under_noise",
+]

@@ -1,0 +1,256 @@
+"""Classical optimizers for the VQE outer loop.
+
+The paper uses COBYLA and ImFil for the continuous (density-matrix) flow and
+a genetic algorithm over the discrete Clifford parameter space for the
+16–100 qubit flow (Sec. 5.2).  This module provides:
+
+* :class:`CobylaOptimizer` and :class:`NelderMeadOptimizer` — thin wrappers
+  over ``scipy.optimize.minimize``;
+* :class:`SPSAOptimizer` — simultaneous perturbation stochastic approximation
+  implemented from scratch (a standard derivative-free VQA optimizer, used
+  here in the ImFil role);
+* :class:`GeneticOptimizer` — integer-chromosome GA with tournament
+  selection, uniform crossover, mutation and elitism, used by the
+  Clifford-restricted VQE.
+
+All continuous optimizers return an :class:`OptimizationResult`; the GA's
+result carries integer parameters (indices into {0, π/2, π, 3π/2}).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize as scipy_optimize
+
+ObjectiveFn = Callable[[np.ndarray], float]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a classical optimization run."""
+
+    best_parameters: np.ndarray
+    best_value: float
+    num_evaluations: int
+    history: List[float] = field(default_factory=list)
+    converged: bool = True
+
+    def __repr__(self):
+        return (f"OptimizationResult(value={self.best_value:.6f}, "
+                f"evals={self.num_evaluations}, params={len(self.best_parameters)})")
+
+
+class Optimizer:
+    """Base class: minimizes an objective over real parameters."""
+
+    def minimize(self, objective: ObjectiveFn, initial_parameters: Sequence[float]
+                 ) -> OptimizationResult:
+        raise NotImplementedError
+
+
+class _TrackingObjective:
+    """Wraps an objective to record evaluations and the running best."""
+
+    def __init__(self, objective: ObjectiveFn):
+        self._objective = objective
+        self.history: List[float] = []
+        self.best_value = math.inf
+        self.best_parameters: Optional[np.ndarray] = None
+
+    def __call__(self, parameters: np.ndarray) -> float:
+        value = float(self._objective(np.asarray(parameters, dtype=float)))
+        self.history.append(value)
+        if value < self.best_value:
+            self.best_value = value
+            self.best_parameters = np.asarray(parameters, dtype=float).copy()
+        return value
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.history)
+
+
+class CobylaOptimizer(Optimizer):
+    """COBYLA (the paper's primary continuous optimizer)."""
+
+    def __init__(self, max_iterations: int = 150, rhobeg: float = 0.5,
+                 tolerance: float = 1e-4):
+        self.max_iterations = max_iterations
+        self.rhobeg = rhobeg
+        self.tolerance = tolerance
+
+    def minimize(self, objective: ObjectiveFn,
+                 initial_parameters: Sequence[float]) -> OptimizationResult:
+        tracker = _TrackingObjective(objective)
+        result = scipy_optimize.minimize(
+            tracker, np.asarray(initial_parameters, dtype=float),
+            method="COBYLA",
+            options={"maxiter": self.max_iterations, "rhobeg": self.rhobeg,
+                     "tol": self.tolerance})
+        return OptimizationResult(
+            best_parameters=tracker.best_parameters,
+            best_value=tracker.best_value,
+            num_evaluations=tracker.num_evaluations,
+            history=tracker.history,
+            converged=bool(result.success) or tracker.best_value < math.inf,
+        )
+
+
+class NelderMeadOptimizer(Optimizer):
+    """Nelder–Mead simplex optimizer."""
+
+    def __init__(self, max_iterations: int = 200, tolerance: float = 1e-5):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def minimize(self, objective: ObjectiveFn,
+                 initial_parameters: Sequence[float]) -> OptimizationResult:
+        tracker = _TrackingObjective(objective)
+        result = scipy_optimize.minimize(
+            tracker, np.asarray(initial_parameters, dtype=float),
+            method="Nelder-Mead",
+            options={"maxiter": self.max_iterations, "fatol": self.tolerance,
+                     "xatol": self.tolerance})
+        return OptimizationResult(
+            best_parameters=tracker.best_parameters,
+            best_value=tracker.best_value,
+            num_evaluations=tracker.num_evaluations,
+            history=tracker.history,
+            converged=bool(result.success) or tracker.best_value < math.inf,
+        )
+
+
+class SPSAOptimizer(Optimizer):
+    """Simultaneous Perturbation Stochastic Approximation.
+
+    Standard SPSA gain sequences ``a_k = a / (k + 1 + A)^α`` and
+    ``c_k = c / (k + 1)^γ`` with the usual α = 0.602, γ = 0.101 defaults.
+    Two objective evaluations per iteration regardless of dimension, which is
+    what makes it attractive for noisy VQA landscapes.
+    """
+
+    def __init__(self, max_iterations: int = 120, a: float = 0.2, c: float = 0.15,
+                 alpha: float = 0.602, gamma: float = 0.101,
+                 stability_offset: Optional[float] = None,
+                 seed: Optional[int] = None):
+        self.max_iterations = max_iterations
+        self.a = a
+        self.c = c
+        self.alpha = alpha
+        self.gamma = gamma
+        self.stability_offset = stability_offset
+        self._rng = np.random.default_rng(seed)
+
+    def minimize(self, objective: ObjectiveFn,
+                 initial_parameters: Sequence[float]) -> OptimizationResult:
+        tracker = _TrackingObjective(objective)
+        parameters = np.asarray(initial_parameters, dtype=float).copy()
+        offset = self.stability_offset
+        if offset is None:
+            offset = 0.1 * self.max_iterations
+        tracker(parameters)
+        for iteration in range(self.max_iterations):
+            a_k = self.a / ((iteration + 1 + offset) ** self.alpha)
+            c_k = self.c / ((iteration + 1) ** self.gamma)
+            delta = self._rng.choice([-1.0, 1.0], size=parameters.shape)
+            value_plus = tracker(parameters + c_k * delta)
+            value_minus = tracker(parameters - c_k * delta)
+            gradient = (value_plus - value_minus) / (2.0 * c_k) * delta
+            parameters = parameters - a_k * gradient
+        tracker(parameters)
+        return OptimizationResult(
+            best_parameters=tracker.best_parameters,
+            best_value=tracker.best_value,
+            num_evaluations=tracker.num_evaluations,
+            history=tracker.history,
+        )
+
+
+IntegerObjectiveFn = Callable[[np.ndarray], float]
+
+
+class GeneticOptimizer:
+    """Integer-chromosome genetic algorithm for the discrete Clifford search.
+
+    Chromosomes are vectors over ``{0, …, num_values − 1}`` (for Clifford VQE
+    the values index rotation angles k·π/2).  Tournament selection, uniform
+    crossover, per-gene mutation and elitism; minimizes the objective.
+    """
+
+    def __init__(self, population_size: int = 24, generations: int = 20,
+                 num_values: int = 4, mutation_rate: float = 0.08,
+                 crossover_rate: float = 0.7, elite_count: int = 2,
+                 tournament_size: int = 3, seed: Optional[int] = None):
+        if population_size < 4:
+            raise ValueError("population must have at least 4 individuals")
+        if elite_count >= population_size:
+            raise ValueError("elite_count must be smaller than the population")
+        self.population_size = population_size
+        self.generations = generations
+        self.num_values = num_values
+        self.mutation_rate = mutation_rate
+        self.crossover_rate = crossover_rate
+        self.elite_count = elite_count
+        self.tournament_size = tournament_size
+        self._rng = np.random.default_rng(seed)
+
+    # -- GA machinery -----------------------------------------------------------
+    def _tournament(self, fitness: np.ndarray) -> int:
+        contenders = self._rng.choice(len(fitness), size=self.tournament_size,
+                                      replace=False)
+        return int(contenders[np.argmin(fitness[contenders])])
+
+    def _crossover(self, parent_a: np.ndarray, parent_b: np.ndarray) -> np.ndarray:
+        if self._rng.random() > self.crossover_rate:
+            return parent_a.copy()
+        mask = self._rng.random(parent_a.shape) < 0.5
+        child = np.where(mask, parent_a, parent_b)
+        return child.copy()
+
+    def _mutate(self, chromosome: np.ndarray) -> np.ndarray:
+        mask = self._rng.random(chromosome.shape) < self.mutation_rate
+        random_genes = self._rng.integers(0, self.num_values, size=chromosome.shape)
+        return np.where(mask, random_genes, chromosome)
+
+    # -- public API ----------------------------------------------------------------
+    def minimize(self, objective: IntegerObjectiveFn, num_parameters: int,
+                 initial_population: Optional[np.ndarray] = None
+                 ) -> OptimizationResult:
+        if initial_population is None:
+            population = self._rng.integers(
+                0, self.num_values, size=(self.population_size, num_parameters))
+            # Seed one all-zero chromosome: the identity-angle ansatz is often
+            # a strong starting point (CAFQA-style initialization).
+            population[0] = 0
+        else:
+            population = np.asarray(initial_population, dtype=int).copy()
+            if population.shape != (self.population_size, num_parameters):
+                raise ValueError("initial population has the wrong shape")
+        history: List[float] = []
+        num_evaluations = 0
+        fitness = np.array([float(objective(individual)) for individual in population])
+        num_evaluations += len(population)
+        for _ in range(self.generations):
+            order = np.argsort(fitness)
+            history.append(float(fitness[order[0]]))
+            next_population = [population[i].copy() for i in order[:self.elite_count]]
+            while len(next_population) < self.population_size:
+                parent_a = population[self._tournament(fitness)]
+                parent_b = population[self._tournament(fitness)]
+                child = self._mutate(self._crossover(parent_a, parent_b))
+                next_population.append(child)
+            population = np.stack(next_population)
+            fitness = np.array([float(objective(individual)) for individual in population])
+            num_evaluations += len(population)
+        best_index = int(np.argmin(fitness))
+        history.append(float(fitness[best_index]))
+        return OptimizationResult(
+            best_parameters=population[best_index].astype(float),
+            best_value=float(fitness[best_index]),
+            num_evaluations=num_evaluations,
+            history=history,
+        )

@@ -1,0 +1,134 @@
+"""Tests for layouts, lattice-surgery costs and the spacetime scheduler."""
+
+import math
+
+import pytest
+
+from repro.ansatz import (BlockedAllToAllAnsatz, FullyConnectedAnsatz,
+                          LinearAnsatz)
+from repro.architecture import (LAYOUT_FAMILIES, LatticeSurgeryScheduler,
+                                ProposedLayout, layout_volume_ratios,
+                                make_layout, rotation_layer_cycles,
+                                schedule_on_layout)
+
+
+class TestProposedLayout:
+    def test_packing_efficiency_formula(self):
+        for k in (1, 4, 10, 100):
+            layout = ProposedLayout(k=k)
+            expected = 4 * (k + 1) / (6 * (k + 2))
+            assert layout.packing_efficiency() == pytest.approx(expected)
+
+    def test_packing_efficiency_approaches_two_thirds(self):
+        assert ProposedLayout(k=200).packing_efficiency() == pytest.approx(2 / 3, abs=0.01)
+
+    def test_tile_and_qubit_counts(self):
+        layout = ProposedLayout(k=4)
+        assert layout.num_data_qubits == 20
+        assert layout.total_tiles() == 36
+        assert layout.physical_qubits(11) == 36 * 241
+
+    def test_regions(self):
+        layout = ProposedLayout(k=4)
+        assert layout.region_of(0) == 0
+        assert layout.region_of(8) == 1
+        assert layout.region_of(16) == 2
+
+    def test_cluster_cost_rules(self):
+        layout = ProposedLayout(k=4)
+        # Intra-half multi-target cluster: fast.
+        assert layout.cluster_cycles(1, (0, 2, 3)) == 4
+        # Cross-half multi-target cluster: slow (Fig. 9B).
+        assert layout.cluster_cycles(1, (12, 13)) == 8
+        # Single-target cross-half linking CNOT: fast (Fig. 10).
+        assert layout.cluster_cycles(1, (12,)) == 4
+        # Cluster reaching only the extra column stays fast.
+        assert layout.cluster_cycles(16, (17, 18)) == 4
+
+    def test_magic_state_slots(self):
+        assert ProposedLayout(k=6).parallel_magic_state_slots() == 4
+        assert ProposedLayout(k=1).parallel_magic_state_slots() == 1
+
+    def test_requires_exact_size(self):
+        with pytest.raises(ValueError):
+            ProposedLayout(num_data_qubits=10)
+        with pytest.raises(ValueError):
+            ProposedLayout(num_data_qubits=20, k=4)
+
+
+class TestComparisonLayouts:
+    def test_all_families_construct(self):
+        for name in LAYOUT_FAMILIES:
+            layout = make_layout(name, 20)
+            assert layout.total_tiles() >= 20
+            assert 0 < layout.packing_efficiency() <= 1.0
+
+    def test_footprint_ordering(self):
+        footprints = {name: make_layout(name, 40).total_tiles()
+                      for name in ("proposed", "compact", "intermediate", "fast", "grid")}
+        assert footprints["compact"] <= footprints["intermediate"]
+        assert footprints["intermediate"] < footprints["fast"] < footprints["grid"]
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            make_layout("hexagonal", 10)
+
+
+class TestScheduler:
+    def test_rotation_layer_cycles_parallel_vs_waves(self):
+        assert rotation_layer_cycles(num_qubits=10, max_parallel=None) == pytest.approx(4.0)
+        assert rotation_layer_cycles(num_qubits=10, max_parallel=5) == pytest.approx(8.0)
+
+    def test_blocked_is_faster_than_fche_on_proposed_layout(self):
+        # Table 2 shape: blocked_all_to_all takes roughly half the cycles.
+        for n in (20, 40, 60):
+            layout = make_layout("proposed", n)
+            blocked = schedule_on_layout(BlockedAllToAllAnsatz(n), layout,
+                                         include_measurement=False)
+            fche = schedule_on_layout(FullyConnectedAnsatz(n), layout,
+                                      include_measurement=False)
+            assert blocked.cycles < fche.cycles
+            assert 0.25 <= blocked.cycles / fche.cycles <= 0.7
+
+    def test_cycles_grow_linearly_with_qubits(self):
+        cycles = [schedule_on_layout(BlockedAllToAllAnsatz(n),
+                                     make_layout("proposed", n),
+                                     include_measurement=False).cycles
+                  for n in (20, 40, 60)]
+        increments = [b - a for a, b in zip(cycles, cycles[1:])]
+        assert increments[0] == pytest.approx(increments[1], rel=0.05)
+
+    def test_volume_metrics_consistency(self):
+        result = schedule_on_layout(FullyConnectedAnsatz(12),
+                                    make_layout("proposed", 12))
+        assert result.spacetime_volume_tiles == pytest.approx(
+            result.total_tiles * result.cycles)
+        assert result.spacetime_volume_physical == pytest.approx(
+            result.physical_qubits * result.cycles)
+        assert result.spacetime_volume_engaged <= result.spacetime_volume_tiles
+        assert result.wall_clock_rounds == pytest.approx(result.cycles * 11)
+
+    def test_serial_layouts_are_slower(self):
+        ansatz = BlockedAllToAllAnsatz(20)
+        proposed = schedule_on_layout(ansatz, make_layout("proposed", 20))
+        compact = schedule_on_layout(ansatz, make_layout("compact", 20))
+        assert compact.cycles > proposed.cycles
+
+    def test_ansatz_too_large_for_layout_rejected(self):
+        scheduler = LatticeSurgeryScheduler(make_layout("proposed", 12))
+        with pytest.raises(ValueError):
+            scheduler.schedule(FullyConnectedAnsatz(16))
+
+
+class TestTable1:
+    def test_proposed_layout_minimizes_spacetime_volume(self):
+        """Table 1 shape: every ratio relative to the proposed layout is ≥ 1."""
+        sizes = [8, 20, 32, 44]
+        for factory in (LinearAnsatz, FullyConnectedAnsatz, BlockedAllToAllAnsatz):
+            ratios = layout_volume_ratios(factory, sizes)
+            assert all(value >= 0.99 for value in ratios.values()), ratios
+
+    def test_grid_is_the_most_expensive_layout(self):
+        ratios = layout_volume_ratios(FullyConnectedAnsatz, [20, 40])
+        assert ratios["grid"] == max(ratios.values())
+        assert ratios["grid"] > 3.0

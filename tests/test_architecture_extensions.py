@@ -1,0 +1,248 @@
+"""Tests for layout geometry, bus routing, placement and the EFT compiler."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz import (BlockedAllToAllAnsatz, FullyConnectedAnsatz,
+                          LinearAnsatz)
+from repro.architecture.layouts import ProposedLayout, make_layout
+from repro.architecture.pipeline import CompilationResult, EFTCompiler
+from repro.architecture.placement import (PlacedAnsatz, annealed_placement,
+                                          greedy_placement, identity_placement,
+                                          optimize_placement, placement_cost)
+from repro.architecture.routing import (BusRouter, ContentionAwareScheduler,
+                                        ProposedLayoutGeometry)
+from repro.architecture.scheduler import schedule_on_layout
+from repro.core.regimes import (NISQRegime, PQECRegime, QECConventionalRegime,
+                                QECCultivationRegime)
+from repro.core.resources import EFTDevice
+from repro.operators.hamiltonians import ising_hamiltonian
+
+
+# ---------------------------------------------------------------------------
+# Layout geometry
+# ---------------------------------------------------------------------------
+
+class TestProposedLayoutGeometry:
+    @pytest.mark.parametrize("k", [1, 3, 5, 10])
+    def test_tile_counts_match_packing_efficiency_formula(self, k):
+        geometry = ProposedLayoutGeometry(k)
+        assert geometry.num_data_qubits == 4 * k + 4
+        assert geometry.total_tiles == 6 * (k + 2)
+        assert geometry.packing_efficiency() == pytest.approx(
+            ProposedLayout.packing_efficiency_formula(k))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ProposedLayoutGeometry(0)
+
+    @pytest.mark.parametrize("k", [2, 4, 7])
+    def test_every_data_qubit_is_adjacent_to_injection_space(self, k):
+        assert ProposedLayoutGeometry(k).every_data_qubit_touches_the_bus()
+
+    def test_magic_state_slot_count_matches_layout(self):
+        for k in (3, 6, 9):
+            geometry = ProposedLayoutGeometry(k)
+            assert len(geometry.magic_state_tiles()) == 2 * (k // 3)
+
+    def test_data_tile_lookup_and_bounds(self):
+        geometry = ProposedLayoutGeometry(3)
+        tile = geometry.data_tile(0)
+        assert tile.kind == "data" and tile.qubit == 0
+        with pytest.raises(ValueError):
+            geometry.data_tile(999)
+
+    def test_bus_graph_is_connected(self):
+        import networkx as nx
+        graph = ProposedLayoutGeometry(4).bus_graph()
+        assert nx.is_connected(graph)
+
+    def test_route_exists_between_any_pair(self):
+        geometry = ProposedLayoutGeometry(2)
+        for a in range(0, geometry.num_data_qubits, 3):
+            for b in range(1, geometry.num_data_qubits, 4):
+                if a == b:
+                    continue
+                route = geometry.route(a, b)
+                assert route, f"no route between {a} and {b}"
+
+    def test_route_respects_blocked_tiles(self):
+        geometry = ProposedLayoutGeometry(2)
+        free_route = geometry.route(0, 1)
+        assert free_route is not None
+        blocked = geometry.route(0, 1, blocked=set(free_route))
+        # Either an alternative route exists that avoids the blocked tiles,
+        # or routing correctly reports congestion.
+        if blocked is not None:
+            assert not (set(blocked) & set(free_route))
+
+
+class TestBusRouterAndContention:
+    def test_reservations_block_and_release(self):
+        geometry = ProposedLayoutGeometry(3)
+        router = BusRouter(geometry)
+        first = router.try_reserve([0, 1], cycle=0.0, duration=4.0,
+                                   operation_index=0)
+        assert first is not None
+        assert router.blocked_tiles(1.0) == set(first.tiles)
+        router.release_expired(5.0)
+        assert router.active_reservations == 0
+
+    def test_contention_scheduler_matches_or_exceeds_analytic_cycles(self):
+        """The explicit-routing schedule can never beat the analytic model's
+        contention-free cycle count."""
+        for num_qubits in (8, 12):
+            ansatz = BlockedAllToAllAnsatz(num_qubits, 1)
+            geometry = ProposedLayoutGeometry((num_qubits - 4) // 4)
+            contention = ContentionAwareScheduler(geometry).schedule(ansatz)
+            analytic = schedule_on_layout(ansatz,
+                                          make_layout("proposed", num_qubits))
+            assert contention.total_cycles >= analytic.cycles * 0.5
+            assert contention.total_cycles > 0
+            assert contention.total_tiles == geometry.total_tiles
+
+    def test_contention_scheduler_rejects_oversized_ansatz(self):
+        ansatz = FullyConnectedAnsatz(16, 1)
+        geometry = ProposedLayoutGeometry(1)   # hosts only 8 data qubits
+        with pytest.raises(ValueError):
+            ContentionAwareScheduler(geometry).schedule(ansatz)
+
+    def test_schedule_respects_program_order_per_qubit(self):
+        ansatz = LinearAnsatz(8, 1)
+        geometry = ProposedLayoutGeometry(1)
+        result = ContentionAwareScheduler(geometry).schedule(ansatz)
+        last_finish = {}
+        for op in result.operations:
+            for qubit in op.qubits:
+                assert op.start_cycle >= last_finish.get(qubit, 0.0) - 1e-9
+                last_finish[qubit] = op.finish_cycle
+
+
+# ---------------------------------------------------------------------------
+# Placement
+# ---------------------------------------------------------------------------
+
+class TestPlacement:
+    def test_placed_ansatz_requires_permutation(self):
+        ansatz = FullyConnectedAnsatz(8, 1)
+        with pytest.raises(ValueError):
+            PlacedAnsatz(ansatz, [0] * 8)
+
+    def test_identity_placement_costs_match_direct_scheduling(self):
+        ansatz = FullyConnectedAnsatz(8, 1)
+        layout = make_layout("proposed", 8)
+        identity_cost = placement_cost(ansatz, identity_placement(8), layout)
+        direct = sum(layout.cluster_cycles(control, targets)
+                     for control, targets in ansatz.entangling_clusters())
+        assert identity_cost == pytest.approx(direct)
+
+    def test_placed_ansatz_preserves_counts(self):
+        ansatz = FullyConnectedAnsatz(8, 1)
+        placed = PlacedAnsatz(ansatz, greedy_placement(ansatz))
+        assert placed.cnot_count() == ansatz.cnot_count()
+        assert placed.num_parameters() == ansatz.num_parameters()
+
+    def test_greedy_placement_is_a_permutation(self):
+        ansatz = FullyConnectedAnsatz(12, 1)
+        placement = greedy_placement(ansatz)
+        assert sorted(placement) == list(range(12))
+
+    def test_annealed_placement_never_worse_than_its_start(self):
+        ansatz = FullyConnectedAnsatz(12, 1)
+        layout = make_layout("proposed", 12)
+        start = identity_placement(12)
+        annealed = annealed_placement(ansatz, layout, initial=start,
+                                      iterations=150, seed=3)
+        assert placement_cost(ansatz, annealed, layout) <= \
+            placement_cost(ansatz, start, layout) + 1e-9
+
+    def test_optimize_placement_report(self):
+        ansatz = FullyConnectedAnsatz(12, 1)
+        report = optimize_placement(ansatz, anneal_iterations=100, seed=1)
+        assert report.identity_cycles > 0
+        assert min(report.greedy_cycles, report.annealed_cycles) <= \
+            report.identity_cycles + 1e-9
+        assert 0.0 <= report.improvement <= 1.0
+
+    def test_blocked_ansatz_needs_no_placement_improvement(self):
+        """The layout-aware ansatz is already placed optimally by construction."""
+        ansatz = BlockedAllToAllAnsatz(12, 1)
+        report = optimize_placement(ansatz, anneal_iterations=60, seed=1)
+        assert min(report.greedy_cycles, report.annealed_cycles) == pytest.approx(
+            report.identity_cycles, rel=0.05)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_property_random_placements_never_beat_annealed(seed):
+    ansatz = FullyConnectedAnsatz(8, 1)
+    layout = make_layout("proposed", 8)
+    rng = np.random.default_rng(seed)
+    random_placement = tuple(rng.permutation(8).tolist())
+    annealed = annealed_placement(ansatz, layout, iterations=120, seed=11)
+    assert placement_cost(ansatz, annealed, layout) <= \
+        placement_cost(ansatz, random_placement, layout) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Compiler pipeline
+# ---------------------------------------------------------------------------
+
+class TestEFTCompiler:
+    @pytest.fixture(scope="class")
+    def compiler(self):
+        return EFTCompiler(optimize_qubit_placement=False)
+
+    def test_compile_pqec_result_fields(self, compiler):
+        ansatz = FullyConnectedAnsatz(12, 1)
+        hamiltonian = ising_hamiltonian(12, 1.0)
+        result = compiler.compile(ansatz, PQECRegime(), hamiltonian,
+                                  workload_name="ising12")
+        assert isinstance(result, CompilationResult)
+        assert result.workload_name == "ising12"
+        assert result.fits_device
+        assert 0.0 < result.estimated_fidelity <= 1.0
+        assert result.execution_cycles > 0
+        assert result.measurement_budget.num_groups >= 2
+        summary = result.summary()
+        assert summary["regime"] == "pqec"
+        assert summary["logical_qubits"] == 12
+
+    def test_placement_stage_is_optional(self):
+        with_placement = EFTCompiler(optimize_qubit_placement=True,
+                                     placement_anneal_iterations=40)
+        result = with_placement.compile(FullyConnectedAnsatz(8, 1), PQECRegime())
+        assert result.placement is not None
+        without = EFTCompiler(optimize_qubit_placement=False)
+        assert without.compile(FullyConnectedAnsatz(8, 1),
+                               PQECRegime()).placement is None
+
+    def test_compare_regimes_covers_all_four(self, compiler):
+        results = compiler.compare_regimes(FullyConnectedAnsatz(12, 1))
+        assert set(results) == {"nisq", "pqec", "qec_conventional",
+                                "qec_cultivation"}
+
+    def test_pqec_recommended_for_medium_vqa(self, compiler):
+        """The paper's headline: pQEC is the best regime for 12+-qubit VQAs on
+        a 10k-qubit device."""
+        best, results = compiler.recommend_regime(FullyConnectedAnsatz(16, 1))
+        assert best == "pqec"
+        assert results["pqec"].estimated_fidelity >= \
+            results["nisq"].estimated_fidelity
+
+    def test_oversized_program_flagged_infeasible(self):
+        small_device = EFTDevice(physical_qubits=2000)
+        compiler = EFTCompiler(device=small_device,
+                               optimize_qubit_placement=False)
+        result = compiler.compile(FullyConnectedAnsatz(16, 1), PQECRegime())
+        assert not result.fits_device
+
+    def test_compilation_scales_with_circuit_size(self, compiler):
+        small = compiler.compile(FullyConnectedAnsatz(8, 1), PQECRegime())
+        large = compiler.compile(FullyConnectedAnsatz(20, 1), PQECRegime())
+        assert large.spacetime_volume > small.spacetime_volume
+        assert large.estimated_fidelity <= small.estimated_fidelity + 1e-12

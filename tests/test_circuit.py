@@ -1,0 +1,161 @@
+"""Tests for the QuantumCircuit IR."""
+
+import math
+
+import pytest
+
+from repro.circuits import Parameter, ParameterVector, QuantumCircuit
+from repro.circuits.circuit import Instruction
+from repro.circuits.gates import Gate
+
+
+class TestConstruction:
+    def test_gate_helpers_append_instructions(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).rz(0.3, 2).measure_all()
+        counts = qc.count_ops()
+        assert counts == {"h": 1, "cx": 1, "rz": 1, "measure": 3}
+
+    def test_qubit_bounds_checked(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(IndexError):
+            qc.h(2)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Gate("cx"), (1, 1))
+
+    def test_needs_at_least_one_qubit(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_size_excludes_barriers(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).barrier().cx(0, 1)
+        assert qc.size() == 2
+
+
+class TestStructure:
+    def test_depth_of_serial_chain(self):
+        qc = QuantumCircuit(1)
+        for _ in range(5):
+            qc.h(0)
+        assert qc.depth() == 5
+
+    def test_depth_of_parallel_gates(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).h(1).h(2)
+        assert qc.depth() == 1
+
+    def test_two_qubit_depth_only_counts_entanglers(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).h(2).cx(1, 2)
+        assert qc.two_qubit_depth() == 2
+
+    def test_layers_partition_all_instructions(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).h(1).cx(0, 1).cx(2, 3).h(2)
+        layers = qc.layers()
+        total = sum(len(layer) for layer in layers)
+        assert total == qc.size()
+        for layer in layers:
+            qubits = [q for inst in layer for q in inst.qubits]
+            assert len(qubits) == len(set(qubits))
+
+    def test_nonclifford_count(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).t(0).rz(math.pi / 2, 1).rz(0.3, 1)
+        assert qc.num_nonclifford_gates() == 2
+
+    def test_is_clifford(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).s(1)
+        assert qc.is_clifford()
+        qc.t(0)
+        assert not qc.is_clifford()
+
+
+class TestParameters:
+    def test_ordered_parameters_follow_first_appearance(self):
+        theta = ParameterVector("t", 3)
+        qc = QuantumCircuit(2)
+        qc.rz(theta[2], 0).rx(theta[0], 1).rz(theta[1], 0)
+        names = [p.name for p in qc.ordered_parameters()]
+        assert names == ["t[2]", "t[0]", "t[1]"]
+
+    def test_bind_parameters_by_sequence(self):
+        theta = ParameterVector("t", 2)
+        qc = QuantumCircuit(1)
+        qc.rz(theta[0], 0).rx(theta[1], 0)
+        bound = qc.bind_parameters([0.1, 0.2])
+        assert bound.num_parameters == 0
+        assert bound[0].params[0] == pytest.approx(0.1)
+
+    def test_bind_parameters_length_mismatch_raises(self):
+        theta = ParameterVector("t", 2)
+        qc = QuantumCircuit(1)
+        qc.rz(theta[0], 0).rx(theta[1], 0)
+        with pytest.raises(ValueError):
+            qc.bind_parameters([0.1])
+
+    def test_binding_expression_parameters(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(1)
+        qc.rz(2 * theta, 0)
+        bound = qc.bind_parameters({theta: 0.25})
+        assert bound[0].params[0] == pytest.approx(0.5)
+
+
+class TestTransformations:
+    def test_compose_appends_on_mapped_qubits(self):
+        a = QuantumCircuit(3)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        combined = a.compose(b, qubits=[2, 1])
+        assert combined[-1].qubits == (2, 1)
+
+    def test_compose_size_mismatch_raises(self):
+        a = QuantumCircuit(1)
+        b = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            a.compose(b)
+
+    def test_inverse_reverses_and_inverts(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).s(1)
+        inv = qc.inverse()
+        assert [inst.name for inst in inv] == ["sdg", "cx", "h"]
+
+    def test_inverse_of_measurement_raises(self):
+        qc = QuantumCircuit(1)
+        qc.measure(0)
+        with pytest.raises(ValueError):
+            qc.inverse()
+
+    def test_without_measurements(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).measure_all()
+        assert not qc.without_measurements().has_measurements()
+
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        copy = qc.copy()
+        copy.x(0)
+        assert qc.size() == 1
+        assert copy.size() == 2
+
+    def test_equality(self):
+        a = QuantumCircuit(2)
+        a.h(0).cx(0, 1)
+        b = QuantumCircuit(2)
+        b.h(0).cx(0, 1)
+        assert a == b
+        b.x(1)
+        assert a != b
+
+    def test_draw_lists_instructions(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        assert "h" in qc.draw()

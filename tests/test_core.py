@@ -1,0 +1,244 @@
+"""Tests for the core package: injection, patch shuffling, regimes, fidelity,
+resources and metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ansatz import BlockedAllToAllAnsatz, FullyConnectedAnsatz, LinearAnsatz
+from repro.core import (CircuitProfile, EFTDevice, InjectionStatistics,
+                        NISQRegime, PQECRegime, QECConventionalRegime,
+                        QECCultivationRegime, RegimeComparison,
+                        compare_strategies, effective_rotation_error,
+                        estimate_fidelity, expected_consumptions_per_rotation,
+                        injection_error_rate, naive_rotation_estimate,
+                        nisq_fidelity, pqec_fidelity, provision_cultivation,
+                        provision_distillation, qec_conventional_fidelity,
+                        qec_cultivation_fidelity, relative_improvement,
+                        shuffling_rotation_estimate, stall_free_probability,
+                        summarize_gammas, win_fraction)
+from repro.core.resources import best_distillation_provision
+from repro.qec import get_factory
+
+
+class TestInjection:
+    def test_injection_error_matches_paper_constant(self):
+        assert injection_error_rate(1e-3) == pytest.approx(0.7667e-3, rel=1e-3)
+
+    def test_expected_consumptions_is_two(self):
+        assert expected_consumptions_per_rotation() == pytest.approx(2.0)
+
+    def test_effective_rotation_error(self):
+        assert effective_rotation_error(1e-3) == pytest.approx(2 * 23e-3 / 30, rel=1e-9)
+
+    def test_stall_free_probability_of_four_backups(self):
+        assert stall_free_probability(4) == pytest.approx(0.9375)
+
+    def test_sec9_numbers_at_paper_operating_point(self):
+        stats = InjectionStatistics(physical_error_rate=1e-3, distance=11)
+        assert stats.pass_probability == pytest.approx(1 - 2e-3 * 0.999 * 120, rel=1e-9)
+        assert stats.high_probability_attempts == pytest.approx(1.959, abs=0.01)
+        assert stats.probability_within_high_probability_bound() == pytest.approx(
+            0.9391, abs=0.002)
+        assert stats.consumption_cycles == 22
+
+    def test_sec9_shuffling_threshold_alpha(self):
+        stats = InjectionStatistics(physical_error_rate=1e-3, distance=11)
+        alpha, beta = stats.shuffling_thresholds()
+        assert alpha == pytest.approx(0.003811, abs=2e-5)
+        assert stats.supports_stall_free_shuffling()
+
+    def test_shuffling_fails_above_alpha(self):
+        stats = InjectionStatistics(physical_error_rate=5e-3, distance=11)
+        assert not stats.supports_stall_free_shuffling()
+
+
+class TestPatchShuffling:
+    def test_shuffling_uses_two_patches_and_no_stalls(self):
+        estimate = shuffling_rotation_estimate()
+        assert estimate.magic_patches == 2
+        assert estimate.expected_stall_cycles < 0.5
+
+    def test_naive_volume_grows_with_backups(self):
+        volumes = [naive_rotation_estimate(b).spacetime_volume_patch_cycles
+                   for b in (1, 2, 3, 4)]
+        assert all(a < b for a, b in zip(volumes, volumes[1:]))
+
+    def test_naive_stalls_shrink_with_backups(self):
+        stalls = [naive_rotation_estimate(b).expected_stall_cycles
+                  for b in (1, 2, 3, 4)]
+        assert all(a > b for a, b in zip(stalls, stalls[1:]))
+
+    def test_fig8_shuffling_always_cheapest(self):
+        for point in compare_strategies(range(20, 80, 8)):
+            assert point.shuffling_volume < point.best_naive()
+
+    def test_fig8_volume_grows_with_qubits(self):
+        points = compare_strategies([20, 44, 76])
+        volumes = [point.shuffling_volume for point in points]
+        assert volumes[0] < volumes[1] < volumes[2]
+
+    def test_naive_needs_at_least_one_state(self):
+        with pytest.raises(ValueError):
+            naive_rotation_estimate(0)
+
+
+class TestRegimes:
+    def test_nisq_error_rates_match_paper(self):
+        regime = NISQRegime()
+        rates = regime.error_rates()
+        assert rates["cnot"] == pytest.approx(1e-3)
+        assert rates["single_qubit"] == pytest.approx(1e-4)
+        assert rates["rz"] == 0.0
+        assert rates["measurement"] == pytest.approx(1e-2)
+
+    def test_pqec_error_rates_match_paper(self):
+        regime = PQECRegime()
+        rates = regime.error_rates()
+        assert rates["cnot"] == pytest.approx(4e-7, rel=1e-6)
+        assert rates["rz_per_injection"] == pytest.approx(0.7667e-3, rel=1e-3)
+        assert rates["idle"] == pytest.approx(1e-7, rel=1e-6)
+
+    def test_simulable_regimes_produce_noise_models(self):
+        assert NISQRegime().noise_model().has_noise()
+        assert PQECRegime().noise_model().has_noise()
+
+    def test_analytic_regimes_have_no_noise_model(self):
+        with pytest.raises(NotImplementedError):
+            QECConventionalRegime().noise_model()
+
+    def test_conventional_t_error_tracks_factory(self):
+        regime = QECConventionalRegime(factory=get_factory("15-to-1_7,3,3"))
+        assert regime.t_state_error == pytest.approx(5.4e-4)
+
+
+class TestResources:
+    def test_program_feasibility(self):
+        device = EFTDevice(10_000)
+        assert device.fits_program(24)
+        assert not device.fits_program(100)
+        assert device.max_logical_qubits() == 41
+
+    def test_distillation_provisioning(self):
+        device = EFTDevice(10_000)
+        provision = provision_distillation(device, 12, get_factory("15-to-1_7,3,3"))
+        assert provision.feasible
+        assert provision.source_count >= 1
+        big = provision_distillation(device, 24, get_factory("15-to-1_17,7,7"))
+        assert not big.feasible  # the paper's "exceeds the limit by 400 qubits" case
+
+    def test_cultivation_provisioning(self):
+        device = EFTDevice(20_000)
+        provision = provision_cultivation(device, 40)
+        assert provision.feasible
+        assert provision.t_state_error == pytest.approx(2e-9)
+
+    def test_best_provision_prefers_larger_factory_on_big_device(self):
+        small_device = best_distillation_provision(EFTDevice(10_000), 24)
+        big_device = best_distillation_provision(EFTDevice(60_000), 24)
+        assert big_device.t_state_error <= small_device.t_state_error
+
+    def test_infeasible_returns_none(self):
+        assert best_distillation_provision(EFTDevice(6_000), 24) is None
+
+
+class TestFidelityModel:
+    def make_profile(self, n, depth=1):
+        return CircuitProfile.from_ansatz(FullyConnectedAnsatz(n, depth))
+
+    def test_fig4_pqec_beats_every_factory(self):
+        device = EFTDevice(10_000)
+        for n in (12, 16, 20):
+            profile = self.make_profile(n)
+            pqec = pqec_fidelity(profile, PQECRegime(), device).fidelity
+            for name in ("15-to-1_7,3,3", "15-to-1_9,3,3", "15-to-1_11,5,5"):
+                conv = qec_conventional_fidelity(
+                    profile, QECConventionalRegime(factory=get_factory(name)),
+                    device).fidelity
+                assert pqec >= conv * 0.999
+
+    def test_fig4_advantage_grows_with_qubits(self):
+        device = EFTDevice(10_000)
+        factory = QECConventionalRegime(factory=get_factory("15-to-1_7,3,3"))
+        ratios = []
+        for n in (12, 16, 20, 24):
+            profile = self.make_profile(n)
+            pqec = pqec_fidelity(profile, PQECRegime(), device).fidelity
+            conv = qec_conventional_fidelity(profile, factory, device).fidelity
+            ratios.append(pqec / conv)
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+    def test_small_factory_dominated_by_t_error(self):
+        breakdown = qec_conventional_fidelity(
+            self.make_profile(16),
+            QECConventionalRegime(factory=get_factory("15-to-1_7,3,3")),
+            EFTDevice(10_000))
+        assert breakdown.dominant_error_source() == "rotation"
+
+    def test_pqec_dominated_by_injection_error(self):
+        breakdown = pqec_fidelity(self.make_profile(16), PQECRegime(), EFTDevice())
+        assert breakdown.dominant_error_source() == "rotation"
+
+    def test_nisq_dominated_by_cnot_error_at_scale(self):
+        profile = CircuitProfile.from_ansatz(FullyConnectedAnsatz(20, 3))
+        breakdown = nisq_fidelity(profile)
+        assert breakdown.dominant_error_source() == "entangling"
+
+    def test_fig11_crossover_with_depth(self):
+        """At 8 qubits NISQ eventually wins with depth; at 16 it never does."""
+        def fidelities(n, depth):
+            profile = CircuitProfile.from_ansatz(BlockedAllToAllAnsatz(n, depth))
+            return (nisq_fidelity(profile, NISQRegime()).fidelity,
+                    pqec_fidelity(profile, PQECRegime()).fidelity)
+
+        nisq_8, pqec_8 = fidelities(8, 25)
+        assert nisq_8 > pqec_8
+        nisq_16, pqec_16 = fidelities(16, 25)
+        assert pqec_16 > nisq_16
+
+    def test_infeasible_program_has_zero_fidelity(self):
+        profile = self.make_profile(24)
+        breakdown = qec_conventional_fidelity(
+            profile, QECConventionalRegime(factory=get_factory("15-to-1_17,7,7")),
+            EFTDevice(10_000))
+        assert not breakdown.feasible
+        assert breakdown.fidelity == 0.0
+
+    def test_estimate_fidelity_dispatch(self):
+        profile = self.make_profile(12)
+        for regime in (NISQRegime(), PQECRegime(), QECConventionalRegime(),
+                       QECCultivationRegime()):
+            breakdown = estimate_fidelity(profile, regime, EFTDevice())
+            assert 0.0 <= breakdown.fidelity <= 1.0
+
+    def test_profile_from_circuit(self):
+        circuit = FullyConnectedAnsatz(6).bound_circuit([0.1] * 12)
+        profile = CircuitProfile.from_circuit(circuit)
+        assert profile.cnot_count == 15
+        assert profile.rotation_count == 12
+
+
+class TestMetrics:
+    def test_relative_improvement_definition(self):
+        assert relative_improvement(-10.0, -9.0, -6.0) == pytest.approx(4.0)
+
+    def test_gamma_clamps_below_reference(self):
+        assert relative_improvement(-10.0, -10.5, -9.0) >= 1.0
+
+    def test_regime_comparison_gamma(self):
+        comparison = RegimeComparison("bench", -4.0, -3.8, -3.0)
+        assert comparison.gamma == pytest.approx(5.0)
+        assert comparison.energy_gap_a == pytest.approx(0.2)
+
+    def test_summary_statistics(self):
+        comparisons = [RegimeComparison("a", -1.0, -0.9, -0.8),
+                       RegimeComparison("b", -1.0, -0.5, -0.25)]
+        summary = summarize_gammas(comparisons)
+        assert summary["max"] >= summary["mean"] >= summary["min"]
+        assert summary["count"] == 2
+
+    def test_win_fraction(self):
+        assert win_fraction([0.9, 0.8, 0.2], [0.5, 0.9, 0.1]) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            win_fraction([], [])

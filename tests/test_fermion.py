@@ -1,0 +1,374 @@
+"""Tests for second-quantized fermionic operators and qubit mappings."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.fermion import (FermionicOperator, bravyi_kitaev,
+                                     bravyi_kitaev_matrix, fermi_hubbard,
+                                     jordan_wigner, map_to_qubits,
+                                     molecular_fermionic_hamiltonian,
+                                     molecular_hamiltonian_from_integrals,
+                                     synthetic_molecular_integrals,
+                                     _gf2_inverse)
+from repro.operators.pauli import PauliSum
+
+
+# ---------------------------------------------------------------------------
+# FermionicOperator algebra
+# ---------------------------------------------------------------------------
+
+class TestFermionicOperatorAlgebra:
+    def test_creation_and_annihilation_terms(self):
+        op = FermionicOperator.creation(3, 1)
+        assert op.num_terms == 1
+        assert op.coefficient(((1, True),)) == 1.0
+
+    def test_mode_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FermionicOperator(2).add_term(((5, True),), 1.0)
+
+    def test_zero_operator_is_zero(self):
+        assert FermionicOperator.zero(4).is_zero()
+
+    def test_addition_merges_coefficients(self):
+        a = FermionicOperator.creation(2, 0)
+        b = FermionicOperator.creation(2, 0) * 2.0
+        combined = a + b
+        assert combined.coefficient(((0, True),)) == pytest.approx(3.0)
+
+    def test_subtraction_cancels(self):
+        a = FermionicOperator.number(3, 2)
+        assert (a - a).is_zero()
+
+    def test_scalar_multiplication(self):
+        op = FermionicOperator.number(2, 1) * 0.5
+        assert op.coefficient(((1, True), (1, False))) == pytest.approx(0.5)
+
+    def test_operator_multiplication_concatenates(self):
+        a_dag = FermionicOperator.creation(2, 0)
+        a = FermionicOperator.annihilation(2, 0)
+        product = a_dag * a
+        assert product.coefficient(((0, True), (0, False))) == pytest.approx(1.0)
+
+    def test_incompatible_mode_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FermionicOperator.creation(2, 0) + FermionicOperator.creation(3, 0)
+
+    def test_hermitian_conjugate_of_ladder(self):
+        op = FermionicOperator.creation(2, 1)
+        dagger = op.hermitian_conjugate()
+        assert dagger.coefficient(((1, False),)) == pytest.approx(1.0)
+
+    def test_number_operator_is_hermitian(self):
+        assert FermionicOperator.number(3, 1).is_hermitian()
+
+    def test_hopping_term_is_hermitian(self):
+        hopping = FermionicOperator(2)
+        hopping.add_term(((0, True), (1, False)), 1.0)
+        hopping.add_term(((1, True), (0, False)), 1.0)
+        assert hopping.is_hermitian()
+
+    def test_non_hermitian_detected(self):
+        op = FermionicOperator(2)
+        op.add_term(((0, True), (1, False)), 1.0)
+        assert not op.is_hermitian()
+
+    def test_repr_mentions_modes(self):
+        assert "modes=3" in repr(FermionicOperator.number(3, 0))
+
+
+class TestNormalOrdering:
+    def test_anticommutator_identity(self):
+        """a_0 a_0† = 1 − a_0† a_0 after normal ordering."""
+        num_modes = 2
+        a = FermionicOperator.annihilation(num_modes, 0)
+        a_dag = FermionicOperator.creation(num_modes, 0)
+        ordered = (a * a_dag).normal_ordered()
+        assert ordered.coefficient(()) == pytest.approx(1.0)
+        assert ordered.coefficient(((0, True), (0, False))) == pytest.approx(-1.0)
+
+    def test_different_modes_anticommute(self):
+        """a_0 a_1† = −a_1† a_0 (no contraction across distinct modes)."""
+        a0 = FermionicOperator.annihilation(2, 0)
+        a1_dag = FermionicOperator.creation(2, 1)
+        ordered = (a0 * a1_dag).normal_ordered()
+        assert ordered.coefficient(((1, True), (0, False))) == pytest.approx(-1.0)
+        assert ordered.coefficient(()) == 0.0
+
+    def test_pauli_exclusion_zeroes_repeated_creation(self):
+        op = FermionicOperator(2)
+        op.add_term(((0, True), (0, True)), 1.0)
+        assert op.normal_ordered().is_zero()
+
+    def test_number_operator_squared_equals_number_operator(self):
+        """n² = n for a fermionic number operator."""
+        n = FermionicOperator.number(2, 0)
+        assert (n * n).normal_ordered() == n
+
+    def test_normal_ordering_preserves_spectrum_via_jw(self):
+        """Normal ordering is an operator identity: JW matrices must agree."""
+        op = FermionicOperator(3)
+        op.add_term(((0, False), (1, True)), 0.7)
+        op.add_term(((1, False), (0, True)), 0.7)
+        op.add_term(((2, True), (2, False)), -0.3)
+        raw = jordan_wigner(op).to_matrix()
+        ordered = jordan_wigner(op.normal_ordered()).to_matrix()
+        np.testing.assert_allclose(raw, ordered, atol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# GF(2) linear algebra and the BK matrix
+# ---------------------------------------------------------------------------
+
+class TestBravyiKitaevMatrix:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 12])
+    def test_matrix_is_lower_triangular_with_unit_diagonal(self, n):
+        beta = bravyi_kitaev_matrix(n)
+        assert np.all(np.triu(beta, k=1) == 0)
+        assert np.all(np.diag(beta) == 1)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 7, 12])
+    def test_gf2_inverse_roundtrip(self, n):
+        beta = bravyi_kitaev_matrix(n)
+        inverse = _gf2_inverse(beta)
+        product = (beta.astype(int) @ inverse.astype(int)) % 2
+        np.testing.assert_array_equal(product, np.eye(n, dtype=int))
+
+    def test_gf2_inverse_rejects_singular(self):
+        with pytest.raises(ValueError):
+            _gf2_inverse(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_known_four_mode_matrix(self):
+        expected = np.array([[1, 0, 0, 0],
+                             [1, 1, 0, 0],
+                             [0, 0, 1, 0],
+                             [1, 1, 1, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(bravyi_kitaev_matrix(4), expected)
+
+
+# ---------------------------------------------------------------------------
+# Jordan–Wigner and Bravyi–Kitaev mappings
+# ---------------------------------------------------------------------------
+
+def _spectrum(hamiltonian: PauliSum) -> np.ndarray:
+    return np.sort(np.linalg.eigvalsh(hamiltonian.to_matrix()))
+
+
+class TestJordanWigner:
+    def test_number_operator_maps_to_half_one_minus_z(self):
+        n = FermionicOperator.number(1, 0)
+        qubit_op = jordan_wigner(n)
+        matrix = qubit_op.to_matrix()
+        np.testing.assert_allclose(matrix, np.diag([0.0, 1.0]), atol=1e-12)
+
+    def test_identity_term_maps_to_identity(self):
+        op = FermionicOperator.identity(2, 1.5)
+        matrix = jordan_wigner(op).to_matrix()
+        np.testing.assert_allclose(matrix, 1.5 * np.eye(4), atol=1e-12)
+
+    def test_jw_of_hermitian_operator_is_hermitian(self):
+        hopping = FermionicOperator(3)
+        hopping.add_term(((0, True), (2, False)), 0.5)
+        hopping.add_term(((2, True), (0, False)), 0.5)
+        assert jordan_wigner(hopping).is_hermitian()
+
+    def test_canonical_anticommutation_relations(self):
+        """{a_p, a_q†} = δ_pq on the qubit side."""
+        num_modes = 3
+        for p in range(num_modes):
+            for q in range(num_modes):
+                a_p = jordan_wigner(FermionicOperator.annihilation(num_modes, p))
+                a_q_dag = jordan_wigner(FermionicOperator.creation(num_modes, q))
+                anticommutator = (a_p @ a_q_dag + a_q_dag @ a_p).simplify()
+                matrix = anticommutator.to_matrix()
+                expected = np.eye(2 ** num_modes) if p == q else np.zeros((8, 8))
+                np.testing.assert_allclose(matrix, expected, atol=1e-10)
+
+    def test_pauli_weight_grows_linearly(self):
+        op = jordan_wigner(FermionicOperator.creation(8, 7))
+        assert op.max_weight() == 8
+
+
+class TestBravyiKitaev:
+    def test_single_mode_matches_jw(self):
+        n = FermionicOperator.number(1, 0)
+        np.testing.assert_allclose(bravyi_kitaev(n).to_matrix(),
+                                   jordan_wigner(n).to_matrix(), atol=1e-12)
+
+    @pytest.mark.parametrize("num_modes", [2, 3, 4])
+    def test_number_operator_spectrum_is_zero_one(self, num_modes):
+        for mode in range(num_modes):
+            op = bravyi_kitaev(FermionicOperator.number(num_modes, mode))
+            eigenvalues = _spectrum(op)
+            assert set(np.round(eigenvalues, 8)) <= {0.0, 1.0}
+
+    @pytest.mark.parametrize("num_modes", [2, 3, 4])
+    def test_bk_and_jw_spectra_agree(self, num_modes):
+        """The two encodings are related by a basis change — same spectrum."""
+        rng = np.random.default_rng(5)
+        op = FermionicOperator(num_modes)
+        for p in range(num_modes):
+            op.add_term(((p, True), (p, False)), rng.normal())
+            for q in range(p + 1, num_modes):
+                value = rng.normal() * 0.5
+                op.add_term(((p, True), (q, False)), value)
+                op.add_term(((q, True), (p, False)), value)
+        jw_spectrum = _spectrum(jordan_wigner(op))
+        bk_spectrum = _spectrum(bravyi_kitaev(op))
+        np.testing.assert_allclose(jw_spectrum, bk_spectrum, atol=1e-8)
+
+    def test_bk_anticommutation_relations(self):
+        num_modes = 4
+        for p in range(num_modes):
+            a_p = bravyi_kitaev(FermionicOperator.annihilation(num_modes, p))
+            a_p_dag = bravyi_kitaev(FermionicOperator.creation(num_modes, p))
+            anticommutator = (a_p @ a_p_dag + a_p_dag @ a_p).simplify()
+            np.testing.assert_allclose(anticommutator.to_matrix(),
+                                       np.eye(2 ** num_modes), atol=1e-10)
+
+    def test_map_to_qubits_dispatch(self):
+        op = FermionicOperator.number(2, 0)
+        assert map_to_qubits(op, "jw") == jordan_wigner(op)
+        assert map_to_qubits(op, "bravyi-kitaev") == bravyi_kitaev(op)
+        with pytest.raises(ValueError):
+            map_to_qubits(op, "parity")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=4),
+       st.integers(min_value=0, max_value=10_000))
+def test_property_quadratic_hermitian_operators_map_to_hermitian_paulisums(
+        num_modes, seed):
+    """Any Hermitian quadratic fermionic operator maps to a Hermitian PauliSum
+    with matching spectra under JW and BK."""
+    rng = np.random.default_rng(seed)
+    op = FermionicOperator(num_modes)
+    for p in range(num_modes):
+        op.add_term(((p, True), (p, False)), rng.normal())
+    p, q = rng.integers(0, num_modes, size=2)
+    if p != q:
+        value = rng.normal()
+        op.add_term(((p, True), (q, False)), value)
+        op.add_term(((q, True), (p, False)), value)
+    jw = jordan_wigner(op)
+    bk = bravyi_kitaev(op)
+    assert jw.is_hermitian()
+    assert bk.is_hermitian()
+    np.testing.assert_allclose(_spectrum(jw), _spectrum(bk), atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Electronic-structure builders
+# ---------------------------------------------------------------------------
+
+class TestMolecularBuilders:
+    def test_one_body_shape_validation(self):
+        with pytest.raises(ValueError):
+            molecular_fermionic_hamiltonian(np.zeros((2, 3)))
+
+    def test_two_body_shape_validation(self):
+        with pytest.raises(ValueError):
+            molecular_fermionic_hamiltonian(np.eye(2), np.zeros((2, 2)))
+
+    def test_quadratic_hamiltonian_ground_state_fills_negative_orbitals(self):
+        """For H = Σ ε_p n_p the ground energy is the sum of negative ε_p."""
+        energies = np.array([-1.5, -0.2, 0.7, 1.1])
+        hamiltonian = molecular_fermionic_hamiltonian(np.diag(energies))
+        qubit_op = jordan_wigner(hamiltonian)
+        ground = qubit_op.ground_state_energy()
+        assert ground == pytest.approx(energies[energies < 0].sum(), abs=1e-8)
+
+    def test_constant_term_shifts_spectrum(self):
+        base = molecular_fermionic_hamiltonian(np.diag([1.0, -1.0]))
+        shifted = molecular_fermionic_hamiltonian(np.diag([1.0, -1.0]),
+                                                  constant=2.5)
+        e_base = jordan_wigner(base).ground_state_energy()
+        e_shift = jordan_wigner(shifted).ground_state_energy()
+        assert e_shift - e_base == pytest.approx(2.5, abs=1e-8)
+
+    def test_synthetic_integrals_symmetry(self):
+        integrals = synthetic_molecular_integrals("H2O", 1.0, num_modes=6)
+        np.testing.assert_allclose(integrals.one_body, integrals.one_body.T,
+                                   atol=1e-12)
+        assert integrals.num_modes == 6
+
+    def test_synthetic_integrals_deterministic(self):
+        a = synthetic_molecular_integrals("LiH", 1.0, num_modes=6)
+        b = synthetic_molecular_integrals("LiH", 1.0, num_modes=6)
+        np.testing.assert_array_equal(a.one_body, b.one_body)
+        np.testing.assert_array_equal(a.two_body, b.two_body)
+
+    def test_synthetic_integrals_unknown_molecule(self):
+        with pytest.raises(ValueError):
+            synthetic_molecular_integrals("XeF4")
+
+    def test_synthetic_integrals_require_even_modes(self):
+        with pytest.raises(ValueError):
+            synthetic_molecular_integrals("H2", num_modes=5)
+
+    def test_bond_stretch_decays_hopping(self):
+        near = synthetic_molecular_integrals("H6", 1.0, num_modes=6)
+        far = synthetic_molecular_integrals("H6", 4.5, num_modes=6)
+        near_offdiag = np.abs(near.one_body - np.diag(np.diag(near.one_body))).sum()
+        far_offdiag = np.abs(far.one_body - np.diag(np.diag(far.one_body))).sum()
+        assert far_offdiag < near_offdiag
+
+    def test_end_to_end_pipeline_produces_hermitian_hamiltonian(self):
+        hamiltonian = molecular_hamiltonian_from_integrals("H2", 1.0,
+                                                           num_modes=4)
+        assert isinstance(hamiltonian, PauliSum)
+        assert hamiltonian.num_qubits == 4
+        assert hamiltonian.is_hermitian()
+        # A bound electronic state: ground energy below the identity offset.
+        identity_offset = hamiltonian.identity_coefficient().real
+        assert hamiltonian.ground_state_energy() < identity_offset
+
+
+class TestFermiHubbard:
+    def test_mode_count_is_twice_sites(self):
+        model = fermi_hubbard(3)
+        assert model.num_modes == 6
+
+    def test_minimum_sites(self):
+        with pytest.raises(ValueError):
+            fermi_hubbard(1)
+
+    def test_hubbard_is_hermitian(self):
+        assert fermi_hubbard(2, tunneling=1.0, interaction=4.0).is_hermitian()
+
+    def test_interaction_raises_energy_of_double_occupation(self):
+        """With U > 0 the doubly-occupied site costs U."""
+        model = fermi_hubbard(2, tunneling=0.0, interaction=4.0)
+        qubit_op = jordan_wigner(model)
+        # Diagonal Hamiltonian: spectrum contains 0 (empty) and U (one doublon).
+        eigenvalues = np.round(_spectrum(qubit_op), 8)
+        assert 0.0 in eigenvalues
+        assert 4.0 in eigenvalues
+
+    def test_known_two_site_ground_state_energy(self):
+        """Half-filled 2-site Hubbard: E0 = (U − sqrt(U² + 16 t²)) / 2.
+
+        Parameters are chosen (t > U) so the half-filled singlet is also the
+        global ground state across particle-number sectors.
+        """
+        t, u = 2.0, 1.0
+        model = fermi_hubbard(2, tunneling=t, interaction=u)
+        qubit_op = jordan_wigner(model)
+        expected = (u - math.sqrt(u ** 2 + 16 * t ** 2)) / 2.0
+        assert qubit_op.ground_state_energy() == pytest.approx(expected, abs=1e-8)
+
+    def test_periodic_flag_adds_wraparound_bond(self):
+        open_chain = fermi_hubbard(3, periodic=False)
+        ring = fermi_hubbard(3, periodic=True)
+        assert ring.num_terms > open_chain.num_terms
+
+    def test_chemical_potential_counts_particles(self):
+        model = fermi_hubbard(2, tunneling=0.0, interaction=0.0,
+                              chemical_potential=1.0)
+        qubit_op = jordan_wigner(model)
+        # Four modes, each contributing −μ when occupied: minimum = −4μ.
+        assert qubit_op.ground_state_energy() == pytest.approx(-4.0, abs=1e-8)

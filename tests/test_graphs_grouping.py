@@ -1,0 +1,251 @@
+"""Tests for graph problem instances and measurement grouping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.graphs import (GraphInstance, complete_graph, cut_value,
+                                    erdos_renyi_graph, exact_maxcut,
+                                    goemans_williamson_bound,
+                                    graph_benchmark_suite,
+                                    maxcut_cost_hamiltonian,
+                                    random_regular_graph, ring_graph,
+                                    weighted_edges)
+from repro.operators.grouping import (MeasurementGroup, group_commuting,
+                                      grouped_measurement_overhead,
+                                      num_measurement_circuits, shot_budget)
+from repro.operators.hamiltonians import (heisenberg_hamiltonian,
+                                          ising_hamiltonian)
+from repro.operators.pauli import PauliString, PauliSum
+from repro.simulators.statevector import StatevectorSimulator
+from repro.circuits.circuit import QuantumCircuit
+
+
+# ---------------------------------------------------------------------------
+# Graph instances and MaxCut
+# ---------------------------------------------------------------------------
+
+class TestGraphGenerators:
+    def test_ring_graph_edge_count(self):
+        graph = ring_graph(8)
+        assert graph.number_of_edges() == 8
+
+    def test_ring_graph_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_complete_graph_edge_count(self):
+        graph = complete_graph(6)
+        assert graph.number_of_edges() == 15
+
+    def test_regular_graph_degrees(self):
+        graph = random_regular_graph(10, 3, seed=3)
+        assert all(degree == 3 for _, degree in graph.degree())
+
+    def test_regular_graph_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_regular_graph_degree_bound(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)
+
+    def test_erdos_renyi_connected(self):
+        import networkx as nx
+        graph = erdos_renyi_graph(10, 0.4, seed=2)
+        assert nx.is_connected(graph)
+
+    def test_erdos_renyi_probability_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(6, 0.0)
+
+    def test_weighted_edges_default_weight(self):
+        edges = weighted_edges(ring_graph(4))
+        assert all(weight == 1.0 for _, _, weight in edges)
+
+
+class TestMaxCut:
+    def test_cost_hamiltonian_term_count(self):
+        graph = ring_graph(6)
+        hamiltonian = maxcut_cost_hamiltonian(graph)
+        # One ZZ term per edge plus the identity offset.
+        assert hamiltonian.num_terms == graph.number_of_edges() + 1
+
+    def test_cut_value_ring(self):
+        graph = ring_graph(4)
+        assert cut_value(graph, [0, 1, 0, 1]) == 4.0
+        assert cut_value(graph, [0, 0, 0, 0]) == 0.0
+
+    def test_cut_value_length_validation(self):
+        with pytest.raises(ValueError):
+            cut_value(ring_graph(4), [0, 1])
+
+    def test_exact_maxcut_even_ring_is_fully_cut(self):
+        value, assignment = exact_maxcut(ring_graph(6))
+        assert value == 6.0
+        assert cut_value(ring_graph(6), assignment) == 6.0
+
+    def test_exact_maxcut_odd_ring(self):
+        value, _ = exact_maxcut(ring_graph(5))
+        assert value == 4.0
+
+    def test_exact_maxcut_size_guard(self):
+        with pytest.raises(ValueError):
+            exact_maxcut(ring_graph(30))
+
+    def test_bound_exceeds_optimum(self):
+        graph = random_regular_graph(10, 3, seed=5)
+        optimum, _ = exact_maxcut(graph)
+        assert goemans_williamson_bound(graph) >= optimum
+
+    def test_ground_state_energy_matches_negative_maxcut(self):
+        """The cost Hamiltonian's ground energy equals −(max cut)."""
+        graph = random_regular_graph(8, 3, seed=9)
+        hamiltonian = maxcut_cost_hamiltonian(graph)
+        optimum, _ = exact_maxcut(graph)
+        assert hamiltonian.ground_state_energy() == pytest.approx(-optimum,
+                                                                  abs=1e-8)
+
+    def test_computational_state_energy_matches_cut(self):
+        """⟨z|C|z⟩ = −cut(z) for every computational basis state."""
+        graph = ring_graph(4)
+        hamiltonian = maxcut_cost_hamiltonian(graph)
+        for assignment in ([0, 0, 1, 1], [0, 1, 1, 0], [1, 0, 1, 0]):
+            circuit = QuantumCircuit(4)
+            for qubit, bit in enumerate(assignment):
+                if bit:
+                    circuit.x(qubit)
+            state = StatevectorSimulator().run(circuit)
+            energy = state.expectation(hamiltonian)
+            assert energy == pytest.approx(-cut_value(graph, assignment),
+                                           abs=1e-10)
+
+    def test_benchmark_suite_registry(self):
+        instances = graph_benchmark_suite(num_nodes_list=(6, 8),
+                                          families=("ring", "regular3"))
+        assert len(instances) == 4
+        for instance in instances:
+            assert isinstance(instance, GraphInstance)
+            assert instance.hamiltonian.num_qubits == instance.num_qubits
+            assert instance.reference_energy == pytest.approx(
+                -instance.optimal_cut)
+
+    def test_benchmark_suite_unknown_family(self):
+        with pytest.raises(ValueError):
+            graph_benchmark_suite(families=("petersen",))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=4, max_value=9),
+       st.integers(min_value=0, max_value=1000))
+def test_property_random_assignment_never_beats_exact_maxcut(num_nodes, seed):
+    graph = ring_graph(num_nodes)
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, 2, size=num_nodes)
+    optimum, _ = exact_maxcut(graph)
+    assert cut_value(graph, assignment) <= optimum
+
+
+# ---------------------------------------------------------------------------
+# Measurement grouping
+# ---------------------------------------------------------------------------
+
+class TestMeasurementGrouping:
+    def test_groups_cover_all_non_identity_terms(self):
+        hamiltonian = heisenberg_hamiltonian(6, coupling=0.5)
+        groups = group_commuting(hamiltonian, qubitwise=True)
+        grouped_terms = sum(group.num_terms for group in groups)
+        non_identity = sum(1 for pauli, _ in hamiltonian.terms()
+                           if not pauli.is_identity())
+        assert grouped_terms == non_identity
+
+    def test_qubitwise_groups_are_internally_compatible(self):
+        hamiltonian = heisenberg_hamiltonian(5)
+        for group in group_commuting(hamiltonian, qubitwise=True):
+            paulis = group.paulis
+            for i in range(len(paulis)):
+                for j in range(i + 1, len(paulis)):
+                    assert paulis[i].qubitwise_commutes_with(paulis[j])
+
+    def test_commuting_groups_are_internally_compatible(self):
+        hamiltonian = heisenberg_hamiltonian(5)
+        for group in group_commuting(hamiltonian, qubitwise=False):
+            paulis = group.paulis
+            for i in range(len(paulis)):
+                for j in range(i + 1, len(paulis)):
+                    assert paulis[i].commutes_with(paulis[j])
+
+    def test_general_commuting_needs_no_more_groups_than_qwc(self):
+        hamiltonian = heisenberg_hamiltonian(6)
+        assert (num_measurement_circuits(hamiltonian, qubitwise=False)
+                <= num_measurement_circuits(hamiltonian, qubitwise=True))
+
+    def test_ising_model_groups_into_two_qwc_families(self):
+        """XX bonds all QW-commute with each other, as do the Z fields."""
+        hamiltonian = ising_hamiltonian(8, coupling=1.0)
+        assert num_measurement_circuits(hamiltonian, qubitwise=True) == 2
+
+    def test_empty_hamiltonian_has_no_groups(self):
+        assert group_commuting(PauliSum(3)) == []
+
+    def test_measurement_basis_for_qwc_group(self):
+        group = MeasurementGroup(terms=(
+            (PauliString("XIZ"), 1.0),
+            (PauliString("XZI"), 0.5),
+        ), qubitwise=True)
+        basis = group.measurement_basis()
+        assert basis == {0: "X", 1: "Z", 2: "Z"}
+
+    def test_measurement_basis_conflict_detection(self):
+        group = MeasurementGroup(terms=(
+            (PauliString("XI"), 1.0),
+            (PauliString("ZI"), 1.0),
+        ), qubitwise=True)
+        with pytest.raises(ValueError):
+            group.measurement_basis()
+
+    def test_non_qwc_group_has_no_single_qubit_basis(self):
+        group = MeasurementGroup(terms=((PauliString("XX"), 1.0),),
+                                 qubitwise=False)
+        with pytest.raises(ValueError):
+            group.measurement_basis()
+
+    def test_basis_change_circuit_diagonalizes_group(self):
+        """After the basis rotation every group member acts diagonally."""
+        hamiltonian = heisenberg_hamiltonian(4)
+        simulator = StatevectorSimulator()
+        for group in group_commuting(hamiltonian, qubitwise=True):
+            rotation = group.basis_change_circuit(4)
+            for pauli, _ in group.terms:
+                # Conjugate |0...0⟩⟨0...0| basis check: rotated operator is
+                # diagonal in the computational basis.
+                from repro.simulators.statevector import circuit_unitary
+                unitary = circuit_unitary(rotation)
+                rotated = unitary @ pauli.to_matrix() @ unitary.conj().T
+                off_diagonal = rotated - np.diag(np.diag(rotated))
+                assert np.max(np.abs(off_diagonal)) < 1e-10
+
+
+class TestShotBudget:
+    def test_budget_scales_inverse_square_with_precision(self):
+        hamiltonian = ising_hamiltonian(6)
+        loose = shot_budget(hamiltonian, target_standard_error=1e-1)
+        tight = shot_budget(hamiltonian, target_standard_error=1e-2)
+        assert tight.total_shots == pytest.approx(100 * loose.total_shots,
+                                                  rel=0.05)
+
+    def test_budget_positive_precision_required(self):
+        with pytest.raises(ValueError):
+            shot_budget(ising_hamiltonian(4), target_standard_error=0.0)
+
+    def test_empty_hamiltonian_budget(self):
+        budget = shot_budget(PauliSum(2))
+        assert budget.total_shots == 0
+        assert budget.circuits_per_iteration == 0
+
+    def test_overhead_report_keys(self):
+        report = grouped_measurement_overhead(heisenberg_hamiltonian(5))
+        assert report["qwc_groups"] <= report["num_terms"]
+        assert report["commuting_groups"] <= report["qwc_groups"]
+        assert report["qwc_savings"] >= 1.0

@@ -1,0 +1,125 @@
+"""Tests for the benchmark Hamiltonians (Ising, Heisenberg, MaxCut, molecules)."""
+
+import numpy as np
+import pytest
+
+from repro.operators import (PauliString, available_molecules,
+                             chemistry_benchmark_suite, exact_ground_state,
+                             heisenberg_hamiltonian, ising_hamiltonian,
+                             maxcut_hamiltonian, molecular_hamiltonian,
+                             molecule_spec, physics_benchmark_suite)
+
+
+class TestIsing:
+    def test_term_count_open_chain(self):
+        h = ising_hamiltonian(5, coupling=0.5)
+        # 4 XX bonds + 5 Z fields.
+        assert h.num_terms == 9
+
+    def test_coupling_coefficients(self):
+        h = ising_hamiltonian(3, coupling=0.25)
+        assert h.coefficient(PauliString("XXI")) == pytest.approx(0.25)
+        assert h.coefficient(PauliString("ZII")) == pytest.approx(1.0)
+
+    def test_periodic_chain_adds_wraparound_bond(self):
+        open_chain = ising_hamiltonian(4)
+        ring = ising_hamiltonian(4, periodic=True)
+        assert ring.num_terms == open_chain.num_terms + 1
+
+    def test_two_qubit_ground_state_energy(self):
+        # H = J XX + Z1 + Z2 has eigenvalues ±sqrt(4 + J²) and ±J.
+        coupling = 0.5
+        h = ising_hamiltonian(2, coupling=coupling)
+        expected = -np.sqrt(4 + coupling ** 2)
+        assert h.ground_state_energy() == pytest.approx(expected, abs=1e-9)
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            ising_hamiltonian(1)
+
+
+class TestHeisenberg:
+    def test_term_count(self):
+        h = heisenberg_hamiltonian(4, coupling=1.0)
+        assert h.num_terms == 9  # 3 bonds × 3 couplings
+
+    def test_two_site_ground_state_is_singlet(self):
+        # J(XX+YY) + ZZ has the singlet at -2J - 1 for J > 0.5.
+        h = heisenberg_hamiltonian(2, coupling=1.0)
+        assert h.ground_state_energy() == pytest.approx(-3.0, abs=1e-9)
+
+    def test_hermiticity(self):
+        assert heisenberg_hamiltonian(5, 0.25).is_hermitian()
+
+    def test_exact_ground_state_vector_is_eigenvector(self):
+        h = heisenberg_hamiltonian(3, 0.5)
+        energy, state = exact_ground_state(h)
+        matrix = h.to_matrix()
+        np.testing.assert_allclose(matrix @ state, energy * state, atol=1e-8)
+
+
+class TestMaxCut:
+    def test_triangle_maxcut_value(self):
+        h = maxcut_hamiltonian([(0, 1), (1, 2), (0, 2)])
+        # The best cut of a triangle cuts 2 edges: minimum energy = -2.
+        assert h.ground_state_energy() == pytest.approx(-2.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            maxcut_hamiltonian([(0, 0)])
+
+
+class TestBenchmarkSuites:
+    def test_physics_suite_covers_paper_couplings(self):
+        suite = physics_benchmark_suite([4, 6])
+        assert len(suite) == 2 * 2 * 3  # sizes × families × couplings
+        families = {instance.family for instance in suite}
+        assert families == {"ising", "heisenberg"}
+
+    def test_chemistry_suite_matches_paper_counts(self):
+        suite = chemistry_benchmark_suite(reduced_terms=None)
+        by_family = {inst.family: inst.hamiltonian.num_terms for inst in suite}
+        assert by_family["h2o"] == 367
+        assert by_family["h6"] == 919
+        assert by_family["lih"] == 631
+
+    def test_chemistry_suite_reduced_terms_for_ci(self):
+        suite = chemistry_benchmark_suite(num_qubits=6, reduced_terms=40)
+        assert all(inst.hamiltonian.num_terms == 40 for inst in suite)
+        assert all(inst.num_qubits == 6 for inst in suite)
+
+
+class TestMolecules:
+    def test_available_molecules(self):
+        assert set(available_molecules()) == {"H2O", "H6", "LiH"}
+
+    def test_construction_is_deterministic(self):
+        a = molecular_hamiltonian("LiH", 1.0)
+        b = molecular_hamiltonian("LiH", 1.0)
+        assert a == b
+
+    def test_bond_lengths_give_different_hamiltonians(self):
+        near = molecular_hamiltonian("H6", 1.0, num_qubits=8, num_terms=60)
+        far = molecular_hamiltonian("H6", 4.5, num_qubits=8, num_terms=60)
+        assert near != far
+
+    def test_case_insensitive_lookup(self):
+        assert molecular_hamiltonian("lih", 1.0, num_qubits=6, num_terms=30).num_terms == 30
+
+    def test_unknown_molecule_rejected(self):
+        with pytest.raises(ValueError):
+            molecular_hamiltonian("C60")
+
+    def test_spec_reports_paper_term_counts(self):
+        spec = molecule_spec("H2O")
+        assert spec.num_terms == 367
+        assert spec.num_qubits == 12
+
+    def test_hamiltonians_are_hermitian(self):
+        h = molecular_hamiltonian("H2O", 4.5, num_qubits=8, num_terms=80)
+        assert h.is_hermitian()
+
+    def test_ground_state_below_identity_offset(self):
+        h = molecular_hamiltonian("LiH", 1.0, num_qubits=6, num_terms=50)
+        offset = float(np.real(h.identity_coefficient()))
+        assert h.ground_state_energy() < offset

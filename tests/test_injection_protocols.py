@@ -1,0 +1,131 @@
+"""Tests for the extended injection protocols (Sec. 2.6 'future work')."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz import FullyConnectedAnsatz
+from repro.core import (CircuitProfile, PQECRegime, estimate_fidelity,
+                        injection_error_rate)
+from repro.core.injection_protocols import (InjectionProtocol,
+                                            ProtocolPQECRegime,
+                                            compare_protocols,
+                                            protocol_tradeoff)
+
+
+class TestInjectionProtocol:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InjectionProtocol(post_selection_rounds=1)
+        with pytest.raises(ValueError):
+            InjectionProtocol(physical_error_rate=0.7)
+        with pytest.raises(ValueError):
+            InjectionProtocol(distance=1)
+
+    def test_baseline_matches_lao_criger(self):
+        protocol = InjectionProtocol()
+        assert protocol.injected_state_error == pytest.approx(
+            injection_error_rate(protocol.physical_error_rate))
+        assert protocol.extra_patches == 0
+
+    def test_extra_rounds_reduce_error_but_never_below_the_floor(self):
+        errors = [InjectionProtocol(post_selection_rounds=r).injected_state_error
+                  for r in (2, 3, 4, 6)]
+        assert errors == sorted(errors, reverse=True)
+        floor = 0.4 * injection_error_rate()
+        assert all(error >= floor - 1e-15 for error in errors)
+
+    def test_extra_rounds_reduce_acceptance_probability(self):
+        base = InjectionProtocol(post_selection_rounds=2)
+        more = InjectionProtocol(post_selection_rounds=5)
+        assert more.acceptance_probability < base.acceptance_probability
+        assert more.cycles_per_accepted_state > base.cycles_per_accepted_state
+
+    def test_pre_distillation_squares_the_error(self):
+        plain = InjectionProtocol()
+        distilled = InjectionProtocol(use_pre_distillation=True)
+        assert distilled.injected_state_error < 0.05 * plain.injected_state_error
+        assert distilled.extra_patches == 2
+        assert distilled.cycles_per_accepted_state > \
+            2 * plain.cycles_per_accepted_state
+
+    def test_baseline_supports_stall_free_shuffling_at_eft_point(self):
+        """The Sec. 9 result: at p=1e-3 and d=11 injection fits in 2d cycles."""
+        assert InjectionProtocol().supports_stall_free_shuffling
+
+    def test_rotation_error_scales_with_expected_consumptions(self):
+        protocol = InjectionProtocol()
+        assert protocol.rotation_error() == pytest.approx(
+            2.0 * protocol.injected_state_error)
+
+    def test_summary_keys(self):
+        summary = InjectionProtocol(post_selection_rounds=3).summary()
+        assert summary["post_selection_rounds"] == 3.0
+        assert 0.0 < summary["acceptance_probability"] <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=8),
+       st.floats(min_value=1e-4, max_value=5e-3))
+def test_property_more_rounds_trade_error_for_latency(rounds, error_rate):
+    base = InjectionProtocol(physical_error_rate=error_rate)
+    extended = InjectionProtocol(post_selection_rounds=rounds,
+                                 physical_error_rate=error_rate)
+    assert extended.injected_state_error <= base.injected_state_error + 1e-15
+    assert extended.cycles_per_accepted_state >= \
+        base.cycles_per_accepted_state - 1e-12
+
+
+class TestProtocolPQECRegime:
+    def test_baseline_protocol_matches_plain_pqec(self):
+        plain = PQECRegime()
+        protocol_regime = ProtocolPQECRegime(InjectionProtocol())
+        assert protocol_regime.rz_injection_error == pytest.approx(
+            plain.rz_injection_error)
+        assert protocol_regime.rz_error == pytest.approx(plain.rz_error)
+
+    def test_better_protocol_improves_circuit_fidelity(self):
+        ansatz = FullyConnectedAnsatz(12, 1)
+        profile = CircuitProfile.from_ansatz(ansatz)
+        plain = estimate_fidelity(profile, PQECRegime()).fidelity
+        improved = estimate_fidelity(
+            profile,
+            ProtocolPQECRegime(InjectionProtocol(post_selection_rounds=4,
+                                                 use_pre_distillation=True))
+        ).fidelity
+        assert improved > plain
+
+    def test_noise_model_uses_protocol_error(self):
+        regime = ProtocolPQECRegime(InjectionProtocol(use_pre_distillation=True))
+        model = regime.noise_model()
+        channels = model.gate_channels("rz")
+        assert channels
+        assert channels[0].error_probability() == pytest.approx(regime.rz_error,
+                                                                rel=1e-6)
+
+
+class TestProtocolTradeoff:
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            protocol_tradeoff(0, InjectionProtocol())
+
+    def test_tradeoff_direction(self):
+        """More careful protocols buy survival probability with latency."""
+        workload = 500
+        baseline = protocol_tradeoff(workload, InjectionProtocol())
+        careful = protocol_tradeoff(
+            workload, InjectionProtocol(post_selection_rounds=4,
+                                        use_pre_distillation=True))
+        assert careful.rotation_survival > baseline.rotation_survival
+        assert careful.spacetime_volume > baseline.spacetime_volume
+
+    def test_compare_protocols_labels(self):
+        tradeoffs = compare_protocols(100, [
+            InjectionProtocol(),
+            InjectionProtocol(post_selection_rounds=4),
+            InjectionProtocol(use_pre_distillation=True),
+        ])
+        labels = [t.label for t in tradeoffs]
+        assert labels == ["r=2", "r=4", "r=2+predistill"]

@@ -1,0 +1,114 @@
+"""End-to-end integration tests spanning multiple subsystems."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (BlockedAllToAllAnsatz, EFTDevice, FullyConnectedAnsatz,
+                   NISQRegime, PQECRegime, QECConventionalRegime,
+                   CircuitProfile, estimate_fidelity, get_factory,
+                   heisenberg_hamiltonian, ising_hamiltonian, make_layout,
+                   molecular_hamiltonian, schedule_on_layout)
+from repro.core import pqec_fidelity, nisq_fidelity, win_fraction
+from repro.core.metrics import summarize_gammas
+from repro.mitigation import MitigatedEnergyEvaluator
+from repro.simulators import expectation_value
+from repro.vqe import (CliffordEnergyEvaluator, CliffordVQE, GeneticOptimizer,
+                       compare_regimes_clifford)
+
+
+class TestEndToEndCliffordPipeline:
+    """The Fig. 12 pipeline in miniature: Hamiltonian → ansatz → noisy VQE → γ."""
+
+    def test_pqec_beats_nisq_on_small_benchmark_suite(self):
+        gammas = []
+        for family, builder in (("ising", ising_hamiltonian),
+                                ("heisenberg", heisenberg_hamiltonian)):
+            hamiltonian = builder(8, 1.0)
+            ansatz = FullyConnectedAnsatz(8)
+            outcome = compare_regimes_clifford(
+                hamiltonian, ansatz, PQECRegime(), NISQRegime(),
+                optimizer_factory=lambda: GeneticOptimizer(
+                    population_size=12, generations=5, seed=4),
+                benchmark_name=family, seed=4)
+            gammas.append(outcome["comparison"])
+        summary = summarize_gammas(gammas)
+        assert summary["min"] >= 1.0
+        assert summary["mean"] >= 1.0
+
+    def test_molecular_hamiltonian_through_clifford_vqe(self):
+        hamiltonian = molecular_hamiltonian("LiH", 1.0, num_qubits=8, num_terms=60)
+        vqe = CliffordVQE(hamiltonian, FullyConnectedAnsatz(8),
+                          PQECRegime().noise_model(),
+                          GeneticOptimizer(population_size=10, generations=4,
+                                           seed=0), seed=0)
+        result = vqe.run()
+        identity_offset = float(np.real(hamiltonian.identity_coefficient()))
+        assert result.best_energy < identity_offset
+
+    def test_mitigated_evaluation_composes_with_regimes(self):
+        hamiltonian = ising_hamiltonian(6, 1.0)
+        ansatz = FullyConnectedAnsatz(6)
+        circuit = ansatz.bound_circuit([math.pi / 2] * ansatz.num_parameters())
+        noisy = CliffordEnergyEvaluator(hamiltonian, NISQRegime().noise_model())
+        mitigated = MitigatedEnergyEvaluator(noisy)
+        unmitigated_value = noisy(circuit)
+        mitigated_value = mitigated(circuit)
+        assert np.isfinite(mitigated_value) and np.isfinite(unmitigated_value)
+        # Both estimates stay within the Hamiltonian's spectral bounds.
+        bound = hamiltonian.one_norm()
+        assert abs(mitigated_value) <= bound and abs(unmitigated_value) <= bound
+
+
+class TestEndToEndArchitecturePipeline:
+    """Ansatz → layout → schedule → fidelity, the Fig. 4/11 analytic path."""
+
+    def test_profile_uses_scheduler_cycles(self):
+        ansatz = BlockedAllToAllAnsatz(20)
+        profile = CircuitProfile.from_ansatz(ansatz)
+        schedule = schedule_on_layout(ansatz, make_layout("proposed", 20))
+        assert profile.execution_cycles == pytest.approx(schedule.cycles)
+
+    def test_fig5_trend_big_devices_favor_conventional_small_programs(self):
+        """Win % of pQEC falls for small programs as the device grows."""
+        def wins(device_qubits):
+            device = EFTDevice(device_qubits)
+            pqec_scores, conv_scores = [], []
+            for n in (12, 16, 20):
+                for depth in (1, 2):
+                    profile = CircuitProfile.from_ansatz(FullyConnectedAnsatz(n, depth))
+                    pqec_scores.append(estimate_fidelity(profile, PQECRegime(),
+                                                         device).fidelity)
+                    best_conv = max(
+                        estimate_fidelity(
+                            profile,
+                            QECConventionalRegime(factory=get_factory(name)),
+                            device).fidelity
+                        for name in ("15-to-1_7,3,3", "15-to-1_11,5,5",
+                                     "15-to-1_17,7,7"))
+                    conv_scores.append(best_conv)
+            return win_fraction(pqec_scores, conv_scores)
+
+        assert wins(10_000) >= wins(60_000)
+
+    def test_fidelity_model_consistent_with_simulation_ranking(self):
+        """The analytic model and the Clifford simulator agree on who wins."""
+        hamiltonian = ising_hamiltonian(8, 1.0)
+        ansatz = FullyConnectedAnsatz(8)
+        angles = [math.pi / 2] * ansatz.num_parameters()
+        circuit = ansatz.bound_circuit(angles)
+        ideal = expectation_value(circuit, hamiltonian)
+        nisq_energy = expectation_value(circuit, hamiltonian,
+                                        NISQRegime().noise_model())
+        pqec_energy = expectation_value(circuit, hamiltonian,
+                                        PQECRegime().noise_model())
+        # Simulation: pQEC retains more of the ideal signal.
+        assert abs(pqec_energy - ideal) <= abs(nisq_energy - ideal)
+        # Analytic model agrees.
+        profile = CircuitProfile.from_ansatz(ansatz)
+        assert pqec_fidelity(profile).fidelity > nisq_fidelity(profile).fidelity
+
+    def test_packing_efficiency_target(self):
+        layout = make_layout("proposed", 164)
+        assert layout.packing_efficiency() >= 0.64

@@ -1,0 +1,118 @@
+"""Tests for the affine parameter-expression system."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.parameters import (Parameter, ParameterExpression,
+                                       ParameterVector, bind_value,
+                                       free_parameters)
+
+
+class TestParameter:
+    def test_distinct_parameters_with_same_name_differ(self):
+        a1 = Parameter("a")
+        a2 = Parameter("a")
+        assert a1 != a2
+        assert hash(a1) != hash(a2)
+
+    def test_parameter_reports_itself_as_free(self):
+        theta = Parameter("theta")
+        assert theta.parameters == frozenset({theta})
+        assert not theta.is_bound
+
+    def test_parameter_vector_indexing_and_length(self):
+        vec = ParameterVector("theta", 5)
+        assert len(vec) == 5
+        assert vec[2].name == "theta[2]"
+        assert list(vec)[-1].name == "theta[4]"
+
+    def test_parameter_vector_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            ParameterVector("x", -1)
+
+
+class TestExpressionArithmetic:
+    def test_addition_and_scaling(self):
+        theta = Parameter("theta")
+        expr = 2.0 * theta + 1.0
+        assert expr.coefficient(theta) == pytest.approx(2.0)
+        assert expr.offset == pytest.approx(1.0)
+
+    def test_negation_and_subtraction(self):
+        theta = Parameter("theta")
+        expr = -(theta - 3.0)
+        assert expr.coefficient(theta) == pytest.approx(-1.0)
+        assert expr.offset == pytest.approx(3.0)
+
+    def test_two_parameter_combination(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = 0.5 * a - 2.0 * b + 1.0
+        assert expr.evaluate({a: 2.0, b: 0.25}) == pytest.approx(1.5)
+
+    def test_division_by_scalar(self):
+        a = Parameter("a")
+        expr = (4.0 * a) / 2.0
+        assert expr.coefficient(a) == pytest.approx(2.0)
+
+    def test_division_by_zero_raises(self):
+        a = Parameter("a")
+        with pytest.raises(ZeroDivisionError):
+            _ = a / 0.0
+
+    def test_float_conversion_requires_bound_expression(self):
+        a = Parameter("a")
+        with pytest.raises(TypeError):
+            float(a)
+        assert float(a.bind({a: 1.25})) == pytest.approx(1.25)
+
+    def test_partial_binding_keeps_remaining_parameters(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = a + 2.0 * b
+        partial = expr.bind({a: 1.0})
+        assert partial.parameters == frozenset({b})
+        assert partial.offset == pytest.approx(1.0)
+
+    def test_evaluate_with_missing_binding_raises(self):
+        a, b = Parameter("a"), Parameter("b")
+        with pytest.raises(ValueError):
+            (a + b).evaluate({a: 1.0})
+
+    def test_cancellation_produces_bound_expression(self):
+        a = Parameter("a")
+        expr = a - a
+        assert expr.is_bound
+        assert float(expr) == pytest.approx(0.0)
+
+
+class TestHelpers:
+    def test_bind_value_passthrough_for_numbers(self):
+        assert bind_value(1.5, {}) == pytest.approx(1.5)
+
+    def test_bind_value_resolves_expression(self):
+        a = Parameter("a")
+        assert bind_value(2 * a, {a: 0.5}) == pytest.approx(1.0)
+
+    def test_free_parameters_collects_across_values(self):
+        a, b = Parameter("a"), Parameter("b")
+        assert free_parameters([a + 1.0, 3.0, 2 * b]) == frozenset({a, b})
+
+
+@given(coeff=st.floats(-10, 10, allow_nan=False),
+       offset=st.floats(-10, 10, allow_nan=False),
+       value=st.floats(-10, 10, allow_nan=False))
+def test_affine_expression_evaluates_like_python(coeff, offset, value):
+    theta = Parameter("theta")
+    expr = coeff * theta + offset
+    assert expr.evaluate({theta: value}) == pytest.approx(coeff * value + offset)
+
+
+@given(values=st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=6))
+def test_sum_of_parameters_evaluates_to_sum_of_values(values):
+    params = [Parameter(f"p{i}") for i in range(len(values))]
+    expr = params[0]
+    for param in params[1:]:
+        expr = expr + param
+    bindings = dict(zip(params, values))
+    assert expr.evaluate(bindings) == pytest.approx(sum(values))

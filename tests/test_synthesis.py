@@ -1,0 +1,318 @@
+"""Tests for Clifford+T synthesis: Clifford group, ε-net, Solovay–Kitaev."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.simulators.statevector import circuit_unitary
+from repro.synthesis.clifford_group import (CLIFFORD_WORDS, CliffordElement,
+                                            clifford_group_elements,
+                                            clifford_word_for,
+                                            closest_clifford,
+                                            is_clifford_unitary,
+                                            merge_clifford_prefix)
+from repro.synthesis.gridsynth import (EpsilonNet, approximate_rz,
+                                       build_epsilon_net, sequence_to_circuit,
+                                       synthesize_circuit_rotations,
+                                       t_count_of_sequence)
+from repro.synthesis.solovay_kitaev import (SolovayKitaevSynthesizer,
+                                            bloch_axis_angle,
+                                            group_commutator_decompose,
+                                            rotation_matrix)
+from repro.synthesis.verification import (gate_matrix, invert_sequence,
+                                          operator_distance, process_fidelity,
+                                          rz_unitary, sequence_unitary,
+                                          verify_sequence)
+
+
+# ---------------------------------------------------------------------------
+# Verification primitives
+# ---------------------------------------------------------------------------
+
+class TestVerification:
+    def test_gate_matrix_unknown_gate(self):
+        with pytest.raises(ValueError):
+            gate_matrix("toffoli")
+
+    def test_all_gate_matrices_are_unitary(self):
+        for name in ("h", "s", "sdg", "t", "tdg", "x", "y", "z", "sx", "i"):
+            matrix = gate_matrix(name)
+            np.testing.assert_allclose(matrix @ matrix.conj().T, np.eye(2),
+                                       atol=1e-12)
+
+    def test_sequence_unitary_order(self):
+        """['h', 't'] means H first, so the matrix is T·H."""
+        expected = gate_matrix("t") @ gate_matrix("h")
+        np.testing.assert_allclose(sequence_unitary(["h", "t"]), expected,
+                                   atol=1e-12)
+
+    def test_invert_sequence_roundtrip(self):
+        word = ("h", "t", "s", "tdg", "h")
+        product = sequence_unitary(word + invert_sequence(word))
+        assert operator_distance(product, np.eye(2)) < 1e-12
+
+    def test_invert_sequence_unknown_gate(self):
+        with pytest.raises(ValueError):
+            invert_sequence(["cx"])
+
+    def test_operator_distance_phase_invariance(self):
+        target = rz_unitary(0.3)
+        assert operator_distance(target, np.exp(1j * 1.1) * target) < 1e-12
+
+    def test_operator_distance_positive_for_distinct(self):
+        assert operator_distance(gate_matrix("h"), gate_matrix("t")) > 0.1
+
+    def test_process_fidelity_bounds(self):
+        assert process_fidelity(gate_matrix("h"), gate_matrix("h")) == pytest.approx(1.0)
+        assert 0.0 <= process_fidelity(gate_matrix("h"), gate_matrix("t")) < 1.0
+
+    def test_verify_sequence(self):
+        assert verify_sequence(["t", "t"], gate_matrix("s"), 1e-10)
+        assert not verify_sequence(["t"], gate_matrix("s"), 1e-10)
+
+    def test_rz_unitary_composition(self):
+        product = rz_unitary(0.4) @ rz_unitary(0.6)
+        np.testing.assert_allclose(product, rz_unitary(1.0), atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Clifford group
+# ---------------------------------------------------------------------------
+
+class TestCliffordGroup:
+    def test_group_has_24_elements(self):
+        assert len(clifford_group_elements()) == 24
+        assert len(CLIFFORD_WORDS) == 24
+
+    def test_elements_are_distinct_up_to_phase(self):
+        elements = clifford_group_elements()
+        for i in range(len(elements)):
+            for j in range(i + 1, len(elements)):
+                assert operator_distance(elements[i].matrix,
+                                         elements[j].matrix) > 1e-6
+
+    def test_words_reproduce_matrices(self):
+        for element in clifford_group_elements():
+            np.testing.assert_allclose(sequence_unitary(element.word),
+                                       element.matrix, atol=1e-12)
+
+    def test_group_closure_under_multiplication(self):
+        elements = clifford_group_elements()
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a, b = rng.integers(0, 24, size=2)
+            product = elements[a].matrix @ elements[b].matrix
+            assert is_clifford_unitary(product)
+
+    def test_closest_clifford_identity(self):
+        element, distance = closest_clifford(np.eye(2))
+        assert element.word == ()
+        assert distance < 1e-12
+
+    def test_closest_clifford_shape_check(self):
+        with pytest.raises(ValueError):
+            closest_clifford(np.eye(4))
+
+    def test_t_gate_is_not_clifford(self):
+        assert not is_clifford_unitary(gate_matrix("t"))
+
+    def test_clifford_word_for_rejects_non_clifford(self):
+        with pytest.raises(ValueError):
+            clifford_word_for(gate_matrix("t"))
+
+    def test_s_gate_equals_two_t_gates_word(self):
+        word = clifford_word_for(sequence_unitary(["t", "t"]))
+        assert operator_distance(sequence_unitary(word), gate_matrix("s")) < 1e-10
+
+    def test_merge_clifford_prefix_preserves_unitary_and_t_count(self):
+        word = ("h", "s", "h", "t", "x", "z", "s", "t", "h", "h")
+        merged = merge_clifford_prefix(word)
+        assert t_count_of_sequence(merged) == t_count_of_sequence(word)
+        assert operator_distance(sequence_unitary(merged),
+                                 sequence_unitary(word)) < 1e-10
+        assert len(merged) <= len(word)
+
+
+# ---------------------------------------------------------------------------
+# ε-net synthesis (gridsynth stand-in)
+# ---------------------------------------------------------------------------
+
+class TestEpsilonNet:
+    def test_net_grows_with_t_count(self):
+        small = build_epsilon_net(2)
+        large = build_epsilon_net(4)
+        assert large.size > small.size
+
+    def test_net_contains_cliffords_at_zero_t(self):
+        net = build_epsilon_net(2)
+        zero_t = [point for point in net.points() if point.t_count == 0]
+        assert len(zero_t) == 24
+
+    def test_net_points_have_consistent_t_counts(self):
+        net = build_epsilon_net(3)
+        for point in net.points():
+            assert t_count_of_sequence(point.word) == point.t_count
+
+    def test_nearest_exact_for_clifford_angles(self):
+        net = build_epsilon_net(2)
+        point, distance = net.nearest(rz_unitary(math.pi / 2))
+        assert distance < 1e-8
+        assert point.t_count == 0
+
+    def test_nearest_t_budget(self):
+        net = build_epsilon_net(4)
+        point, _ = net.nearest(rz_unitary(math.pi / 4), t_budget=1)
+        assert point.t_count <= 1
+        with pytest.raises(ValueError):
+            net.nearest(rz_unitary(0.3), t_budget=-1)
+
+    def test_resolution_improves_with_t_count(self):
+        coarse = build_epsilon_net(2).resolution(num_samples=16)
+        fine = build_epsilon_net(5).resolution(num_samples=16)
+        assert fine < coarse
+
+
+class TestApproximateRz:
+    def test_clifford_angle_needs_no_t_gates(self):
+        result = approximate_rz(math.pi, target_error=1e-6)
+        assert result.t_count == 0
+        assert result.achieved_error < 1e-8
+        assert result.explicit
+
+    def test_t_angle_synthesizes_exactly(self):
+        result = approximate_rz(math.pi / 4, target_error=1e-6)
+        assert result.achieved_error < 1e-8
+        assert result.t_count == 1
+
+    def test_generic_angle_meets_loose_target(self):
+        result = approximate_rz(0.37, target_error=0.15, max_net_t_count=5)
+        assert result.meets_target
+        assert result.sequence
+
+    def test_sequence_implements_reported_error(self):
+        result = approximate_rz(1.234, target_error=0.2, max_net_t_count=5)
+        measured = operator_distance(sequence_unitary(result.sequence),
+                                     rz_unitary(1.234))
+        assert measured == pytest.approx(result.achieved_error, abs=1e-9)
+
+    def test_model_fallback_for_tight_precision(self):
+        result = approximate_rz(0.61, target_error=1e-9, max_net_t_count=3,
+                                use_solovay_kitaev=False)
+        assert not result.explicit
+        # The fallback T-count follows the Ross–Selinger scaling model.
+        assert result.t_count >= 3 * math.log2(1.0 / 1e-9) - 10
+
+    def test_invalid_target_error(self):
+        with pytest.raises(ValueError):
+            approximate_rz(0.5, target_error=0.0)
+
+    def test_sequence_to_circuit(self):
+        result = approximate_rz(math.pi / 4, target_error=1e-6)
+        circuit = sequence_to_circuit(result.sequence, qubit=0)
+        np.testing.assert_allclose(
+            np.abs(circuit_unitary(circuit)),
+            np.abs(sequence_unitary(result.sequence)), atol=1e-10)
+
+    def test_synthesize_circuit_rotations_replaces_rz(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.rz(math.pi / 4, 0)
+        circuit.cx(0, 1)
+        circuit.rz(math.pi / 2, 1)
+        synthesized, reports = synthesize_circuit_rotations(circuit,
+                                                            target_error=1e-6)
+        assert len(reports) == 2
+        assert synthesized.count_ops().get("rz", 0) == 0
+        assert synthesized.count_ops().get("cx", 0) == 1
+
+    @pytest.mark.parametrize("gate,theta", [("rx", math.pi / 2),
+                                            ("ry", math.pi / 2)])
+    def test_synthesize_circuit_rotations_axis_conjugation(self, gate, theta):
+        """Synthesized rx/ry rotations implement the original unitary."""
+        circuit = QuantumCircuit(1)
+        getattr(circuit, gate)(theta, 0)
+        synthesized, _ = synthesize_circuit_rotations(circuit,
+                                                      target_error=1e-6)
+        distance = operator_distance(circuit_unitary(synthesized),
+                                     circuit_unitary(circuit))
+        assert distance < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Solovay–Kitaev
+# ---------------------------------------------------------------------------
+
+class TestBlochGeometry:
+    @pytest.mark.parametrize("axis,angle", [
+        ([0, 0, 1], 0.7), ([1, 0, 0], 1.3), ([0, 1, 0], 2.1),
+        ([1, 1, 1], 0.4),
+    ])
+    def test_axis_angle_roundtrip(self, axis, angle):
+        matrix = rotation_matrix(axis, angle)
+        recovered_axis, recovered_angle = bloch_axis_angle(matrix)
+        expected_axis = np.asarray(axis, dtype=float)
+        expected_axis = expected_axis / np.linalg.norm(expected_axis)
+        assert recovered_angle == pytest.approx(angle, abs=1e-9)
+        np.testing.assert_allclose(recovered_axis, expected_axis, atol=1e-9)
+
+    def test_identity_has_zero_angle(self):
+        _, angle = bloch_axis_angle(np.eye(2))
+        assert angle == pytest.approx(0.0, abs=1e-12)
+
+    def test_group_commutator_reconstructs_rotation(self):
+        target = rotation_matrix([0.3, -0.5, 0.81], 0.9)
+        v, w = group_commutator_decompose(target)
+        commutator = v @ w @ v.conj().T @ w.conj().T
+        assert operator_distance(commutator, target) < 1e-8
+
+    def test_group_commutator_of_identity(self):
+        v, w = group_commutator_decompose(np.eye(2))
+        np.testing.assert_allclose(v, np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(w, np.eye(2), atol=1e-12)
+
+
+class TestSolovayKitaev:
+    @pytest.fixture(scope="class")
+    def synthesizer(self):
+        return SolovayKitaevSynthesizer(build_epsilon_net(4))
+
+    def test_depth_zero_matches_basic_approximation(self, synthesizer):
+        target = rz_unitary(0.37)
+        assert (synthesizer.synthesize(target, depth=0)
+                == synthesizer.basic_approximation(target))
+
+    def test_recursion_never_degrades_accuracy(self, synthesizer):
+        for theta in (0.37, 1.111, 2.5):
+            target = rz_unitary(theta)
+            error_0 = synthesizer.synthesis_error(target, depth=0)
+            error_1 = synthesizer.synthesis_error(target, depth=1)
+            error_2 = synthesizer.synthesis_error(target, depth=2)
+            assert error_1 <= error_0 + 1e-12
+            assert error_2 <= error_1 + 1e-12
+
+    def test_recursion_improves_generic_target(self, synthesizer):
+        target = rz_unitary(0.37)
+        assert (synthesizer.synthesis_error(target, depth=2)
+                < synthesizer.synthesis_error(target, depth=0))
+
+    def test_input_validation(self, synthesizer):
+        with pytest.raises(ValueError):
+            synthesizer.synthesize(np.eye(4), depth=1)
+        with pytest.raises(ValueError):
+            synthesizer.synthesize(np.eye(2), depth=-1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(min_value=0.05, max_value=2 * math.pi - 0.05))
+def test_property_synthesis_error_matches_reported(theta):
+    """approximate_rz always reports the error its sequence actually achieves."""
+    result = approximate_rz(theta, target_error=0.3, max_net_t_count=4,
+                            use_solovay_kitaev=False)
+    measured = operator_distance(sequence_unitary(result.sequence),
+                                 rz_unitary(theta))
+    assert measured == pytest.approx(result.achieved_error, abs=1e-9)
+    assert result.t_count >= t_count_of_sequence(result.sequence) or result.explicit

@@ -1,0 +1,143 @@
+"""Tests for circuit rewriting passes (Clifford+Rz basis, snapping, census)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (Parameter, QuantumCircuit, decompose_to_clifford_rz,
+                            gate_census, merge_rz_runs, remove_barriers,
+                            snap_to_clifford)
+from repro.circuits.transpile import bind_and_canonicalize
+from repro.simulators.statevector import StatevectorSimulator, circuit_unitary
+
+
+def unitaries_equal_up_to_phase(a, b, atol=1e-8):
+    overlap = abs(np.trace(a.conj().T @ b)) / a.shape[0]
+    return overlap == pytest.approx(1.0, abs=atol)
+
+
+class TestDecomposition:
+    @given(theta=st.floats(-math.pi, math.pi, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_rx_decomposition_preserves_unitary(self, theta):
+        original = QuantumCircuit(1)
+        original.rx(theta, 0)
+        rewritten = decompose_to_clifford_rz(original)
+        assert unitaries_equal_up_to_phase(circuit_unitary(original),
+                                           circuit_unitary(rewritten))
+
+    @given(theta=st.floats(-math.pi, math.pi, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_ry_decomposition_preserves_unitary(self, theta):
+        original = QuantumCircuit(1)
+        original.ry(theta, 0)
+        rewritten = decompose_to_clifford_rz(original)
+        assert unitaries_equal_up_to_phase(circuit_unitary(original),
+                                           circuit_unitary(rewritten))
+
+    @given(theta=st.floats(-math.pi, math.pi, allow_nan=False))
+    @settings(max_examples=15, deadline=None)
+    def test_rzz_decomposition_preserves_unitary(self, theta):
+        original = QuantumCircuit(2)
+        original.rzz(theta, 0, 1)
+        rewritten = decompose_to_clifford_rz(original)
+        assert unitaries_equal_up_to_phase(circuit_unitary(original),
+                                           circuit_unitary(rewritten))
+
+    def test_only_rz_rotations_remain(self):
+        qc = QuantumCircuit(2)
+        qc.rx(0.3, 0).ry(0.7, 1).rzz(0.2, 0, 1).u3(0.1, 0.2, 0.3, 0)
+        rewritten = decompose_to_clifford_rz(qc)
+        rotation_names = {inst.name for inst in rewritten if inst.gate.is_rotation}
+        assert rotation_names <= {"rz"}
+
+    def test_symbolic_parameters_survive(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(1)
+        qc.rx(theta, 0)
+        rewritten = decompose_to_clifford_rz(qc)
+        assert theta in rewritten.parameters
+
+
+class TestMergeRz:
+    def test_adjacent_rz_gates_fuse(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.2, 0).rz(0.3, 0)
+        merged = merge_rz_runs(qc)
+        assert merged.count_ops()["rz"] == 1
+        assert merged[0].params[0] == pytest.approx(0.5)
+
+    def test_cancellation_drops_identity(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.4, 0).rz(-0.4, 0)
+        assert merge_rz_runs(qc).size() == 0
+
+    def test_intervening_gate_breaks_run(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.2, 0).h(0).rz(0.3, 0)
+        assert merge_rz_runs(qc).count_ops()["rz"] == 2
+
+    def test_angles_normalized_into_principal_range(self):
+        qc = QuantumCircuit(1)
+        qc.rz(3 * math.pi, 0)
+        merged = merge_rz_runs(qc)
+        assert abs(float(merged[0].params[0])) <= math.pi + 1e-9
+
+
+class TestSnapping:
+    def test_snapped_circuit_is_clifford(self):
+        qc = QuantumCircuit(2)
+        qc.rx(0.5, 0).ry(1.1, 1).cx(0, 1).rz(2.0, 1)
+        snapped = snap_to_clifford(qc)
+        assert snapped.is_clifford()
+
+    def test_exact_multiples_map_to_named_cliffords(self):
+        qc = QuantumCircuit(1)
+        qc.rz(math.pi / 2, 0).rz(math.pi, 0).rz(3 * math.pi / 2, 0)
+        snapped = snap_to_clifford(qc)
+        assert [inst.name for inst in snapped] == ["s", "z", "sdg"]
+
+    def test_snapping_t_gate_raises(self):
+        qc = QuantumCircuit(1)
+        qc.t(0)
+        with pytest.raises(ValueError):
+            snap_to_clifford(qc)
+
+
+class TestCensus:
+    def test_counts_for_mixed_circuit(self):
+        qc = QuantumCircuit(3)
+        qc.rx(0.3, 0).cx(0, 1).rz(math.pi / 2, 2).rz(0.1, 2).t(1).measure_all()
+        census = gate_census(qc)
+        assert census.cnot == 1
+        assert census.measure == 3
+        # rx -> one rz; the two rz on qubit 2 merge into one non-Clifford; t counts too.
+        assert census.rz == 3
+        assert census.nonclifford_rz == 3
+
+    def test_ratio_is_infinite_without_rotations(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        assert gate_census(qc).cnot_to_rz_ratio == math.inf
+
+    def test_remove_barriers(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).barrier().cx(0, 1)
+        assert all(inst.name != "barrier" for inst in remove_barriers(qc))
+
+    def test_bind_and_canonicalize_produces_clifford_rz(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(2)
+        qc.rx(theta, 0).cx(0, 1)
+        bound = bind_and_canonicalize(qc, {theta: 0.7})
+        assert bound.num_parameters == 0
+        assert all(inst.name in {"h", "rz", "cx"} for inst in bound)
+
+    def test_bind_and_canonicalize_clifford_only(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(1)
+        qc.rx(theta, 0)
+        snapped = bind_and_canonicalize(qc, {theta: 0.7}, clifford_only=True)
+        assert snapped.is_clifford()

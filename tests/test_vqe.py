@@ -1,0 +1,171 @@
+"""Tests for the VQE engine: energy evaluators, optimizers, runners, and the
+Clifford-restricted flow."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ansatz import FullyConnectedAnsatz, LinearAnsatz
+from repro.core import NISQRegime, PQECRegime
+from repro.operators import (PauliSum, exact_ground_state, heisenberg_hamiltonian,
+                             ising_hamiltonian)
+from repro.simulators import NoiseModel, depolarizing_channel
+from repro.vqe import (VQE, CliffordEnergyEvaluator, CliffordVQE,
+                       CobylaOptimizer, DensityMatrixEnergyEvaluator,
+                       ExactEnergyEvaluator, GeneticOptimizer,
+                       NelderMeadOptimizer, SPSAOptimizer,
+                       best_noiseless_clifford_energy, compare_regimes,
+                       compare_regimes_clifford, indices_to_angles)
+
+
+def quadratic(x):
+    return float(np.sum((np.asarray(x) - 0.3) ** 2))
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("optimizer", [CobylaOptimizer(max_iterations=200),
+                                           NelderMeadOptimizer(max_iterations=300),
+                                           SPSAOptimizer(max_iterations=200, seed=0)])
+    def test_minimizes_quadratic(self, optimizer):
+        result = optimizer.minimize(quadratic, np.zeros(3))
+        assert result.best_value < 0.05
+        assert result.num_evaluations > 0
+        assert len(result.history) == result.num_evaluations
+
+    def test_history_best_is_monotone_in_result(self):
+        result = CobylaOptimizer(max_iterations=100).minimize(quadratic, np.ones(2))
+        assert result.best_value == pytest.approx(min(result.history))
+
+    def test_genetic_optimizer_finds_discrete_optimum(self):
+        target = np.array([1, 3, 0, 2, 1])
+
+        def objective(chromosome):
+            return float(np.sum(chromosome != target))
+
+        optimizer = GeneticOptimizer(population_size=30, generations=25, seed=3)
+        result = optimizer.minimize(objective, len(target))
+        assert result.best_value <= 1.0
+
+    def test_genetic_optimizer_validation(self):
+        with pytest.raises(ValueError):
+            GeneticOptimizer(population_size=2)
+        with pytest.raises(ValueError):
+            GeneticOptimizer(population_size=8, elite_count=8)
+
+
+class TestEnergyEvaluators:
+    def test_exact_evaluator_counts_calls(self):
+        hamiltonian = ising_hamiltonian(3, 1.0)
+        evaluator = ExactEnergyEvaluator(hamiltonian)
+        ansatz = LinearAnsatz(3)
+        circuit = ansatz.bound_circuit([0.1] * ansatz.num_parameters())
+        value = evaluator(circuit)
+        assert evaluator.num_evaluations == 1
+        assert isinstance(value, float)
+
+    def test_density_matrix_noise_pulls_energy_toward_mixed_value(self):
+        # The traceless Ising Hamiltonian has ⟨H⟩ = 0 in the maximally mixed
+        # state; depolarizing noise therefore shrinks |⟨H⟩|.
+        hamiltonian = ising_hamiltonian(3, 1.0)
+        ansatz = LinearAnsatz(3)
+        circuit = ansatz.bound_circuit(
+            np.random.default_rng(0).uniform(-1, 1, ansatz.num_parameters()))
+        noiseless = ExactEnergyEvaluator(hamiltonian)(circuit)
+        noise = NoiseModel().add_gate_error(depolarizing_channel(0.1, 2), ["cx"])
+        noisy = DensityMatrixEnergyEvaluator(hamiltonian, noise)(circuit)
+        assert abs(noisy) <= abs(noiseless) + 1e-9
+
+    def test_clifford_evaluator_matches_exact_on_clifford_point(self):
+        hamiltonian = heisenberg_hamiltonian(4, 0.5)
+        ansatz = LinearAnsatz(4)
+        angles = indices_to_angles([1, 0, 2, 3, 0, 1, 2, 0])
+        circuit = ansatz.bound_circuit(angles)
+        exact = ExactEnergyEvaluator(hamiltonian)(circuit)
+        clifford = CliffordEnergyEvaluator(hamiltonian)(circuit)
+        assert clifford == pytest.approx(exact, abs=1e-8)
+
+
+class TestContinuousVQE:
+    def test_vqe_improves_over_initial_point(self):
+        hamiltonian = ising_hamiltonian(3, 0.5)
+        ansatz = LinearAnsatz(3, depth=1)
+        vqe = VQE(hamiltonian, ansatz, ExactEnergyEvaluator(hamiltonian),
+                  CobylaOptimizer(max_iterations=80),
+                  reference_energy=hamiltonian.ground_state_energy())
+        initial = vqe.energy(np.zeros(ansatz.num_parameters()))
+        result = vqe.run(seed=1)
+        assert result.best_energy <= initial + 1e-9
+        assert result.energy_gap is not None and result.energy_gap >= -1e-6
+
+    def test_vqe_reaches_near_ground_state_on_two_qubits(self):
+        hamiltonian = ising_hamiltonian(2, 0.25)
+        ansatz = LinearAnsatz(2, depth=2)
+        vqe = VQE(hamiltonian, ansatz, ExactEnergyEvaluator(hamiltonian),
+                  CobylaOptimizer(max_iterations=250))
+        result = vqe.run(num_restarts=2, seed=7)
+        exact = hamiltonian.ground_state_energy()
+        assert result.best_energy == pytest.approx(exact, abs=0.05)
+
+    def test_mismatched_qubit_counts_rejected(self):
+        with pytest.raises(ValueError):
+            VQE(ising_hamiltonian(3, 1.0), LinearAnsatz(4),
+                ExactEnergyEvaluator(ising_hamiltonian(3, 1.0)))
+
+    def test_compare_regimes_produces_gamma_at_least_one_half(self):
+        hamiltonian = ising_hamiltonian(3, 1.0)
+        ansatz = LinearAnsatz(3, depth=1)
+        reference = hamiltonian.ground_state_energy()
+        outcome = compare_regimes(
+            hamiltonian, ansatz, PQECRegime(), NISQRegime(), reference,
+            optimizer_factory=lambda: CobylaOptimizer(max_iterations=40),
+            benchmark_name="ising3", seed=2)
+        comparison = outcome["comparison"]
+        assert comparison.reference_energy == reference
+        assert comparison.gamma > 0.0
+        assert outcome["result_a"].regime == "pqec"
+
+
+class TestCliffordVQE:
+    def test_reference_energy_close_to_true_ground_state_for_ising(self):
+        # For the transverse-field Ising model at J=0.25 the best stabilizer
+        # state is close to the computational ground state.
+        hamiltonian = ising_hamiltonian(6, 0.25)
+        result = best_noiseless_clifford_energy(
+            hamiltonian, FullyConnectedAnsatz(6),
+            GeneticOptimizer(population_size=20, generations=10, seed=5), seed=5)
+        exact = hamiltonian.ground_state_energy()
+        assert result.best_energy <= -5.9  # all-zeros state gives -6 + O(J)
+        assert result.best_energy >= exact - 1e-6
+
+    def test_noisy_clifford_vqe_result_is_well_formed(self):
+        hamiltonian = ising_hamiltonian(6, 0.5)
+        ansatz = FullyConnectedAnsatz(6)
+        vqe = CliffordVQE(hamiltonian, ansatz, NISQRegime().noise_model(),
+                          GeneticOptimizer(population_size=16, generations=8,
+                                           seed=1), seed=1)
+        result = vqe.run()
+        # Elitism makes the per-generation best monotone non-increasing.
+        assert all(a >= b - 1e-12 for a, b in zip(result.history, result.history[1:]))
+        assert result.best_energy == pytest.approx(min(result.history))
+        assert set(np.unique(result.parameter_indices)) <= {0, 1, 2, 3}
+        # Re-evaluating the reported chromosome reproduces the reported energy.
+        assert vqe.evaluate_indices(result.parameter_indices) == pytest.approx(
+            result.best_energy)
+
+    def test_compare_regimes_clifford_pqec_wins(self):
+        hamiltonian = ising_hamiltonian(8, 1.0)
+        ansatz = FullyConnectedAnsatz(8)
+        outcome = compare_regimes_clifford(
+            hamiltonian, ansatz, PQECRegime(), NISQRegime(),
+            optimizer_factory=lambda: GeneticOptimizer(
+                population_size=14, generations=6, seed=9),
+            benchmark_name="ising8", seed=9)
+        comparison = outcome["comparison"]
+        assert comparison.gamma >= 1.0
+        assert outcome["result_a"].reference_energy == pytest.approx(
+            outcome["reference"].best_energy)
+
+    def test_indices_to_angles(self):
+        np.testing.assert_allclose(indices_to_angles([0, 1, 2, 3]),
+                                   [0, math.pi / 2, math.pi, 3 * math.pi / 2])
