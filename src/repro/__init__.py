@@ -16,17 +16,39 @@ organised bottom-up:
   pQEC, qec-conventional, qec-cultivation), Rz magic-state injection, patch
   shuffling, circuit fidelity estimation, device resource modelling and the
   γ metric;
+* :mod:`repro.execution` — the unified execution-backend API: every consumer
+  dispatches :class:`ExecutionTask` objects through :func:`execute`, which
+  batches, deduplicates, LRU-caches and regime-aware-routes them onto the
+  four simulators behind a common :class:`Backend` protocol;
 * :mod:`repro.vqe` / :mod:`repro.mitigation` — the VQE engine (continuous and
   Clifford-restricted) and NISQ-inherited mitigation (VarSaw, ZNE).
 
-Quick start::
+Quick start — evaluate one Hamiltonian through every execution path with a
+single batched, cached call::
 
-    from repro import (ising_hamiltonian, FullyConnectedAnsatz, NISQRegime,
-                       PQECRegime, compare_regimes_clifford)
+    from repro import (ExecutionTask, FullyConnectedAnsatz, execute,
+                       get_backend, ising_hamiltonian)
 
-    hamiltonian = ising_hamiltonian(16, coupling=1.0)
-    ansatz = FullyConnectedAnsatz(16, depth=1)
-    outcome = compare_regimes_clifford(hamiltonian, ansatz,
+    hamiltonian = ising_hamiltonian(8, coupling=1.0)
+    circuit = FullyConnectedAnsatz(8, depth=1).build().bind_parameters(
+        [0.0] * 32)
+
+    # "auto" routes per task: Clifford circuits go to the stabilizer /
+    # Pauli-propagation paths, small noisy circuits to the density matrix.
+    results = execute([ExecutionTask(circuit, observable=hamiltonian)],
+                      backend="auto")
+    print(results[0].value, results[0].backend_name)
+
+    # Explicit backends are one registry lookup away.
+    print(get_backend("statevector").capabilities())
+
+Regime comparison (the paper's headline experiment) sits one layer up::
+
+    from repro import (NISQRegime, PQECRegime, compare_regimes_clifford,
+                       FullyConnectedAnsatz, ising_hamiltonian)
+
+    outcome = compare_regimes_clifford(ising_hamiltonian(16, 1.0),
+                                       FullyConnectedAnsatz(16, depth=1),
                                        PQECRegime(), NISQRegime())
     print(outcome["comparison"].gamma)
 """
@@ -42,6 +64,10 @@ from .core import (EFTDevice, NISQRegime, PQECRegime, QECConventionalRegime,
                    QECCultivationRegime, CircuitProfile, estimate_fidelity,
                    injection_error_rate, relative_improvement)
 from .estimation import ResourceEstimator
+from .execution import (Backend, BackendCapabilities, BackendRegistry,
+                        ExecutionResult, ExecutionTask, Executor,
+                        available_backends, execute, get_backend,
+                        register_backend)
 from .operators import (FermionicOperator, PauliString, PauliSum,
                         heisenberg_hamiltonian, ising_hamiltonian,
                         jordan_wigner, maxcut_cost_hamiltonian,
@@ -52,14 +78,18 @@ from .qec import (FactoryConfig, MWPMDecoder, SurfaceCodePatch,
 from .simulators import (DensityMatrixSimulator, NoiseModel,
                          StabilizerSimulator, StatevectorSimulator)
 from .synthesis import approximate_rz
-from .vqe import (VQE, CliffordVQE, CobylaOptimizer, GeneticOptimizer,
-                  SPSAOptimizer, compare_regimes, compare_regimes_clifford,
-                  compare_regimes_opr)
+from .vqe import (VQE, BackendEnergyEvaluator, CliffordVQE, CobylaOptimizer,
+                  GeneticOptimizer, SPSAOptimizer, compare_regimes,
+                  compare_regimes_clifford, compare_regimes_opr)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Ansatz",
+    "Backend",
+    "BackendCapabilities",
+    "BackendEnergyEvaluator",
+    "BackendRegistry",
     "BlockedAllToAllAnsatz",
     "CircuitProfile",
     "CliffordVQE",
@@ -67,6 +97,9 @@ __all__ = [
     "DensityMatrixSimulator",
     "EFTCompiler",
     "EFTDevice",
+    "ExecutionResult",
+    "ExecutionTask",
+    "Executor",
     "FCHEAnsatz",
     "FactoryConfig",
     "FermionicOperator",
@@ -99,10 +132,13 @@ __all__ = [
     "VariationalClassifier",
     "__version__",
     "approximate_rz",
+    "available_backends",
     "compare_regimes",
     "compare_regimes_clifford",
     "compare_regimes_opr",
     "estimate_fidelity",
+    "execute",
+    "get_backend",
     "get_factory",
     "heisenberg_hamiltonian",
     "injection_error_rate",
@@ -112,6 +148,7 @@ __all__ = [
     "make_ansatz",
     "make_layout",
     "maxcut_cost_hamiltonian",
+    "register_backend",
     "molecular_hamiltonian",
     "relative_improvement",
     "schedule_on_layout",

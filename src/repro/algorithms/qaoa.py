@@ -22,8 +22,10 @@ from ..circuits.circuit import QuantumCircuit
 from ..circuits.parameters import ParameterVector
 from ..operators.graphs import cut_value, exact_maxcut, maxcut_cost_hamiltonian
 from ..operators.pauli import PauliString, PauliSum
+from ..simulators.noise import NoiseModel
 from ..simulators.statevector import StatevectorSimulator
-from ..vqe.energy import EnergyEvaluator, ExactEnergyEvaluator
+from ..vqe.energy import (BackendEnergyEvaluator, EnergyEvaluator,
+                          ExactEnergyEvaluator)
 from ..vqe.optimizers import CobylaOptimizer, OptimizationResult, Optimizer
 
 
@@ -150,16 +152,31 @@ class QAOAResult:
 
 
 class QAOA:
-    """End-to-end QAOA for MaxCut on a networkx graph."""
+    """End-to-end QAOA for MaxCut on a networkx graph.
+
+    Energy evaluations dispatch through the unified execution API: pass
+    ``backend``/``noise_model`` to pick an execution path (``"auto"`` routes
+    per circuit), or supply a fully custom ``evaluator`` (which wins over
+    ``backend``).
+    """
 
     def __init__(self, graph: nx.Graph, depth: int = 1,
                  evaluator: Optional[EnergyEvaluator] = None,
                  optimizer: Optional[Optimizer] = None,
-                 compute_optimal_cut: bool = True):
+                 compute_optimal_cut: bool = True,
+                 backend: Optional[str] = None,
+                 noise_model: Optional[NoiseModel] = None):
         self.graph = graph
         self.hamiltonian = maxcut_cost_hamiltonian(graph)
         self.ansatz = QAOAAnsatz(self.hamiltonian, depth)
-        self.evaluator = evaluator or ExactEnergyEvaluator(self.hamiltonian)
+        if evaluator is None:
+            if backend is not None or noise_model is not None:
+                evaluator = BackendEnergyEvaluator(
+                    self.hamiltonian, backend=backend or "auto",
+                    noise_model=noise_model)
+            else:
+                evaluator = ExactEnergyEvaluator(self.hamiltonian)
+        self.evaluator = evaluator
         self.optimizer = optimizer or CobylaOptimizer()
         self.optimal_cut: Optional[float] = None
         if compute_optimal_cut and graph.number_of_nodes() <= 18:

@@ -19,10 +19,10 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..execution.executor import execute
+from ..execution.task import ExecutionTask
 from ..operators.pauli import PauliString, PauliSum
-from ..simulators.density_matrix import DensityMatrixSimulator
 from ..simulators.noise import NoiseModel
-from ..simulators.statevector import StatevectorSimulator
 from ..vqe.optimizers import CobylaOptimizer, Optimizer, SPSAOptimizer
 
 
@@ -117,9 +117,10 @@ class VariationalClassifier:
         self.num_layers = int(num_layers)
         self.feature_repetitions = int(feature_repetitions)
         self.noise_model = noise_model
-        self._statevector = StatevectorSimulator()
-        self._density = (DensityMatrixSimulator(noise_model)
-                         if noise_model is not None else None)
+        # Noisy inference runs on the density-matrix backend, noiseless on
+        # the statevector backend — both through the unified execute() API.
+        self._backend = ("density_matrix" if noise_model is not None
+                         else "statevector")
         self._observable = PauliSum(self.num_qubits)
         self._observable.add_term(PauliString.single(self.num_qubits, 0, "Z"), 1.0)
         self.parameters = np.zeros(self.num_parameters())
@@ -166,19 +167,31 @@ class VariationalClassifier:
         return circuit.compose(self.variational_block(parameters))
 
     # -- inference ---------------------------------------------------------------
+    def _task(self, features: Sequence[float],
+              parameters: Optional[Sequence[float]]) -> ExecutionTask:
+        return ExecutionTask(circuit=self.model_circuit(features, parameters),
+                             observable=self._observable,
+                             noise_model=self.noise_model)
+
     def decision_function(self, features: Sequence[float],
                           parameters: Optional[Sequence[float]] = None) -> float:
         """⟨Z_0⟩ ∈ [−1, 1]; its sign is the predicted class."""
-        circuit = self.model_circuit(features, parameters)
-        if self._density is not None:
-            return self._density.expectation(circuit, self._observable)
-        return self._statevector.expectation(circuit, self._observable)
+        result = execute(self._task(features, parameters),
+                         backend=self._backend)[0]
+        return float(result.value)
+
+    def decision_scores(self, features_batch: Sequence[Sequence[float]],
+                        parameters: Optional[Sequence[float]] = None
+                        ) -> np.ndarray:
+        """⟨Z_0⟩ for a whole batch, submitted as one batched execute() call."""
+        tasks = [self._task(sample, parameters) for sample in features_batch]
+        return np.asarray([result.value
+                           for result in execute(tasks, backend=self._backend)])
 
     def predict(self, features_batch: Sequence[Sequence[float]],
                 parameters: Optional[Sequence[float]] = None) -> np.ndarray:
-        scores = [self.decision_function(sample, parameters)
-                  for sample in features_batch]
-        return np.where(np.asarray(scores) >= 0.0, 1, -1)
+        scores = self.decision_scores(features_batch, parameters)
+        return np.where(scores >= 0.0, 1, -1)
 
     def accuracy(self, dataset: ClassificationDataset,
                  parameters: Optional[Sequence[float]] = None) -> float:
@@ -189,11 +202,8 @@ class VariationalClassifier:
     def loss(self, parameters: Sequence[float],
              dataset: ClassificationDataset) -> float:
         """Mean squared margin loss ``mean((⟨Z_0⟩ − y)²)``."""
-        total = 0.0
-        for sample, label in zip(dataset.features, dataset.labels):
-            score = self.decision_function(sample, parameters)
-            total += (score - float(label)) ** 2
-        return total / dataset.num_samples
+        scores = self.decision_scores(dataset.features, parameters)
+        return float(np.mean((scores - dataset.labels.astype(float)) ** 2))
 
     def fit(self, dataset: ClassificationDataset,
             optimizer: Optional[Optimizer] = None,

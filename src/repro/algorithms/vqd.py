@@ -19,6 +19,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..ansatz.base import Ansatz
+from ..execution.executor import execute
+from ..execution.task import ExecutionTask
 from ..operators.pauli import PauliSum
 from ..simulators.statevector import StatevectorSimulator
 from ..vqe.optimizers import CobylaOptimizer, Optimizer
@@ -100,7 +102,6 @@ class VQD:
     def run(self, seed: Optional[int] = None,
             initial_scale: float = 0.1) -> VQDResult:
         rng = np.random.default_rng(seed)
-        energies: List[float] = []
         parameters: List[np.ndarray] = []
         histories: List[List[float]] = []
         lower_states: List = []
@@ -115,12 +116,28 @@ class VQD:
 
             result = optimizer.minimize(objective, start)
             best_state = self._state(result.best_parameters)
-            energies.append(float(best_state.expectation(self.hamiltonian)))
             parameters.append(np.asarray(result.best_parameters, dtype=float))
             histories.append(result.history)
             lower_states.append(best_state)
             total_evaluations += result.num_evaluations
+        energies = [float(state.expectation(self.hamiltonian))
+                    for state in lower_states]
         return VQDResult(energies=energies, parameters=parameters,
                          reference_energies=self.reference_energies,
                          num_evaluations=total_evaluations,
                          history=histories)
+
+    def evaluate_levels(self, result: VQDResult, noise_model=None,
+                        backend: str = "auto") -> List[float]:
+        """Re-evaluate the converged levels through the unified execution API.
+
+        One batched :func:`repro.execution.execute` call over the winning
+        circuits — under a regime's noise model and/or on a different
+        backend — which is how the spectral gaps are compared across
+        execution regimes without re-running the optimization.
+        """
+        tasks = [ExecutionTask(
+                     circuit=self._template.bind_parameters(list(theta)),
+                     observable=self.hamiltonian, noise_model=noise_model)
+                 for theta in result.parameters]
+        return [float(r.value) for r in execute(tasks, backend=backend)]

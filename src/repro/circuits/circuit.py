@@ -11,7 +11,9 @@ queries, and iteration for the simulators and the lattice-surgery scheduler.
 from __future__ import annotations
 
 import copy as _copy
+import hashlib
 import math
+import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -261,6 +263,36 @@ class QuantumCircuit:
 
     def has_measurements(self) -> bool:
         return any(inst.name == "measure" for inst in self._instructions)
+
+    def fingerprint(self) -> str:
+        """Stable structural hash of the circuit (hex digest).
+
+        Two circuits share a fingerprint exactly when they have the same qubit
+        count and the same ordered instruction stream — gate names, qubit and
+        classical-bit indices, and parameter values (bound floats are hashed
+        bit-exactly; free symbolic parameters by their deterministic string
+        form).  Name and ``metadata`` do **not** contribute, so rebuilding the
+        same circuit yields the same fingerprint across processes.  This is
+        the cache/deduplication key used by :mod:`repro.execution`.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(struct.pack("<I", self._num_qubits))
+        for inst in self._instructions:
+            hasher.update(inst.name.encode("utf-8"))
+            hasher.update(struct.pack(f"<{len(inst.qubits)}i", *inst.qubits)
+                          if inst.qubits else b"")
+            hasher.update(b"|")
+            hasher.update(struct.pack(f"<{len(inst.clbits)}i", *inst.clbits)
+                          if inst.clbits else b"")
+            for param in inst.params:
+                if isinstance(param, ParameterExpression) and not param.is_bound:
+                    hasher.update(b"P" + repr(param).encode("utf-8"))
+                else:
+                    # Bound expressions hash like plain floats so a
+                    # template-bound circuit matches its directly-built twin.
+                    hasher.update(b"F" + struct.pack("<d", float(param)))
+            hasher.update(b";")
+        return hasher.hexdigest()
 
     # -- transformation ---------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "QuantumCircuit":

@@ -1,0 +1,69 @@
+"""Unified execution-backend API.
+
+One stable seam between every consumer of simulation (VQE energy evaluators,
+QAOA, VQD, the variational classifier, VarSaw, twirling) and the four
+execution paths the paper evaluates with (statevector, density matrix,
+stabilizer tableau, Pauli propagation):
+
+* :class:`ExecutionTask` / :class:`ExecutionResult` — typed work units;
+* :class:`Backend` + :func:`get_backend` — the batch protocol and the
+  registry of adapters wrapping the in-repo simulators;
+* :func:`execute` — batched, deduplicated, LRU-cached, regime-aware
+  dispatch with thread-pool fan-out.
+
+Quick start::
+
+    from repro.execution import ExecutionTask, execute
+
+    tasks = [ExecutionTask(circuit, observable=hamiltonian)
+             for circuit in circuits]
+    energies = [result.value for result in execute(tasks, backend="auto")]
+"""
+
+from .adapters import (DensityMatrixBackend, MAX_DENSITY_MATRIX_QUBITS,
+                       MAX_STATEVECTOR_QUBITS, PauliPropagationBackend,
+                       StabilizerBackend, StatevectorBackend)
+from .backend import Backend, BackendCapabilities
+from .cache import CacheStats, ExpectationCache
+from .errors import (BackendCapabilityError, ExecutionError, RoutingError,
+                     UnknownBackendError)
+from .executor import (ExecutionStats, Executor, default_executor, execute,
+                       execute_one, reset_default_executor)
+from .registry import (BackendRegistry, DEFAULT_REGISTRY, available_backends,
+                       get_backend, register_backend)
+from .router import route_task
+from .task import (ExecutionResult, ExecutionTask, noise_token,
+                   observable_fingerprint)
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "BackendCapabilityError",
+    "BackendRegistry",
+    "CacheStats",
+    "DEFAULT_REGISTRY",
+    "DensityMatrixBackend",
+    "ExecutionError",
+    "ExecutionResult",
+    "ExecutionStats",
+    "ExecutionTask",
+    "Executor",
+    "ExpectationCache",
+    "MAX_DENSITY_MATRIX_QUBITS",
+    "MAX_STATEVECTOR_QUBITS",
+    "PauliPropagationBackend",
+    "RoutingError",
+    "StabilizerBackend",
+    "StatevectorBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "default_executor",
+    "execute",
+    "execute_one",
+    "get_backend",
+    "noise_token",
+    "observable_fingerprint",
+    "register_backend",
+    "reset_default_executor",
+    "route_task",
+]

@@ -1,0 +1,173 @@
+"""Backend adapters wrapping the four in-repo simulators.
+
+Each adapter translates :class:`~repro.execution.task.ExecutionTask` fields
+onto one simulator's constructor/``expectation``/``sample`` surface.  The
+noise model travels with the *task*, not the backend, so one shared adapter
+instance serves noiseless and noisy work alike.
+
+Seeding: stochastic adapters accept a base ``seed`` and derive a per-task
+seed from ``blake2b(base seed, task fingerprint)``.  The derivation is
+order-independent, so results are reproducible no matter how the executor
+batches or threads the work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from ..circuits.transpile import decompose_to_clifford_rz, merge_rz_runs
+from ..simulators.density_matrix import DensityMatrixSimulator
+from ..simulators.pauli_propagation import PauliPropagationSimulator
+from ..simulators.stabilizer import StabilizerSimulator
+from ..simulators.statevector import StatevectorSimulator
+from .backend import Backend, BackendCapabilities
+from .task import ExecutionTask
+
+#: Dense statevector simulation is O(2^n); past this it is pointless to try.
+MAX_STATEVECTOR_QUBITS = 24
+#: Dense density-matrix simulation is O(4^n); the paper uses it to 12 qubits.
+MAX_DENSITY_MATRIX_QUBITS = 14
+
+DEFAULT_TRAJECTORIES = 200
+
+#: Gate names the stabilizer tableau / Pauli propagator consume natively.
+#: Anything else (sx, t, rzz, u3, ...) is rewritten over Clifford+Rz first.
+_TABLEAU_NATIVE_GATES = frozenset(
+    {"i", "id", "x", "y", "z", "h", "s", "sdg", "cx", "cnot", "cz", "swap",
+     "rx", "ry", "rz", "barrier", "measure", "reset"})
+
+
+def _tableau_ready(circuit) -> bool:
+    return all(inst.name in _TABLEAU_NATIVE_GATES for inst in circuit)
+
+
+def _canonicalize_if_needed(circuit):
+    """Rewrite over Clifford+Rz only when the engine can't run it as-is.
+
+    Skipping the rewrite for already-native circuits avoids a redundant
+    transpile pass on the evaluator hot path (evaluators that canonicalize
+    produce native circuits) and preserves per-gate noise attachment for
+    callers who deliberately submit raw native circuits.
+    """
+    if _tableau_ready(circuit):
+        return circuit
+    return merge_rz_runs(decompose_to_clifford_rz(circuit))
+
+
+def _derive_seed(base_seed: Optional[int], task: ExecutionTask) -> Optional[int]:
+    """Per-task seed mixing the base seed with the circuit fingerprint."""
+    if base_seed is None:
+        return None
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(str(base_seed).encode())
+    hasher.update(task.circuit.fingerprint().encode())
+    if task.is_sampling:
+        hasher.update(str(task.shots).encode())
+    return int.from_bytes(hasher.digest(), "little") % (2 ** 31)
+
+
+class StatevectorBackend(Backend):
+    """Noiseless dense-statevector execution (exact, any gate set)."""
+
+    def __init__(self, seed: Optional[int] = None):
+        super().__init__()
+        self._seed = seed
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="statevector",
+            description="dense noiseless statevector (exact reference)",
+            supports_noise=False,
+            max_qubits=MAX_STATEVECTOR_QUBITS)
+
+    def is_deterministic_for(self, task: ExecutionTask) -> bool:
+        return task.is_expectation  # sampling draws shots
+
+    def _run_task(self, task: ExecutionTask):
+        simulator = StatevectorSimulator(seed=_derive_seed(self._seed, task))
+        if task.is_expectation:
+            return simulator.expectation(task.circuit, task.observable)
+        return simulator.sample(task.circuit, task.shots)
+
+
+class DensityMatrixBackend(Backend):
+    """Exact noisy execution via dense density matrices (small circuits)."""
+
+    def __init__(self, seed: Optional[int] = None):
+        super().__init__()
+        self._seed = seed
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="density_matrix",
+            description="dense density matrix with Kraus noise (exact, "
+                        "small qubit counts)",
+            max_qubits=MAX_DENSITY_MATRIX_QUBITS)
+
+    def is_deterministic_for(self, task: ExecutionTask) -> bool:
+        return task.is_expectation
+
+    def _run_task(self, task: ExecutionTask):
+        simulator = DensityMatrixSimulator(task.noise_model,
+                                           seed=_derive_seed(self._seed, task))
+        if task.is_expectation:
+            return simulator.expectation(task.circuit, task.observable)
+        return simulator.sample(task.circuit, task.shots)
+
+
+class StabilizerBackend(Backend):
+    """Clifford-circuit execution on stabilizer tableaus.
+
+    Noiseless expectation values are exact; noisy ones average Monte-Carlo
+    Pauli-error trajectories (``task.trajectories``, default 200).  Non-π/2
+    rotations are canonicalized away before simulation when possible.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        super().__init__()
+        self._seed = seed
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="stabilizer",
+            description="CHP stabilizer tableau (Clifford only; Monte-Carlo "
+                        "noise)",
+            clifford_only=True,
+            deterministic=False)
+
+    def is_deterministic_for(self, task: ExecutionTask) -> bool:
+        # Without noise a Clifford expectation value is exact; with noise it
+        # is a Monte-Carlo average, and sampling always draws shots.
+        return task.is_expectation and not task.has_noise
+
+    def _run_task(self, task: ExecutionTask):
+        simulator = StabilizerSimulator(task.noise_model,
+                                        seed=_derive_seed(self._seed, task))
+        circuit = _canonicalize_if_needed(task.circuit)
+        if task.is_expectation:
+            return simulator.expectation(circuit, task.observable,
+                                         trajectories=task.trajectories)
+        return simulator.sample(circuit, task.shots)
+
+
+class PauliPropagationBackend(Backend):
+    """Deterministic noisy Clifford expectation values via Pauli propagation.
+
+    Exact for stochastic Pauli noise (other channels are Pauli-twirled), and
+    the fastest path for large Clifford workloads; it cannot sample.
+    """
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="pauli_propagation",
+            description="exact noisy Clifford expectation values "
+                        "(deterministic, scales to 100+ qubits)",
+            supports_sampling=False,
+            clifford_only=True)
+
+    def _run_task(self, task: ExecutionTask):
+        simulator = PauliPropagationSimulator(task.noise_model,
+                                              include_idle=task.include_idle)
+        circuit = _canonicalize_if_needed(task.circuit)
+        return simulator.expectation(circuit, task.observable)

@@ -1,0 +1,120 @@
+"""The backend protocol every execution path implements.
+
+A backend is a batch-oriented wrapper around one simulation engine: it
+advertises what it can run through :meth:`Backend.capabilities` and turns a
+list of :class:`~repro.execution.task.ExecutionTask` objects into a list of
+:class:`~repro.execution.task.ExecutionResult` objects through
+:meth:`Backend.run_batch`.  The executor never talks to a simulator directly —
+adding a new execution path (a remote service, a GPU engine) means
+implementing this interface and registering it.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .errors import BackendCapabilityError
+from .task import ExecutionResult, ExecutionTask
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can run, used by routing and validation.
+
+    ``max_qubits`` is an advisory ceiling (dense simulators blow up past it);
+    ``deterministic`` means equal tasks always produce equal results, which
+    is the precondition for caching and deduplication.
+    """
+
+    name: str
+    description: str = ""
+    supports_noise: bool = True
+    supports_expectation: bool = True
+    supports_sampling: bool = True
+    clifford_only: bool = False
+    deterministic: bool = True
+    max_qubits: Optional[int] = None
+
+
+class Backend(abc.ABC):
+    """Abstract execution backend with batch submission and task validation."""
+
+    def __init__(self):
+        self.invocations = 0
+        self._invocation_lock = threading.Lock()
+
+    @abc.abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """Static description of what this backend supports."""
+
+    @abc.abstractmethod
+    def _run_task(self, task: ExecutionTask):
+        """Execute one validated task; returns the expectation value (float)
+        for expectation tasks or the counts histogram (dict) for sampling
+        tasks."""
+
+    @property
+    def name(self) -> str:
+        return self.capabilities().name
+
+    # -- validation ----------------------------------------------------------
+    def unsupported_reason(self, task: ExecutionTask, *,
+                           enforce_qubit_limit: bool = True) -> Optional[str]:
+        """Why this backend cannot run ``task``, or None when it can.
+
+        ``max_qubits`` is advisory: auto-routing honours it
+        (``enforce_qubit_limit=True``), but a caller who names this backend
+        explicitly may exceed it and accept the memory/time cost
+        (``enforce_qubit_limit=False``) — matching the behaviour of calling
+        the underlying simulator directly.
+        """
+        caps = self.capabilities()
+        if task.is_expectation and not caps.supports_expectation:
+            return f"backend {caps.name!r} cannot compute expectation values"
+        if task.is_sampling and not caps.supports_sampling:
+            return f"backend {caps.name!r} cannot sample measurement outcomes"
+        if task.has_noise and not caps.supports_noise:
+            return f"backend {caps.name!r} is noiseless-only"
+        if caps.clifford_only and not task.is_clifford():
+            return (f"backend {caps.name!r} only runs Clifford circuits "
+                    f"(rotations at multiples of pi/2)")
+        if enforce_qubit_limit and caps.max_qubits is not None \
+                and task.num_qubits > caps.max_qubits:
+            return (f"backend {caps.name!r} is limited to {caps.max_qubits} "
+                    f"qubits; task has {task.num_qubits}")
+        return None
+
+    def supports(self, task: ExecutionTask) -> bool:
+        return self.unsupported_reason(task) is None
+
+    def is_deterministic_for(self, task: ExecutionTask) -> bool:
+        """Whether equal copies of ``task`` would yield identical results."""
+        return self.capabilities().deterministic
+
+    # -- execution -----------------------------------------------------------
+    def run_batch(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:
+        """Execute every task, in order; raises on the first unsupported one."""
+        results: List[ExecutionResult] = []
+        for task in tasks:
+            # Calling run_batch is an explicit backend choice, so the
+            # advisory qubit ceiling is not enforced here.
+            reason = self.unsupported_reason(task, enforce_qubit_limit=False)
+            if reason is not None:
+                raise BackendCapabilityError(f"{reason} (task: {task!r})")
+            start = time.perf_counter()
+            payload = self._run_task(task)
+            with self._invocation_lock:
+                self.invocations += 1
+            results.append(ExecutionResult(
+                task=task, backend_name=self.name,
+                value=float(payload) if task.is_expectation else None,
+                counts=payload if task.is_sampling else None,
+                source="backend", elapsed=time.perf_counter() - start))
+        return results
+
+    def __repr__(self):
+        return f"{type(self).__name__}(name={self.name!r})"

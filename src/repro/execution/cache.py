@@ -1,0 +1,97 @@
+"""LRU cache for deterministic expectation values.
+
+Keys come from :meth:`repro.execution.task.ExecutionTask.cache_key` — the
+circuit fingerprint, observable fingerprint, noise-model identity and backend
+options.  Entries pin the noise model they were keyed on, so the identity
+component of a live key can never be recycled by the garbage collector.
+
+The cache is what makes optimizer-driven workloads cheap: COBYLA and SPSA
+re-evaluate repeated parameter vectors, VQD re-evaluates each level's best
+circuit, and VarSaw evaluates the same circuit against many observables —
+all of which collapse onto prior entries here.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Running counters for one :class:`ExpectationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self):
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"hit_rate={self.hit_rate:.1%}, size={self.size}/"
+                f"{self.max_size}, evictions={self.evictions})")
+
+
+class ExpectationCache:
+    """Thread-safe LRU mapping of task cache keys to expectation values."""
+
+    def __init__(self, max_size: int = 4096):
+        if max_size < 1:
+            raise ValueError("cache max_size must be positive")
+        self._max_size = int(max_size)
+        self._entries: "OrderedDict[Tuple, Tuple[float, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Tuple) -> Optional[float]:
+        """The cached value for ``key``, or None; refreshes LRU order."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: Tuple, value: float, pin: Any = None) -> None:
+        """Store ``value`` under ``key``; ``pin`` objects (the task's noise
+        model) are kept alive for the entry's lifetime."""
+        with self._lock:
+            self._entries[key] = (value, pin)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=self._evictions,
+                              size=len(self._entries),
+                              max_size=self._max_size)

@@ -1,0 +1,270 @@
+"""The batched, cached, regime-aware ``execute()`` entry point.
+
+Pipeline for one :meth:`Executor.run` call:
+
+1. **Resolve** — every task is assigned a backend: its own ``backend`` field,
+   the call-level ``backend=`` argument, or regime-aware auto-routing
+   (:func:`repro.execution.router.route_task`).
+2. **Cache lookup** — deterministic expectation tasks are looked up in the
+   LRU expectation cache (keyed on circuit fingerprint, observable, noise
+   model and backend options).
+3. **Deduplicate** — remaining identical deterministic tasks collapse to a
+   single simulator invocation per distinct key.
+4. **Dispatch** — unique tasks are grouped per backend, chunked, and fanned
+   out across a thread pool (``max_workers``); small batches run inline.
+5. **Assemble** — results come back in input order, each labelled with the
+   backend that ran it and whether it was served from cache or dedup.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .backend import Backend
+from .cache import CacheStats, ExpectationCache
+from .errors import BackendCapabilityError, ExecutionError
+from .registry import BackendRegistry, DEFAULT_REGISTRY
+from .router import route_task
+from .task import ExecutionResult, ExecutionTask
+
+#: Below this many unique tasks a thread pool costs more than it saves.
+_INLINE_THRESHOLD = 2
+
+#: Upper bound on auto-selected worker threads.
+_MAX_AUTO_WORKERS = 8
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate counters for one :class:`Executor` across all calls."""
+
+    tasks_submitted: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    backend_invocations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def simulator_invocations(self) -> int:
+        return sum(self.backend_invocations.values())
+
+    def __repr__(self):
+        return (f"ExecutionStats(submitted={self.tasks_submitted}, "
+                f"cache_hits={self.cache_hits}, dedup_hits={self.dedup_hits}, "
+                f"invocations={dict(self.backend_invocations)})")
+
+
+class Executor:
+    """Batches tasks onto backends with caching, dedup and threading.
+
+    One executor owns one expectation cache and one stats block; the
+    module-level :func:`execute` uses a shared default instance so all
+    layers of the package benefit from each other's cache entries.
+    """
+
+    def __init__(self, registry: Optional[BackendRegistry] = None,
+                 cache: Optional[ExpectationCache] = None,
+                 cache_size: int = 4096,
+                 max_workers: Optional[int] = None,
+                 use_cache: bool = True):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.cache = cache or ExpectationCache(max_size=cache_size)
+        self.max_workers = max_workers
+        self.use_cache = use_cache
+        self.stats = ExecutionStats()
+        self._lock = threading.Lock()
+
+    # -- resolution ----------------------------------------------------------
+    def _resolve_backend(self, task: ExecutionTask,
+                         backend: Union[str, Backend]
+                         ) -> Tuple[Backend, bool]:
+        """The backend for ``task`` plus whether it was explicitly chosen.
+
+        Explicit choices (a Backend instance, a task-level name, or a named
+        call-level backend) may exceed the advisory qubit ceilings, exactly
+        like calling the underlying simulator directly; auto-routing never
+        does.
+        """
+        if isinstance(backend, Backend):
+            return backend, True
+        if task.backend is not None:
+            return self.registry.get(task.backend), True
+        if backend == "auto":
+            return self.registry.get(route_task(task, self.registry)), False
+        return self.registry.get(backend), True
+
+    # -- execution -----------------------------------------------------------
+    def run(self, tasks: Union[ExecutionTask, Sequence[ExecutionTask]],
+            backend: Union[str, Backend] = "auto",
+            max_workers: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> List[ExecutionResult]:
+        """Execute ``tasks``; returns results aligned with the input order.
+
+        ``backend`` may be ``"auto"`` (route each task), a registry name, or
+        a :class:`Backend` instance (used for every task, bypassing the
+        registry).  A single task is accepted and still yields a list.
+        """
+        if isinstance(tasks, ExecutionTask):
+            tasks = [tasks]
+        else:
+            tasks = list(tasks)
+        for task in tasks:
+            if not isinstance(task, ExecutionTask):
+                raise ExecutionError(
+                    f"execute() expects ExecutionTask objects, got "
+                    f"{type(task).__name__}")
+        use_cache = self.use_cache if use_cache is None else use_cache
+        max_workers = self.max_workers if max_workers is None else max_workers
+        with self._lock:
+            self.stats.tasks_submitted += len(tasks)
+        if not tasks:
+            return []
+
+        backends: List[Backend] = []
+        keys: List[Optional[Tuple]] = []
+        results: List[Optional[ExecutionResult]] = [None] * len(tasks)
+        for task in tasks:
+            resolved, explicit = self._resolve_backend(task, backend)
+            reason = resolved.unsupported_reason(
+                task, enforce_qubit_limit=not explicit)
+            if reason is not None:
+                raise BackendCapabilityError(f"{reason} (task: {task!r})")
+            backends.append(resolved)
+            # Only deterministic expectation values are safe to share.
+            cacheable = (task.is_expectation
+                         and resolved.is_deterministic_for(task))
+            keys.append(task.cache_key(resolved.name) if cacheable else None)
+
+        # Cache lookup + in-batch dedup bookkeeping.
+        pending: Dict[Tuple, List[int]] = {}
+        to_run: List[int] = []
+        for index, (task, key) in enumerate(zip(tasks, keys)):
+            if key is not None and use_cache:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[index] = ExecutionResult(
+                        task=task, backend_name=backends[index].name,
+                        value=hit, source="cache")
+                    with self._lock:
+                        self.stats.cache_hits += 1
+                    continue
+            if key is not None:
+                owners = pending.setdefault(key, [])
+                owners.append(index)
+                if len(owners) > 1:
+                    continue  # an identical task already leads this key
+            to_run.append(index)
+
+        self._dispatch(tasks, backends, to_run, results, max_workers)
+
+        # Fill cache and duplicate slots from the leaders that actually ran.
+        for key, owners in pending.items():
+            leader = owners[0]
+            leader_result = results[leader]
+            if leader_result is None:
+                raise ExecutionError("internal error: leader task not run")
+            if use_cache:
+                self.cache.put(key, leader_result.value,
+                               pin=tasks[leader].noise_model)
+            for follower in owners[1:]:
+                results[follower] = ExecutionResult(
+                    task=tasks[follower], backend_name=leader_result.backend_name,
+                    value=leader_result.value, source="dedup")
+                with self._lock:
+                    self.stats.dedup_hits += 1
+        return results  # type: ignore[return-value]
+
+    def _dispatch(self, tasks: Sequence[ExecutionTask],
+                  backends: Sequence[Backend], to_run: Sequence[int],
+                  results: List[Optional[ExecutionResult]],
+                  max_workers: Optional[int]) -> None:
+        """Run the given task indices, grouped per backend, possibly threaded."""
+        by_backend: Dict[int, Tuple[Backend, List[int]]] = {}
+        for index in to_run:
+            entry = by_backend.setdefault(id(backends[index]),
+                                          (backends[index], []))
+            entry[1].append(index)
+        if not by_backend:
+            return
+
+        def run_chunk(backend: Backend, indices: List[int]) -> None:
+            batch = [tasks[i] for i in indices]
+            for i, result in zip(indices, backend.run_batch(batch)):
+                results[i] = result
+            with self._lock:
+                counters = self.stats.backend_invocations
+                counters[backend.name] = counters.get(backend.name, 0) \
+                    + len(indices)
+
+        workers = max_workers
+        if workers is None:
+            workers = min(_MAX_AUTO_WORKERS, os.cpu_count() or 1)
+        if workers <= 1 or len(to_run) <= _INLINE_THRESHOLD:
+            for backend, indices in by_backend.values():
+                run_chunk(backend, indices)
+            return
+
+        chunks: List[Tuple[Backend, List[int]]] = []
+        for backend, indices in by_backend.values():
+            chunk_size = max(1, -(-len(indices) // workers))
+            for start in range(0, len(indices), chunk_size):
+                chunks.append((backend, indices[start:start + chunk_size]))
+        with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+            futures = [pool.submit(run_chunk, backend, indices)
+                       for backend, indices in chunks]
+            for future in futures:
+                future.result()  # surface worker exceptions
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def reset_stats(self) -> None:
+        self.stats = ExecutionStats()
+
+
+_default_executor: Optional[Executor] = None
+_default_lock = threading.Lock()
+
+
+def default_executor() -> Executor:
+    """The process-wide executor behind :func:`execute` (created lazily)."""
+    global _default_executor
+    with _default_lock:
+        if _default_executor is None:
+            _default_executor = Executor()
+        return _default_executor
+
+
+def reset_default_executor() -> None:
+    """Drop the shared executor (and its cache/stats); mainly for tests."""
+    global _default_executor
+    with _default_lock:
+        _default_executor = None
+
+
+def execute(tasks: Union[ExecutionTask, Sequence[ExecutionTask]],
+            backend: Union[str, Backend] = "auto",
+            max_workers: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> List[ExecutionResult]:
+    """Run tasks through the shared default executor (see :class:`Executor`).
+
+    This is the one call every consumer in the package dispatches through::
+
+        results = execute([ExecutionTask(circuit, observable=hamiltonian)])
+        energy = results[0].value
+    """
+    return default_executor().run(tasks, backend=backend,
+                                  max_workers=max_workers,
+                                  use_cache=use_cache)
+
+
+def execute_one(task: ExecutionTask,
+                backend: Union[str, Backend] = "auto",
+                use_cache: Optional[bool] = None) -> ExecutionResult:
+    """Convenience wrapper: run a single task and return its result."""
+    return execute(task, backend=backend, use_cache=use_cache)[0]

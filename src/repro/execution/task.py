@@ -1,0 +1,157 @@
+"""Typed work units flowing through the execution layer.
+
+An :class:`ExecutionTask` bundles everything a backend needs to produce one
+number (an expectation value) or one histogram (measurement counts): the
+circuit, the observable or shot count, the noise model and any backend
+options.  Tasks are value objects — their :meth:`ExecutionTask.cache_key` is
+what the executor deduplicates and caches on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..operators.pauli import PauliSum
+from ..simulators.noise import NoiseModel
+from .errors import ExecutionError
+
+
+def observable_fingerprint(observable: PauliSum) -> str:
+    """Stable content hash of a Pauli-sum observable (hex digest).
+
+    Terms are hashed in sorted symplectic-key order, so two observables built
+    term-by-term in different orders still share a fingerprint.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(str(observable.num_qubits).encode())
+    entries = sorted(((pauli.key(), complex(coeff))
+                      for pauli, coeff in observable.terms()),
+                     key=lambda entry: entry[0])
+    for (x_bytes, z_bytes), coeff in entries:
+        hasher.update(x_bytes)
+        hasher.update(z_bytes)
+        hasher.update(repr(coeff).encode())
+    return hasher.hexdigest()
+
+
+def noise_token(noise_model: Optional[NoiseModel]):
+    """Cache-key component identifying a noise model.
+
+    ``None`` (or a model with no noise) normalizes to ``None`` so noiseless
+    tasks share cache entries regardless of how "no noise" was spelled.
+    Nontrivial models are identified by object identity plus their mutation
+    counter, so an in-place ``add_*`` edit invalidates prior entries; the
+    expectation cache pins a reference to each model it has entries for, so
+    identities cannot be recycled while a key is live.
+    """
+    if noise_model is None or not noise_model.has_noise():
+        return None
+    return (id(noise_model), noise_model.version)
+
+
+@dataclass(frozen=True)
+class ExecutionTask:
+    """One unit of simulator work: a circuit plus what to extract from it.
+
+    Exactly one of ``observable`` (expectation-value task) or ``shots``
+    (sampling task) must be set.  ``backend`` optionally pins the task to a
+    named backend, overriding auto-routing.  ``metadata`` is caller-owned and
+    never affects scheduling, caching or results.
+    """
+
+    circuit: QuantumCircuit
+    observable: Optional[PauliSum] = None
+    shots: Optional[int] = None
+    noise_model: Optional[NoiseModel] = None
+    backend: Optional[str] = None
+    trajectories: Optional[int] = None
+    include_idle: bool = True
+    metadata: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if (self.observable is None) == (self.shots is None):
+            raise ExecutionError(
+                "an ExecutionTask needs exactly one of `observable` "
+                "(expectation task) or `shots` (sampling task)")
+        if self.shots is not None and self.shots < 1:
+            raise ExecutionError("shots must be a positive integer")
+        if (self.observable is not None
+                and self.observable.num_qubits != self.circuit.num_qubits):
+            raise ExecutionError(
+                f"observable acts on {self.observable.num_qubits} qubits but "
+                f"the circuit has {self.circuit.num_qubits}")
+
+    # -- classification ------------------------------------------------------
+    @property
+    def is_expectation(self) -> bool:
+        return self.observable is not None
+
+    @property
+    def is_sampling(self) -> bool:
+        return self.shots is not None
+
+    @property
+    def has_noise(self) -> bool:
+        return (self.noise_model is not None
+                and self.noise_model.has_noise())
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    def is_clifford(self) -> bool:
+        return self.circuit.is_clifford()
+
+    # -- identity ------------------------------------------------------------
+    def cache_key(self, backend_name: str) -> Tuple:
+        """Hashable identity of this task when run on ``backend_name``.
+
+        Two tasks with equal keys are interchangeable: same circuit
+        structure, observable/shots, noise model and backend options, bound
+        for the same backend.
+        """
+        if self.is_expectation:
+            payload = ("expval", observable_fingerprint(self.observable))
+        else:
+            payload = ("sample", int(self.shots))
+        return (self.circuit.fingerprint(), payload,
+                noise_token(self.noise_model), backend_name,
+                self.trajectories, self.include_idle)
+
+    def __repr__(self):
+        kind = "expval" if self.is_expectation else f"sample[{self.shots}]"
+        return (f"ExecutionTask({kind}, qubits={self.num_qubits}, "
+                f"noisy={self.has_noise}, backend={self.backend!r})")
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one :class:`ExecutionTask`.
+
+    ``value`` holds the expectation value (expectation tasks), ``counts`` the
+    bitstring histogram (sampling tasks).  ``source`` records how the result
+    was produced: ``"backend"`` (a simulator ran), ``"cache"`` (served from
+    the cross-call expectation cache) or ``"dedup"`` (shared with an
+    identical task in the same batch).
+    """
+
+    task: ExecutionTask
+    backend_name: str
+    value: Optional[float] = None
+    counts: Optional[Dict[str, int]] = None
+    source: str = "backend"
+    elapsed: float = 0.0
+
+    @property
+    def cached(self) -> bool:
+        """True when no simulator invocation was spent on this result."""
+        return self.source in ("cache", "dedup")
+
+    def __repr__(self):
+        payload = (f"value={self.value:.6g}" if self.value is not None
+                   else f"counts[{len(self.counts or {})}]")
+        return (f"ExecutionResult({payload}, backend={self.backend_name!r}, "
+                f"source={self.source!r})")

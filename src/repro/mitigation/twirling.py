@@ -18,10 +18,10 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
+from ..execution.executor import execute
+from ..execution.task import ExecutionTask
 from ..operators.pauli import PauliSum
-from ..simulators.density_matrix import DensityMatrixSimulator
 from ..simulators.noise import NoiseModel
-from ..simulators.statevector import StatevectorSimulator
 
 #: For each (control Pauli, target Pauli) applied *before* a CNOT, the pair
 #: that must be applied *after* it so the net ideal operation stays a CNOT:
@@ -105,16 +105,22 @@ def twirled_ensemble_expectation(circuit: QuantumCircuit,
                                  noise_model: Optional[NoiseModel] = None,
                                  num_twirls: int = 8,
                                  seed: Optional[int] = 0) -> TwirledExpectation:
-    """⟨H⟩ averaged over ``num_twirls`` random compilations of the circuit."""
+    """⟨H⟩ averaged over ``num_twirls`` random compilations of the circuit.
+
+    All twirls are submitted as one batched :func:`repro.execution.execute`
+    call (noisy twirls run on the density-matrix backend, noiseless ones on
+    the statevector backend), so coinciding random dressings are evaluated
+    once and the ensemble fans out across the executor's thread pool.
+    """
     if num_twirls < 1:
         raise ValueError("num_twirls must be at least 1")
     rng = np.random.default_rng(seed)
-    simulator = (DensityMatrixSimulator(noise_model) if noise_model is not None
-                 else StatevectorSimulator())
-    values: List[float] = []
-    for _ in range(num_twirls):
-        twirled = pauli_twirl_circuit(circuit, rng=rng)
-        values.append(float(simulator.expectation(twirled, observable)))
+    backend = "density_matrix" if noise_model is not None else "statevector"
+    tasks = [ExecutionTask(circuit=pauli_twirl_circuit(circuit, rng=rng),
+                           observable=observable, noise_model=noise_model)
+             for _ in range(num_twirls)]
+    values = [float(result.value)
+              for result in execute(tasks, backend=backend)]
     values_array = np.asarray(values)
     spread = (float(values_array.std(ddof=1) / np.sqrt(num_twirls))
               if num_twirls > 1 else 0.0)

@@ -155,13 +155,20 @@ class MitigatedEnergyEvaluator(EnergyEvaluator):
                 raw = float(np.real((matrix.multiply(state.data.T)).sum()))
                 measured[pauli.key()] = raw * (1.0 - 2.0 * readout) ** pauli.weight()
             return measured
-        # Generic fallback: one evaluation per term through the base backend.
-        for pauli, _ in self.hamiltonian.terms():
-            if pauli.is_identity():
-                continue
-            single = PauliSum(self.hamiltonian.num_qubits, [(pauli, 1.0)])
-            evaluator = type(self.base_evaluator)(single, self.noise_model)
-            measured[pauli.key()] = evaluator.evaluate(circuit)
+        # Generic fallback: one batched execute() over the per-term
+        # observables — dedup/caching and the thread pool come for free.
+        from ..execution import ExecutionTask, execute
+
+        term_paulis = [pauli for pauli, _ in self.hamiltonian.terms()
+                       if not pauli.is_identity()]
+        tasks = [ExecutionTask(
+                     circuit=canonical,
+                     observable=PauliSum(self.hamiltonian.num_qubits,
+                                         [(pauli, 1.0)]),
+                     noise_model=self.noise_model)
+                 for pauli in term_paulis]
+        for pauli, result in zip(term_paulis, execute(tasks, backend="auto")):
+            measured[pauli.key()] = float(result.value)
         return measured
 
     def evaluate(self, circuit: QuantumCircuit) -> float:

@@ -6,7 +6,8 @@ from .noise import (ErrorLocation, NoiseModel, PauliChannel, QuantumChannel,
                     depolarizing_channel, pauli_error_channel, pauli_twirl,
                     phase_damping_channel, phase_flip_channel,
                     thermal_relaxation_channel, two_qubit_tensor_channel)
-from .pauli_propagation import PauliPropagator, expectation_value
+from .pauli_propagation import (PauliPropagationSimulator, PauliPropagator,
+                                expectation_value)
 from .stabilizer import StabilizerSimulator, StabilizerState
 from .statevector import Statevector, StatevectorSimulator, circuit_unitary
 
@@ -16,6 +17,7 @@ __all__ = [
     "ErrorLocation",
     "NoiseModel",
     "PauliChannel",
+    "PauliPropagationSimulator",
     "PauliPropagator",
     "QuantumChannel",
     "StabilizerSimulator",

@@ -205,9 +205,15 @@ class DensityMatrixSimulator:
                                                   num_qubits)
         return DensityMatrix(rho)
 
-    def expectation(self, circuit: QuantumCircuit, observable: PauliSum,
-                    initial_state: Optional[DensityMatrix] = None) -> float:
-        """Noisy expectation value Tr(ρ H) of the prepared state."""
+    def expectation(self, circuit: QuantumCircuit, observable: PauliSum, *,
+                    initial_state: Optional[DensityMatrix] = None,
+                    trajectories: Optional[int] = None) -> float:
+        """Noisy expectation value Tr(ρ H) of the prepared state.
+
+        ``trajectories`` is accepted for signature parity with
+        :class:`~repro.simulators.stabilizer.StabilizerSimulator` and ignored:
+        the density-matrix expectation is exact.
+        """
         state = self.run(circuit.without_measurements(), initial_state)
         value = state.expectation(observable)
         if self.noise_model is not None and self.noise_model.readout_error > 0:

@@ -298,25 +298,38 @@ class NoiseModel:
         self._gate_errors: Dict[str, List[QuantumChannel]] = {}
         self._idle_channel: Optional[QuantumChannel] = None
         self._readout_error: float = 0.0
+        self._version = 0
 
     # -- construction ---------------------------------------------------------
     def add_gate_error(self, channel: QuantumChannel,
                        gate_names: Iterable[str]) -> "NoiseModel":
         for name in gate_names:
             self._gate_errors.setdefault(name.lower(), []).append(channel)
+        self._version += 1
         return self
 
     def add_idle_error(self, channel: QuantumChannel) -> "NoiseModel":
         if channel.num_qubits != 1:
             raise ValueError("idle error must be a single-qubit channel")
         self._idle_channel = channel
+        self._version += 1
         return self
 
     def add_readout_error(self, probability: float) -> "NoiseModel":
         if not 0.0 <= probability <= 1.0:
             raise ValueError("readout error probability must be in [0, 1]")
         self._readout_error = float(probability)
+        self._version += 1
         return self
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every ``add_*`` call.
+
+        Consumers that key caches on a noise model's identity combine it
+        with this counter so in-place edits invalidate stale entries.
+        """
+        return self._version
 
     # -- queries -----------------------------------------------------------------
     @property

@@ -257,3 +257,38 @@ def expectation_value(circuit: QuantumCircuit, observable: PauliSum,
     # Identity terms never get damped or signed incorrectly, so the identity
     # coefficient is automatically included by the diagonal check above.
     return value
+
+
+class PauliPropagationSimulator:
+    """Class-based facade over :func:`expectation_value`.
+
+    Gives the Pauli-propagation engine the same
+    ``expectation(circuit, observable, ...)`` surface as
+    :class:`~repro.simulators.statevector.StatevectorSimulator`,
+    :class:`~repro.simulators.density_matrix.DensityMatrixSimulator` and
+    :class:`~repro.simulators.stabilizer.StabilizerSimulator`, so all four
+    execution paths are interchangeable behind
+    :mod:`repro.execution`'s backend adapters.
+    """
+
+    def __init__(self, noise_model: Optional[NoiseModel] = None,
+                 include_idle: bool = True):
+        self.noise_model = noise_model
+        self.include_idle = include_idle
+
+    def expectation(self, circuit: QuantumCircuit, observable: PauliSum, *,
+                    initial_state=None, trajectories: Optional[int] = None,
+                    include_idle: Optional[bool] = None) -> float:
+        """Exact noisy ⟨H⟩ of a Clifford circuit (deterministic, no sampling).
+
+        ``initial_state`` and ``trajectories`` are accepted for signature
+        parity with the other simulators; propagation starts from |0…0⟩ and
+        is exact, so a non-default ``initial_state`` raises and
+        ``trajectories`` is ignored.
+        """
+        if initial_state is not None:
+            raise ValueError("PauliPropagationSimulator only supports the "
+                             "|0...0> initial state")
+        include_idle = self.include_idle if include_idle is None else include_idle
+        return expectation_value(circuit, observable, self.noise_model,
+                                 include_idle=include_idle)

@@ -335,9 +335,20 @@ class StabilizerSimulator:
                         self._sample_channel(state, idle_channel, (qubit,))
         return state
 
-    def expectation(self, circuit: QuantumCircuit, observable: PauliSum,
-                    trajectories: int = 200) -> float:
-        """Noisy expectation value averaged over Monte-Carlo trajectories."""
+    def expectation(self, circuit: QuantumCircuit, observable: PauliSum, *,
+                    initial_state=None,
+                    trajectories: Optional[int] = None) -> float:
+        """Noisy expectation value averaged over Monte-Carlo trajectories.
+
+        ``initial_state`` is accepted for signature parity with the dense
+        simulators; the tableau simulator only supports the |0…0⟩ start and
+        raises if a different state is requested.  ``trajectories`` defaults
+        to 200 when the noise model is nontrivial.
+        """
+        if initial_state is not None:
+            raise ValueError("StabilizerSimulator only supports the |0...0> "
+                             "initial state")
+        trajectories = 200 if trajectories is None else int(trajectories)
         if self.noise_model is None or not self.noise_model.has_noise():
             state = self.run(circuit, inject_noise=False)
             return state.expectation(observable)

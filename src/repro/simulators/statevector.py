@@ -151,9 +151,14 @@ class StatevectorSimulator:
             norm = math.sqrt(max(1.0 - prob_one, 1e-300))
         return new_state / norm
 
-    def expectation(self, circuit: QuantumCircuit, observable: PauliSum,
-                    initial_state: Optional[Statevector] = None) -> float:
-        """⟨H⟩ of the state prepared by ``circuit`` (noiseless)."""
+    def expectation(self, circuit: QuantumCircuit, observable: PauliSum, *,
+                    initial_state: Optional[Statevector] = None,
+                    trajectories: Optional[int] = None) -> float:
+        """⟨H⟩ of the state prepared by ``circuit`` (noiseless).
+
+        ``trajectories`` is accepted for signature parity with the other
+        simulators and ignored: the statevector expectation is exact.
+        """
         state = self.run(circuit.without_measurements(), initial_state)
         return state.expectation(observable)
 

@@ -3,15 +3,16 @@
 from .clifford_vqe import (CLIFFORD_ANGLES, CliffordVQE, CliffordVQEResult,
                            best_noiseless_clifford_energy,
                            compare_regimes_clifford, indices_to_angles)
-from .energy import (CliffordEnergyEvaluator, DensityMatrixEnergyEvaluator,
-                     EnergyEvaluator, ExactEnergyEvaluator,
-                     MonteCarloStabilizerEvaluator)
+from .energy import (BackendEnergyEvaluator, CliffordEnergyEvaluator,
+                     DensityMatrixEnergyEvaluator, EnergyEvaluator,
+                     ExactEnergyEvaluator, MonteCarloStabilizerEvaluator)
 from .optimizers import (CobylaOptimizer, GeneticOptimizer, NelderMeadOptimizer,
                          OptimizationResult, Optimizer, SPSAOptimizer)
 from .runner import (VQE, VQEResult, compare_regimes, compare_regimes_opr,
                      run_vqe_under_noise)
 
 __all__ = [
+    "BackendEnergyEvaluator",
     "CLIFFORD_ANGLES",
     "CliffordEnergyEvaluator",
     "CliffordVQE",

@@ -1,6 +1,10 @@
 """Energy (expectation value) evaluators backing the VQE loop.
 
-Three backends mirror the paper's evaluation infrastructure (Sec. 5.2):
+Since the execution-API redesign every evaluator dispatches through
+:func:`repro.execution.execute`, which adds fingerprint-keyed LRU caching,
+in-batch deduplication and regime-aware routing on top of the paper's four
+execution paths (Sec. 5.2).  The historical classes remain as thin shims
+pinning a backend, so existing call sites keep working:
 
 * :class:`ExactEnergyEvaluator` — noiseless statevector expectation, used for
   reference energies and expressibility studies;
@@ -8,8 +12,11 @@ Three backends mirror the paper's evaluation infrastructure (Sec. 5.2):
   Kraus noise model (the 8–12 qubit flow);
 * :class:`CliffordEnergyEvaluator` — exact noisy expectation of Clifford
   (stabilizer-proxy) circuits under Pauli noise via Pauli propagation (the
-  16–100 qubit flow); optionally cross-checkable against Monte-Carlo
-  stabilizer trajectories.
+  16–100 qubit flow);
+* :class:`MonteCarloStabilizerEvaluator` — Monte-Carlo stabilizer
+  trajectories (cross-validation backend);
+* :class:`BackendEnergyEvaluator` — the generic evaluator the shims subclass;
+  pass ``backend="auto"`` to route per circuit, or any registry name.
 
 All evaluators share the ``evaluate(circuit) -> float`` interface and count
 their invocations, which the optimizers report.
@@ -17,18 +24,17 @@ their invocations, which the optimizers report.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.transpile import decompose_to_clifford_rz, merge_rz_runs
+from ..execution.backend import Backend
+from ..execution.executor import Executor, default_executor
+from ..execution.task import ExecutionTask
 from ..operators.pauli import PauliSum
-from ..simulators.density_matrix import DensityMatrixSimulator
 from ..simulators.noise import NoiseModel
-from ..simulators.pauli_propagation import expectation_value
-from ..simulators.stabilizer import StabilizerSimulator
-from ..simulators.statevector import StatevectorSimulator
 
 
 class EnergyEvaluator:
@@ -46,35 +52,66 @@ class EnergyEvaluator:
         return self.evaluate(circuit)
 
 
-class ExactEnergyEvaluator(EnergyEvaluator):
+class BackendEnergyEvaluator(EnergyEvaluator):
+    """Evaluates ⟨H⟩ through the unified execution API.
+
+    ``backend`` is a registry name (``"statevector"``, ``"density_matrix"``,
+    ``"stabilizer"``, ``"pauli_propagation"``), ``"auto"`` for regime-aware
+    routing, or a :class:`~repro.execution.backend.Backend` instance.
+    ``canonicalize`` rewrites the circuit over Clifford+Rz before execution
+    (the gate set the regimes' noise models are calibrated against).
+    """
+
+    def __init__(self, hamiltonian: PauliSum,
+                 backend: Union[str, Backend] = "auto",
+                 noise_model: Optional[NoiseModel] = None,
+                 canonicalize: bool = False,
+                 include_idle: bool = True,
+                 trajectories: Optional[int] = None,
+                 executor: Optional[Executor] = None,
+                 use_cache: bool = True):
+        super().__init__(hamiltonian)
+        self.backend = backend
+        self.noise_model = noise_model
+        self.canonicalize = canonicalize
+        self.include_idle = include_idle
+        self.trajectories = trajectories
+        self.use_cache = use_cache
+        self._executor = executor
+
+    def _make_task(self, circuit: QuantumCircuit) -> ExecutionTask:
+        if self.canonicalize:
+            circuit = merge_rz_runs(decompose_to_clifford_rz(circuit))
+        return ExecutionTask(circuit=circuit, observable=self.hamiltonian,
+                             noise_model=self.noise_model,
+                             trajectories=self.trajectories,
+                             include_idle=self.include_idle)
+
+    def evaluate(self, circuit: QuantumCircuit) -> float:
+        executor = self._executor or default_executor()
+        result = executor.run(self._make_task(circuit), backend=self.backend,
+                              use_cache=self.use_cache)[0]
+        return float(result.value)
+
+
+class ExactEnergyEvaluator(BackendEnergyEvaluator):
     """Noiseless statevector expectation."""
 
     def __init__(self, hamiltonian: PauliSum):
-        super().__init__(hamiltonian)
-        self._simulator = StatevectorSimulator()
-
-    def evaluate(self, circuit: QuantumCircuit) -> float:
-        return self._simulator.expectation(circuit, self.hamiltonian)
+        super().__init__(hamiltonian, backend="statevector")
 
 
-class DensityMatrixEnergyEvaluator(EnergyEvaluator):
+class DensityMatrixEnergyEvaluator(BackendEnergyEvaluator):
     """Noisy expectation via exact density-matrix simulation."""
 
     def __init__(self, hamiltonian: PauliSum,
                  noise_model: Optional[NoiseModel] = None,
                  canonicalize: bool = True):
-        super().__init__(hamiltonian)
-        self.noise_model = noise_model
-        self.canonicalize = canonicalize
-        self._simulator = DensityMatrixSimulator(noise_model)
-
-    def evaluate(self, circuit: QuantumCircuit) -> float:
-        if self.canonicalize:
-            circuit = merge_rz_runs(decompose_to_clifford_rz(circuit))
-        return self._simulator.expectation(circuit, self.hamiltonian)
+        super().__init__(hamiltonian, backend="density_matrix",
+                         noise_model=noise_model, canonicalize=canonicalize)
 
 
-class CliffordEnergyEvaluator(EnergyEvaluator):
+class CliffordEnergyEvaluator(BackendEnergyEvaluator):
     """Noisy expectation of Clifford circuits via exact Pauli propagation.
 
     The circuit must have all rotation angles at multiples of π/2 (the
@@ -86,30 +123,22 @@ class CliffordEnergyEvaluator(EnergyEvaluator):
                  noise_model: Optional[NoiseModel] = None,
                  canonicalize: bool = True,
                  include_idle: bool = True):
-        super().__init__(hamiltonian)
-        self.noise_model = noise_model
-        self.canonicalize = canonicalize
-        self.include_idle = include_idle
-
-    def evaluate(self, circuit: QuantumCircuit) -> float:
-        if self.canonicalize:
-            circuit = merge_rz_runs(decompose_to_clifford_rz(circuit))
-        return expectation_value(circuit, self.hamiltonian, self.noise_model,
-                                 include_idle=self.include_idle)
+        super().__init__(hamiltonian, backend="pauli_propagation",
+                         noise_model=noise_model, canonicalize=canonicalize,
+                         include_idle=include_idle)
 
 
-class MonteCarloStabilizerEvaluator(EnergyEvaluator):
-    """Monte-Carlo stabilizer-trajectory estimate (cross-validation backend)."""
+class MonteCarloStabilizerEvaluator(BackendEnergyEvaluator):
+    """Monte-Carlo stabilizer-trajectory estimate (cross-validation backend).
+
+    Stochastic, so results are never cached; a fresh seeded backend instance
+    keeps runs reproducible independent of other executor traffic.
+    """
 
     def __init__(self, hamiltonian: PauliSum,
                  noise_model: Optional[NoiseModel] = None,
                  trajectories: int = 200, seed: Optional[int] = None):
-        super().__init__(hamiltonian)
-        self.noise_model = noise_model
-        self.trajectories = trajectories
-        self._simulator = StabilizerSimulator(noise_model, seed=seed)
-
-    def evaluate(self, circuit: QuantumCircuit) -> float:
-        circuit = merge_rz_runs(decompose_to_clifford_rz(circuit))
-        return self._simulator.expectation(circuit, self.hamiltonian,
-                                           trajectories=self.trajectories)
+        from ..execution.adapters import StabilizerBackend
+        super().__init__(hamiltonian, backend=StabilizerBackend(seed=seed),
+                         noise_model=noise_model, canonicalize=True,
+                         trajectories=trajectories, use_cache=False)

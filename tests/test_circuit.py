@@ -159,3 +159,94 @@ class TestTransformations:
         qc = QuantumCircuit(1)
         qc.h(0)
         assert "h" in qc.draw()
+
+
+class TestFingerprint:
+    def test_identical_construction_matches(self):
+        a = QuantumCircuit(3)
+        a.h(0).cx(0, 1).rz(0.25, 2)
+        b = QuantumCircuit(3)
+        b.h(0).cx(0, 1).rz(0.25, 2)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_name_and_metadata_do_not_contribute(self):
+        a = QuantumCircuit(2, name="first")
+        a.h(0)
+        b = QuantumCircuit(2, name="second")
+        b.h(0)
+        b.metadata["ansatz"] = "whatever"
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_parameter_value_sensitivity(self):
+        a = QuantumCircuit(1)
+        a.rz(0.3, 0)
+        b = QuantumCircuit(1)
+        b.rz(0.3 + 1e-12, 0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_gate_order_sensitivity(self):
+        a = QuantumCircuit(2)
+        a.h(0).x(1)
+        b = QuantumCircuit(2)
+        b.x(1).h(0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_qubit_index_sensitivity(self):
+        a = QuantumCircuit(2)
+        a.cx(0, 1)
+        b = QuantumCircuit(2)
+        b.cx(1, 0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_qubit_count_sensitivity(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(3)
+        b.h(0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_gate_name_not_confusable_with_qubit_bytes(self):
+        a = QuantumCircuit(2)
+        a.h(0).h(1)
+        b = QuantumCircuit(2)
+        b.h(1).h(0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_symbolic_parameters_hash_by_expression(self):
+        theta = Parameter("theta")
+        a = QuantumCircuit(1)
+        a.rz(theta, 0)
+        b = QuantumCircuit(1)
+        b.rz(Parameter("theta"), 0)
+        c = QuantumCircuit(1)
+        c.rz(Parameter("phi"), 0)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_binding_changes_fingerprint(self):
+        theta = Parameter("theta")
+        template = QuantumCircuit(1)
+        template.rz(theta, 0)
+        bound_a = template.bind_parameters({theta: 0.1})
+        bound_b = template.bind_parameters({theta: 0.2})
+        bound_a2 = template.bind_parameters({theta: 0.1})
+        assert bound_a.fingerprint() != template.fingerprint()
+        assert bound_a.fingerprint() != bound_b.fingerprint()
+        assert bound_a.fingerprint() == bound_a2.fingerprint()
+
+    def test_fingerprint_is_stable_hex_string(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        fp = qc.fingerprint()
+        assert fp == qc.fingerprint()
+        assert isinstance(fp, str) and len(fp) == 32
+        int(fp, 16)  # valid hex
+
+    def test_bound_template_matches_directly_built_circuit(self):
+        theta = Parameter("theta")
+        template = QuantumCircuit(1)
+        template.rz(theta, 0)
+        direct = QuantumCircuit(1)
+        direct.rz(0.375, 0)
+        assert template.bind_parameters({theta: 0.375}).fingerprint() \
+            == direct.fingerprint()
