@@ -10,12 +10,21 @@ configurations:
   in-batch duplicate collapsing, the optimizer-re-evaluation pattern);
 * **cached** — the identical sweep re-submitted (measures LRU hit serving).
 
+A second comparison pits the **grouped** observable engine
+(``evaluate_observable()``: one circuit evolution serving every Hamiltonian
+term) against the legacy **per-term** submission pattern (one single-term
+``ExecutionTask`` per Pauli term) on the full 23-term 12-qubit Ising
+Hamiltonian, reporting term-tasks/second for both; grouped must be ≥ 3x
+faster and agree with per-term energies to 1e-10.
+
 Future PRs touching the executor hot path should keep the dedup/cached
-configurations well above the uncached baseline.  Set ``REPRO_FULL=1`` for a
-larger sweep.
+configurations well above the uncached baseline and preserve the grouped
+speedup.  Set ``REPRO_FULL=1`` for a larger sweep.
 """
 
 import time
+
+import numpy as np
 
 from repro.ansatz import FullyConnectedAnsatz
 from repro.execution import ExecutionTask, Executor
@@ -26,6 +35,7 @@ from conftest import full_mode, print_table
 NUM_QUBITS = 12
 SWEEP_POINTS = 24 if full_mode() else 8
 DUPLICATES = 4
+GROUPED_POINTS = 8 if full_mode() else 4
 
 
 def build_tasks():
@@ -71,6 +81,52 @@ def run_configurations():
     return rows, uncached, dedup, cached
 
 
+def run_grouped_comparison():
+    """Grouped evaluate_observable() vs the legacy per-term task pattern."""
+    hamiltonian = ising_hamiltonian(NUM_QUBITS, coupling=1.0)
+    num_terms = hamiltonian.num_terms
+    assert num_terms >= 20  # the acceptance workload: a many-term Hamiltonian
+    tasks = build_tasks()[:GROUPED_POINTS]
+    circuits = [task.circuit for task in tasks]
+    coefficients = np.array([float(np.real(c))
+                             for _, c in hamiltonian.terms()])
+    term_tasks = GROUPED_POINTS * num_terms
+    rows = []
+
+    # Legacy path: one single-term ExecutionTask per Pauli term; every task
+    # re-evolves its circuit.  Single-threaded for a like-for-like timing.
+    executor = Executor()
+    per_term_tasks = [subtask for task in tasks
+                      for subtask in task.split_terms()]
+    start = time.perf_counter()
+    results = executor.run(per_term_tasks, backend="statevector",
+                           max_workers=1)
+    per_term_time = time.perf_counter() - start
+    per_term_energies = [
+        float(np.dot(coefficients,
+                     [r.value for r in results[i * num_terms:
+                                               (i + 1) * num_terms]]))
+        for i in range(GROUPED_POINTS)]
+    rows.append(("per-term", term_tasks,
+                 executor.stats.simulator_invocations,
+                 f"{term_tasks / per_term_time:.1f}"))
+
+    # Grouped path: one evolution per circuit, all terms from the final state.
+    executor = Executor()
+    start = time.perf_counter()
+    grouped_energies = executor.evaluate_observable(
+        circuits, hamiltonian, backend="statevector", max_workers=1)
+    grouped_time = time.perf_counter() - start
+    rows.append(("grouped", term_tasks,
+                 executor.stats.simulator_invocations,
+                 f"{term_tasks / grouped_time:.1f}"))
+
+    invocations = executor.stats.simulator_invocations
+    worst_gap = max(abs(a - b) for a, b
+                    in zip(grouped_energies, per_term_energies))
+    return rows, per_term_time, grouped_time, invocations, worst_gap
+
+
 def test_execution_throughput(benchmark):
     rows, uncached, dedup, cached = benchmark.pedantic(
         run_configurations, rounds=1, iterations=1)
@@ -89,3 +145,20 @@ def test_execution_throughput(benchmark):
     per_task_cached = cached / (SWEEP_POINTS * DUPLICATES)
     assert per_task_dedup < per_task_uncached / 1.5
     assert per_task_cached < per_task_uncached / 1.5
+
+
+def test_grouped_observable_throughput(benchmark):
+    (rows, per_term_time, grouped_time,
+     invocations, worst_gap) = benchmark.pedantic(
+        run_grouped_comparison, rounds=1, iterations=1)
+    speedup = per_term_time / grouped_time
+    print_table(
+        f"grouped vs per-term observable evaluation ({NUM_QUBITS}-qubit "
+        f"Ising, {GROUPED_POINTS} circuits, speedup {speedup:.1f}x)",
+        ["configuration", "term tasks", "sim invocations", "term tasks/sec"],
+        rows)
+    # One evolution per unique circuit, a multi-x speedup, and identical
+    # energies: the grouped engine's acceptance criteria.
+    assert invocations == GROUPED_POINTS
+    assert worst_gap < 1e-10
+    assert speedup >= 3.0

@@ -19,7 +19,10 @@ organised bottom-up:
 * :mod:`repro.execution` — the unified execution-backend API: every consumer
   dispatches :class:`ExecutionTask` objects through :func:`execute`, which
   batches, deduplicates, LRU-caches and regime-aware-routes them onto the
-  four simulators behind a common :class:`Backend` protocol;
+  four simulators behind a common :class:`Backend` protocol; many-term
+  Hamiltonians ride the grouped-observable engine
+  (:func:`evaluate_observable` / :func:`term_expectations`): one circuit
+  evolution serves every Pauli term, with per-(circuit, term) caching;
 * :mod:`repro.vqe` / :mod:`repro.mitigation` — the VQE engine (continuous and
   Clifford-restricted) and NISQ-inherited mitigation (VarSaw, ZNE).
 
@@ -66,8 +69,8 @@ from .core import (EFTDevice, NISQRegime, PQECRegime, QECConventionalRegime,
 from .estimation import ResourceEstimator
 from .execution import (Backend, BackendCapabilities, BackendRegistry,
                         ExecutionResult, ExecutionTask, Executor,
-                        available_backends, execute, get_backend,
-                        register_backend)
+                        available_backends, evaluate_observable, execute,
+                        get_backend, register_backend, term_expectations)
 from .operators import (FermionicOperator, PauliString, PauliSum,
                         heisenberg_hamiltonian, ising_hamiltonian,
                         jordan_wigner, maxcut_cost_hamiltonian,
@@ -137,6 +140,7 @@ __all__ = [
     "compare_regimes_clifford",
     "compare_regimes_opr",
     "estimate_fidelity",
+    "evaluate_observable",
     "execute",
     "get_backend",
     "get_factory",
@@ -154,4 +158,5 @@ __all__ = [
     "schedule_on_layout",
     "surface_code_memory_experiment",
     "t_count_for_precision",
+    "term_expectations",
 ]

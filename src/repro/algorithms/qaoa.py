@@ -157,7 +157,16 @@ class QAOA:
     Energy evaluations dispatch through the unified execution API: pass
     ``backend``/``noise_model`` to pick an execution path (``"auto"`` routes
     per circuit), or supply a fully custom ``evaluator`` (which wins over
-    ``backend``).
+    ``backend``).  The default evaluators ride the grouped-observable
+    engine, so each optimizer query evolves the QAOA circuit once and reads
+    every cost-Hamiltonian term (one per graph edge) off the final state.
+
+    Example::
+
+        import networkx as nx
+        qaoa = QAOA(nx.cycle_graph(6), depth=1)
+        result = qaoa.run(seed=7)
+        print(result.best_cut, result.approximation_ratio)
     """
 
     def __init__(self, graph: nx.Graph, depth: int = 1,

@@ -19,8 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..ansatz.base import Ansatz
-from ..execution.executor import execute
-from ..execution.task import ExecutionTask
+from ..execution.executor import evaluate_observable
 from ..operators.pauli import PauliSum
 from ..simulators.statevector import StatevectorSimulator
 from ..vqe.optimizers import CobylaOptimizer, Optimizer
@@ -56,7 +55,19 @@ class VQDResult:
 
 
 class VQD:
-    """Variational Quantum Deflation over a shared ansatz."""
+    """Variational Quantum Deflation over a shared ansatz.
+
+    Finds the ``num_states`` lowest eigenstates by optimizing each level's
+    energy plus overlap penalties against the previously converged states
+    (see the module docstring for the objective).  Converged levels can be
+    re-scored under any noise regime through :meth:`evaluate_levels`, which
+    batches one grouped-observable evaluation per level.  Example::
+
+        vqd = VQD(heisenberg_hamiltonian(4), LinearAnsatz(4, depth=2),
+                  num_states=3)
+        result = vqd.run(seed=7)
+        print(result.gaps, result.errors())
+    """
 
     def __init__(self, hamiltonian: PauliSum, ansatz: Ansatz,
                  num_states: int = 2,
@@ -131,13 +142,14 @@ class VQD:
                         backend: str = "auto") -> List[float]:
         """Re-evaluate the converged levels through the unified execution API.
 
-        One batched :func:`repro.execution.execute` call over the winning
-        circuits — under a regime's noise model and/or on a different
+        One batched :func:`repro.execution.evaluate_observable` call over the
+        winning circuits — under a regime's noise model and/or on a different
         backend — which is how the spectral gaps are compared across
-        execution regimes without re-running the optimization.
+        execution regimes without re-running the optimization.  Each level's
+        circuit is evolved once; all Hamiltonian terms are read off the final
+        state by the grouped-observable engine.
         """
-        tasks = [ExecutionTask(
-                     circuit=self._template.bind_parameters(list(theta)),
-                     observable=self.hamiltonian, noise_model=noise_model)
-                 for theta in result.parameters]
-        return [float(r.value) for r in execute(tasks, backend=backend)]
+        circuits = [self._template.bind_parameters(list(theta))
+                    for theta in result.parameters]
+        return evaluate_observable(circuits, self.hamiltonian,
+                                   noise_model=noise_model, backend=backend)

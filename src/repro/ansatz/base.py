@@ -61,7 +61,19 @@ class MacroOp:
 
 
 class Ansatz(abc.ABC):
-    """Base class for variational ansatz families."""
+    """Base class for variational ansatz families.
+
+    An ansatz is a parameterized circuit template plus the structural
+    metadata the paper's analysis needs: gate counts
+    (:meth:`cnot_count` / :meth:`rotation_count` feed the Sec. 4.4
+    Rz-to-CNOT design rule), the macro schedule consumed by the
+    lattice-surgery scheduler, and :meth:`build`, which returns a
+    :class:`~repro.circuits.circuit.QuantumCircuit` with free parameters to
+    bind.  Example::
+
+        ansatz = FullyConnectedAnsatz(8, depth=1)
+        circuit = ansatz.build().bind_parameters([0.1] * ansatz.num_parameters())
+    """
 
     def __init__(self, num_qubits: int, depth: int = 1, name: str = "ansatz"):
         if num_qubits < 2:

@@ -169,7 +169,17 @@ class ParameterExpression:
 
 
 class Parameter(ParameterExpression):
-    """A named free symbol used as a circuit rotation angle."""
+    """A named free symbol used as a circuit rotation angle.
+
+    Parameters support arithmetic (``0.5 * theta + 1``) producing
+    :class:`ParameterExpression` trees that are evaluated when the circuit is
+    bound; identity (not the display name) distinguishes two parameters, so
+    templates can be composed safely.  Example::
+
+        theta = Parameter("θ")
+        circuit.rz(2 * theta, 0)
+        bound = circuit.bind_parameters({theta: 0.25})
+    """
 
     __slots__ = ("_name", "_uuid")
 

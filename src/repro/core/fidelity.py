@@ -228,7 +228,18 @@ def qec_cultivation_fidelity(profile: CircuitProfile,
 
 def estimate_fidelity(profile: CircuitProfile, regime: ExecutionRegime,
                       device: Optional[EFTDevice] = None) -> FidelityBreakdown:
-    """Dispatch to the regime-appropriate estimator."""
+    """Dispatch to the regime-appropriate fidelity estimator.
+
+    Given a circuit's gate-count :class:`CircuitProfile` and an execution
+    regime (NISQ, pQEC, or either QEC variant), returns the analytic
+    :class:`FidelityBreakdown` of the paper's Sec. 4 model — per-source error
+    contributions (gates, idling, injection, T states) and the total
+    estimated circuit fidelity.  Example::
+
+        profile = CircuitProfile.from_ansatz(FullyConnectedAnsatz(16))
+        breakdown = estimate_fidelity(profile, PQECRegime())
+        print(breakdown.total_fidelity)
+    """
     if isinstance(regime, NISQRegime):
         return nisq_fidelity(profile, regime)
     if isinstance(regime, PQECRegime):

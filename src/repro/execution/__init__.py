@@ -9,15 +9,23 @@ stabilizer tableau, Pauli propagation):
 * :class:`Backend` + :func:`get_backend` — the batch protocol and the
   registry of adapters wrapping the in-repo simulators;
 * :func:`execute` — batched, deduplicated, LRU-cached, regime-aware
-  dispatch with thread-pool fan-out.
+  dispatch with thread-pool fan-out;
+* :func:`evaluate_observable` / :func:`term_expectations` — the
+  grouped-observable engine: each unique circuit is evolved **once** and
+  every Pauli term of a many-term Hamiltonian is read off the final state
+  (vectorized kernels / QWC measurement groups), with per-(circuit, term)
+  caching.
 
 Quick start::
 
-    from repro.execution import ExecutionTask, execute
+    from repro.execution import ExecutionTask, evaluate_observable, execute
 
     tasks = [ExecutionTask(circuit, observable=hamiltonian)
              for circuit in circuits]
     energies = [result.value for result in execute(tasks, backend="auto")]
+
+    # Same energies, one evolution per circuit regardless of term count:
+    energies = evaluate_observable(circuits, hamiltonian, backend="auto")
 """
 
 from .adapters import (DensityMatrixBackend, MAX_DENSITY_MATRIX_QUBITS,
@@ -27,8 +35,10 @@ from .backend import Backend, BackendCapabilities
 from .cache import CacheStats, ExpectationCache
 from .errors import (BackendCapabilityError, ExecutionError, RoutingError,
                      UnknownBackendError)
-from .executor import (ExecutionStats, Executor, default_executor, execute,
-                       execute_one, reset_default_executor)
+from .executor import (ExecutionStats, Executor, default_executor,
+                       evaluate_observable, execute, execute_one,
+                       reset_default_executor, term_expectations)
+from .observables import pauli_from_key, run_grouped
 from .registry import (BackendRegistry, DEFAULT_REGISTRY, available_backends,
                        get_backend, register_backend)
 from .router import route_task
@@ -58,12 +68,16 @@ __all__ = [
     "UnknownBackendError",
     "available_backends",
     "default_executor",
+    "evaluate_observable",
     "execute",
     "execute_one",
     "get_backend",
     "noise_token",
     "observable_fingerprint",
+    "pauli_from_key",
     "register_backend",
     "reset_default_executor",
     "route_task",
+    "run_grouped",
+    "term_expectations",
 ]

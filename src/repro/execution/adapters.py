@@ -90,6 +90,11 @@ class StatevectorBackend(Backend):
             return simulator.expectation(task.circuit, task.observable)
         return simulator.sample(task.circuit, task.shots)
 
+    def term_expectations(self, task: ExecutionTask):
+        simulator = StatevectorSimulator(seed=_derive_seed(self._seed, task))
+        self._count_invocations()
+        return simulator.expectation_many(task.circuit, task.observable)
+
 
 class DensityMatrixBackend(Backend):
     """Exact noisy execution via dense density matrices (small circuits)."""
@@ -114,6 +119,12 @@ class DensityMatrixBackend(Backend):
         if task.is_expectation:
             return simulator.expectation(task.circuit, task.observable)
         return simulator.sample(task.circuit, task.shots)
+
+    def term_expectations(self, task: ExecutionTask):
+        simulator = DensityMatrixSimulator(task.noise_model,
+                                           seed=_derive_seed(self._seed, task))
+        self._count_invocations()
+        return simulator.expectation_many(task.circuit, task.observable)
 
 
 class StabilizerBackend(Backend):
@@ -150,6 +161,16 @@ class StabilizerBackend(Backend):
                                          trajectories=task.trajectories)
         return simulator.sample(circuit, task.shots)
 
+    def term_expectations(self, task: ExecutionTask):
+        """Grouped path: one tableau evolution (per trajectory), one QWC
+        basis rotation per measurement group — not one run per term."""
+        simulator = StabilizerSimulator(task.noise_model,
+                                        seed=_derive_seed(self._seed, task))
+        circuit = _canonicalize_if_needed(task.circuit)
+        self._count_invocations()
+        return simulator.expectation_many(circuit, task.observable,
+                                          trajectories=task.trajectories)
+
 
 class PauliPropagationBackend(Backend):
     """Deterministic noisy Clifford expectation values via Pauli propagation.
@@ -171,3 +192,10 @@ class PauliPropagationBackend(Backend):
                                               include_idle=task.include_idle)
         circuit = _canonicalize_if_needed(task.circuit)
         return simulator.expectation(circuit, task.observable)
+
+    def term_expectations(self, task: ExecutionTask):
+        simulator = PauliPropagationSimulator(task.noise_model,
+                                              include_idle=task.include_idle)
+        circuit = _canonicalize_if_needed(task.circuit)
+        self._count_invocations()
+        return simulator.expectation_many(circuit, task.observable)

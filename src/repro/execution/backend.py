@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from .errors import BackendCapabilityError
 from .task import ExecutionResult, ExecutionTask
 
@@ -46,6 +48,10 @@ class Backend(abc.ABC):
     def __init__(self):
         self.invocations = 0
         self._invocation_lock = threading.Lock()
+
+    def _count_invocations(self, count: int = 1) -> None:
+        with self._invocation_lock:
+            self.invocations += count
 
     @abc.abstractmethod
     def capabilities(self) -> BackendCapabilities:
@@ -107,14 +113,37 @@ class Backend(abc.ABC):
                 raise BackendCapabilityError(f"{reason} (task: {task!r})")
             start = time.perf_counter()
             payload = self._run_task(task)
-            with self._invocation_lock:
-                self.invocations += 1
+            self._count_invocations()
             results.append(ExecutionResult(
                 task=task, backend_name=self.name,
                 value=float(payload) if task.is_expectation else None,
                 counts=payload if task.is_sampling else None,
                 source="backend", elapsed=time.perf_counter() - start))
         return results
+
+    # -- grouped observables ---------------------------------------------------
+    def term_expectations(self, task: ExecutionTask):
+        """Per-term ⟨P_i⟩ of the task's observable, aligned with
+        ``task.observable.terms()`` (coefficients are **not** applied).
+
+        This is the grouped-observable entry point: adapters override it to
+        evolve the circuit **once** and read every term off the final state
+        (vectorized kernels on the dense simulators, one QWC basis rotation
+        per group on the tableau, one propagation pass for Pauli
+        propagation).  The base implementation is the correctness fallback
+        for custom backends — it runs one single-term task per term, which
+        is exactly the per-term cost the overrides avoid.
+        """
+        reason = self.unsupported_reason(task, enforce_qubit_limit=False)
+        if reason is not None:
+            raise BackendCapabilityError(f"{reason} (task: {task!r})")
+        if not task.is_expectation:
+            raise BackendCapabilityError(
+                "term_expectations requires an expectation task")
+        values = [float(self._run_task(subtask))
+                  for subtask in task.split_terms()]
+        self._count_invocations(len(values))
+        return np.asarray(values)
 
     def __repr__(self):
         return f"{type(self).__name__}(name={self.name!r})"

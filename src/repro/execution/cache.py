@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -73,6 +73,37 @@ class ExpectationCache:
         with self._lock:
             self._entries[key] = (value, pin)
             self._entries.move_to_end(key)
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_many(self, keys: Sequence[Tuple]) -> List[Optional[float]]:
+        """Cached values for ``keys`` (None per miss), one lock acquisition.
+
+        This is the grouped-observable lookup shape: one key per
+        (circuit, Pauli term) pair, so a Hamiltonian that merely overlaps a
+        previously evaluated one hits term-by-term.
+        """
+        values: List[Optional[float]] = []
+        with self._lock:
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self._misses += 1
+                    values.append(None)
+                else:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    values.append(entry[0])
+        return values
+
+    def put_many(self, items: Iterable[Tuple[Tuple, float]],
+                 pin: Any = None) -> None:
+        """Store many ``(key, value)`` pairs under one lock acquisition."""
+        with self._lock:
+            for key, value in items:
+                self._entries[key] = (value, pin)
+                self._entries.move_to_end(key)
             while len(self._entries) > self._max_size:
                 self._entries.popitem(last=False)
                 self._evictions += 1

@@ -24,27 +24,31 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from .backend import Backend
 from .cache import CacheStats, ExpectationCache
 from .errors import BackendCapabilityError, ExecutionError
+from .observables import _INLINE_THRESHOLD, _MAX_AUTO_WORKERS, run_grouped
 from .registry import BackendRegistry, DEFAULT_REGISTRY
 from .router import route_task
 from .task import ExecutionResult, ExecutionTask
 
-#: Below this many unique tasks a thread pool costs more than it saves.
-_INLINE_THRESHOLD = 2
-
-#: Upper bound on auto-selected worker threads.
-_MAX_AUTO_WORKERS = 8
-
 
 @dataclass
 class ExecutionStats:
-    """Aggregate counters for one :class:`Executor` across all calls."""
+    """Aggregate counters for one :class:`Executor` across all calls.
+
+    ``grouped_tasks`` counts tasks served by the grouped-observable engine
+    and ``term_cache_hits`` the per-(circuit, term) cache hits it scored;
+    ``backend_invocations`` counts circuit evolutions either pipeline spent.
+    """
 
     tasks_submitted: int = 0
     cache_hits: int = 0
     dedup_hits: int = 0
+    grouped_tasks: int = 0
+    term_cache_hits: int = 0
     backend_invocations: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -54,6 +58,8 @@ class ExecutionStats:
     def __repr__(self):
         return (f"ExecutionStats(submitted={self.tasks_submitted}, "
                 f"cache_hits={self.cache_hits}, dedup_hits={self.dedup_hits}, "
+                f"grouped={self.grouped_tasks}, "
+                f"term_cache_hits={self.term_cache_hits}, "
                 f"invocations={dict(self.backend_invocations)})")
 
 
@@ -218,6 +224,73 @@ class Executor:
             for future in futures:
                 future.result()  # surface worker exceptions
 
+    # -- grouped observables -------------------------------------------------
+    def term_expectations(self, circuit, observable, *,
+                          noise_model=None,
+                          backend: Union[str, Backend] = "auto",
+                          trajectories: Optional[int] = None,
+                          include_idle: bool = True,
+                          use_cache: Optional[bool] = None) -> "np.ndarray":
+        """Per-term ⟨P_i⟩ of ``observable``'s terms from **one** evolution.
+
+        The returned float array aligns with ``observable.terms()`` and does
+        not include the coefficients — this is what term-resolved consumers
+        (VarSaw's readout inversion, diagnostics) want.  Values are cached
+        per (circuit, term), so later calls that share terms — or a
+        Hamiltonian that only overlaps this one — skip the evolution
+        entirely.  Example::
+
+            values = executor.term_expectations(circuit, hamiltonian)
+            for (pauli, coeff), value in zip(hamiltonian.terms(), values):
+                print(pauli.label, value)
+        """
+        task = ExecutionTask(circuit=circuit, observable=observable,
+                             noise_model=noise_model,
+                             trajectories=trajectories,
+                             include_idle=include_idle)
+        return run_grouped(self, [task], backend=backend,
+                           use_cache=use_cache)[0]
+
+    def evaluate_observable(self, circuits, observable, *,
+                            noise_model=None,
+                            backend: Union[str, Backend] = "auto",
+                            trajectories: Optional[int] = None,
+                            include_idle: bool = True,
+                            use_cache: Optional[bool] = None,
+                            max_workers: Optional[int] = None) -> List[float]:
+        """⟨H⟩ for one or many circuits, evolving each circuit **once**.
+
+        The grouped fast path for many-term Hamiltonians: instead of one
+        simulator run per Pauli term, every unique circuit is evolved a
+        single time per backend and all term expectations are read off the
+        final state (vectorized bitmask kernels on the dense simulators, one
+        QWC basis rotation per commuting group on the stabilizer tableau,
+        one pass for Pauli propagation).  Accepts a single circuit or a
+        sequence; always returns a list of energies aligned with the input.
+        Example::
+
+            energies = executor.evaluate_observable(
+                [ansatz.bind_parameters(theta) for theta in sweep],
+                hamiltonian, backend="auto")
+        """
+        from ..circuits.circuit import QuantumCircuit
+        if isinstance(circuits, QuantumCircuit):
+            circuits = [circuits]
+        else:
+            circuits = list(circuits)
+        tasks = [ExecutionTask(circuit=circuit, observable=observable,
+                               noise_model=noise_model,
+                               trajectories=trajectories,
+                               include_idle=include_idle)
+                 for circuit in circuits]
+        values_per_task = run_grouped(self, tasks, backend=backend,
+                                      use_cache=use_cache,
+                                      max_workers=max_workers)
+        coefficients = np.array([float(np.real(coeff))
+                                 for _, coeff in observable.terms()])
+        return [float(np.dot(coefficients, values))
+                for values in values_per_task]
+
     # -- introspection -------------------------------------------------------
     @property
     def cache_stats(self) -> CacheStats:
@@ -268,3 +341,42 @@ def execute_one(task: ExecutionTask,
                 use_cache: Optional[bool] = None) -> ExecutionResult:
     """Convenience wrapper: run a single task and return its result."""
     return execute(task, backend=backend, use_cache=use_cache)[0]
+
+
+def evaluate_observable(circuits, observable, *, noise_model=None,
+                        backend: Union[str, Backend] = "auto",
+                        trajectories: Optional[int] = None,
+                        include_idle: bool = True,
+                        use_cache: Optional[bool] = None,
+                        max_workers: Optional[int] = None) -> List[float]:
+    """⟨H⟩ for one or many circuits through the shared default executor.
+
+    The grouped-observable fast path: each unique circuit is evolved
+    **once** per backend and every Pauli term of ``observable`` is read off
+    the final state, with per-(circuit, term) caching — see
+    :meth:`Executor.evaluate_observable`.  Example::
+
+        from repro.execution import evaluate_observable
+
+        [energy] = evaluate_observable(circuit, hamiltonian)
+    """
+    return default_executor().evaluate_observable(
+        circuits, observable, noise_model=noise_model, backend=backend,
+        trajectories=trajectories, include_idle=include_idle,
+        use_cache=use_cache, max_workers=max_workers)
+
+
+def term_expectations(circuit, observable, *, noise_model=None,
+                      backend: Union[str, Backend] = "auto",
+                      trajectories: Optional[int] = None,
+                      include_idle: bool = True,
+                      use_cache: Optional[bool] = None) -> "np.ndarray":
+    """Per-term ⟨P_i⟩ from one evolution, via the shared default executor.
+
+    See :meth:`Executor.term_expectations`; values align with
+    ``observable.terms()`` and exclude the coefficients.
+    """
+    return default_executor().term_expectations(
+        circuit, observable, noise_model=noise_model, backend=backend,
+        trajectories=trajectories, include_idle=include_idle,
+        use_cache=use_cache)

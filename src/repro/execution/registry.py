@@ -97,11 +97,29 @@ def get_backend(name: str, registry: Optional[BackendRegistry] = None) -> Backen
 
 def register_backend(name: str, factory: Callable[..., Backend],
                      aliases: tuple = (), overwrite: bool = False) -> None:
-    """Register a custom backend factory in the default registry."""
+    """Register a custom backend factory in the default registry.
+
+    ``factory`` is a zero-argument callable returning a
+    :class:`~repro.execution.backend.Backend`; once registered, the name
+    (and any aliases) routes through ``execute(tasks, backend=name)`` and
+    the grouped-observable engine exactly like the built-in simulators.
+    Example::
+
+        register_backend("gpu", lambda: MyGPUBackend(), aliases=("cuda",))
+        execute(tasks, backend="gpu")
+    """
     DEFAULT_REGISTRY.register(name, factory, aliases=aliases,
                               overwrite=overwrite)
 
 
 def available_backends() -> List[str]:
-    """Canonical names of every backend in the default registry."""
+    """Canonical names of every backend in the default registry.
+
+    The four built-ins are ``"statevector"``, ``"density_matrix"``,
+    ``"stabilizer"`` and ``"pauli_propagation"``; any name returned here is
+    valid for ``execute(..., backend=name)``, task-level ``backend=`` pins
+    and :func:`get_backend`.  Example::
+
+        assert "statevector" in available_backends()
+    """
     return DEFAULT_REGISTRY.names()

@@ -57,9 +57,18 @@ class ExecutionTask:
     """One unit of simulator work: a circuit plus what to extract from it.
 
     Exactly one of ``observable`` (expectation-value task) or ``shots``
-    (sampling task) must be set.  ``backend`` optionally pins the task to a
-    named backend, overriding auto-routing.  ``metadata`` is caller-owned and
-    never affects scheduling, caching or results.
+    (sampling task) must be set.  ``observable`` is a full (possibly
+    many-term) :class:`~repro.operators.pauli.PauliSum`: the grouped engine
+    evolves the circuit once and reads every term off the final state, and
+    :meth:`split_terms` recovers the legacy one-task-per-term pattern when a
+    per-term submission is explicitly wanted.  ``backend`` optionally pins
+    the task to a named backend, overriding auto-routing.  ``metadata`` is
+    caller-owned and never affects scheduling, caching or results.
+    Example::
+
+        task = ExecutionTask(circuit, observable=hamiltonian,
+                             noise_model=noise)
+        [result] = execute([task], backend="auto")
     """
 
     circuit: QuantumCircuit
@@ -102,8 +111,35 @@ class ExecutionTask:
     def num_qubits(self) -> int:
         return self.circuit.num_qubits
 
+    @property
+    def num_observable_terms(self) -> int:
+        """Number of Pauli terms the observable carries (0 for sampling)."""
+        return self.observable.num_terms if self.is_expectation else 0
+
     def is_clifford(self) -> bool:
         return self.circuit.is_clifford()
+
+    def split_terms(self) -> list:
+        """One single-term expectation task per Pauli term of the observable.
+
+        This is the legacy per-term submission pattern the grouped engine
+        replaces — each subtask re-evolves the circuit — retained for
+        correctness cross-checks and benchmarking the grouped speedup.
+        Identity terms are included (their expectation is exactly 1), so
+        re-assembling ``Σ coeff_i · value_i`` reproduces the full energy.
+        """
+        if not self.is_expectation:
+            raise ExecutionError("only expectation tasks can be split by term")
+        subtasks = []
+        for pauli, _ in self.observable.terms():
+            observable = PauliSum(self.observable.num_qubits, [(pauli, 1.0)])
+            subtasks.append(ExecutionTask(
+                circuit=self.circuit, observable=observable,
+                noise_model=self.noise_model, backend=self.backend,
+                trajectories=self.trajectories,
+                include_idle=self.include_idle,
+                metadata=dict(self.metadata)))
+        return subtasks
 
     # -- identity ------------------------------------------------------------
     def cache_key(self, backend_name: str) -> Tuple:
@@ -118,6 +154,25 @@ class ExecutionTask:
         else:
             payload = ("sample", int(self.shots))
         return (self.circuit.fingerprint(), payload,
+                noise_token(self.noise_model), backend_name,
+                self.trajectories, self.include_idle)
+
+    def term_cache_key(self, backend_name: str,
+                      term_key: Tuple[bytes, bytes],
+                      circuit_fingerprint: Optional[str] = None) -> Tuple:
+        """Cache key for one Pauli term of this task's observable.
+
+        ``term_key`` is :meth:`repro.operators.pauli.PauliString.key` — the
+        phase-free symplectic identity of the term.  Per-term entries are what
+        let a later Hamiltonian that only *overlaps* this task's observable
+        hit the cache term-by-term instead of missing on the whole-observable
+        fingerprint.  Callers building keys for many terms of one circuit
+        pass the precomputed ``circuit_fingerprint`` so the circuit is hashed
+        once, not once per term.
+        """
+        if circuit_fingerprint is None:
+            circuit_fingerprint = self.circuit.fingerprint()
+        return (circuit_fingerprint, ("term",) + tuple(term_key),
                 noise_token(self.noise_model), backend_name,
                 self.trajectories, self.include_idle)
 

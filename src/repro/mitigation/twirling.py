@@ -18,8 +18,7 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
-from ..execution.executor import execute
-from ..execution.task import ExecutionTask
+from ..execution.executor import evaluate_observable
 from ..operators.pauli import PauliSum
 from ..simulators.noise import NoiseModel
 
@@ -107,20 +106,21 @@ def twirled_ensemble_expectation(circuit: QuantumCircuit,
                                  seed: Optional[int] = 0) -> TwirledExpectation:
     """⟨H⟩ averaged over ``num_twirls`` random compilations of the circuit.
 
-    All twirls are submitted as one batched :func:`repro.execution.execute`
-    call (noisy twirls run on the density-matrix backend, noiseless ones on
-    the statevector backend), so coinciding random dressings are evaluated
-    once and the ensemble fans out across the executor's thread pool.
+    All twirls are submitted as one batched
+    :func:`repro.execution.evaluate_observable` call (noisy twirls run on
+    the density-matrix backend, noiseless ones on the statevector backend):
+    each distinct dressing is evolved once — every Hamiltonian term comes
+    from that single evolution — coinciding dressings collapse, and the
+    ensemble fans out across the executor's thread pool.
     """
     if num_twirls < 1:
         raise ValueError("num_twirls must be at least 1")
     rng = np.random.default_rng(seed)
     backend = "density_matrix" if noise_model is not None else "statevector"
-    tasks = [ExecutionTask(circuit=pauli_twirl_circuit(circuit, rng=rng),
-                           observable=observable, noise_model=noise_model)
-             for _ in range(num_twirls)]
-    values = [float(result.value)
-              for result in execute(tasks, backend=backend)]
+    circuits = [pauli_twirl_circuit(circuit, rng=rng)
+                for _ in range(num_twirls)]
+    values = evaluate_observable(circuits, observable,
+                                 noise_model=noise_model, backend=backend)
     values_array = np.asarray(values)
     spread = (float(values_array.std(ddof=1) / np.sqrt(num_twirls))
               if num_twirls > 1 else 0.0)

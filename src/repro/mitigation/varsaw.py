@@ -122,53 +122,41 @@ class MitigatedEnergyEvaluator(EnergyEvaluator):
 
     # -- per-term measured expectations (one simulation pass) -------------------
     def _measured_term_values(self, circuit: QuantumCircuit) -> Dict[bytes, float]:
+        """One grouped-observable evaluation; per-term values by Pauli key.
+
+        All backends go through
+        :meth:`repro.execution.Executor.term_expectations`, which evolves the
+        canonicalized circuit **once** and reads every Hamiltonian term off
+        the final state (the per-term values are also cached per
+        (circuit, term), so the surrounding VQE loop's repeated queries are
+        free).  The Clifford/Pauli-propagation path models readout
+        attenuation analytically here — the propagated circuit carries no
+        measure instructions — while the density-matrix engine applies it
+        internally.
+        """
         from ..circuits.transpile import decompose_to_clifford_rz, merge_rz_runs
-        from ..simulators.density_matrix import DensityMatrixSimulator
-        from ..simulators.pauli_propagation import PauliPropagator
+        from ..execution.executor import default_executor
         from ..vqe.energy import (CliffordEnergyEvaluator,
                                   DensityMatrixEnergyEvaluator)
 
         readout = self.noise_model.readout_error if self.noise_model is not None else 0.0
         canonical = merge_rz_runs(decompose_to_clifford_rz(circuit))
-        measured: Dict[bytes, float] = {}
+        executor = default_executor()
         if isinstance(self.base_evaluator, CliffordEnergyEvaluator):
-            propagator = PauliPropagator(self.hamiltonian)
-            locations = {}
-            if self.noise_model is not None and self.noise_model.has_noise():
-                for location in self.noise_model.error_locations(canonical):
-                    locations.setdefault(location.instruction_index, []).append(location)
-            instructions = list(canonical)
-            for index in range(len(instructions) - 1, -1, -1):
-                for location in locations.get(index, []):
-                    propagator.apply_error_location(location)
-                propagator.conjugate_instruction(instructions[index])
-            values = propagator.term_values()
-            for (pauli, _), value in zip(self.hamiltonian.terms(), values):
-                measured[pauli.key()] = float(value) \
-                    * (1.0 - 2.0 * readout) ** pauli.weight()
-            return measured
-        if isinstance(self.base_evaluator, DensityMatrixEnergyEvaluator):
-            simulator = DensityMatrixSimulator(self.noise_model)
-            state = simulator.run(canonical.without_measurements())
-            for pauli, _ in self.hamiltonian.terms():
-                matrix = pauli.to_matrix(sparse_output=True)
-                raw = float(np.real((matrix.multiply(state.data.T)).sum()))
-                measured[pauli.key()] = raw * (1.0 - 2.0 * readout) ** pauli.weight()
-            return measured
-        # Generic fallback: one batched execute() over the per-term
-        # observables — dedup/caching and the thread pool come for free.
-        from ..execution import ExecutionTask, execute
-
-        term_paulis = [pauli for pauli, _ in self.hamiltonian.terms()
-                       if not pauli.is_identity()]
-        tasks = [ExecutionTask(
-                     circuit=canonical,
-                     observable=PauliSum(self.hamiltonian.num_qubits,
-                                         [(pauli, 1.0)]),
-                     noise_model=self.noise_model)
-                 for pauli in term_paulis]
-        for pauli, result in zip(term_paulis, execute(tasks, backend="auto")):
-            measured[pauli.key()] = float(result.value)
+            backend = "pauli_propagation"
+            damping = 1.0 - 2.0 * readout
+        elif isinstance(self.base_evaluator, DensityMatrixEnergyEvaluator):
+            backend = "density_matrix"
+            damping = 1.0  # readout attenuation applied by the simulator
+        else:
+            backend = "auto"
+            damping = 1.0
+        values = executor.term_expectations(canonical, self.hamiltonian,
+                                            noise_model=self.noise_model,
+                                            backend=backend)
+        measured: Dict[bytes, float] = {}
+        for (pauli, _), value in zip(self.hamiltonian.terms(), values):
+            measured[pauli.key()] = float(value) * damping ** pauli.weight()
         return measured
 
     def evaluate(self, circuit: QuantumCircuit) -> float:

@@ -379,13 +379,31 @@ class PauliSum:
                             return_eigenvectors=False, maxiter=5000)
         return float(eigenvalues[0])
 
+    def bit_matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(coefficients, x_bits, z_bits)`` arrays in ``terms()`` order.
+
+        The bit matrices are the ``(num_terms, num_qubits)`` symplectic
+        representation consumed by the vectorized expectation kernels in
+        :mod:`repro.simulators.kernels`.
+        """
+        from ..simulators.kernels import observable_bit_matrices
+        return observable_bit_matrices(self)
+
     def expectation(self, statevector: np.ndarray) -> float:
-        """⟨ψ|H|ψ⟩ for a dense statevector."""
+        """⟨ψ|H|ψ⟩ for a dense statevector.
+
+        Evaluated with the vectorized bitmask/phase kernel
+        (:func:`repro.simulators.kernels.statevector_term_expectations`), so
+        the cost is one ``O(2^n)`` gather-reduce per term rather than a
+        sparse-matrix product.
+        """
+        from ..simulators.kernels import statevector_term_expectations
         statevector = np.asarray(statevector, dtype=complex).ravel()
-        total = 0.0 + 0.0j
-        for pauli, coeff in self.terms():
-            total += coeff * pauli.expectation(statevector)
-        return float(total.real)
+        coefficients, x_bits, z_bits = self.bit_matrices()
+        if not len(coefficients):
+            return 0.0
+        values = statevector_term_expectations(statevector, x_bits, z_bits)
+        return float(np.real(np.sum(coefficients * values)))
 
     # -- measurement grouping ------------------------------------------------------------------------
     def group_qubitwise_commuting(self) -> List[List[Tuple[PauliString, complex]]]:

@@ -1,6 +1,15 @@
-"""Quantum state simulators and noise models."""
+"""Quantum state simulators and noise models.
+
+All four engines share the keyword surface
+``expectation(circuit, observable, *, initial_state=None, trajectories=None)``
+and its grouped counterpart ``expectation_many(...) -> np.ndarray`` (per-term
+values from a single evolution), which is what lets the execution layer treat
+them interchangeably behind the :class:`repro.execution.Backend` protocol.
+"""
 
 from .density_matrix import DensityMatrix, DensityMatrixSimulator
+from .kernels import (density_matrix_term_expectations, observable_bit_matrices,
+                      statevector_term_expectations)
 from .noise import (ErrorLocation, NoiseModel, PauliChannel, QuantumChannel,
                     amplitude_damping_channel, bit_flip_channel,
                     depolarizing_channel, pauli_error_channel, pauli_twirl,
@@ -27,8 +36,11 @@ __all__ = [
     "amplitude_damping_channel",
     "bit_flip_channel",
     "circuit_unitary",
+    "density_matrix_term_expectations",
     "depolarizing_channel",
     "expectation_value",
+    "observable_bit_matrices",
+    "statevector_term_expectations",
     "pauli_error_channel",
     "pauli_twirl",
     "phase_damping_channel",

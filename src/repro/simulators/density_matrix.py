@@ -74,13 +74,27 @@ class DensityMatrix:
 
     def expectation(self, observable: PauliSum) -> float:
         """Tr(ρ H) for a Hermitian Pauli-sum observable."""
+        from .kernels import density_matrix_term_expectations
         if observable.num_qubits != self._num_qubits:
             raise ValueError("observable acts on a different number of qubits")
-        total = 0.0 + 0.0j
-        for pauli, coeff in observable.terms():
-            matrix = pauli.to_matrix(sparse_output=True)
-            total += coeff * (matrix.multiply(self._data.T)).sum()
-        return float(total.real)
+        coefficients, x_bits, z_bits = observable.bit_matrices()
+        if not len(coefficients):
+            return 0.0
+        values = density_matrix_term_expectations(self._data, x_bits, z_bits)
+        return float(np.real(np.sum(coefficients * values)))
+
+    def expectation_many(self, observable: PauliSum) -> np.ndarray:
+        """Tr(ρ·P_i) for every bare Pauli term of ``observable``.
+
+        One vectorized off-diagonal gather per term (see
+        :mod:`repro.simulators.kernels`); values align with
+        ``observable.terms()`` and exclude the coefficients.
+        """
+        from .kernels import density_matrix_term_expectations
+        if observable.num_qubits != self._num_qubits:
+            raise ValueError("observable acts on a different number of qubits")
+        return density_matrix_term_expectations(self._data,
+                                                observable=observable)
 
     def fidelity_with_pure_state(self, state: Statevector) -> float:
         """⟨ψ|ρ|ψ⟩ — state fidelity against a pure reference."""
@@ -214,19 +228,34 @@ class DensityMatrixSimulator:
         :class:`~repro.simulators.stabilizer.StabilizerSimulator` and ignored:
         the density-matrix expectation is exact.
         """
+        values = self.expectation_many(circuit, observable,
+                                       initial_state=initial_state)
+        coefficients = np.array([float(np.real(c))
+                                 for _, c in observable.terms()])
+        return float(np.dot(coefficients, values))
+
+    def expectation_many(self, circuit: QuantumCircuit, observable: PauliSum, *,
+                         initial_state: Optional[DensityMatrix] = None,
+                         trajectories: Optional[int] = None) -> np.ndarray:
+        """Per-term noisy ⟨P_i⟩ from a **single** density-matrix evolution.
+
+        The grouped-observable fast path: the circuit runs once and every
+        term is read off the final ρ with the vectorized bitmask kernel.
+        Symmetric readout bit flips damp each term by ``(1 − 2·p_meas)^w``
+        (``w`` the term's weight), exactly as in :meth:`expectation`.  Values
+        align with ``observable.terms()`` (coefficients are not applied);
+        ``trajectories`` is accepted for signature parity and ignored.
+        """
         state = self.run(circuit.without_measurements(), initial_state)
-        value = state.expectation(observable)
+        values = state.expectation_many(observable)
         if self.noise_model is not None and self.noise_model.readout_error > 0:
             # Symmetric readout bit flips damp each Pauli term by
             # (1 - 2·p_meas)^weight; exact for uncorrelated symmetric flips.
             damping = 1.0 - 2.0 * self.noise_model.readout_error
-            value = 0.0
-            rho = state
-            for pauli, coeff in observable.terms():
-                matrix = pauli.to_matrix(sparse_output=True)
-                raw = float(np.real((matrix.multiply(rho.data.T)).sum()))
-                value += float(np.real(coeff)) * raw * damping ** pauli.weight()
-        return value
+            weights = np.array([pauli.weight()
+                                for pauli, _ in observable.terms()])
+            values = values * damping ** weights
+        return values
 
     def sample(self, circuit: QuantumCircuit, shots: int) -> Dict[str, int]:
         """Sample computational-basis outcomes including readout errors."""

@@ -241,6 +241,25 @@ def expectation_value(circuit: QuantumCircuit, observable: PauliSum,
     which reproduces the paper's treatment of non-Clifford thermal relaxation
     in the Clifford-simulation flow (Sec. 5.2.2).
     """
+    propagator = propagate(circuit, observable, noise_model,
+                           include_idle=include_idle)
+    # Identity terms never get damped or signed incorrectly, so the identity
+    # coefficient is automatically included by the propagator's diagonal
+    # check (see PauliPropagator.expectation_on_zero_state).
+    return propagator.expectation_on_zero_state()
+
+
+def propagate(circuit: QuantumCircuit, observable: PauliSum,
+              noise_model: Optional[NoiseModel] = None,
+              include_idle: bool = True) -> PauliPropagator:
+    """Run one backward propagation pass and return the loaded propagator.
+
+    All terms of ``observable`` travel through the circuit together (one
+    bit-matrix pass), so callers can read either the summed energy
+    (:meth:`PauliPropagator.expectation_on_zero_state`) or the per-term
+    values (:meth:`PauliPropagator.term_values`) from a single evolution —
+    the grouped-observable fast path.
+    """
     if observable.num_qubits != circuit.num_qubits:
         raise ValueError("observable and circuit qubit counts differ")
     propagator = PauliPropagator(observable)
@@ -253,10 +272,7 @@ def expectation_value(circuit: QuantumCircuit, observable: PauliSum,
         for location in locations_by_index.get(index, []):
             propagator.apply_error_location(location)
         propagator.conjugate_instruction(instructions[index])
-    value = propagator.expectation_on_zero_state()
-    # Identity terms never get damped or signed incorrectly, so the identity
-    # coefficient is automatically included by the diagonal check above.
-    return value
+    return propagator
 
 
 class PauliPropagationSimulator:
@@ -292,3 +308,23 @@ class PauliPropagationSimulator:
         include_idle = self.include_idle if include_idle is None else include_idle
         return expectation_value(circuit, observable, self.noise_model,
                                  include_idle=include_idle)
+
+    def expectation_many(self, circuit: QuantumCircuit, observable: PauliSum, *,
+                         initial_state=None, trajectories: Optional[int] = None,
+                         include_idle: Optional[bool] = None) -> np.ndarray:
+        """Per-term noisy ⟨P_i⟩ from a **single** propagation pass.
+
+        The propagator already carries every term of ``observable`` through
+        the circuit simultaneously, so per-term values cost the same one
+        evolution as the summed energy.  Values align with
+        ``observable.terms()`` (coefficients are not applied); identity terms
+        report 1.0.  ``initial_state`` must be None and ``trajectories`` is
+        ignored, as in :meth:`expectation`.
+        """
+        if initial_state is not None:
+            raise ValueError("PauliPropagationSimulator only supports the "
+                             "|0...0> initial state")
+        include_idle = self.include_idle if include_idle is None else include_idle
+        propagator = propagate(circuit, observable, self.noise_model,
+                               include_idle=include_idle)
+        return propagator.term_values()

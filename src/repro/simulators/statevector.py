@@ -68,6 +68,18 @@ class Statevector:
     def expectation(self, observable: PauliSum) -> float:
         return observable.expectation(self._data)
 
+    def expectation_many(self, observable: PauliSum) -> np.ndarray:
+        """⟨ψ|P_i|ψ⟩ for every bare Pauli term of ``observable``.
+
+        One vectorized bitmask/phase kernel pass over the state per term
+        (see :mod:`repro.simulators.kernels`); values align with
+        ``observable.terms()`` and exclude the coefficients.
+        """
+        from .kernels import statevector_term_expectations
+        if observable.num_qubits != self._num_qubits:
+            raise ValueError("observable acts on a different number of qubits")
+        return statevector_term_expectations(self._data, observable=observable)
+
     def sample_counts(self, shots: int, rng: Optional[np.random.Generator] = None
                       ) -> Dict[str, int]:
         """Sample measurement outcomes in the computational basis.
@@ -109,7 +121,19 @@ def _apply_unitary(state: np.ndarray, matrix: np.ndarray,
 
 
 class StatevectorSimulator:
-    """Executes circuits on dense statevectors (no noise)."""
+    """Executes circuits on dense statevectors (no noise).
+
+    The exact noiseless reference engine: gates are applied by tensor
+    contraction, so memory is O(2^n).  Shares the package-wide
+    ``expectation(circuit, observable, *, initial_state=None,
+    trajectories=None)`` and ``expectation_many(...)`` keyword surface with
+    the other three simulators, which is what lets the execution layer swap
+    them behind one :class:`~repro.execution.Backend` protocol.  Example::
+
+        simulator = StatevectorSimulator()
+        energy = simulator.expectation(circuit, hamiltonian)
+        per_term = simulator.expectation_many(circuit, hamiltonian)
+    """
 
     def __init__(self, seed: Optional[int] = None):
         self._rng = np.random.default_rng(seed)
@@ -161,6 +185,20 @@ class StatevectorSimulator:
         """
         state = self.run(circuit.without_measurements(), initial_state)
         return state.expectation(observable)
+
+    def expectation_many(self, circuit: QuantumCircuit, observable: PauliSum, *,
+                         initial_state: Optional[Statevector] = None,
+                         trajectories: Optional[int] = None) -> np.ndarray:
+        """Per-term ⟨P_i⟩ of the prepared state from a **single** evolution.
+
+        The grouped-observable fast path: the circuit is simulated once and
+        every term of ``observable`` is evaluated from the final state with
+        the vectorized bitmask kernel.  Values align with
+        ``observable.terms()`` (coefficients are not applied);
+        ``trajectories`` is accepted for signature parity and ignored.
+        """
+        state = self.run(circuit.without_measurements(), initial_state)
+        return state.expectation_many(observable)
 
     def sample(self, circuit: QuantumCircuit, shots: int) -> Dict[str, int]:
         state = self.run(circuit.without_measurements())

@@ -1,10 +1,13 @@
 """Energy (expectation value) evaluators backing the VQE loop.
 
-Since the execution-API redesign every evaluator dispatches through
-:func:`repro.execution.execute`, which adds fingerprint-keyed LRU caching,
-in-batch deduplication and regime-aware routing on top of the paper's four
-execution paths (Sec. 5.2).  The historical classes remain as thin shims
-pinning a backend, so existing call sites keep working:
+Since the execution-API redesign every evaluator dispatches through the
+unified execution layer, which adds fingerprint-keyed LRU caching, in-batch
+deduplication and regime-aware routing on top of the paper's four execution
+paths (Sec. 5.2).  Evaluations ride the grouped-observable engine
+(:meth:`repro.execution.Executor.evaluate_observable`): one circuit
+evolution serves every Pauli term of the Hamiltonian, with per-(circuit,
+term) caching.  The historical classes remain as thin shims pinning a
+backend, so existing call sites keep working:
 
 * :class:`ExactEnergyEvaluator` — noiseless statevector expectation, used for
   reference energies and expressibility studies;
@@ -60,6 +63,17 @@ class BackendEnergyEvaluator(EnergyEvaluator):
     routing, or a :class:`~repro.execution.backend.Backend` instance.
     ``canonicalize`` rewrites the circuit over Clifford+Rz before execution
     (the gate set the regimes' noise models are calibrated against).
+
+    By default (``grouped=True``) each evaluation takes the
+    grouped-observable fast path: the circuit is evolved **once** and every
+    Pauli term of the Hamiltonian is read off the final state, with
+    per-(circuit, term) caching so overlapping Hamiltonians and repeated
+    optimizer queries skip the evolution entirely.  ``grouped=False`` falls
+    back to submitting one whole-observable :class:`ExecutionTask` through
+    :func:`repro.execution.execute`.  Example::
+
+        evaluator = BackendEnergyEvaluator(hamiltonian, backend="auto")
+        energy = evaluator(ansatz.build().bind_parameters(theta))
     """
 
     def __init__(self, hamiltonian: PauliSum,
@@ -69,7 +83,8 @@ class BackendEnergyEvaluator(EnergyEvaluator):
                  include_idle: bool = True,
                  trajectories: Optional[int] = None,
                  executor: Optional[Executor] = None,
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 grouped: bool = True):
         super().__init__(hamiltonian)
         self.backend = backend
         self.noise_model = noise_model
@@ -77,18 +92,30 @@ class BackendEnergyEvaluator(EnergyEvaluator):
         self.include_idle = include_idle
         self.trajectories = trajectories
         self.use_cache = use_cache
+        self.grouped = grouped
         self._executor = executor
 
-    def _make_task(self, circuit: QuantumCircuit) -> ExecutionTask:
+    def _prepare_circuit(self, circuit: QuantumCircuit) -> QuantumCircuit:
         if self.canonicalize:
             circuit = merge_rz_runs(decompose_to_clifford_rz(circuit))
-        return ExecutionTask(circuit=circuit, observable=self.hamiltonian,
+        return circuit
+
+    def _make_task(self, circuit: QuantumCircuit) -> ExecutionTask:
+        return ExecutionTask(circuit=self._prepare_circuit(circuit),
+                             observable=self.hamiltonian,
                              noise_model=self.noise_model,
                              trajectories=self.trajectories,
                              include_idle=self.include_idle)
 
     def evaluate(self, circuit: QuantumCircuit) -> float:
         executor = self._executor or default_executor()
+        if self.grouped:
+            return executor.evaluate_observable(
+                self._prepare_circuit(circuit), self.hamiltonian,
+                noise_model=self.noise_model, backend=self.backend,
+                trajectories=self.trajectories,
+                include_idle=self.include_idle,
+                use_cache=self.use_cache)[0]
         result = executor.run(self._make_task(circuit), backend=self.backend,
                               use_cache=self.use_cache)[0]
         return float(result.value)

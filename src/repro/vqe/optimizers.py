@@ -75,7 +75,17 @@ class _TrackingObjective:
 
 
 class CobylaOptimizer(Optimizer):
-    """COBYLA (the paper's primary continuous optimizer)."""
+    """COBYLA (the paper's primary continuous optimizer).
+
+    Gradient-free trust-region optimization via
+    ``scipy.optimize.minimize(method="COBYLA")``, used for every continuous
+    VQE/QAOA run in the evaluation.  ``rhobeg`` sets the initial step;
+    convergence is declared at ``tolerance``.  Example::
+
+        result = CobylaOptimizer(max_iterations=200).minimize(
+            lambda theta: evaluator(ansatz.build().bind_parameters(theta)),
+            initial_parameters)
+    """
 
     def __init__(self, max_iterations: int = 150, rhobeg: float = 0.5,
                  tolerance: float = 1e-4):
