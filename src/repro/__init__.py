@@ -5,7 +5,11 @@ organised bottom-up:
 
 * :mod:`repro.circuits` / :mod:`repro.operators` / :mod:`repro.simulators` —
   circuit IR, Pauli algebra / Hamiltonians, and the statevector /
-  density-matrix / stabilizer / Pauli-propagation simulators;
+  density-matrix / stabilizer / Pauli-propagation simulators; the dense
+  engines execute circuits through the compile layer
+  (:mod:`repro.simulators.program`): fingerprint-cached
+  :class:`~repro.simulators.program.CompiledProgram` objects with gate
+  fusion, diagonal/permutation fast paths and pre-merged noise channels;
 * :mod:`repro.qec` — surface-code error models, magic-state distillation and
   cultivation, Clifford+T synthesis, matching decoder, memory experiments;
 * :mod:`repro.architecture` — logical-qubit layouts, lattice-surgery costs
@@ -23,6 +27,8 @@ organised bottom-up:
   Hamiltonians ride the grouped-observable engine
   (:func:`evaluate_observable` / :func:`term_expectations`): one circuit
   evolution serves every Pauli term, with per-(circuit, term) caching;
+  parameter sweeps ride :func:`evaluate_sweep`: the template compiles once
+  and every point executes in one stacked, batched NumPy pass;
 * :mod:`repro.vqe` / :mod:`repro.mitigation` — the VQE engine (continuous and
   Clifford-restricted) and NISQ-inherited mitigation (VarSaw, ZNE).
 
@@ -69,8 +75,9 @@ from .core import (EFTDevice, NISQRegime, PQECRegime, QECConventionalRegime,
 from .estimation import ResourceEstimator
 from .execution import (Backend, BackendCapabilities, BackendRegistry,
                         ExecutionResult, ExecutionTask, Executor,
-                        available_backends, evaluate_observable, execute,
-                        get_backend, register_backend, term_expectations)
+                        available_backends, evaluate_observable,
+                        evaluate_sweep, execute, get_backend,
+                        register_backend, term_expectations)
 from .operators import (FermionicOperator, PauliString, PauliSum,
                         heisenberg_hamiltonian, ising_hamiltonian,
                         jordan_wigner, maxcut_cost_hamiltonian,
@@ -141,6 +148,7 @@ __all__ = [
     "compare_regimes_opr",
     "estimate_fidelity",
     "evaluate_observable",
+    "evaluate_sweep",
     "execute",
     "get_backend",
     "get_factory",

@@ -19,7 +19,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..execution.executor import evaluate_observable
+from ..circuits.parameters import ParameterVector
+from ..execution.executor import evaluate_sweep
 from ..operators.pauli import PauliString, PauliSum
 from ..simulators.noise import NoiseModel
 from ..vqe.optimizers import CobylaOptimizer, Optimizer, SPSAOptimizer
@@ -137,6 +138,13 @@ class VariationalClassifier:
         self._observable.add_term(PauliString.single(self.num_qubits, 0, "Z"), 1.0)
         self.parameters = np.zeros(self.num_parameters())
         self.loss_history: List[float] = []
+        # One parametric template covers every sample: feature angles and
+        # variational weights are free parameters, so batch inference
+        # compiles the circuit once and only rebinds rotation matrices.
+        self._feature_params = ParameterVector("x", self.num_qubits)
+        self._weight_params = ParameterVector("w", self.num_parameters())
+        self._template = self._build_template()
+        self._template_order = self._template.ordered_parameters()
 
     # -- circuit construction -----------------------------------------------------
     def num_parameters(self) -> int:
@@ -178,6 +186,38 @@ class VariationalClassifier:
         circuit = self.feature_map(features)
         return circuit.compose(self.variational_block(parameters))
 
+    def _build_template(self) -> QuantumCircuit:
+        """The symbolic model circuit: feature map + variational block."""
+        circuit = QuantumCircuit(self.num_qubits, name="classifier_model")
+        for _ in range(self.feature_repetitions):
+            for qubit in range(self.num_qubits):
+                circuit.ry(self._feature_params[qubit], qubit)
+            for qubit in range(self.num_qubits):
+                circuit.cx(qubit, (qubit + 1) % self.num_qubits)
+        index = 0
+        for _ in range(self.num_layers):
+            for qubit in range(self.num_qubits):
+                circuit.ry(self._weight_params[index], qubit)
+                index += 1
+                circuit.rz(self._weight_params[index], qubit)
+                index += 1
+            for qubit in range(self.num_qubits - 1):
+                circuit.cx(qubit, qubit + 1)
+        return circuit
+
+    def _sweep_point(self, features: Sequence[float],
+                     parameters: np.ndarray) -> List[float]:
+        """One sample's parameter vector for the model template."""
+        features = [float(value) for value in features]
+        bindings = {}
+        for qubit in range(self.num_qubits):
+            # Mirrors feature_map's padding: missing features encode as 0.
+            bindings[self._feature_params[qubit]] = (
+                features[qubit] if qubit < len(features) else 0.0)
+        for index, parameter in enumerate(self._weight_params):
+            bindings[parameter] = float(parameters[index])
+        return [bindings[parameter] for parameter in self._template_order]
+
     # -- inference ---------------------------------------------------------------
     def decision_function(self, features: Sequence[float],
                           parameters: Optional[Sequence[float]] = None) -> float:
@@ -187,19 +227,27 @@ class VariationalClassifier:
     def decision_scores(self, features_batch: Sequence[Sequence[float]],
                         parameters: Optional[Sequence[float]] = None
                         ) -> np.ndarray:
-        """⟨Z_0⟩ for a whole batch, as one grouped-observable call.
+        """⟨Z_0⟩ for a whole batch, as one batched parameter sweep.
 
-        All sample circuits go through
-        :func:`repro.execution.evaluate_observable` in a single batch: each
-        unique circuit is evolved once, duplicates within the batch collapse,
-        and repeated samples across optimizer iterations hit the
+        Every sample is a parameter vector (feature angles + shared weights)
+        over the one compiled model template, so the whole batch goes through
+        :func:`repro.execution.evaluate_sweep`: noiseless inference executes
+        as a single stacked statevector pass, noisy inference falls back to
+        one grouped density-matrix batch; duplicates within the batch
+        collapse, and repeated samples across optimizer iterations hit the
         per-(circuit, term) cache.
         """
-        circuits = [self.model_circuit(sample, parameters)
-                    for sample in features_batch]
-        return np.asarray(evaluate_observable(circuits, self._observable,
-                                              noise_model=self.noise_model,
-                                              backend=self._backend))
+        parameters = (self.parameters if parameters is None
+                      else np.asarray(parameters, dtype=float))
+        if parameters.size != self.num_parameters():
+            raise ValueError(f"expected {self.num_parameters()} parameters, "
+                             f"got {parameters.size}")
+        points = [self._sweep_point(sample, parameters)
+                  for sample in features_batch]
+        return np.asarray(evaluate_sweep(self._template, points,
+                                         self._observable,
+                                         noise_model=self.noise_model,
+                                         backend=self._backend))
 
     def predict(self, features_batch: Sequence[Sequence[float]],
                 parameters: Optional[Sequence[float]] = None) -> np.ndarray:

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..ansatz.base import Ansatz
-from ..execution.executor import evaluate_observable
+from ..execution.executor import evaluate_sweep
 from ..operators.pauli import PauliSum
 from ..simulators.statevector import StatevectorSimulator
 from ..vqe.optimizers import CobylaOptimizer, Optimizer
@@ -142,14 +142,15 @@ class VQD:
                         backend: str = "auto") -> List[float]:
         """Re-evaluate the converged levels through the unified execution API.
 
-        One batched :func:`repro.execution.evaluate_observable` call over the
-        winning circuits — under a regime's noise model and/or on a different
-        backend — which is how the spectral gaps are compared across
-        execution regimes without re-running the optimization.  Each level's
-        circuit is evolved once; all Hamiltonian terms are read off the final
-        state by the grouped-observable engine.
+        One batched :func:`repro.execution.evaluate_sweep` call over the
+        winning parameter vectors — under a regime's noise model and/or on a
+        different backend — which is how the spectral gaps are compared
+        across execution regimes without re-running the optimization.  The
+        shared ansatz template is compiled once; noiseless statevector
+        re-scoring executes all levels as one stacked batch, noisy regimes
+        fall back to one grouped-observable batch (one evolution per level).
         """
-        circuits = [self._template.bind_parameters(list(theta))
-                    for theta in result.parameters]
-        return evaluate_observable(circuits, self.hamiltonian,
-                                   noise_model=noise_model, backend=backend)
+        parameter_sets = [list(theta) for theta in result.parameters]
+        return evaluate_sweep(self._template, parameter_sets,
+                              self.hamiltonian, noise_model=noise_model,
+                              backend=backend)

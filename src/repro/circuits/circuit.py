@@ -270,13 +270,20 @@ class QuantumCircuit:
         Two circuits share a fingerprint exactly when they have the same qubit
         count and the same ordered instruction stream — gate names, qubit and
         classical-bit indices, and parameter values (bound floats are hashed
-        bit-exactly; free symbolic parameters by their deterministic string
-        form).  Name and ``metadata`` do **not** contribute, so rebuilding the
-        same circuit yields the same fingerprint across processes.  This is
-        the cache/deduplication key used by :mod:`repro.execution`.
+        bit-exactly; free symbolic parameters by their name *and appearance
+        pattern*: each distinct parameter is numbered in first-appearance
+        order, and expressions hash those indices with the names,
+        coefficients and offset, so a circuit reusing one parameter twice
+        never collides with one using two same-named parameters).  Circuit
+        name and ``metadata`` do **not**
+        contribute, so rebuilding the same circuit yields the same
+        fingerprint across processes.  This is the cache/deduplication key
+        used by :mod:`repro.execution` and the compiled-program cache in
+        :mod:`repro.simulators.program`.
         """
         hasher = hashlib.blake2b(digest_size=16)
         hasher.update(struct.pack("<I", self._num_qubits))
+        appearance: Dict[Parameter, int] = {}
         for inst in self._instructions:
             hasher.update(inst.name.encode("utf-8"))
             hasher.update(struct.pack(f"<{len(inst.qubits)}i", *inst.qubits)
@@ -286,7 +293,17 @@ class QuantumCircuit:
                           if inst.clbits else b"")
             for param in inst.params:
                 if isinstance(param, ParameterExpression) and not param.is_bound:
-                    hasher.update(b"P" + repr(param).encode("utf-8"))
+                    hasher.update(b"P")
+                    # Within one expression, parameters enumerate in sorted
+                    # name order — mirroring ordered_parameters(), so the
+                    # appearance numbering matches positional binding.
+                    for free in sorted(param.parameters,
+                                       key=lambda p: p.name):
+                        index = appearance.setdefault(free, len(appearance))
+                        hasher.update(free.name.encode("utf-8"))
+                        hasher.update(struct.pack(
+                            "<id", index, param.coefficient(free)))
+                    hasher.update(b"+" + struct.pack("<d", param.offset))
                 else:
                     # Bound expressions hash like plain floats so a
                     # template-bound circuit matches its directly-built twin.

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -124,7 +125,21 @@ NON_UNITARY_NAMES = frozenset({"measure", "reset", "barrier"})
 #: Parametric gate names and their parameter counts.
 PARAMETRIC_GATES = {"rx": 1, "ry": 1, "rz": 1, "rzz": 1, "u3": 3}
 
-_STATIC_MATRICES = {
+#: Gates whose unitary is diagonal in the computational basis.  The circuit
+#: compiler (:mod:`repro.simulators.program`) applies these as elementwise
+#: phase vectors instead of tensor contractions.
+DIAGONAL_GATE_NAMES = frozenset(
+    {"i", "id", "z", "s", "sdg", "t", "tdg", "rz", "cz", "rzz"})
+
+
+def _frozen(matrix: np.ndarray) -> np.ndarray:
+    """A read-only copy, safe to hand out from a cache without re-copying."""
+    out = np.array(matrix, dtype=complex)
+    out.setflags(write=False)
+    return out
+
+
+_STATIC_MATRICES = {name: _frozen(matrix) for name, matrix in {
     "i": I2, "id": I2,
     "x": X_MATRIX, "y": Y_MATRIX, "z": Z_MATRIX,
     "h": H_MATRIX, "s": S_MATRIX, "sdg": SDG_MATRIX,
@@ -132,7 +147,7 @@ _STATIC_MATRICES = {
     "t": T_MATRIX, "tdg": TDG_MATRIX,
     "cx": CX_MATRIX, "cnot": CX_MATRIX,
     "cz": CZ_MATRIX, "swap": SWAP_MATRIX,
-}
+}.items()}
 
 _PARAMETRIC_MATRIX_BUILDERS = {
     "rx": lambda params: rx_matrix(params[0]),
@@ -141,6 +156,23 @@ _PARAMETRIC_MATRIX_BUILDERS = {
     "rzz": lambda params: rzz_matrix(params[0]),
     "u3": lambda params: u3_matrix(*params),
 }
+
+
+@lru_cache(maxsize=4096)
+def parametric_matrix(name: str, params: tuple) -> np.ndarray:
+    """Memoized read-only unitary of a parametric gate at bound angles.
+
+    Optimizer loops re-evaluate the same angles constantly (repeated COBYLA
+    queries, SPSA ± pairs at shared base points, Clifford angles k·π/2), so
+    rebuilding trig matrices per call is measurable on the simulation hot
+    path.  The returned array is shared and read-only — copy before mutating.
+    """
+    builder = _PARAMETRIC_MATRIX_BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(f"no matrix builder for gate {name!r}")
+    matrix = builder(params)
+    matrix.setflags(write=False)
+    return matrix
 
 _INVERSE_NAMES = {
     "i": "i", "id": "id", "x": "x", "y": "y", "z": "z", "h": "h",
@@ -247,15 +279,17 @@ class Gate:
         return tuple(values)
 
     def matrix(self) -> np.ndarray:
-        """The gate unitary as a dense numpy array."""
+        """The gate unitary as a dense numpy array.
+
+        Returned arrays are cached and **read-only**: static gates share one
+        frozen array per gate name, parametric gates are memoized per bound
+        parameter tuple.  Callers that need to mutate must copy first.
+        """
         if not self.is_unitary:
             raise ValueError(f"gate {self.name!r} has no unitary matrix")
         if self.name in _STATIC_MATRICES:
-            return _STATIC_MATRICES[self.name].copy()
-        builder = _PARAMETRIC_MATRIX_BUILDERS.get(self.name)
-        if builder is None:
-            raise ValueError(f"no matrix builder for gate {self.name!r}")
-        return builder(self.bound_params())
+            return _STATIC_MATRICES[self.name]
+        return parametric_matrix(self.name, self.bound_params())
 
     def inverse(self) -> "Gate":
         """The inverse gate."""

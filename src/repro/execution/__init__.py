@@ -14,7 +14,11 @@ stabilizer tableau, Pauli propagation):
   grouped-observable engine: each unique circuit is evolved **once** and
   every Pauli term of a many-term Hamiltonian is read off the final state
   (vectorized kernels / QWC measurement groups), with per-(circuit, term)
-  caching.
+  caching;
+* :func:`evaluate_sweep` — the batched parameter-sweep pipeline over the
+  circuit-compile layer (:mod:`repro.simulators.program`): the parametric
+  template compiles once, each point rebinds only its rotation matrices,
+  and noiseless statevector sweeps execute as a single stacked NumPy pass.
 
 Quick start::
 
@@ -26,6 +30,10 @@ Quick start::
 
     # Same energies, one evolution per circuit regardless of term count:
     energies = evaluate_observable(circuits, hamiltonian, backend="auto")
+
+    # Whole parameter sweeps in one compiled batch:
+    from repro.execution import evaluate_sweep
+    energies = evaluate_sweep(template, sweep_points, hamiltonian)
 """
 
 from .adapters import (DensityMatrixBackend, MAX_DENSITY_MATRIX_QUBITS,
@@ -36,8 +44,8 @@ from .cache import CacheStats, ExpectationCache
 from .errors import (BackendCapabilityError, ExecutionError, RoutingError,
                      UnknownBackendError)
 from .executor import (ExecutionStats, Executor, default_executor,
-                       evaluate_observable, execute, execute_one,
-                       reset_default_executor, term_expectations)
+                       evaluate_observable, evaluate_sweep, execute,
+                       execute_one, reset_default_executor, term_expectations)
 from .observables import pauli_from_key, run_grouped
 from .registry import (BackendRegistry, DEFAULT_REGISTRY, available_backends,
                        get_backend, register_backend)
@@ -69,6 +77,7 @@ __all__ = [
     "available_backends",
     "default_executor",
     "evaluate_observable",
+    "evaluate_sweep",
     "execute",
     "execute_one",
     "get_backend",

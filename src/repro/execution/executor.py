@@ -29,10 +29,15 @@ import numpy as np
 from .backend import Backend
 from .cache import CacheStats, ExpectationCache
 from .errors import BackendCapabilityError, ExecutionError
-from .observables import _INLINE_THRESHOLD, _MAX_AUTO_WORKERS, run_grouped
+from .observables import (_INLINE_THRESHOLD, _MAX_AUTO_WORKERS, run_grouped,
+                          track_program_cache)
 from .registry import BackendRegistry, DEFAULT_REGISTRY
 from .router import route_task
 from .task import ExecutionResult, ExecutionTask
+
+#: Upper bound on complex amplitudes one stacked sweep batch may hold
+#: (batch size × 2^n).  64M amplitudes ≈ 1 GB per live temporary.
+_SWEEP_BATCH_AMPLITUDES = 1 << 26
 
 
 @dataclass
@@ -42,6 +47,11 @@ class ExecutionStats:
     ``grouped_tasks`` counts tasks served by the grouped-observable engine
     and ``term_cache_hits`` the per-(circuit, term) cache hits it scored;
     ``backend_invocations`` counts circuit evolutions either pipeline spent.
+    ``programs_compiled`` / ``program_cache_hits`` track the circuit-compile
+    layer (:mod:`repro.simulators.program`): how many circuits were lowered
+    to :class:`~repro.simulators.program.CompiledProgram` objects during this
+    executor's dispatches and how many lowerings were skipped because the
+    fingerprint-keyed program cache already held them.
     """
 
     tasks_submitted: int = 0
@@ -49,6 +59,8 @@ class ExecutionStats:
     dedup_hits: int = 0
     grouped_tasks: int = 0
     term_cache_hits: int = 0
+    programs_compiled: int = 0
+    program_cache_hits: int = 0
     backend_invocations: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -60,6 +72,8 @@ class ExecutionStats:
                 f"cache_hits={self.cache_hits}, dedup_hits={self.dedup_hits}, "
                 f"grouped={self.grouped_tasks}, "
                 f"term_cache_hits={self.term_cache_hits}, "
+                f"programs={self.programs_compiled}/"
+                f"{self.program_cache_hits} compiled/cached, "
                 f"invocations={dict(self.backend_invocations)})")
 
 
@@ -164,7 +178,8 @@ class Executor:
                     continue  # an identical task already leads this key
             to_run.append(index)
 
-        self._dispatch(tasks, backends, to_run, results, max_workers)
+        with track_program_cache(self):
+            self._dispatch(tasks, backends, to_run, results, max_workers)
 
         # Fill cache and duplicate slots from the leaders that actually ran.
         for key, owners in pending.items():
@@ -291,6 +306,205 @@ class Executor:
         return [float(np.dot(coefficients, values))
                 for values in values_per_task]
 
+    # -- batched parameter sweeps --------------------------------------------
+    def evaluate_sweep(self, template, parameter_sets, observable, *,
+                       noise_model=None,
+                       backend: Union[str, Backend] = "auto",
+                       trajectories: Optional[int] = None,
+                       include_idle: bool = True,
+                       use_cache: Optional[bool] = None,
+                       max_workers: Optional[int] = None) -> List[float]:
+        """⟨H⟩ at every point of a parameter sweep over one circuit template.
+
+        The batched fast path of the compile layer: when every sweep point
+        lands on the (noiseless) statevector backend, the template is
+        compiled **once** (:func:`repro.simulators.program.compile_circuit`,
+        served by the fingerprint-keyed program cache on repeat sweeps), each
+        parameter set only rebinds the parametric matrices, and all uncached
+        points execute as a single stacked ``(B, 2^n)``
+        :func:`~repro.simulators.program.run_batch` pass with one vectorized
+        term-readout kernel over the whole batch.  Values are cached per
+        ``(template, parameter tuple, term)`` — a sweep-specific key space,
+        separate from the grouped engine's per-circuit keys — so repeated
+        points (SPSA ± re-queries, genetic elites) cost a dictionary lookup
+        across sweep calls.  Sweeps that route elsewhere (noise models,
+        Clifford regimes, custom backends) fall back to one grouped
+        :meth:`evaluate_observable` batch over the bound circuits.  Returns
+        energies aligned with ``parameter_sets``.
+        Example::
+
+            energies = executor.evaluate_sweep(
+                ansatz.build(), sweep_points, hamiltonian,
+                backend="statevector")
+        """
+        from .adapters import StatevectorBackend
+        parameter_sets = [[float(value) for value in values]
+                          for values in parameter_sets]
+        if not parameter_sets:
+            return []
+        num_parameters = len(template.ordered_parameters())
+        for values in parameter_sets:
+            if len(values) != num_parameters:
+                raise ExecutionError(
+                    f"template has {num_parameters} free parameters, got a "
+                    f"sweep point with {len(values)}")
+        use_cache = self.use_cache if use_cache is None else use_cache
+
+        def _is_statevector(resolved) -> bool:
+            return (isinstance(resolved, StatevectorBackend)
+                    and resolved.name == "statevector")
+
+        noisy = noise_model is not None and noise_model.has_noise()
+        bound_circuits: Optional[List] = None
+        if not noisy and isinstance(backend, Backend):
+            batchable = _is_statevector(backend)
+        elif not noisy and backend != "auto":
+            batchable = _is_statevector(self.registry.get(backend))
+        elif not noisy:
+            # Auto-routing depends on each bound circuit (Clifford points
+            # route to the tableau engines), so it costs one circuit bind
+            # per point.  A sweep whose every point already sits in the
+            # sweep cache skips that entirely: cached values can only have
+            # been produced by an earlier statevector-batched run of the
+            # same (template, point), so serving them is consistent.
+            if use_cache:
+                served = self._serve_sweep_from_cache(template, parameter_sets,
+                                                      observable)
+                if served is not None:
+                    return served
+            # Bind once; a non-batchable verdict reuses these circuits.
+            bound_circuits = [template.bind_parameters(values)
+                              for values in parameter_sets]
+            batchable = all(
+                _is_statevector(self._resolve_backend(task, backend)[0])
+                for task in (ExecutionTask(
+                    circuit=circuit, observable=observable,
+                    trajectories=trajectories, include_idle=include_idle)
+                    for circuit in bound_circuits))
+        else:
+            batchable = False
+        if not batchable:
+            if bound_circuits is None:
+                bound_circuits = [template.bind_parameters(values)
+                                  for values in parameter_sets]
+            return self.evaluate_observable(
+                bound_circuits, observable, noise_model=noise_model,
+                backend=backend, trajectories=trajectories,
+                include_idle=include_idle, use_cache=use_cache,
+                max_workers=max_workers)
+        return self._sweep_statevector(template, parameter_sets, observable,
+                                       use_cache)
+
+    @staticmethod
+    def _sweep_cache_keys(template_fingerprint: str, point_key: Tuple,
+                          term_keys) -> List[Tuple]:
+        """Value-cache keys of one sweep point — no circuit binding needed."""
+        return [("sweep", template_fingerprint, point_key, term_key,
+                 "statevector") for term_key in term_keys]
+
+    def _serve_sweep_from_cache(self, template, parameter_sets,
+                                observable) -> Optional[List[float]]:
+        """The whole sweep's energies from cache, or None on any miss."""
+        term_keys = [pauli.key() for pauli, _ in observable.terms()]
+        template_fingerprint = template.fingerprint()
+        values_per_point = []
+        for values in parameter_sets:
+            cached = self.cache.get_many(self._sweep_cache_keys(
+                template_fingerprint, tuple(values), term_keys))
+            if any(value is None for value in cached):
+                return None
+            values_per_point.append(np.array(cached))
+        with self._lock:
+            self.stats.tasks_submitted += len(parameter_sets)
+            self.stats.grouped_tasks += len(parameter_sets)
+            self.stats.term_cache_hits += \
+                len(parameter_sets) * len(term_keys)
+        coefficients = np.array([float(np.real(coeff))
+                                 for _, coeff in observable.terms()])
+        return [float(np.dot(coefficients, values))
+                for values in values_per_point]
+
+    def _sweep_statevector(self, template, parameter_sets, observable,
+                           use_cache: bool) -> List[float]:
+        """One compiled batch over the uncached points of a noiseless sweep.
+
+        Cached values are keyed per ``("sweep", template fingerprint,
+        parameter tuple, term)`` — derived without binding a circuit per
+        point, which keeps the repeat-query hot path at dictionary-lookup
+        cost.
+        """
+        from ..simulators.kernels import statevector_term_expectations_batch
+        from ..simulators.program import compile_circuit, run_batch
+
+        num_points = len(parameter_sets)
+        with self._lock:
+            self.stats.tasks_submitted += num_points
+            self.stats.grouped_tasks += num_points
+        term_keys = [pauli.key() for pauli, _ in observable.terms()]
+        values_per_point: List[Optional[np.ndarray]] = [None] * num_points
+        point_keys = [tuple(values) for values in parameter_sets]
+        with track_program_cache(self):
+            program = compile_circuit(template.without_measurements())
+            template_fingerprint = template.fingerprint()
+
+            def cache_keys(point_key: Tuple) -> List[Tuple]:
+                return self._sweep_cache_keys(template_fingerprint,
+                                              point_key, term_keys)
+
+            missing: List[int] = []
+            for index in range(num_points):
+                if not use_cache:
+                    missing.append(index)
+                    continue
+                cached = self.cache.get_many(cache_keys(point_keys[index]))
+                if all(value is not None for value in cached):
+                    values_per_point[index] = np.array(cached)
+                    with self._lock:
+                        self.stats.term_cache_hits += len(cached)
+                else:
+                    missing.append(index)
+            if missing:
+                # In-batch dedup: identical sweep points share one evolution.
+                leaders: Dict[Tuple, int] = {}
+                unique: List[int] = []
+                for index in missing:
+                    if point_keys[index] in leaders:
+                        continue
+                    leaders[point_keys[index]] = len(unique)
+                    unique.append(index)
+                # Chunk so one stacked batch never holds more than the
+                # amplitude budget (~1 GB with temporaries at the default)
+                # — large sweeps at high qubit counts must not OOM where
+                # the per-circuit path ran in O(2^n).
+                chunk = max(1, _SWEEP_BATCH_AMPLITUDES
+                            // (1 << template.num_qubits))
+                value_rows: List[np.ndarray] = []
+                for start in range(0, len(unique), chunk):
+                    states = run_batch(
+                        [program.bind(parameter_sets[index])
+                         for index in unique[start:start + chunk]])
+                    value_rows.append(statevector_term_expectations_batch(
+                        states, observable=observable))
+                unique_values = (value_rows[0] if len(value_rows) == 1
+                                 else np.concatenate(value_rows, axis=0))
+                for index in missing:
+                    values_per_point[index] = \
+                        unique_values[leaders[point_keys[index]]]
+                with self._lock:
+                    counters = self.stats.backend_invocations
+                    counters["statevector"] = \
+                        counters.get("statevector", 0) + len(unique)
+                    self.stats.dedup_hits += len(missing) - len(unique)
+                if use_cache:
+                    for row, index in enumerate(unique):
+                        self.cache.put_many(
+                            zip(cache_keys(point_keys[index]),
+                                (float(v) for v in unique_values[row])))
+        coefficients = np.array([float(np.real(coeff))
+                                 for _, coeff in observable.terms()])
+        return [float(np.dot(coefficients, values))
+                for values in values_per_point]
+
     # -- introspection -------------------------------------------------------
     @property
     def cache_stats(self) -> CacheStats:
@@ -363,6 +577,31 @@ def evaluate_observable(circuits, observable, *, noise_model=None,
     return default_executor().evaluate_observable(
         circuits, observable, noise_model=noise_model, backend=backend,
         trajectories=trajectories, include_idle=include_idle,
+        use_cache=use_cache, max_workers=max_workers)
+
+
+def evaluate_sweep(template, parameter_sets, observable, *, noise_model=None,
+                   backend: Union[str, Backend] = "auto",
+                   trajectories: Optional[int] = None,
+                   include_idle: bool = True,
+                   use_cache: Optional[bool] = None,
+                   max_workers: Optional[int] = None) -> List[float]:
+    """⟨H⟩ over a whole parameter sweep through the shared default executor.
+
+    The batched sweep entry point: the parametric ``template`` is compiled
+    once, every parameter set rebinds only the parametric gate matrices, and
+    noiseless statevector sweeps execute as a single stacked NumPy pass —
+    see :meth:`Executor.evaluate_sweep`.  Other regimes fall back to one
+    grouped :func:`evaluate_observable` batch over the bound circuits.
+    Example::
+
+        from repro.execution import evaluate_sweep
+
+        energies = evaluate_sweep(ansatz.build(), sweep_points, hamiltonian)
+    """
+    return default_executor().evaluate_sweep(
+        template, parameter_sets, observable, noise_model=noise_model,
+        backend=backend, trajectories=trajectories, include_idle=include_idle,
         use_cache=use_cache, max_workers=max_workers)
 
 

@@ -33,11 +33,13 @@ from __future__ import annotations
 import dataclasses
 import os
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..operators.pauli import PauliString, PauliSum
+from ..simulators.program import program_cache_counters
 from .backend import Backend
 from .errors import BackendCapabilityError, ExecutionError
 from .task import ExecutionTask, noise_token
@@ -50,6 +52,26 @@ _INLINE_THRESHOLD = 2
 _MAX_AUTO_WORKERS = 8
 
 TermKey = Tuple[bytes, bytes]
+
+
+@contextmanager
+def track_program_cache(executor):
+    """Attribute circuit-compilation activity to an executor's stats.
+
+    The program cache (:mod:`repro.simulators.program`) is process-wide; this
+    samples its counters around a dispatch phase and adds the deltas to the
+    executor's ``programs_compiled`` / ``program_cache_hits`` stats.
+    Concurrent executors may attribute each other's compiles — the counters
+    are throughput telemetry, not an exact ledger.
+    """
+    compiled_before, hits_before = program_cache_counters()
+    try:
+        yield
+    finally:
+        compiled_after, hits_after = program_cache_counters()
+        with executor._lock:
+            executor.stats.programs_compiled += compiled_after - compiled_before
+            executor.stats.program_cache_hits += hits_after - hits_before
 
 
 def pauli_from_key(num_qubits: int, key: TermKey) -> PauliString:
@@ -195,16 +217,17 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
     workers = max_workers
     if workers is None:
         workers = min(_MAX_AUTO_WORKERS, os.cpu_count() or 1)
-    if workers <= 1 or len(pending) <= _INLINE_THRESHOLD:
-        for slot, missing in pending:
-            evolve(slot, missing)
-    else:
-        with ThreadPoolExecutor(
-                max_workers=min(workers, len(pending))) as pool:
-            futures = [pool.submit(evolve, slot, missing)
-                       for slot, missing in pending]
-            for future in futures:
-                future.result()  # surface worker exceptions
+    with track_program_cache(executor):
+        if workers <= 1 or len(pending) <= _INLINE_THRESHOLD:
+            for slot, missing in pending:
+                evolve(slot, missing)
+        else:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(pending))) as pool:
+                futures = [pool.submit(evolve, slot, missing)
+                           for slot, missing in pending]
+                for future in futures:
+                    future.result()  # surface worker exceptions
 
     # 4. Assemble per-task value arrays in each task's own term order.
     results: List[np.ndarray] = []

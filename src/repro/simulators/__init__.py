@@ -17,10 +17,13 @@ from .noise import (ErrorLocation, NoiseModel, PauliChannel, QuantumChannel,
                     thermal_relaxation_channel, two_qubit_tensor_channel)
 from .pauli_propagation import (PauliPropagationSimulator, PauliPropagator,
                                 expectation_value)
+from .program import (CompiledProgram, compile_circuit, program_cache_counters,
+                      run_batch, run_interpreted)
 from .stabilizer import StabilizerSimulator, StabilizerState
 from .statevector import Statevector, StatevectorSimulator, circuit_unitary
 
 __all__ = [
+    "CompiledProgram",
     "DensityMatrix",
     "DensityMatrixSimulator",
     "ErrorLocation",
@@ -36,10 +39,14 @@ __all__ = [
     "amplitude_damping_channel",
     "bit_flip_channel",
     "circuit_unitary",
+    "compile_circuit",
     "density_matrix_term_expectations",
     "depolarizing_channel",
     "expectation_value",
     "observable_bit_matrices",
+    "program_cache_counters",
+    "run_batch",
+    "run_interpreted",
     "statevector_term_expectations",
     "pauli_error_channel",
     "pauli_twirl",

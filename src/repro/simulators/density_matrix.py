@@ -19,8 +19,8 @@ import numpy as np
 
 from ..circuits.circuit import Instruction, QuantumCircuit
 from ..operators.pauli import PauliSum
-from .noise import NoiseModel, QuantumChannel
-from .statevector import Statevector
+from .noise import NoiseModel, QuantumChannel, RESET_CHANNEL
+from .statevector import Statevector, counts_from_outcomes
 
 
 class DensityMatrix:
@@ -107,11 +107,7 @@ class DensityMatrix:
         probabilities = self.probabilities()
         probabilities = probabilities / probabilities.sum()
         outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
-        counts: Dict[str, int] = {}
-        for outcome in outcomes:
-            bits = "".join(str((outcome >> q) & 1) for q in range(self._num_qubits))
-            counts[bits] = counts.get(bits, 0) + 1
-        return counts
+        return counts_from_outcomes(outcomes, self._num_qubits)
 
 
 def _apply_matrix(tensor: np.ndarray, matrix: np.ndarray, tensor_axes: List[int],
@@ -161,11 +157,7 @@ class DensityMatrixSimulator:
 
     def _apply_reset(self, rho: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
         """Reset a qubit to |0⟩ (trace out and re-prepare)."""
-        zero_proj = np.array([[1, 0], [0, 0]], dtype=complex)
-        one_proj = np.array([[0, 0], [0, 1]], dtype=complex)
-        lower = np.array([[0, 1], [0, 0]], dtype=complex)
-        channel = QuantumChannel([zero_proj, lower], name="reset")
-        return self._apply_channel(rho, channel, (qubit,), num_qubits)
+        return self._apply_channel(rho, RESET_CHANNEL, (qubit,), num_qubits)
 
     # -- execution ----------------------------------------------------------------
     def run(self, circuit: QuantumCircuit,
@@ -173,50 +165,26 @@ class DensityMatrixSimulator:
             apply_measure_noise: bool = False) -> DensityMatrix:
         """Simulate the circuit and return the final density matrix.
 
+        The circuit is lowered once through
+        :func:`repro.simulators.program.compile_circuit` (cached by circuit
+        fingerprint + noise-model version): gate matrices are resolved at
+        compile time, each noisy slot carries one pre-merged Kraus channel,
+        and diagonal gates apply as row/column phase multiplies.
+
         ``measure`` instructions do not collapse the state (the evaluation
         works with expectation values); with ``apply_measure_noise=True`` the
         noise model's readout bit-flip channel is applied to each measured
         qubit, which is the correct treatment for diagonal observables.
         """
+        from .program import compile_circuit
         num_qubits = circuit.num_qubits
-        if initial_state is None:
-            rho = DensityMatrix.zero_state(num_qubits).data.copy()
-        else:
-            if initial_state.num_qubits != num_qubits:
-                raise ValueError("initial state size mismatch")
-            rho = initial_state.data.copy()
-
-        noise = self.noise_model
-        idle_channel = noise.idle_channel if noise is not None else None
-
-        for layer in circuit.layers():
-            busy: set = set()
-            for inst in layer:
-                busy.update(inst.qubits)
-                if inst.name == "measure":
-                    if apply_measure_noise and noise is not None \
-                            and noise.readout_error > 0:
-                        from .noise import bit_flip_channel
-                        rho = self._apply_channel(
-                            rho, bit_flip_channel(noise.readout_error),
-                            inst.qubits, num_qubits)
-                    continue
-                if inst.name == "reset":
-                    rho = self._apply_reset(rho, inst.qubits[0], num_qubits)
-                    continue
-                if inst.name == "barrier":
-                    continue
-                rho = self._apply_unitary(rho, inst.gate.matrix(), inst.qubits,
-                                          num_qubits)
-                if noise is not None:
-                    for channel in noise.gate_channels(inst.name):
-                        rho = self._apply_channel(rho, channel, inst.qubits,
-                                                  num_qubits)
-            if idle_channel is not None:
-                for qubit in range(num_qubits):
-                    if qubit not in busy:
-                        rho = self._apply_channel(rho, idle_channel, (qubit,),
-                                                  num_qubits)
+        if initial_state is not None \
+                and initial_state.num_qubits != num_qubits:
+            raise ValueError("initial state size mismatch")
+        program = compile_circuit(circuit, noise_model=self.noise_model)
+        rho = program.run_density_matrix(
+            None if initial_state is None else initial_state.data,
+            apply_measure_noise=apply_measure_noise)
         return DensityMatrix(rho)
 
     def expectation(self, circuit: QuantumCircuit, observable: PauliSum, *,

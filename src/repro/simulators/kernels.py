@@ -31,6 +31,7 @@ __all__ = [
     "observable_bit_matrices",
     "pauli_masks",
     "statevector_term_expectations",
+    "statevector_term_expectations_batch",
     "density_matrix_term_expectations",
 ]
 
@@ -145,6 +146,52 @@ def statevector_term_expectations(state: np.ndarray,
         x_mask = int(x_masks[t])
         bra = conj_state if x_mask == 0 else conj_state[indices ^ x_mask]
         values[t] = np.real(phases[t] * np.dot(bra, signed))
+    return values
+
+
+def statevector_term_expectations_batch(states: np.ndarray,
+                                        x_bits: Optional[np.ndarray] = None,
+                                        z_bits: Optional[np.ndarray] = None,
+                                        observable=None) -> np.ndarray:
+    """⟨ψ_b|P_t|ψ_b⟩ for a whole ``(B, 2^n)`` batch of statevectors at once.
+
+    The sweep-readout companion of :func:`statevector_term_expectations`:
+    each term's parity signs and gather indices are computed once and applied
+    across every state of the batch in one vectorized pass, which is how the
+    batched parameter-sweep pipeline reads a many-term Hamiltonian off all
+    sweep points together.  Returns a float64 array of shape ``(B, T)``.
+    Example::
+
+        states = program.run_sweep(parameter_sets)       # (B, 2^n)
+        values = statevector_term_expectations_batch(
+            states, observable=hamiltonian)              # (B, T)
+    """
+    states = np.atleast_2d(np.asarray(states, dtype=complex))
+    x_bits, z_bits = _resolve_bits(observable, x_bits, z_bits)
+    if states.shape[1] != 1 << x_bits.shape[1]:
+        raise ValueError(
+            f"states have dimension {states.shape[1]} but terms act on "
+            f"{x_bits.shape[1]} qubits")
+    x_masks, z_masks, phases = pauli_masks(x_bits, z_bits)
+    indices = np.arange(states.shape[1], dtype=np.int64)
+    values = np.empty((states.shape[0], len(x_masks)))
+    # Diagonal terms (no X component, so i^{n_Y} = 1) reduce to signed sums
+    # of probabilities; all of them are served by one (B, 2^n) @ (2^n, T_d)
+    # matmul against the parity-sign table.
+    diagonal = np.flatnonzero(x_masks == 0)
+    if len(diagonal):
+        parities = _popcount(indices[None, :]
+                             & z_masks[diagonal][:, None]).astype(np.int64) & 1
+        signs = 1.0 - 2.0 * parities
+        probabilities = np.abs(states) ** 2
+        values[:, diagonal] = probabilities @ signs.T
+    conj_states = np.conj(states) if len(diagonal) < len(x_masks) else None
+    for t in np.flatnonzero(x_masks != 0):
+        signed = _parity_signs(indices, int(z_masks[t])) * states
+        bras = conj_states[:, indices ^ int(x_masks[t])]
+        # einsum contracts without materializing the elementwise product.
+        values[:, t] = np.real(phases[t]
+                               * np.einsum("bi,bi->b", bras, signed))
     return values
 
 

@@ -247,6 +247,16 @@ def thermal_relaxation_channel(t1: float, t2: float, gate_time: float) -> Quantu
     return channel
 
 
+#: The qubit-reset channel: project onto |0⟩/|1⟩, then re-prepare |0⟩.
+#: Hoisted to a module constant so the density-matrix hot path (and the
+#: circuit compiler) never rebuilds — and never re-validates — its Kraus
+#: operators per reset instruction.
+RESET_CHANNEL = QuantumChannel(
+    [np.array([[1, 0], [0, 0]], dtype=complex),   # keep |0⟩
+     np.array([[0, 1], [0, 0]], dtype=complex)],  # lower |1⟩ → |0⟩
+    name="reset")
+
+
 def two_qubit_tensor_channel(channel_a: QuantumChannel,
                              channel_b: QuantumChannel) -> QuantumChannel:
     """Tensor product channel acting independently on two qubits."""

@@ -9,11 +9,11 @@ computational-basis index.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.circuit import QuantumCircuit
 from ..operators.pauli import PauliSum
 
 
@@ -90,41 +90,33 @@ class Statevector:
         rng = rng or np.random.default_rng()
         probabilities = self.probabilities()
         outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
-        counts: Dict[str, int] = {}
-        for outcome in outcomes:
-            bits = "".join(str((outcome >> q) & 1) for q in range(self._num_qubits))
-            counts[bits] = counts.get(bits, 0) + 1
-        return counts
+        return counts_from_outcomes(outcomes, self._num_qubits)
 
 
-def _apply_unitary(state: np.ndarray, matrix: np.ndarray,
-                   qubits: Sequence[int], num_qubits: int) -> np.ndarray:
-    """Apply ``matrix`` to ``qubits`` of a statevector via tensor contraction."""
-    k = len(qubits)
-    tensor = state.reshape([2] * num_qubits)
-    # Axis for qubit q is (num_qubits - 1 - q) in C-order reshaping.
-    axes = [num_qubits - 1 - q for q in qubits]
-    gate_tensor = matrix.reshape([2] * (2 * k))
-    # gate indices: first k are output (row), last k are input (column).
-    # The matrix convention is: row/col index bit order matches `qubits`
-    # little-endian, i.e. qubits[0] is the least-significant bit.
-    # Reorder gate tensor axes so that the slowest-varying tensor axis is
-    # qubits[-1] (the most significant bit of the matrix index).
-    tensor = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)),
-                                                     list(reversed(axes))))
-    # tensordot put the new output axes first in the order qubits[k-1..0];
-    # move them back to their original positions.
-    current = list(range(k))
-    destinations = list(reversed(axes))
-    tensor = np.moveaxis(tensor, current, destinations)
-    return tensor.reshape(-1)
+def counts_from_outcomes(outcomes: np.ndarray, num_qubits: int
+                         ) -> Dict[str, int]:
+    """Histogram integer outcomes into bitstring counts, vectorized.
+
+    One ``np.unique`` pass plus a single vectorized bit-unpack replaces the
+    per-shot Python bitstring loop; only the distinct outcomes ever touch
+    Python.  Keys put qubit 0 left-most (the Pauli-label convention).
+    """
+    unique, tallies = np.unique(np.asarray(outcomes, dtype=np.int64),
+                                return_counts=True)
+    bit_chars = (((unique[:, None] >> np.arange(num_qubits)) & 1)
+                 .astype(np.uint8) + ord("0"))
+    return {row.tobytes().decode("ascii"): int(count)
+            for row, count in zip(bit_chars, tallies)}
 
 
 class StatevectorSimulator:
     """Executes circuits on dense statevectors (no noise).
 
-    The exact noiseless reference engine: gates are applied by tensor
-    contraction, so memory is O(2^n).  Shares the package-wide
+    The exact noiseless reference engine.  Circuits are lowered through
+    :func:`repro.simulators.program.compile_circuit` — resolved matrices,
+    fused adjacent gates, diagonal gates as phase vectors — and the compiled
+    program is cached by circuit fingerprint, so optimizer re-queries skip
+    straight to execution; memory is O(2^n).  Shares the package-wide
     ``expectation(circuit, observable, *, initial_state=None,
     trajectories=None)`` and ``expectation_many(...)`` keyword surface with
     the other three simulators, which is what lets the execution layer swap
@@ -141,39 +133,15 @@ class StatevectorSimulator:
     def run(self, circuit: QuantumCircuit,
             initial_state: Optional[Statevector] = None) -> Statevector:
         """Simulate ``circuit`` (ignoring measurements) and return the state."""
-        if initial_state is None:
-            state = Statevector.zero_state(circuit.num_qubits).data.copy()
-        else:
-            if initial_state.num_qubits != circuit.num_qubits:
-                raise ValueError("initial state size mismatch")
-            state = initial_state.data.copy()
-        num_qubits = circuit.num_qubits
-        for inst in circuit:
-            if inst.name in ("barrier", "measure"):
-                continue
-            if inst.name == "reset":
-                state = self._reset_qubit(state, inst.qubits[0], num_qubits)
-                continue
-            matrix = inst.gate.matrix()
-            state = _apply_unitary(state, matrix, inst.qubits, num_qubits)
+        from .program import compile_circuit
+        if initial_state is not None \
+                and initial_state.num_qubits != circuit.num_qubits:
+            raise ValueError("initial state size mismatch")
+        program = compile_circuit(circuit)
+        state = program.run_statevector(
+            None if initial_state is None else initial_state.data,
+            rng=self._rng)
         return Statevector(state)
-
-    def _reset_qubit(self, state: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
-        """Project qubit onto |0⟩/|1⟩ probabilistically, then set it to |0⟩."""
-        dim = state.size
-        indices = np.arange(dim)
-        mask_one = (indices >> qubit) & 1 == 1
-        prob_one = float(np.sum(np.abs(state[mask_one]) ** 2))
-        if self._rng.random() < prob_one:
-            new_state = np.zeros_like(state)
-            # outcome 1: move amplitude from |...1...> to |...0...>
-            new_state[indices[mask_one] ^ (1 << qubit)] = state[mask_one]
-            norm = math.sqrt(prob_one)
-        else:
-            new_state = state.copy()
-            new_state[mask_one] = 0.0
-            norm = math.sqrt(max(1.0 - prob_one, 1e-300))
-        return new_state / norm
 
     def expectation(self, circuit: QuantumCircuit, observable: PauliSum, *,
                     initial_state: Optional[Statevector] = None,
@@ -206,16 +174,18 @@ class StatevectorSimulator:
 
 
 def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
-    """Dense unitary of a (measurement-free) circuit. Exponential in qubits."""
+    """Dense unitary of a (measurement-free) circuit. Exponential in qubits.
+
+    The circuit is compiled once and the whole computational basis is pushed
+    through :func:`repro.simulators.program.run_batch` as one ``(2^n, 2^n)``
+    stacked pass — one contraction per compiled op instead of ``2^n``
+    separate simulations.
+    """
+    from .program import compile_circuit, run_batch
     num_qubits = circuit.num_qubits
     dim = 2 ** num_qubits
-    unitary = np.eye(dim, dtype=complex)
-    simulator = StatevectorSimulator()
-    columns = []
-    for basis_index in range(dim):
-        data = np.zeros(dim, dtype=complex)
-        data[basis_index] = 1.0
-        out = simulator.run(circuit.without_measurements(), Statevector(data))
-        columns.append(out.data)
-    unitary = np.stack(columns, axis=1)
-    return unitary
+    program = compile_circuit(circuit.without_measurements())
+    basis = np.eye(dim, dtype=complex)
+    outputs = run_batch([program] * dim, initial_states=basis)
+    # Row b of `outputs` is U|b>; the unitary's columns are those kets.
+    return np.ascontiguousarray(outputs.T)

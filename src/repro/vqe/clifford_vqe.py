@@ -42,6 +42,21 @@ class CliffordVQEResult(VQEResult):
     parameter_indices: Optional[np.ndarray] = None
 
 
+class _ChromosomeObjective:
+    """GA objective over chromosomes, exposing the batched-sweep protocol."""
+
+    __slots__ = ("_vqe",)
+
+    def __init__(self, vqe: "CliffordVQE"):
+        self._vqe = vqe
+
+    def __call__(self, indices) -> float:
+        return self._vqe.energy_from_indices(indices)
+
+    def evaluate_batch(self, population) -> List[float]:
+        return self._vqe.energy_from_population(population)
+
+
 class CliffordVQE:
     """Discrete VQE over Clifford rotation angles with a genetic optimizer."""
 
@@ -67,10 +82,25 @@ class CliffordVQE:
         circuit = self._template.bind_parameters(list(indices_to_angles(indices)))
         return self._evaluator(circuit)
 
+    def energy_from_population(self, population: Sequence[Sequence[int]]
+                               ) -> List[float]:
+        """Energies of a whole chromosome population in one batched call.
+
+        The genetic optimizer's generation-level fast path: every chromosome
+        maps to its angle vector and the batch rides the evaluator's
+        ``evaluate_sweep`` — one grouped execution batch in which repeated
+        elites and duplicate chromosomes collapse onto cached results.
+        """
+        angle_sets = [list(indices_to_angles(individual))
+                      for individual in population]
+        return [float(value) for value
+                in self._evaluator.evaluate_sweep(self._template, angle_sets)]
+
     # -- execution ---------------------------------------------------------------
     def run(self) -> CliffordVQEResult:
+        objective = _ChromosomeObjective(self)
         result: OptimizationResult = self.optimizer.minimize(
-            self.energy_from_indices, self.ansatz.num_parameters())
+            objective, self.ansatz.num_parameters())
         indices = result.best_parameters.astype(int)
         return CliffordVQEResult(
             benchmark=self.benchmark_name,

@@ -53,7 +53,14 @@ class Optimizer:
 
 
 class _TrackingObjective:
-    """Wraps an objective to record evaluations and the running best."""
+    """Wraps an objective to record evaluations and the running best.
+
+    Objectives may expose an optional ``evaluate_batch(parameter_sets) ->
+    values`` method (the batched-sweep protocol — see
+    :meth:`repro.vqe.energy.BackendEnergyEvaluator.evaluate_sweep`); batch-
+    aware optimizers route grouped queries through :meth:`batch` so the whole
+    set is simulated in one compiled pass instead of one call per point.
+    """
 
     def __init__(self, objective: ObjectiveFn):
         self._objective = objective
@@ -63,11 +70,25 @@ class _TrackingObjective:
 
     def __call__(self, parameters: np.ndarray) -> float:
         value = float(self._objective(np.asarray(parameters, dtype=float)))
+        self._record(parameters, value)
+        return value
+
+    def _record(self, parameters, value: float) -> None:
         self.history.append(value)
         if value < self.best_value:
             self.best_value = value
             self.best_parameters = np.asarray(parameters, dtype=float).copy()
-        return value
+
+    def batch(self, parameter_sets: Sequence[np.ndarray]) -> List[float]:
+        """Evaluate several parameter vectors, batched when supported."""
+        parameter_sets = [np.asarray(p, dtype=float) for p in parameter_sets]
+        batch_fn = getattr(self._objective, "evaluate_batch", None)
+        if batch_fn is None:
+            return [self(parameters) for parameters in parameter_sets]
+        values = [float(value) for value in batch_fn(parameter_sets)]
+        for parameters, value in zip(parameter_sets, values):
+            self._record(parameters, value)
+        return values
 
     @property
     def num_evaluations(self) -> int:
@@ -140,7 +161,9 @@ class SPSAOptimizer(Optimizer):
     Standard SPSA gain sequences ``a_k = a / (k + 1 + A)^α`` and
     ``c_k = c / (k + 1)^γ`` with the usual α = 0.602, γ = 0.101 defaults.
     Two objective evaluations per iteration regardless of dimension, which is
-    what makes it attractive for noisy VQA landscapes.
+    what makes it attractive for noisy VQA landscapes.  When the objective
+    exposes ``evaluate_batch`` (the batched-sweep protocol), each
+    iteration's ± pair is simulated together in one compiled batch.
     """
 
     def __init__(self, max_iterations: int = 120, a: float = 0.2, c: float = 0.15,
@@ -167,8 +190,8 @@ class SPSAOptimizer(Optimizer):
             a_k = self.a / ((iteration + 1 + offset) ** self.alpha)
             c_k = self.c / ((iteration + 1) ** self.gamma)
             delta = self._rng.choice([-1.0, 1.0], size=parameters.shape)
-            value_plus = tracker(parameters + c_k * delta)
-            value_minus = tracker(parameters - c_k * delta)
+            value_plus, value_minus = tracker.batch(
+                [parameters + c_k * delta, parameters - c_k * delta])
             gradient = (value_plus - value_minus) / (2.0 * c_k) * delta
             parameters = parameters - a_k * gradient
         tracker(parameters)
@@ -188,7 +211,10 @@ class GeneticOptimizer:
 
     Chromosomes are vectors over ``{0, …, num_values − 1}`` (for Clifford VQE
     the values index rotation angles k·π/2).  Tournament selection, uniform
-    crossover, per-gene mutation and elitism; minimizes the objective.
+    crossover, per-gene mutation and elitism; minimizes the objective.  When
+    the objective exposes ``evaluate_batch`` (the batched-sweep protocol),
+    each generation's whole population is evaluated in one batch — repeated
+    elites and duplicate chromosomes collapse onto cached results.
     """
 
     def __init__(self, population_size: int = 24, generations: int = 20,
@@ -226,6 +252,15 @@ class GeneticOptimizer:
         random_genes = self._rng.integers(0, self.num_values, size=chromosome.shape)
         return np.where(mask, random_genes, chromosome)
 
+    def _evaluate_population(self, objective: IntegerObjectiveFn,
+                             population: np.ndarray) -> np.ndarray:
+        batch_fn = getattr(objective, "evaluate_batch", None)
+        if batch_fn is not None:
+            return np.array([float(value)
+                             for value in batch_fn(list(population))])
+        return np.array([float(objective(individual))
+                         for individual in population])
+
     # -- public API ----------------------------------------------------------------
     def minimize(self, objective: IntegerObjectiveFn, num_parameters: int,
                  initial_population: Optional[np.ndarray] = None
@@ -242,7 +277,7 @@ class GeneticOptimizer:
                 raise ValueError("initial population has the wrong shape")
         history: List[float] = []
         num_evaluations = 0
-        fitness = np.array([float(objective(individual)) for individual in population])
+        fitness = self._evaluate_population(objective, population)
         num_evaluations += len(population)
         for _ in range(self.generations):
             order = np.argsort(fitness)
@@ -254,7 +289,7 @@ class GeneticOptimizer:
                 child = self._mutate(self._crossover(parent_a, parent_b))
                 next_population.append(child)
             population = np.stack(next_population)
-            fitness = np.array([float(objective(individual)) for individual in population])
+            fitness = self._evaluate_population(objective, population)
             num_evaluations += len(population)
         best_index = int(np.argmin(fitness))
         history.append(float(fitness[best_index]))

@@ -48,6 +48,27 @@ class VQEResult:
                 f"E={self.best_energy:.5f}{gap}, evals={self.num_evaluations})")
 
 
+class _BatchedEnergyObjective:
+    """The VQE objective, exposing the batched-sweep protocol.
+
+    Callable like the plain per-point objective; batch-aware optimizers
+    (SPSA ± pairs, genetic populations) detect ``evaluate_batch`` and route
+    grouped queries through :meth:`VQE.energy_sweep`, which simulates the
+    whole set in one compiled batch.
+    """
+
+    __slots__ = ("_vqe",)
+
+    def __init__(self, vqe: "VQE"):
+        self._vqe = vqe
+
+    def __call__(self, parameters) -> float:
+        return self._vqe.energy(parameters)
+
+    def evaluate_batch(self, parameter_sets) -> List[float]:
+        return self._vqe.energy_sweep(parameter_sets)
+
+
 class VQE:
     """Variational quantum eigensolver over a continuous parameter space."""
 
@@ -74,6 +95,21 @@ class VQE:
         circuit = self._template.bind_parameters(list(parameters))
         return self.evaluator(circuit)
 
+    def energy_sweep(self, parameter_sets: Sequence[Sequence[float]]
+                     ) -> List[float]:
+        """⟨H⟩ at many parameter vectors, batched through the evaluator.
+
+        Evaluators exposing ``evaluate_sweep`` (every
+        :class:`~repro.vqe.energy.BackendEnergyEvaluator`) compile the ansatz
+        template once and simulate the whole sweep in one batched pass;
+        other evaluators fall back to one :meth:`energy` call per point.
+        """
+        sweep = getattr(self.evaluator, "evaluate_sweep", None)
+        if sweep is not None:
+            return [float(value)
+                    for value in sweep(self._template, parameter_sets)]
+        return [self.energy(parameters) for parameters in parameter_sets]
+
     def initial_parameters(self, seed: Optional[int] = None,
                            scale: float = 0.1) -> np.ndarray:
         """Small random angles around zero (the standard VQA initialization)."""
@@ -93,7 +129,8 @@ class VQE:
             else:
                 restart_seed = None if seed is None else seed + restart
                 start = self.initial_parameters(restart_seed)
-            result = self.optimizer.minimize(self.energy, start)
+            result = self.optimizer.minimize(_BatchedEnergyObjective(self),
+                                             start)
             if best is None or result.best_value < best.best_value:
                 best = result
         return VQEResult(
