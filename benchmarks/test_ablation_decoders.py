@@ -7,7 +7,6 @@ error rate of four decoders on the same phenomenological memory experiments,
 plus the predecoder's offload fraction.
 """
 
-import pytest
 
 from repro.qec import (CliquePredecoder, LookupDecoder, MWPMDecoder,
                        UnionFindDecoder, decoder_comparison)

@@ -7,7 +7,6 @@ per-state error, acceptance latency and the resulting circuit fidelity of a
 24-qubit FCHE workload for each protocol variant.
 """
 
-import pytest
 
 from repro.ansatz import FullyConnectedAnsatz
 from repro.core import (CircuitProfile, PQECRegime, estimate_fidelity)

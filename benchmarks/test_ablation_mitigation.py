@@ -6,7 +6,6 @@ dynamical-decoupling selection under coherent idle drift.
 """
 
 import numpy as np
-import pytest
 
 from repro.ansatz import FullyConnectedAnsatz
 from repro.mitigation import (DynamicalDecouplingSelector,

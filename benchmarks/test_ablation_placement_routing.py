@@ -6,7 +6,6 @@ latency, and the contention-aware router validates that the analytic
 scheduler's cycle counts are not hiding routing conflicts.
 """
 
-import pytest
 
 from repro.ansatz import BlockedAllToAllAnsatz, FullyConnectedAnsatz
 from repro.architecture import (ContentionAwareScheduler,

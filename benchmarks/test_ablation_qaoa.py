@@ -7,7 +7,6 @@ mentions in passing: sparse rings stay rotation-dominated, dense graphs become
 CNOT-dominated and favour pQEC, mirroring the paper's linear-vs-FCHE contrast.
 """
 
-import pytest
 
 from repro.algorithms import QAOA, QAOAAnsatz
 from repro.core import CircuitProfile, NISQRegime, PQECRegime, estimate_fidelity

@@ -8,9 +8,7 @@ figures rely on upper-bounds what the explicit search achieves at the
 precisions it can reach.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.qec import t_count_for_precision

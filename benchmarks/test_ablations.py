@@ -1,5 +1,4 @@
 """Ablation benchmarks for the design choices called out in DESIGN.md §5.
-
 * E[g] (expected injections per logical rotation) sensitivity of the Fig. 11
   crossover;
 * the analytic surface-code scaling model versus the Monte-Carlo
@@ -8,9 +7,7 @@
 * optimizer choice on a fixed density-matrix benchmark.
 """
 
-import math
 
-import pytest
 
 from repro.ansatz import BlockedAllToAllAnsatz, FullyConnectedAnsatz
 from repro.core import (CircuitProfile, NISQRegime, PQECRegime, nisq_fidelity,

@@ -6,7 +6,6 @@ the advantage grows with qubit count, the (11,5,5) "sweet spot" is the
 closest competitor (1–2.5x), and the paper-wide average improvement is 9.27x.
 """
 
-import pytest
 
 from repro.ansatz import FullyConnectedAnsatz
 from repro.core import (CircuitProfile, EFTDevice, PQECRegime,

@@ -6,7 +6,6 @@ large devices (room for many high-quality factories); pQEC wins at the
 frontier of device capability; white squares mark programs that do not fit.
 """
 
-import pytest
 
 from repro.ansatz import FullyConnectedAnsatz, LinearAnsatz
 from repro.core import (CircuitProfile, EFTDevice, PQECRegime,

@@ -6,7 +6,6 @@ number of logical qubits as cultivation units get squeezed out and T-state
 latency (hence memory error) grows.
 """
 
-import pytest
 
 from repro.ansatz import FullyConnectedAnsatz
 from repro.core import (CircuitProfile, EFTDevice, PQECRegime,

@@ -6,7 +6,6 @@ and zero stalls, while the naive strategy's volume grows with the number of
 pre-injected backup states b = 1…4.
 """
 
-import pytest
 
 from repro.core import compare_strategies, naive_rotation_estimate, \
     shuffling_rotation_estimate

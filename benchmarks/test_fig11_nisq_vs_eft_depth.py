@@ -6,7 +6,6 @@ the Sec. 4.4 CNOT:Rz-ratio rule (theoretical crossover ≈ 13 qubits, observed
 ≈ 12).
 """
 
-import pytest
 
 from repro.ansatz import BlockedAllToAllAnsatz, regime_preference
 from repro.core import CircuitProfile, NISQRegime, PQECRegime, nisq_fidelity, \

@@ -9,7 +9,6 @@ and all couplings); the shape checks are: γ ≥ 1 everywhere and the average γ
 well above 1.
 """
 
-import pytest
 
 from repro.ansatz import FullyConnectedAnsatz
 from repro.core import NISQRegime, PQECRegime, summarize_gammas

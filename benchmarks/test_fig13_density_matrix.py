@@ -10,7 +10,6 @@ molecules) so the exact density-matrix flow stays laptop-fast; REPRO_FULL=1
 runs the 12-qubit physics models as well.
 """
 
-import pytest
 
 from repro.ansatz import FullyConnectedAnsatz
 from repro.core import NISQRegime, PQECRegime, summarize_gammas

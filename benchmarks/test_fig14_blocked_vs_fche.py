@@ -8,11 +8,10 @@ interactions; the noiseless ratio hovers around 1.  Blocked always executes
 in roughly half the time (Table 2).
 """
 
-import pytest
 
 from repro.ansatz import BlockedAllToAllAnsatz, FullyConnectedAnsatz
 from repro.architecture import make_layout, schedule_on_layout
-from repro.core import PQECRegime, RegimeComparison
+from repro.core import PQECRegime
 from repro.operators import heisenberg_hamiltonian, ising_hamiltonian
 from repro.vqe import CliffordVQE, GeneticOptimizer, best_noiseless_clifford_energy
 

@@ -8,7 +8,6 @@ without readout mitigation under both regimes (8 qubits by default,
 REPRO_FULL=1 for 12).
 """
 
-import pytest
 
 from repro.ansatz import FullyConnectedAnsatz
 from repro.core import NISQRegime, PQECRegime

@@ -2,7 +2,6 @@
 CNOT:Rz design rule (Sec. 4.4), the Clifford+T overheads (Sec. 2.5), and the
 patch-shuffling proof (Sec. 9)."""
 
-import math
 
 import pytest
 

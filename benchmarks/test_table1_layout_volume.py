@@ -14,7 +14,6 @@ minimizes spacetime volume), Grid is the most expensive, and the ordering
 Compact ≤ Intermediate < Fast < Grid holds per ansatz family.
 """
 
-import pytest
 
 from repro.ansatz import (BlockedAllToAllAnsatz, FullyConnectedAnsatz,
                           LinearAnsatz)

@@ -10,9 +10,8 @@ sparse rings do not.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -21,7 +20,7 @@ from ..ansatz.base import Ansatz, MacroOp
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.parameters import ParameterVector
 from ..operators.graphs import cut_value, exact_maxcut, maxcut_cost_hamiltonian
-from ..operators.pauli import PauliString, PauliSum
+from ..operators.pauli import PauliSum
 from ..simulators.noise import NoiseModel
 from ..simulators.statevector import StatevectorSimulator
 from ..vqe.energy import (BackendEnergyEvaluator, EnergyEvaluator,

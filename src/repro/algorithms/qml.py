@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from ..circuits.parameters import ParameterVector
 from ..execution.executor import evaluate_sweep
 from ..operators.pauli import PauliString, PauliSum
 from ..simulators.noise import NoiseModel
-from ..vqe.optimizers import CobylaOptimizer, Optimizer, SPSAOptimizer
+from ..vqe.optimizers import Optimizer, SPSAOptimizer
 
 
 @dataclass(frozen=True)
@@ -121,7 +121,9 @@ class VariationalClassifier:
 
     def __init__(self, num_qubits: int, num_layers: int = 2,
                  feature_repetitions: int = 1,
-                 noise_model: Optional[NoiseModel] = None):
+                 noise_model: Optional[NoiseModel] = None,
+                 parallel: Optional[str] = None,
+                 max_workers: Optional[int] = None):
         if num_qubits < 2:
             raise ValueError("the classifier needs at least two qubits")
         if num_layers < 1:
@@ -130,6 +132,11 @@ class VariationalClassifier:
         self.num_layers = int(num_layers)
         self.feature_repetitions = int(feature_repetitions)
         self.noise_model = noise_model
+        # Fan-out policy for batch inference/training sweeps (None defers
+        # to the executor's ShardPlanner; "process" shards big batches
+        # across worker processes with identical scores).
+        self.parallel = parallel
+        self.max_workers = max_workers
         # Noisy inference runs on the density-matrix backend, noiseless on
         # the statevector backend — both through the unified execute() API.
         self._backend = ("density_matrix" if noise_model is not None
@@ -247,7 +254,9 @@ class VariationalClassifier:
         return np.asarray(evaluate_sweep(self._template, points,
                                          self._observable,
                                          noise_model=self.noise_model,
-                                         backend=self._backend))
+                                         backend=self._backend,
+                                         parallel=self.parallel,
+                                         max_workers=self.max_workers))
 
     def predict(self, features_batch: Sequence[Sequence[float]],
                 parameters: Optional[Sequence[float]] = None) -> np.ndarray:

@@ -11,11 +11,11 @@ than individual CNOTs.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.parameters import Parameter, ParameterVector
+from ..circuits.parameters import ParameterVector
 
 
 @dataclass(frozen=True)

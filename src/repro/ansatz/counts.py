@@ -16,7 +16,6 @@ benchmark validates against simulation (crossover ≈ 12–13 qubits for
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..qec.surface_code import EFT_CODE_DISTANCE, SurfaceCodePatch
 from .lattice_surgery import (FAST_CNOT_CLUSTER_CYCLES,

@@ -22,8 +22,8 @@ device and which regime to run it under.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..ansatz.base import Ansatz
 from ..core.fidelity import CircuitProfile, FidelityBreakdown, estimate_fidelity

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ansatz.base import Ansatz, MacroOp
+from ..ansatz.base import Ansatz
 from .layouts import Layout, make_layout
 
 

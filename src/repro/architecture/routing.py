@@ -25,8 +25,7 @@ relies on, and reproduces the quoted packing efficiency exactly.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx

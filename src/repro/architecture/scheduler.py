@@ -17,9 +17,8 @@ Produces the three resource metrics the paper defines in Sec. 4:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..ansatz.base import Ansatz, MacroOp
 from ..qec.surface_code import EFT_CODE_DISTANCE, SurfaceCodePatch

@@ -10,15 +10,13 @@ queries, and iteration for the simulators and the lattice-surgery scheduler.
 
 from __future__ import annotations
 
-import copy as _copy
 import hashlib
-import math
 import struct
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
-from .gates import (CLIFFORD_GATE_NAMES, Gate, PARAMETRIC_GATES,
-                    gate_arity, is_clifford_angle)
+from .gates import Gate
 from .parameters import Parameter, ParameterExpression, free_parameters
 
 

@@ -200,8 +200,26 @@ class Parameter(ParameterExpression):
     def __hash__(self):
         return hash(("Parameter", self._uuid))
 
+    def __reduce__(self):
+        # Default (slot-based) pickling would reconstruct the
+        # self-referential ``_terms`` dict ``{self: 1.0}`` by hashing a
+        # half-initialized instance whose ``_uuid`` slot is still unset.
+        # Rebuild through the helper instead, which restores identity first
+        # — parameters must pickle cleanly because parametric templates
+        # travel to shard worker processes (``parallel="process"``).
+        return (_restore_parameter, (self._name, self._uuid))
+
     def __repr__(self):
         return f"Parameter({self._name})"
+
+
+def _restore_parameter(name: str, uuid: int) -> "Parameter":
+    """Unpickle target for :class:`Parameter` (identity before ``_terms``)."""
+    parameter = Parameter.__new__(Parameter)
+    parameter._name = str(name)
+    parameter._uuid = uuid
+    ParameterExpression.__init__(parameter, {parameter: 1.0}, 0.0)
+    return parameter
 
 
 class ParameterVector:

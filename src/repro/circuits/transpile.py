@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict
 
-from .circuit import Instruction, QuantumCircuit
+from .circuit import QuantumCircuit
 from .gates import Gate, is_clifford_angle
 from .parameters import ParameterExpression
 

@@ -17,8 +17,8 @@ the circuit-level simulators (see the test suite).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..ansatz.base import Ansatz
 from ..architecture.layouts import make_layout

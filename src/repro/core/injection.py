@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..qec.surface_code import EFT_CODE_DISTANCE, EFT_PHYSICAL_ERROR_RATE
 

@@ -26,13 +26,12 @@ fidelity-versus-spacetime-volume exchange for a rotation workload.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from ..qec.surface_code import EFT_CODE_DISTANCE, EFT_PHYSICAL_ERROR_RATE
 from .injection import (CONSUMPTION_SUCCESS_PROBABILITY,
-                        INJECTION_ERROR_BIAS, InjectionStatistics,
+                        INJECTION_ERROR_BIAS,
                         expected_consumptions_per_rotation,
                         injection_error_rate)
 from .regimes import PQECRegime

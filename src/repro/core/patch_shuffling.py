@@ -22,15 +22,13 @@ qubits, for patch shuffling and for naive(b), b = 1…4.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..qec.surface_code import (EFT_CODE_DISTANCE, EFT_PHYSICAL_ERROR_RATE,
                                 SurfaceCodePatch)
 from .injection import (CONSUMPTION_SUCCESS_PROBABILITY, InjectionStatistics,
-                        expected_consumptions_per_rotation,
-                        stall_free_probability)
+                        expected_consumptions_per_rotation)
 
 
 @dataclass(frozen=True)

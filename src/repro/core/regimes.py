@@ -16,14 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..qec.cultivation import CultivationUnit
 from ..qec.distillation import FactoryConfig, get_factory
 from ..qec.surface_code import (EFT_CODE_DISTANCE, EFT_PHYSICAL_ERROR_RATE,
                                 LogicalOperationErrorModel)
-from ..simulators.noise import (NoiseModel, PauliChannel, bit_flip_channel,
-                                depolarizing_channel,
+from ..simulators.noise import (NoiseModel, PauliChannel, depolarizing_channel,
                                 thermal_relaxation_channel)
 from .injection import (effective_rotation_error,
                         expected_consumptions_per_rotation,

@@ -16,8 +16,8 @@ Implements the accounting behind Figs. 4, 5 and 6:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from ..qec.cultivation import CultivationFarm, CultivationUnit, max_units_fitting
 from ..qec.distillation import (FactoryConfig, FactoryFarm,

@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ansatz.base import Ansatz
 from ..architecture.pipeline import CompilationResult, EFTCompiler
-from ..core.fidelity import CircuitProfile
 from ..core.regimes import (ExecutionRegime, NISQRegime, PQECRegime,
                             QECConventionalRegime, QECCultivationRegime)
 from ..core.resources import (EFTDevice, provision_cultivation,

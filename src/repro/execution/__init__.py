@@ -41,6 +41,8 @@ from .adapters import (DensityMatrixBackend, MAX_DENSITY_MATRIX_QUBITS,
                        StabilizerBackend, StatevectorBackend)
 from .backend import Backend, BackendCapabilities
 from .cache import CacheStats, ExpectationCache
+from .disk_cache import (CACHE_DIR_ENV, DiskCacheStats, DiskExpectationCache,
+                         TieredExpectationCache, disk_cache_from_env)
 from .errors import (BackendCapabilityError, ExecutionError, RoutingError,
                      UnknownBackendError)
 from .executor import (ExecutionStats, Executor, default_executor,
@@ -50,6 +52,8 @@ from .observables import pauli_from_key, run_grouped
 from .registry import (BackendRegistry, DEFAULT_REGISTRY, available_backends,
                        get_backend, register_backend)
 from .router import route_task
+from .sharding import (ShardPlan, ShardPlanner, WORKERS_ENV, resolve_workers,
+                       shutdown_process_pool)
 from .task import (ExecutionResult, ExecutionTask, noise_token,
                    observable_fingerprint)
 
@@ -58,9 +62,12 @@ __all__ = [
     "BackendCapabilities",
     "BackendCapabilityError",
     "BackendRegistry",
+    "CACHE_DIR_ENV",
     "CacheStats",
     "DEFAULT_REGISTRY",
     "DensityMatrixBackend",
+    "DiskCacheStats",
+    "DiskExpectationCache",
     "ExecutionError",
     "ExecutionResult",
     "ExecutionStats",
@@ -71,11 +78,16 @@ __all__ = [
     "MAX_STATEVECTOR_QUBITS",
     "PauliPropagationBackend",
     "RoutingError",
+    "ShardPlan",
+    "ShardPlanner",
     "StabilizerBackend",
     "StatevectorBackend",
+    "TieredExpectationCache",
     "UnknownBackendError",
+    "WORKERS_ENV",
     "available_backends",
     "default_executor",
+    "disk_cache_from_env",
     "evaluate_observable",
     "evaluate_sweep",
     "execute",
@@ -86,7 +98,9 @@ __all__ = [
     "pauli_from_key",
     "register_backend",
     "reset_default_executor",
+    "resolve_workers",
     "route_task",
     "run_grouped",
+    "shutdown_process_pool",
     "term_expectations",
 ]

@@ -14,7 +14,9 @@ batches or threads the work.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..circuits.transpile import decompose_to_clifford_rz, merge_rz_runs
 from ..simulators.density_matrix import DensityMatrixSimulator
@@ -79,7 +81,8 @@ class StatevectorBackend(Backend):
             name="statevector",
             description="dense noiseless statevector (exact reference)",
             supports_noise=False,
-            max_qubits=MAX_STATEVECTOR_QUBITS)
+            max_qubits=MAX_STATEVECTOR_QUBITS,
+            parallel_hint="process")
 
     def is_deterministic_for(self, task: ExecutionTask) -> bool:
         return task.is_expectation  # sampling draws shots
@@ -108,7 +111,8 @@ class DensityMatrixBackend(Backend):
             name="density_matrix",
             description="dense density matrix with Kraus noise (exact, "
                         "small qubit counts)",
-            max_qubits=MAX_DENSITY_MATRIX_QUBITS)
+            max_qubits=MAX_DENSITY_MATRIX_QUBITS,
+            parallel_hint="process")
 
     def is_deterministic_for(self, task: ExecutionTask) -> bool:
         return task.is_expectation
@@ -127,12 +131,35 @@ class DensityMatrixBackend(Backend):
         return simulator.expectation_many(task.circuit, task.observable)
 
 
+def run_stabilizer_trajectory_shard(noise_model, circuit, observable,
+                                    seeds: Sequence) -> np.ndarray:
+    """One shard of a Monte-Carlo trajectory ensemble (process-pool target).
+
+    Module-level so it pickles by reference into worker processes; returns
+    the raw ``(len(seeds), num_terms)`` per-trajectory rows of
+    :meth:`repro.simulators.stabilizer.StabilizerSimulator.trajectory_term_values`.
+    Each trajectory's randomness is a pure function of its seed, so the
+    parent can concatenate shard rows in trajectory order and obtain results
+    bitwise identical to an unsharded run.
+    """
+    simulator = StabilizerSimulator(noise_model)
+    return simulator.trajectory_term_values(circuit, observable, seeds)
+
+
 class StabilizerBackend(Backend):
     """Clifford-circuit execution on stabilizer tableaus.
 
     Noiseless expectation values are exact; noisy ones average Monte-Carlo
     Pauli-error trajectories (``task.trajectories``, default 200).  Non-π/2
     rotations are canonicalized away before simulation when possible.
+
+    Trajectory randomness is seeded **per trajectory**: the task-derived
+    base seed spawns one :class:`numpy.random.SeedSequence` child per
+    trajectory, so an ensemble's result is independent of how trajectories
+    are batched or sharded across worker processes — and, for a backend
+    constructed with an explicit ``seed``, is a deterministic function of
+    the task, which makes seeded noisy expectations cacheable (the seed is
+    folded into :meth:`cache_token`).
     """
 
     def __init__(self, seed: Optional[int] = None):
@@ -145,14 +172,83 @@ class StabilizerBackend(Backend):
             description="CHP stabilizer tableau (Clifford only; Monte-Carlo "
                         "noise)",
             clifford_only=True,
-            deterministic=False)
+            deterministic=False,
+            parallel_hint="process")
 
     def is_deterministic_for(self, task: ExecutionTask) -> bool:
-        # Without noise a Clifford expectation value is exact; with noise it
-        # is a Monte-Carlo average, and sampling always draws shots.
-        return task.is_expectation and not task.has_noise
+        # Without noise a Clifford expectation value is exact.  With noise it
+        # is a Monte-Carlo average — stochastic for an unseeded backend, but
+        # a pure function of (task, seed, trajectories) for a seeded one
+        # thanks to per-trajectory seed spawning.  Sampling always draws
+        # fresh shots.
+        if not task.is_expectation:
+            return False
+        return not task.has_noise or self._seed is not None
+
+    def cache_token(self, task: ExecutionTask):
+        # Seeded Monte-Carlo values are reproducible but seed-dependent:
+        # differently seeded instances must not share cache entries.
+        # Noiseless Clifford expectations are exact regardless of seed and
+        # share the plain token.
+        if task.has_noise and self._seed is not None:
+            return (self.name, "seed", int(self._seed))
+        return self.name
+
+    # -- trajectory sharding -------------------------------------------------
+    #: Module-level callable executing one seed-list shard in a worker
+    #: process; the shard planner reads it off the backend, so a custom
+    #: backend implementing the trajectory protocol supplies its *own*
+    #: runner rather than inheriting stabilizer semantics.
+    trajectory_shard_runner = staticmethod(run_stabilizer_trajectory_shard)
+
+    def trajectory_count(self, task: ExecutionTask) -> Optional[int]:
+        """How many Monte-Carlo trajectories ``task`` spends, or None when
+        the task is deterministic (noiseless) or not an expectation."""
+        if not task.is_expectation or not task.has_noise:
+            return None
+        return int(task.trajectories if task.trajectories is not None
+                   else DEFAULT_TRAJECTORIES)
+
+    def trajectory_spec(self, task: ExecutionTask):
+        """Everything a worker shard needs: ``(noise_model, canonical
+        circuit, observable, per-trajectory seeds)``.
+
+        The seed list is spawned once here from the task-derived base seed;
+        sharding partitions it, and :meth:`finalize_trajectory_rows` folds
+        the concatenated rows back into per-term values.
+        """
+        trajectories = self.trajectory_count(task)
+        if trajectories is None:
+            raise ValueError("trajectory_spec requires a noisy expectation "
+                             "task")
+        base_seed = _derive_seed(self._seed, task)
+        seeds = np.random.SeedSequence(base_seed).spawn(trajectories)
+        circuit = _canonicalize_if_needed(task.circuit)
+        return task.noise_model, circuit, task.observable, seeds
+
+    @staticmethod
+    def finalize_trajectory_rows(task: ExecutionTask,
+                                 rows: np.ndarray) -> np.ndarray:
+        """Average per-trajectory rows and apply the readout damping
+        ``(1 − 2·p_meas)^weight`` per term (identity terms have weight 0 and
+        stay exactly 1)."""
+        values = rows.mean(axis=0)
+        readout_error = task.noise_model.readout_error
+        if readout_error > 0:
+            damping = 1.0 - 2.0 * readout_error
+            weights = np.array([pauli.weight()
+                                for pauli, _ in task.observable.terms()])
+            values = values * damping ** weights
+        return values
 
     def _run_task(self, task: ExecutionTask):
+        if task.is_expectation and task.has_noise:
+            # Same per-trajectory seeding as the grouped path, so the plain
+            # execute() pipeline and term_expectations agree bitwise.
+            values = self.term_expectations_quiet(task)
+            coefficients = np.array([float(np.real(coeff)) for _, coeff
+                                     in task.observable.terms()])
+            return float(np.dot(coefficients, values))
         simulator = StabilizerSimulator(task.noise_model,
                                         seed=_derive_seed(self._seed, task))
         circuit = _canonicalize_if_needed(task.circuit)
@@ -161,15 +257,25 @@ class StabilizerBackend(Backend):
                                          trajectories=task.trajectories)
         return simulator.sample(circuit, task.shots)
 
-    def term_expectations(self, task: ExecutionTask):
-        """Grouped path: one tableau evolution (per trajectory), one QWC
-        basis rotation per measurement group — not one run per term."""
+    def term_expectations_quiet(self, task: ExecutionTask) -> np.ndarray:
+        """:meth:`term_expectations` without the invocation counter bump."""
+        if task.is_expectation and task.has_noise:
+            noise_model, circuit, observable, seeds = \
+                self.trajectory_spec(task)
+            rows = run_stabilizer_trajectory_shard(noise_model, circuit,
+                                                   observable, seeds)
+            return self.finalize_trajectory_rows(task, rows)
         simulator = StabilizerSimulator(task.noise_model,
                                         seed=_derive_seed(self._seed, task))
         circuit = _canonicalize_if_needed(task.circuit)
-        self._count_invocations()
         return simulator.expectation_many(circuit, task.observable,
                                           trajectories=task.trajectories)
+
+    def term_expectations(self, task: ExecutionTask):
+        """Grouped path: one tableau evolution (per trajectory), one QWC
+        basis rotation per measurement group — not one run per term."""
+        self._count_invocations()
+        return self.term_expectations_quiet(task)
 
 
 class PauliPropagationBackend(Backend):
@@ -185,7 +291,8 @@ class PauliPropagationBackend(Backend):
             description="exact noisy Clifford expectation values "
                         "(deterministic, scales to 100+ qubits)",
             supports_sampling=False,
-            clifford_only=True)
+            clifford_only=True,
+            parallel_hint="process")
 
     def _run_task(self, task: ExecutionTask):
         simulator = PauliPropagationSimulator(task.noise_model,

@@ -29,7 +29,15 @@ class BackendCapabilities:
 
     ``max_qubits`` is an advisory ceiling (dense simulators blow up past it);
     ``deterministic`` means equal tasks always produce equal results, which
-    is the precondition for caching and deduplication.
+    is the precondition for caching and deduplication.  ``parallel_hint``
+    tells the shard planner how this backend's work scales out:
+    ``"process"`` for CPU-bound simulation (the GIL serializes threads, so
+    batches shard across worker processes — or run inline below the batch
+    threshold), ``"thread"`` for backends that release the GIL or wait on
+    I/O (remote services), ``"inline"`` for backends that must never be
+    fanned out.  The in-repo simulators are all CPU-bound NumPy/Python and
+    hint ``"process"``; the default is ``"thread"`` so custom backends keep
+    the historical thread-pool behaviour.
     """
 
     name: str
@@ -40,6 +48,7 @@ class BackendCapabilities:
     clifford_only: bool = False
     deterministic: bool = True
     max_qubits: Optional[int] = None
+    parallel_hint: str = "thread"
 
 
 class Backend(abc.ABC):
@@ -52,6 +61,21 @@ class Backend(abc.ABC):
     def _count_invocations(self, count: int = 1) -> None:
         with self._invocation_lock:
             self.invocations += count
+
+    # -- pickling ------------------------------------------------------------
+    # Backends travel to worker processes under ``parallel="process"`` — the
+    # only unpicklable piece of the base state is the counter lock, which is
+    # dropped on the way out and recreated on the way in.  Worker-side
+    # invocation counts stay in the worker; the executor attributes
+    # invocations in the parent.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_invocation_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._invocation_lock = threading.Lock()
 
     @abc.abstractmethod
     def capabilities(self) -> BackendCapabilities:
@@ -100,6 +124,19 @@ class Backend(abc.ABC):
     def is_deterministic_for(self, task: ExecutionTask) -> bool:
         """Whether equal copies of ``task`` would yield identical results."""
         return self.capabilities().deterministic
+
+    def cache_token(self, task: ExecutionTask):
+        """The backend component of ``task``'s cache key.
+
+        Defaults to the backend name.  Backends whose results depend on
+        private configuration beyond the task fields — e.g. a seeded
+        Monte-Carlo backend, where the value is reproducible but a function
+        of the seed — must fold that configuration in here so differently
+        configured instances never share cache entries.  The token must be
+        built from stable content (names, numbers), never object identities:
+        it is part of the persistent disk-cache key.
+        """
+        return self.name
 
     # -- execution -----------------------------------------------------------
     def run_batch(self, tasks: Sequence[ExecutionTask]) -> List[ExecutionResult]:

@@ -1,9 +1,12 @@
 """LRU cache for deterministic expectation values.
 
 Keys come from :meth:`repro.execution.task.ExecutionTask.cache_key` — the
-circuit fingerprint, observable fingerprint, noise-model identity and backend
-options.  Entries pin the noise model they were keyed on, so the identity
-component of a live key can never be recycled by the garbage collector.
+circuit fingerprint, observable fingerprint, noise-model **content**
+fingerprint and backend options.  Every component is content-derived (see
+:func:`repro.execution.task.noise_token`), so equal keys mean equal values
+no matter which objects — or which process — produced them; this is also
+what lets the persistent :mod:`repro.execution.disk_cache` tier reuse the
+same keys on disk.
 
 The cache is what makes optimizer-driven workloads cheap: COBYLA and SPSA
 re-evaluate repeated parameter vectors, VQD re-evaluates each level's best
@@ -16,7 +19,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -50,7 +53,7 @@ class ExpectationCache:
         if max_size < 1:
             raise ValueError("cache max_size must be positive")
         self._max_size = int(max_size)
-        self._entries: "OrderedDict[Tuple, Tuple[float, Any]]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple, float]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -59,19 +62,18 @@ class ExpectationCache:
     def get(self, key: Tuple) -> Optional[float]:
         """The cached value for ``key``, or None; refreshes LRU order."""
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
+            value = self._entries.get(key)
+            if value is None:
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return entry[0]
+            return value
 
-    def put(self, key: Tuple, value: float, pin: Any = None) -> None:
-        """Store ``value`` under ``key``; ``pin`` objects (the task's noise
-        model) are kept alive for the entry's lifetime."""
+    def put(self, key: Tuple, value: float) -> None:
+        """Store ``value`` under ``key``; refreshes LRU order, may evict."""
         with self._lock:
-            self._entries[key] = (value, pin)
+            self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_size:
                 self._entries.popitem(last=False)
@@ -87,22 +89,21 @@ class ExpectationCache:
         values: List[Optional[float]] = []
         with self._lock:
             for key in keys:
-                entry = self._entries.get(key)
-                if entry is None:
+                value = self._entries.get(key)
+                if value is None:
                     self._misses += 1
                     values.append(None)
                 else:
                     self._entries.move_to_end(key)
                     self._hits += 1
-                    values.append(entry[0])
+                    values.append(value)
         return values
 
-    def put_many(self, items: Iterable[Tuple[Tuple, float]],
-                 pin: Any = None) -> None:
+    def put_many(self, items: Iterable[Tuple[Tuple, float]]) -> None:
         """Store many ``(key, value)`` pairs under one lock acquisition."""
         with self._lock:
             for key, value in items:
-                self._entries[key] = (value, pin)
+                self._entries[key] = value
                 self._entries.move_to_end(key)
             while len(self._entries) > self._max_size:
                 self._entries.popitem(last=False)

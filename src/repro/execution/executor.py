@@ -6,21 +6,24 @@ Pipeline for one :meth:`Executor.run` call:
    the call-level ``backend=`` argument, or regime-aware auto-routing
    (:func:`repro.execution.router.route_task`).
 2. **Cache lookup** — deterministic expectation tasks are looked up in the
-   LRU expectation cache (keyed on circuit fingerprint, observable, noise
-   model and backend options).
+   expectation cache: the in-memory LRU first, then (when a persistent
+   cache directory is configured — ``cache_dir=`` or ``REPRO_CACHE_DIR``)
+   the on-disk L2 (:mod:`repro.execution.disk_cache`).
 3. **Deduplicate** — remaining identical deterministic tasks collapse to a
    single simulator invocation per distinct key.
-4. **Dispatch** — unique tasks are grouped per backend, chunked, and fanned
-   out across a thread pool (``max_workers``); small batches run inline.
+4. **Dispatch** — unique tasks are grouped per backend and fanned out under
+   a :class:`~repro.execution.sharding.ShardPlanner` plan: worker
+   **processes** for CPU-bound simulator batches (``parallel="process"``,
+   the auto default once a batch is big enough), the historical thread pool
+   for backends that hint it, or inline for small batches.
 5. **Assemble** — results come back in input order, each labelled with the
    backend that ran it and whether it was served from cache or dedup.
 """
 
 from __future__ import annotations
 
-import os
+import dataclasses
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -28,11 +31,14 @@ import numpy as np
 
 from .backend import Backend
 from .cache import CacheStats, ExpectationCache
+from .disk_cache import (DiskCacheStats, DiskExpectationCache,
+                         TieredExpectationCache, disk_cache_from_env)
 from .errors import BackendCapabilityError, ExecutionError
-from .observables import (_INLINE_THRESHOLD, _MAX_AUTO_WORKERS, run_grouped,
-                          track_program_cache)
+from .observables import run_grouped, track_program_cache
 from .registry import BackendRegistry, DEFAULT_REGISTRY
 from .router import route_task
+from .sharding import (ShardPlanner, _run_batch_shard, _sweep_points_shard,
+                       run_sharded, split_evenly)
 from .task import ExecutionResult, ExecutionTask
 
 #: Upper bound on complex amplitudes one stacked sweep batch may hold
@@ -51,7 +57,9 @@ class ExecutionStats:
     layer (:mod:`repro.simulators.program`): how many circuits were lowered
     to :class:`~repro.simulators.program.CompiledProgram` objects during this
     executor's dispatches and how many lowerings were skipped because the
-    fingerprint-keyed program cache already held them.
+    fingerprint-keyed program cache already held them.  ``process_shards``
+    counts shard payloads submitted to the worker-process pool (worker-side
+    program compiles are not visible to the parent's program counters).
     """
 
     tasks_submitted: int = 0
@@ -61,6 +69,7 @@ class ExecutionStats:
     term_cache_hits: int = 0
     programs_compiled: int = 0
     program_cache_hits: int = 0
+    process_shards: int = 0
     backend_invocations: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -74,6 +83,7 @@ class ExecutionStats:
                 f"term_cache_hits={self.term_cache_hits}, "
                 f"programs={self.programs_compiled}/"
                 f"{self.program_cache_hits} compiled/cached, "
+                f"process_shards={self.process_shards}, "
                 f"invocations={dict(self.backend_invocations)})")
 
 
@@ -86,14 +96,47 @@ class Executor:
     """
 
     def __init__(self, registry: Optional[BackendRegistry] = None,
-                 cache: Optional[ExpectationCache] = None,
+                 cache=None,
                  cache_size: int = 4096,
                  max_workers: Optional[int] = None,
-                 use_cache: bool = True):
+                 use_cache: bool = True,
+                 parallel: str = "auto",
+                 cache_dir=None):
+        """``parallel`` sets the default fan-out policy (``"auto"``,
+        ``"process"``, ``"thread"``, ``"none"``); ``max_workers`` the default
+        worker count (``REPRO_WORKERS`` overrides an unset value).
+
+        ``cache_dir`` (or, when no explicit ``cache``/``cache_dir`` is given,
+        the ``REPRO_CACHE_DIR`` environment variable — read once, here)
+        attaches a persistent on-disk L2
+        (:class:`~repro.execution.disk_cache.DiskExpectationCache`) under
+        the in-memory LRU, so deterministic expectation values survive the
+        process and are shared across runs.
+        """
         self.registry = registry or DEFAULT_REGISTRY
-        self.cache = cache or ExpectationCache(max_size=cache_size)
+        memory = cache if cache is not None \
+            else ExpectationCache(max_size=cache_size)
+        disk = None
+        if cache_dir is not None:
+            disk = (cache_dir if isinstance(cache_dir, DiskExpectationCache)
+                    else DiskExpectationCache(cache_dir))
+        elif cache is None:
+            disk = disk_cache_from_env()
+        if isinstance(memory, TieredExpectationCache):
+            if disk is not None:
+                if memory.disk is None:
+                    memory.disk = disk
+                else:
+                    raise ExecutionError(
+                        "conflicting persistent caches: the provided "
+                        "TieredExpectationCache already has a disk tier and "
+                        "cache_dir= names another one")
+        elif disk is not None:
+            memory = TieredExpectationCache(memory=memory, disk=disk)
+        self.cache = memory
         self.max_workers = max_workers
         self.use_cache = use_cache
+        self.planner = ShardPlanner(parallel=parallel, max_workers=max_workers)
         self.stats = ExecutionStats()
         self._lock = threading.Lock()
 
@@ -120,12 +163,16 @@ class Executor:
     def run(self, tasks: Union[ExecutionTask, Sequence[ExecutionTask]],
             backend: Union[str, Backend] = "auto",
             max_workers: Optional[int] = None,
-            use_cache: Optional[bool] = None) -> List[ExecutionResult]:
+            use_cache: Optional[bool] = None,
+            parallel: Optional[str] = None) -> List[ExecutionResult]:
         """Execute ``tasks``; returns results aligned with the input order.
 
         ``backend`` may be ``"auto"`` (route each task), a registry name, or
         a :class:`Backend` instance (used for every task, bypassing the
         registry).  A single task is accepted and still yields a list.
+        ``parallel`` overrides the executor's fan-out policy for this call
+        (``"process"``, ``"thread"``, ``"none"`` or ``"auto"``); sharding
+        never changes results — see :mod:`repro.execution.sharding`.
         """
         if isinstance(tasks, ExecutionTask):
             tasks = [tasks]
@@ -137,7 +184,6 @@ class Executor:
                     f"execute() expects ExecutionTask objects, got "
                     f"{type(task).__name__}")
         use_cache = self.use_cache if use_cache is None else use_cache
-        max_workers = self.max_workers if max_workers is None else max_workers
         with self._lock:
             self.stats.tasks_submitted += len(tasks)
         if not tasks:
@@ -153,10 +199,13 @@ class Executor:
             if reason is not None:
                 raise BackendCapabilityError(f"{reason} (task: {task!r})")
             backends.append(resolved)
-            # Only deterministic expectation values are safe to share.
+            # Only deterministic expectation values are safe to share; the
+            # backend's cache token folds in configuration (e.g. a Monte-
+            # Carlo seed) that the task fields alone do not carry.
             cacheable = (task.is_expectation
                          and resolved.is_deterministic_for(task))
-            keys.append(task.cache_key(resolved.name) if cacheable else None)
+            keys.append(task.cache_key(resolved.cache_token(task))
+                        if cacheable else None)
 
         # Cache lookup + in-batch dedup bookkeeping.
         pending: Dict[Tuple, List[int]] = {}
@@ -179,7 +228,8 @@ class Executor:
             to_run.append(index)
 
         with track_program_cache(self):
-            self._dispatch(tasks, backends, to_run, results, max_workers)
+            self._dispatch(tasks, backends, to_run, results, max_workers,
+                           parallel)
 
         # Fill cache and duplicate slots from the leaders that actually ran.
         for key, owners in pending.items():
@@ -188,8 +238,7 @@ class Executor:
             if leader_result is None:
                 raise ExecutionError("internal error: leader task not run")
             if use_cache:
-                self.cache.put(key, leader_result.value,
-                               pin=tasks[leader].noise_model)
+                self.cache.put(key, leader_result.value)
             for follower in owners[1:]:
                 results[follower] = ExecutionResult(
                     task=tasks[follower], backend_name=leader_result.backend_name,
@@ -201,14 +250,48 @@ class Executor:
     def _dispatch(self, tasks: Sequence[ExecutionTask],
                   backends: Sequence[Backend], to_run: Sequence[int],
                   results: List[Optional[ExecutionResult]],
-                  max_workers: Optional[int]) -> None:
-        """Run the given task indices, grouped per backend, possibly threaded."""
+                  max_workers: Optional[int],
+                  parallel: Optional[str] = None) -> None:
+        """Run the given task indices, grouped per backend, under the shard
+        plan (process shards / thread pool / inline)."""
         by_backend: Dict[int, Tuple[Backend, List[int]]] = {}
         for index in to_run:
             entry = by_backend.setdefault(id(backends[index]),
                                           (backends[index], []))
             entry[1].append(index)
         if not by_backend:
+            return
+
+        hints = [backend.capabilities().parallel_hint
+                 for backend, _ in by_backend.values()]
+        plan = self.planner.plan(len(to_run), hints=hints, parallel=parallel,
+                                 max_workers=max_workers)
+
+        if plan.mode == "process":
+            # Shard each backend's slice across worker processes.  Results
+            # round-trip through pickle, so re-attach the caller's task
+            # objects (value-equal copies otherwise).
+            payloads: List[Tuple[Backend, List[ExecutionTask]]] = []
+            owners: List[List[int]] = []
+            for backend, indices in by_backend.values():
+                for chunk in split_evenly(indices, plan.workers):
+                    payloads.append((backend, [tasks[i] for i in chunk]))
+                    owners.append(chunk)
+            shard_results = run_sharded(plan, _run_batch_shard, payloads)
+            for (backend, _), indices, batch in zip(payloads, owners,
+                                                    shard_results):
+                for i, result in zip(indices, batch):
+                    results[i] = dataclasses.replace(result, task=tasks[i])
+                # Workers bump their pickled copies' counters, which are
+                # discarded — restore the caller-side Backend.invocations
+                # parity with the inline/thread branches here.
+                backend._count_invocations(len(indices))
+                with self._lock:
+                    counters = self.stats.backend_invocations
+                    counters[backend.name] = counters.get(backend.name, 0) \
+                        + len(indices)
+            with self._lock:
+                self.stats.process_shards += len(payloads)
             return
 
         def run_chunk(backend: Backend, indices: List[int]) -> None:
@@ -220,24 +303,16 @@ class Executor:
                 counters[backend.name] = counters.get(backend.name, 0) \
                     + len(indices)
 
-        workers = max_workers
-        if workers is None:
-            workers = min(_MAX_AUTO_WORKERS, os.cpu_count() or 1)
-        if workers <= 1 or len(to_run) <= _INLINE_THRESHOLD:
+        if plan.mode != "thread":
             for backend, indices in by_backend.values():
                 run_chunk(backend, indices)
             return
 
         chunks: List[Tuple[Backend, List[int]]] = []
         for backend, indices in by_backend.values():
-            chunk_size = max(1, -(-len(indices) // workers))
-            for start in range(0, len(indices), chunk_size):
-                chunks.append((backend, indices[start:start + chunk_size]))
-        with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-            futures = [pool.submit(run_chunk, backend, indices)
-                       for backend, indices in chunks]
-            for future in futures:
-                future.result()  # surface worker exceptions
+            chunks.extend((backend, chunk)
+                          for chunk in split_evenly(indices, plan.workers))
+        run_sharded(plan, run_chunk, chunks)
 
     # -- grouped observables -------------------------------------------------
     def term_expectations(self, circuit, observable, *,
@@ -245,7 +320,9 @@ class Executor:
                           backend: Union[str, Backend] = "auto",
                           trajectories: Optional[int] = None,
                           include_idle: bool = True,
-                          use_cache: Optional[bool] = None) -> "np.ndarray":
+                          use_cache: Optional[bool] = None,
+                          parallel: Optional[str] = None,
+                          max_workers: Optional[int] = None) -> "np.ndarray":
         """Per-term ⟨P_i⟩ of ``observable``'s terms from **one** evolution.
 
         The returned float array aligns with ``observable.terms()`` and does
@@ -264,7 +341,8 @@ class Executor:
                              trajectories=trajectories,
                              include_idle=include_idle)
         return run_grouped(self, [task], backend=backend,
-                           use_cache=use_cache)[0]
+                           use_cache=use_cache, parallel=parallel,
+                           max_workers=max_workers)[0]
 
     def evaluate_observable(self, circuits, observable, *,
                             noise_model=None,
@@ -272,7 +350,8 @@ class Executor:
                             trajectories: Optional[int] = None,
                             include_idle: bool = True,
                             use_cache: Optional[bool] = None,
-                            max_workers: Optional[int] = None) -> List[float]:
+                            max_workers: Optional[int] = None,
+                            parallel: Optional[str] = None) -> List[float]:
         """⟨H⟩ for one or many circuits, evolving each circuit **once**.
 
         The grouped fast path for many-term Hamiltonians: instead of one
@@ -300,7 +379,8 @@ class Executor:
                  for circuit in circuits]
         values_per_task = run_grouped(self, tasks, backend=backend,
                                       use_cache=use_cache,
-                                      max_workers=max_workers)
+                                      max_workers=max_workers,
+                                      parallel=parallel)
         coefficients = np.array([float(np.real(coeff))
                                  for _, coeff in observable.terms()])
         return [float(np.dot(coefficients, values))
@@ -313,7 +393,8 @@ class Executor:
                        trajectories: Optional[int] = None,
                        include_idle: bool = True,
                        use_cache: Optional[bool] = None,
-                       max_workers: Optional[int] = None) -> List[float]:
+                       max_workers: Optional[int] = None,
+                       parallel: Optional[str] = None) -> List[float]:
         """⟨H⟩ at every point of a parameter sweep over one circuit template.
 
         The batched fast path of the compile layer: when every sweep point
@@ -391,9 +472,10 @@ class Executor:
                 bound_circuits, observable, noise_model=noise_model,
                 backend=backend, trajectories=trajectories,
                 include_idle=include_idle, use_cache=use_cache,
-                max_workers=max_workers)
+                max_workers=max_workers, parallel=parallel)
         return self._sweep_statevector(template, parameter_sets, observable,
-                                       use_cache)
+                                       use_cache, parallel=parallel,
+                                       max_workers=max_workers)
 
     @staticmethod
     def _sweep_cache_keys(template_fingerprint: str, point_key: Tuple,
@@ -425,17 +507,18 @@ class Executor:
                 for values in values_per_point]
 
     def _sweep_statevector(self, template, parameter_sets, observable,
-                           use_cache: bool) -> List[float]:
+                           use_cache: bool,
+                           parallel: Optional[str] = None,
+                           max_workers: Optional[int] = None) -> List[float]:
         """One compiled batch over the uncached points of a noiseless sweep.
 
         Cached values are keyed per ``("sweep", template fingerprint,
         parameter tuple, term)`` — derived without binding a circuit per
         point, which keeps the repeat-query hot path at dictionary-lookup
-        cost.
+        cost.  Big sweeps shard their unique points across worker processes
+        (each worker compiles the template into its own process-wide program
+        cache and runs a contiguous slice of the points).
         """
-        from ..simulators.kernels import statevector_term_expectations_batch
-        from ..simulators.program import compile_circuit, run_batch
-
         num_points = len(parameter_sets)
         with self._lock:
             self.stats.tasks_submitted += num_points
@@ -444,7 +527,7 @@ class Executor:
         values_per_point: List[Optional[np.ndarray]] = [None] * num_points
         point_keys = [tuple(values) for values in parameter_sets]
         with track_program_cache(self):
-            program = compile_circuit(template.without_measurements())
+            bare_template = template.without_measurements()
             template_fingerprint = template.fingerprint()
 
             def cache_keys(point_key: Tuple) -> List[Tuple]:
@@ -472,21 +555,34 @@ class Executor:
                         continue
                     leaders[point_keys[index]] = len(unique)
                     unique.append(index)
-                # Chunk so one stacked batch never holds more than the
-                # amplitude budget (~1 GB with temporaries at the default)
-                # — large sweeps at high qubit counts must not OOM where
-                # the per-circuit path ran in O(2^n).
-                chunk = max(1, _SWEEP_BATCH_AMPLITUDES
-                            // (1 << template.num_qubits))
-                value_rows: List[np.ndarray] = []
-                for start in range(0, len(unique), chunk):
-                    states = run_batch(
-                        [program.bind(parameter_sets[index])
-                         for index in unique[start:start + chunk]])
-                    value_rows.append(statevector_term_expectations_batch(
-                        states, observable=observable))
-                unique_values = (value_rows[0] if len(value_rows) == 1
-                                 else np.concatenate(value_rows, axis=0))
+                plan = self.planner.plan(len(unique), hints=("process",),
+                                         parallel=parallel,
+                                         max_workers=max_workers)
+                if plan.mode == "process" and len(unique) > 1:
+                    shards = split_evenly(unique, plan.workers)
+                    # Workers run concurrently, so they share the amplitude
+                    # budget — peak stacked-statevector memory stays at the
+                    # same ~1 GB bound the inline path honours.
+                    shard_budget = max(1, _SWEEP_BATCH_AMPLITUDES
+                                       // len(shards))
+                    payloads = [(bare_template,
+                                 [parameter_sets[index] for index in shard],
+                                 observable, shard_budget)
+                                for shard in shards]
+                    blocks = run_sharded(plan, _sweep_points_shard, payloads)
+                    unique_values = (blocks[0] if len(blocks) == 1
+                                     else np.concatenate(blocks, axis=0))
+                    with self._lock:
+                        self.stats.process_shards += len(payloads)
+                else:
+                    # Same code path a worker shard runs (compile + amplitude-
+                    # budget chunked batches), executed in-process — one
+                    # implementation, so inline and sharded sweeps can never
+                    # diverge.
+                    unique_values = _sweep_points_shard(
+                        bare_template,
+                        [parameter_sets[index] for index in unique],
+                        observable, _SWEEP_BATCH_AMPLITUDES)
                 for index in missing:
                     values_per_point[index] = \
                         unique_values[leaders[point_keys[index]]]
@@ -509,6 +605,19 @@ class Executor:
     @property
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
+
+    @property
+    def disk_cache(self) -> Optional[DiskExpectationCache]:
+        """The persistent L2 store, or None when not configured."""
+        if isinstance(self.cache, TieredExpectationCache):
+            return self.cache.disk
+        return None
+
+    @property
+    def disk_cache_stats(self) -> Optional[DiskCacheStats]:
+        """Hit/miss/write/eviction counters of the L2 store, or None."""
+        disk = self.disk_cache
+        return disk.stats if disk is not None else None
 
     def reset_stats(self) -> None:
         self.stats = ExecutionStats()
@@ -537,17 +646,23 @@ def reset_default_executor() -> None:
 def execute(tasks: Union[ExecutionTask, Sequence[ExecutionTask]],
             backend: Union[str, Backend] = "auto",
             max_workers: Optional[int] = None,
-            use_cache: Optional[bool] = None) -> List[ExecutionResult]:
+            use_cache: Optional[bool] = None,
+            parallel: Optional[str] = None) -> List[ExecutionResult]:
     """Run tasks through the shared default executor (see :class:`Executor`).
 
     This is the one call every consumer in the package dispatches through::
 
         results = execute([ExecutionTask(circuit, observable=hamiltonian)])
         energy = results[0].value
+
+    ``parallel="process"`` fans a CPU-bound batch out across worker
+    processes (``max_workers``, or the ``REPRO_WORKERS`` environment
+    override); results are identical to an inline run — see
+    :mod:`repro.execution.sharding` for the determinism contract.
     """
     return default_executor().run(tasks, backend=backend,
                                   max_workers=max_workers,
-                                  use_cache=use_cache)
+                                  use_cache=use_cache, parallel=parallel)
 
 
 def execute_one(task: ExecutionTask,
@@ -562,7 +677,8 @@ def evaluate_observable(circuits, observable, *, noise_model=None,
                         trajectories: Optional[int] = None,
                         include_idle: bool = True,
                         use_cache: Optional[bool] = None,
-                        max_workers: Optional[int] = None) -> List[float]:
+                        max_workers: Optional[int] = None,
+                        parallel: Optional[str] = None) -> List[float]:
     """⟨H⟩ for one or many circuits through the shared default executor.
 
     The grouped-observable fast path: each unique circuit is evolved
@@ -577,7 +693,7 @@ def evaluate_observable(circuits, observable, *, noise_model=None,
     return default_executor().evaluate_observable(
         circuits, observable, noise_model=noise_model, backend=backend,
         trajectories=trajectories, include_idle=include_idle,
-        use_cache=use_cache, max_workers=max_workers)
+        use_cache=use_cache, max_workers=max_workers, parallel=parallel)
 
 
 def evaluate_sweep(template, parameter_sets, observable, *, noise_model=None,
@@ -585,7 +701,8 @@ def evaluate_sweep(template, parameter_sets, observable, *, noise_model=None,
                    trajectories: Optional[int] = None,
                    include_idle: bool = True,
                    use_cache: Optional[bool] = None,
-                   max_workers: Optional[int] = None) -> List[float]:
+                   max_workers: Optional[int] = None,
+                   parallel: Optional[str] = None) -> List[float]:
     """⟨H⟩ over a whole parameter sweep through the shared default executor.
 
     The batched sweep entry point: the parametric ``template`` is compiled
@@ -602,14 +719,16 @@ def evaluate_sweep(template, parameter_sets, observable, *, noise_model=None,
     return default_executor().evaluate_sweep(
         template, parameter_sets, observable, noise_model=noise_model,
         backend=backend, trajectories=trajectories, include_idle=include_idle,
-        use_cache=use_cache, max_workers=max_workers)
+        use_cache=use_cache, max_workers=max_workers, parallel=parallel)
 
 
 def term_expectations(circuit, observable, *, noise_model=None,
                       backend: Union[str, Backend] = "auto",
                       trajectories: Optional[int] = None,
                       include_idle: bool = True,
-                      use_cache: Optional[bool] = None) -> "np.ndarray":
+                      use_cache: Optional[bool] = None,
+                      parallel: Optional[str] = None,
+                      max_workers: Optional[int] = None) -> "np.ndarray":
     """Per-term ⟨P_i⟩ from one evolution, via the shared default executor.
 
     See :meth:`Executor.term_expectations`; values align with
@@ -618,4 +737,4 @@ def term_expectations(circuit, observable, *, noise_model=None,
     return default_executor().term_expectations(
         circuit, observable, noise_model=noise_model, backend=backend,
         trajectories=trajectories, include_idle=include_idle,
-        use_cache=use_cache)
+        use_cache=use_cache, parallel=parallel, max_workers=max_workers)

@@ -24,15 +24,18 @@ engine works at *term* granularity:
 4. **Assembly** — per-task term values are gathered back in each task's own
    ``observable.terms()`` order; energies are ``Σ Re(c_i)·⟨P_i⟩``.
 
-Slots that need an evolution fan out across a thread pool exactly like the
-plain pipeline's dispatch stage.
+Slots that need an evolution fan out under the executor's
+:class:`~repro.execution.sharding.ShardPlanner` plan: CPU-bound simulator
+slots shard across worker **processes** (a single stochastic Monte-Carlo
+slot additionally shards its *trajectory ensemble*, with per-trajectory
+seed spawning keeping results bitwise independent of the shard count),
+thread-hinting custom backends keep the historical thread pool, and small
+batches run inline.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import os
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -42,14 +45,9 @@ from ..operators.pauli import PauliString, PauliSum
 from ..simulators.program import program_cache_counters
 from .backend import Backend
 from .errors import BackendCapabilityError, ExecutionError
+from .sharding import (plan_trajectory_shards, run_sharded, split_evenly,
+                       _term_expectations_shard)
 from .task import ExecutionTask, noise_token
-
-#: Below this many pending evolutions a thread pool costs more than it saves.
-#: Shared with the plain ``execute()`` dispatch stage in ``executor.py``.
-_INLINE_THRESHOLD = 2
-
-#: Upper bound on auto-selected worker threads (shared with the executor).
-_MAX_AUTO_WORKERS = 8
 
 TermKey = Tuple[bytes, bytes]
 
@@ -88,15 +86,18 @@ class _Slot:
     """All tasks that share one circuit evolution on one backend."""
 
     __slots__ = ("task", "backend", "cacheable", "fingerprint",
-                 "task_indices", "term_keys", "values")
+                 "cache_token", "task_indices", "term_keys", "values")
 
     def __init__(self, task: ExecutionTask, backend: Backend,
                  cacheable: bool, fingerprint: Optional[str] = None):
         self.task = task
         self.backend = backend
         self.cacheable = cacheable
-        # Hash the circuit once per slot; term keys reuse it.
+        # Hash the circuit once per slot; term keys reuse it.  The cache
+        # token is the backend's key component (name, plus e.g. a Monte-
+        # Carlo seed for seeded stochastic backends).
         self.fingerprint = fingerprint
+        self.cache_token = backend.cache_token(task)
         self.task_indices: List[int] = []
         # Ordered union of the member tasks' term keys.
         self.term_keys: Dict[TermKey, None] = {}
@@ -122,12 +123,14 @@ class _Slot:
 def run_grouped(executor, tasks: Sequence[ExecutionTask],
                 backend: Union[str, Backend] = "auto",
                 use_cache: Optional[bool] = None,
-                max_workers: Optional[int] = None) -> List[np.ndarray]:
+                max_workers: Optional[int] = None,
+                parallel: Optional[str] = None) -> List[np.ndarray]:
     """Per-term expectation values for every task, one evolution per slot.
 
     Returns one float array per input task, aligned with that task's
     ``observable.terms()`` order (coefficients are not applied).  ``executor``
-    supplies backend resolution, the expectation cache and the stats block.
+    supplies backend resolution, the expectation cache, the shard planner
+    and the stats block.
     """
     tasks = list(tasks)
     for task in tasks:
@@ -139,7 +142,6 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
             raise ExecutionError(
                 "grouped evaluation only handles expectation tasks")
     use_cache = executor.use_cache if use_cache is None else use_cache
-    max_workers = executor.max_workers if max_workers is None else max_workers
     with executor._lock:
         executor.stats.tasks_submitted += len(tasks)
         executor.stats.grouped_tasks += len(tasks)
@@ -177,7 +179,7 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
         if slot.cacheable and use_cache:
             keys = list(slot.term_keys)
             cached = executor.cache.get_many(
-                [slot.task.term_cache_key(slot.backend.name, key,
+                [slot.task.term_cache_key(slot.cache_token, key,
                                           circuit_fingerprint=slot.fingerprint)
                  for key in keys])
             hits = 0
@@ -193,9 +195,9 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
             pending.append((slot, missing))
 
     # 3. Evolve each slot with missing terms exactly once.
-    def evolve(slot: _Slot, missing: List[TermKey]) -> None:
-        synthetic = slot.synthetic_task(missing)
-        values = slot.backend.term_expectations(synthetic)
+    def record(slot: _Slot, missing: List[TermKey],
+               values: np.ndarray) -> None:
+        """Store one slot's freshly computed term values (+ cache fill)."""
         for key, value in zip(missing, values):
             slot.values[key] = float(value)
         # Adapters evolve once per call; a backend still on the base-class
@@ -209,25 +211,30 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
                 counters.get(slot.backend.name, 0) + spent
         if slot.cacheable and use_cache:
             executor.cache.put_many(
-                [(slot.task.term_cache_key(slot.backend.name, key,
+                [(slot.task.term_cache_key(slot.cache_token, key,
                                            circuit_fingerprint=slot.fingerprint),
-                  slot.values[key]) for key in missing],
-                pin=slot.task.noise_model)
+                  slot.values[key]) for key in missing])
 
-    workers = max_workers
-    if workers is None:
-        workers = min(_MAX_AUTO_WORKERS, os.cpu_count() or 1)
+    def evolve(slot: _Slot, missing: List[TermKey]) -> None:
+        record(slot, missing, slot.backend.term_expectations(
+            slot.synthetic_task(missing)))
+
+    hints = {slot.backend.capabilities().parallel_hint
+             for slot, _ in pending}
+    ensemble = max((getattr(slot.backend, "trajectory_count",
+                            lambda task: None)(slot.task) or 0
+                    for slot, _ in pending), default=0)
+    plan = executor.planner.plan(len(pending), hints=sorted(hints),
+                                 trajectories=ensemble, parallel=parallel,
+                                 max_workers=max_workers)
     with track_program_cache(executor):
-        if workers <= 1 or len(pending) <= _INLINE_THRESHOLD:
+        if plan.mode == "process":
+            _evolve_process_sharded(executor, pending, plan, record)
+        elif plan.mode == "thread":
+            run_sharded(plan, evolve, pending)
+        else:
             for slot, missing in pending:
                 evolve(slot, missing)
-        else:
-            with ThreadPoolExecutor(
-                    max_workers=min(workers, len(pending))) as pool:
-                futures = [pool.submit(evolve, slot, missing)
-                           for slot, missing in pending]
-                for future in futures:
-                    future.result()  # surface worker exceptions
 
     # 4. Assemble per-task value arrays in each task's own term order.
     results: List[np.ndarray] = []
@@ -235,3 +242,71 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
         results.append(np.array([slot.values[pauli.key()]
                                  for pauli, _ in task.observable.terms()]))
     return results
+
+
+def _evolve_process_sharded(executor, pending, plan, record) -> None:
+    """Evolve pending slots across worker processes.
+
+    Two shard shapes compose here:
+
+    * **Trajectory shards** — a stochastic Monte-Carlo slot whose ensemble
+      is big enough splits its per-trajectory seed list across the pool
+      (:func:`repro.execution.sharding.plan_trajectory_shards`); the
+      concatenated rows finalize to values bitwise identical to an inline
+      run.  All slots' trajectory payloads go to the pool in **one**
+      submission round — no per-slot barrier — and splitting is only used
+      at all while there are fewer slots than workers: once slot-level
+      parallelism saturates the pool, finer ensemble splitting adds payload
+      overhead without adding cores.
+    * **Slot shards** — remaining slots are grouped per backend and their
+      synthetic tasks fan out as contiguous chunks, one
+      ``term_expectations`` call per slot inside the worker.
+    """
+    trajectory_jobs: Dict[object, List[Tuple[_Slot, List[TermKey], list,
+                                             object]]] = {}
+    generic: List[Tuple[_Slot, List[TermKey], ExecutionTask]] = []
+    shard_count = 0
+    for slot, missing in pending:
+        synthetic = slot.synthetic_task(missing)
+        trajectory = (plan_trajectory_shards(slot.backend, synthetic, plan)
+                      if len(pending) < plan.workers else None)
+        if trajectory is not None:
+            runner, payloads, finalize = trajectory
+            trajectory_jobs.setdefault(runner, []).append(
+                (slot, missing, payloads, finalize))
+        else:
+            generic.append((slot, missing, synthetic))
+
+    # One submission round per distinct worker runner (normally one).
+    for runner, jobs in trajectory_jobs.items():
+        flat = [payload for _, _, payloads, _ in jobs
+                for payload in payloads]
+        blocks = run_sharded(plan, runner, flat)
+        shard_count += len(flat)
+        offset = 0
+        for slot, missing, payloads, finalize in jobs:
+            slot_blocks = blocks[offset:offset + len(payloads)]
+            offset += len(payloads)
+            slot.backend._count_invocations()
+            record(slot, missing, finalize(slot_blocks))
+
+    by_backend: Dict[int, List[Tuple[_Slot, List[TermKey], ExecutionTask]]] = {}
+    for entry in generic:
+        by_backend.setdefault(id(entry[0].backend), []).append(entry)
+    payloads = []
+    owners: List[List[Tuple[_Slot, List[TermKey], ExecutionTask]]] = []
+    for entries in by_backend.values():
+        for chunk in split_evenly(entries, plan.workers):
+            payloads.append((chunk[0][0].backend,
+                             [synthetic for _, _, synthetic in chunk]))
+            owners.append(chunk)
+    if payloads:
+        shard_count += len(payloads)
+        for chunk, value_arrays in zip(owners, run_sharded(
+                plan, _term_expectations_shard, payloads)):
+            for (slot, missing, _), values in zip(chunk, value_arrays):
+                slot.backend._count_invocations()
+                record(slot, missing, values)
+    if shard_count:
+        with executor._lock:
+            executor.stats.process_shards += shard_count

@@ -1,0 +1,338 @@
+"""Shard planning and multi-core fan-out for the execution layer.
+
+Python's GIL caps the historical thread-pooled dispatch for CPU-bound
+simulation: dense NumPy contractions and pure-Python tableau trajectories
+serialize on the interpreter, so threads add overhead without adding cores.
+This module is the multi-core rung of the ROADMAP:
+
+* :class:`ShardPlanner` decides **how** a batch fans out — ``"process"``
+  (worker processes, the default for the in-repo CPU-bound backends once a
+  batch is big enough to amortize dispatch), ``"thread"`` (the historical
+  pool, kept for I/O-ish custom backends that hint it), or ``"none"``
+  (inline — small batches where any pool is pure overhead).  The decision
+  combines the caller's ``parallel=`` choice, the resolved worker count
+  (``max_workers`` argument, ``REPRO_WORKERS`` environment override, CPU
+  count) and the backends' :attr:`~repro.execution.backend.BackendCapabilities.parallel_hint`.
+* :func:`run_sharded` executes shard payloads under a plan, reusing one
+  persistent process pool across calls so fork/spawn cost is paid once per
+  process, not once per batch.
+* The module-level ``_*_shard`` functions are the process-pool targets —
+  top-level so they pickle by reference; workers receive picklable
+  :class:`~repro.execution.task.ExecutionTask` / circuit / observable specs
+  and return plain arrays or result lists.
+
+Determinism contract: sharding never changes results.  Deterministic tasks
+are pure functions of the task; stochastic stabilizer ensembles seed **per
+trajectory** via ``numpy.random.SeedSequence.spawn``, so shard boundaries
+cannot move any draw — ``max_workers`` of 1, 2 and 4 produce bitwise
+identical values (see ``benchmarks/test_parallel_speedup.py``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ExecutionError
+
+#: Environment override for the worker count (argument > env > cpu count).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Below this many pending work items a thread pool costs more than it saves.
+_INLINE_THRESHOLD = 2
+
+#: Upper bound on auto-selected workers (threads or processes).
+_MAX_AUTO_WORKERS = 8
+
+#: Minimum CPU-bound batch size before auto mode shards across processes;
+#: below it, dense batches run inline (threads never helped them — the GIL
+#: serialized the work — and forking costs more than the batch).
+_PROCESS_TASK_THRESHOLD = 16
+
+#: Minimum Monte-Carlo trajectory count before an ensemble is worth
+#: splitting into per-worker trajectory shards.
+_TRAJECTORY_SHARD_THRESHOLD = 32
+
+#: Set in worker processes so nested dispatches always run inline.
+_WORKER_ENV = "REPRO_IN_WORKER"
+
+_PARALLEL_MODES = ("auto", "process", "thread", "none")
+
+
+def in_worker_process() -> bool:
+    """True inside a shard worker (nested dispatch must stay inline)."""
+    return os.environ.get(_WORKER_ENV) == "1"
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity/cgroup aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(max_workers: Optional[int] = None) -> int:
+    """The worker count: explicit argument, ``REPRO_WORKERS``, or the
+    usable-CPU count (affinity-aware — a container pinned to 2 of 8 host
+    cores gets 2 workers, not 8 time-slicing ones)."""
+    if max_workers is not None:
+        return max(1, int(max_workers))
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        return max(1, int(env))
+    return min(_MAX_AUTO_WORKERS, usable_cpus())
+
+
+def split_evenly(items: Sequence, shards: int) -> List[list]:
+    """Partition ``items`` into at most ``shards`` contiguous, order-
+    preserving chunks of near-equal size (no empty chunks)."""
+    items = list(items)
+    shards = max(1, min(int(shards), len(items)))
+    chunk_size, remainder = divmod(len(items), shards)
+    chunks, start = [], 0
+    for index in range(shards):
+        size = chunk_size + (1 if index < remainder else 0)
+        chunks.append(items[start:start + size])
+        start += size
+    return chunks
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One dispatch decision: the fan-out mode and how many workers."""
+
+    mode: str  # "process" | "thread" | "none"
+    workers: int
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.mode != "none" and self.workers > 1
+
+
+class ShardPlanner:
+    """Plans how execution batches fan out across cores.
+
+    ``parallel`` is the policy: ``"auto"`` (capability-driven — the
+    default), ``"process"``, ``"thread"`` or ``"none"``.  One planner is
+    owned by each :class:`~repro.execution.executor.Executor`; per-call
+    ``parallel=`` / ``max_workers=`` arguments override its defaults.
+    Example::
+
+        planner = ShardPlanner(parallel="auto")
+        plan = planner.plan(num_items=64, hints=("process",))
+        assert plan.mode == "process"
+    """
+
+    def __init__(self, parallel: str = "auto",
+                 max_workers: Optional[int] = None):
+        self.parallel = self._validate(parallel)
+        self.max_workers = max_workers
+
+    @staticmethod
+    def _validate(parallel: str) -> str:
+        if parallel not in _PARALLEL_MODES:
+            raise ExecutionError(
+                f"parallel must be one of {_PARALLEL_MODES}, got {parallel!r}")
+        return parallel
+
+    def plan(self, num_items: int, hints: Sequence[str] = (),
+             trajectories: int = 0,
+             parallel: Optional[str] = None,
+             max_workers: Optional[int] = None) -> ShardPlan:
+        """The :class:`ShardPlan` for a batch.
+
+        ``num_items`` counts independent work units (tasks, slots, sweep
+        points); ``trajectories`` counts Monte-Carlo trajectories when a
+        single stochastic unit is internally shardable; ``hints`` are the
+        involved backends' ``parallel_hint`` capabilities.
+        """
+        mode = self.parallel if parallel is None else self._validate(parallel)
+        workers = resolve_workers(self.max_workers if max_workers is None
+                                  else max_workers)
+        weight = max(int(num_items), int(trajectories))
+        if in_worker_process() or workers <= 1 or weight < 2:
+            return ShardPlan("none", 1)
+        if mode == "none":
+            return ShardPlan("none", 1)
+        if mode == "auto":
+            hints = tuple(hints) or ("thread",)
+            if "inline" in hints:
+                return ShardPlan("none", 1)
+            if all(hint == "process" for hint in hints):
+                # CPU-bound backends: threads only add GIL contention, so
+                # the choice is processes (big batches) or inline (small).
+                if (num_items >= _PROCESS_TASK_THRESHOLD
+                        or trajectories >= _TRAJECTORY_SHARD_THRESHOLD):
+                    return ShardPlan("process", workers)
+                return ShardPlan("none", 1)
+            if num_items > _INLINE_THRESHOLD:
+                return ShardPlan("thread", workers)
+            return ShardPlan("none", 1)
+        return ShardPlan(mode, workers)
+
+
+# ---------------------------------------------------------------------------
+# The persistent process pool
+# ---------------------------------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+_pool_lock = threading.Lock()
+
+
+def _mark_worker_process() -> None:
+    os.environ[_WORKER_ENV] = "1"
+
+
+def _pool_context():
+    # Fork (where available) inherits the loaded interpreter — milliseconds
+    # per worker versus a full re-import under spawn.
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _submit_to_pool(workers: int, fn: Callable,
+                    payloads: Sequence[tuple]) -> List:
+    """Create/grow the shared pool and submit one batch atomically.
+
+    The pool is persistent across dispatches so fork/spawn cost is paid
+    once per process, and it only ever *grows*.  Submission happens under
+    the pool lock, so a concurrent caller growing the pool can never
+    observe a half-submitted batch or reject a submit; a retired (smaller)
+    pool is shut down **without cancelling** its queued futures — work
+    already submitted to it runs to completion and its workers exit
+    afterwards.
+
+    Note the fork caveat: where the fork start method is used, the first
+    pool creation should not race user threads holding locks (the standard
+    CPython fork-with-threads hazard).  The executor's own dispatch modes
+    are mutually exclusive per call, and pools are created lazily on the
+    first process-mode plan.
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is None or _pool_workers < workers:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context(),
+                initializer=_mark_worker_process)
+            _pool_workers = workers
+        return [_pool.submit(fn, *payload) for payload in payloads]
+
+
+def shutdown_process_pool() -> None:
+    """Tear down the shared pool (tests and interpreter exit)."""
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True, cancel_futures=True)
+            _pool = None
+            _pool_workers = 0
+
+
+atexit.register(shutdown_process_pool)
+
+
+def run_sharded(plan: ShardPlan, fn: Callable,
+                payloads: Sequence[tuple]) -> List:
+    """Run ``fn(*payload)`` for every payload under ``plan``; results align
+    with the payload order.  ``fn`` must be a module-level callable when the
+    plan is ``"process"`` (it crosses the pickle boundary)."""
+    if not payloads:
+        return []
+    if not plan.is_parallel or len(payloads) == 1:
+        return [fn(*payload) for payload in payloads]
+    if plan.mode == "process":
+        futures = _submit_to_pool(plan.workers, fn, payloads)
+        return [future.result() for future in futures]
+    with ThreadPoolExecutor(
+            max_workers=min(plan.workers, len(payloads))) as pool:
+        futures = [pool.submit(fn, *payload) for payload in payloads]
+        return [future.result() for future in futures]
+
+
+# ---------------------------------------------------------------------------
+# Process-pool shard targets (top-level: they pickle by reference)
+# ---------------------------------------------------------------------------
+
+def _run_batch_shard(backend, tasks) -> list:
+    """Plain ``execute()`` shard: one backend, a slice of its tasks."""
+    return backend.run_batch(tasks)
+
+
+def _term_expectations_shard(backend, tasks) -> list:
+    """Grouped-engine shard: per-task term-value arrays for one backend."""
+    return [backend.term_expectations_quiet(task)
+            if hasattr(backend, "term_expectations_quiet")
+            else backend.term_expectations(task)
+            for task in tasks]
+
+
+def _sweep_points_shard(circuit, parameter_sets, observable,
+                        amplitude_budget: int) -> np.ndarray:
+    """Batched-sweep shard: compile in-process, run a slice of the points.
+
+    Each worker compiles the template once into its own process-wide program
+    cache (first shard pays it, later sweeps of the same template hit), then
+    executes its points in amplitude-budget-bounded stacked batches exactly
+    like the single-process path.
+    """
+    from ..simulators.kernels import statevector_term_expectations_batch
+    from ..simulators.program import compile_circuit, run_batch
+
+    program = compile_circuit(circuit)
+    chunk = max(1, amplitude_budget // (1 << circuit.num_qubits))
+    rows: List[np.ndarray] = []
+    for start in range(0, len(parameter_sets), chunk):
+        states = run_batch([program.bind(values) for values
+                            in parameter_sets[start:start + chunk]])
+        rows.append(statevector_term_expectations_batch(
+            states, observable=observable))
+    return rows[0] if len(rows) == 1 else np.concatenate(rows, axis=0)
+
+
+def plan_trajectory_shards(backend, task, plan: ShardPlan
+                           ) -> Optional[Tuple[Callable, List[tuple],
+                                               Callable]]:
+    """Shard one stochastic trajectory-ensemble task, if worth it.
+
+    Returns ``(runner, payloads, finalize)`` — the backend's
+    ``trajectory_shard_runner`` (a module-level callable executed in the
+    worker processes; the stabilizer backend's is
+    :func:`repro.execution.adapters.run_stabilizer_trajectory_shard`, and a
+    custom backend implementing the trajectory protocol must supply its
+    own), its per-shard payloads, and a closure folding the concatenated
+    rows into per-term values — or None when the backend/task pair is not a
+    shardable ensemble or the ensemble is too small to split.  Shards
+    partition the per-trajectory seed list, so the fold is bitwise
+    independent of the shard count.
+    """
+    spec = getattr(backend, "trajectory_spec", None)
+    count = getattr(backend, "trajectory_count", None)
+    runner = getattr(backend, "trajectory_shard_runner", None)
+    if spec is None or count is None or runner is None \
+            or not plan.is_parallel or plan.mode != "process":
+        return None
+    trajectories = count(task)
+    if trajectories is None or trajectories < _TRAJECTORY_SHARD_THRESHOLD:
+        return None
+    noise_model, circuit, observable, seeds = spec(task)
+    payloads = [(noise_model, circuit, observable, seed_chunk)
+                for seed_chunk in split_evenly(seeds, plan.workers)]
+
+    def finalize(row_blocks: List[np.ndarray]) -> np.ndarray:
+        rows = np.concatenate(row_blocks, axis=0)
+        return backend.finalize_trajectory_rows(task, rows)
+
+    return runner, payloads, finalize

@@ -42,14 +42,18 @@ def noise_token(noise_model: Optional[NoiseModel]):
 
     ``None`` (or a model with no noise) normalizes to ``None`` so noiseless
     tasks share cache entries regardless of how "no noise" was spelled.
-    Nontrivial models are identified by object identity plus their mutation
-    counter, so an in-place ``add_*`` edit invalidates prior entries; the
-    expectation cache pins a reference to each model it has entries for, so
-    identities cannot be recycled while a key is live.
+    Nontrivial models are identified by their **content fingerprint**
+    (:meth:`repro.simulators.noise.NoiseModel.fingerprint`): an in-place
+    ``add_*`` edit changes the content and invalidates prior entries, two
+    independently built but bit-identical models share entries, and —
+    because the token is a pure content hash rather than an object identity —
+    keys are stable across processes and interpreter runs, which is what the
+    persistent :class:`~repro.execution.disk_cache.DiskExpectationCache`
+    relies on.
     """
     if noise_model is None or not noise_model.has_noise():
         return None
-    return (id(noise_model), noise_model.version)
+    return noise_model.fingerprint()
 
 
 @dataclass(frozen=True)
@@ -85,6 +89,12 @@ class ExecutionTask:
             raise ExecutionError(
                 "an ExecutionTask needs exactly one of `observable` "
                 "(expectation task) or `shots` (sampling task)")
+        # Normalize counts to plain ints (callers often pass numpy scalars
+        # from sweep configs) so cache keys are canonical and disk-stable.
+        if self.shots is not None:
+            object.__setattr__(self, "shots", int(self.shots))
+        if self.trajectories is not None:
+            object.__setattr__(self, "trajectories", int(self.trajectories))
         if self.shots is not None and self.shots < 1:
             raise ExecutionError("shots must be a positive integer")
         if (self.observable is not None
@@ -142,12 +152,17 @@ class ExecutionTask:
         return subtasks
 
     # -- identity ------------------------------------------------------------
-    def cache_key(self, backend_name: str) -> Tuple:
+    def cache_key(self, backend_name) -> Tuple:
         """Hashable identity of this task when run on ``backend_name``.
 
         Two tasks with equal keys are interchangeable: same circuit
         structure, observable/shots, noise model and backend options, bound
-        for the same backend.
+        for the same backend.  ``backend_name`` is normally the backend's
+        :meth:`~repro.execution.backend.Backend.cache_token` — the plain
+        name, or a tuple folding in result-affecting backend configuration
+        (e.g. a Monte-Carlo seed).  Every component is content-derived, so
+        keys are stable across processes and feed the persistent disk cache
+        unchanged.
         """
         if self.is_expectation:
             payload = ("expval", observable_fingerprint(self.observable))
@@ -157,7 +172,7 @@ class ExecutionTask:
                 noise_token(self.noise_model), backend_name,
                 self.trajectories, self.include_idle)
 
-    def term_cache_key(self, backend_name: str,
+    def term_cache_key(self, backend_name,
                       term_key: Tuple[bytes, bytes],
                       circuit_fingerprint: Optional[str] = None) -> Tuple:
         """Cache key for one Pauli term of this task's observable.

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate

@@ -18,13 +18,13 @@ regime the caller supplies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from ..ansatz.base import Ansatz
 from ..operators.pauli import PauliSum
-from ..vqe.clifford_vqe import CliffordVQE, indices_to_angles
+from ..vqe.clifford_vqe import CliffordVQE
 from ..vqe.energy import EnergyEvaluator, ExactEnergyEvaluator
 from ..vqe.optimizers import (CobylaOptimizer, GeneticOptimizer, Optimizer)
 from ..vqe.runner import VQE, VQEResult

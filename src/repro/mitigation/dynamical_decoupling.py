@@ -20,15 +20,12 @@ idling and for stabilizer-circuit idling inside QEC.  This module provides
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
-from ..operators.pauli import PauliSum
 from ..vqe.energy import EnergyEvaluator
 
 #: Supported DD sequences: gate names making up one complete echo group.

@@ -19,12 +19,11 @@ demonstrated and benchmarked deterministically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..operators.pauli import PauliSum
 from ..vqe.energy import EnergyEvaluator
 
 

@@ -10,9 +10,8 @@ style benches so the two mitigation layers can be compared.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 

@@ -19,7 +19,7 @@ NISQ and pQEC regimes, as in Fig. 15.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

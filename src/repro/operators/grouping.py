@@ -19,10 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
-import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from .pauli import PauliString, PauliSum

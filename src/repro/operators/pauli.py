@@ -16,9 +16,7 @@ essentially free.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy import sparse

@@ -11,7 +11,7 @@ backing decoder (MWPM by default) for syndromes outside the table.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
 from .mwpm import DecodeOutcome, MWPMDecoder

@@ -10,7 +10,7 @@ blossom implementation (``max_weight_matching`` on negated weights).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx
 

@@ -10,7 +10,7 @@ the syndrome stream never reaches the main decoder.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
 from .mwpm import DecodeOutcome, MWPMDecoder

@@ -21,10 +21,10 @@ error), anchored at the catalogued p = 1e-3 value.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from .surface_code import EFT_PHYSICAL_ERROR_RATE, SurfaceCodePatch
+from .surface_code import EFT_PHYSICAL_ERROR_RATE
 
 
 @dataclass(frozen=True)

@@ -18,13 +18,12 @@ Two uses in the repository:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .decoder import MatchingDecoder, repetition_code_decoder
+from .decoder import repetition_code_decoder
 
 
 @dataclass(frozen=True)

@@ -16,9 +16,8 @@ provided:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 #: Default EFT-era parameters used throughout the paper.
 EFT_PHYSICAL_ERROR_RATE = 1e-3

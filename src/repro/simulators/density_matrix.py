@@ -13,11 +13,11 @@ the computational-basis index (little-endian); multi-qubit gate matrices put
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.circuit import QuantumCircuit
 from ..operators.pauli import PauliSum
 from .noise import NoiseModel, QuantumChannel, RESET_CHANNEL
 from .statevector import Statevector, counts_from_outcomes

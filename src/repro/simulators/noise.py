@@ -19,14 +19,16 @@ locations.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
-from dataclasses import dataclass, field
+import struct
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.circuit import Instruction, QuantumCircuit
+from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import PAULI_MATRICES
 
 _PAULI_LABELS_1Q = ("I", "X", "Y", "Z")
@@ -93,6 +95,21 @@ class QuantumChannel:
         probs = self.pauli_twirl_probabilities()
         identity_label = "I" * self.num_qubits
         return abs(probs.get(identity_label, 0.0) - 1.0) <= atol
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the channel's Kraus operators (hex digest).
+
+        Two channels built independently from bit-identical operator arrays
+        share a fingerprint across processes and interpreter runs — the
+        channel ``name`` does not contribute.  This is what lets the
+        execution layer key caches on a noise model's *content* rather than
+        its object identity.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(struct.pack("<I", self._dim))
+        for op in self._kraus:
+            hasher.update(np.ascontiguousarray(op, dtype=complex).tobytes())
+        return hasher.hexdigest()
 
     def pauli_twirl_probabilities(self) -> Dict[str, float]:
         """Pauli-twirled approximation of the channel.
@@ -309,6 +326,7 @@ class NoiseModel:
         self._idle_channel: Optional[QuantumChannel] = None
         self._readout_error: float = 0.0
         self._version = 0
+        self._fingerprint_cache: Optional[Tuple[int, str]] = None
 
     # -- construction ---------------------------------------------------------
     def add_gate_error(self, channel: QuantumChannel,
@@ -340,6 +358,33 @@ class NoiseModel:
         with this counter so in-place edits invalidate stale entries.
         """
         return self._version
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the model (hex digest).
+
+        Covers every gate channel (by gate name and attachment order), the
+        idle channel and the readout-error probability; the model ``name``
+        does not contribute.  Two models with bit-identical channels share a
+        fingerprint across processes and runs, which is what the execution
+        layer's persistent :class:`~repro.execution.disk_cache.DiskExpectationCache`
+        keys entries on; an in-place ``add_*`` edit changes the content and
+        therefore the fingerprint.  The digest is memoized per
+        :attr:`version`, so hot cache-key paths do not rehash Kraus arrays.
+        """
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        hasher = hashlib.blake2b(digest_size=16)
+        for gate_name in sorted(self._gate_errors):
+            hasher.update(b"g" + gate_name.encode("utf-8") + b"\x00")
+            for channel in self._gate_errors[gate_name]:
+                hasher.update(channel.fingerprint().encode("ascii"))
+        if self._idle_channel is not None:
+            hasher.update(b"i" + self._idle_channel.fingerprint().encode("ascii"))
+        hasher.update(b"r" + struct.pack("<d", self._readout_error))
+        digest = hasher.hexdigest()
+        self._fingerprint_cache = (self._version, digest)
+        return digest
 
     # -- queries -----------------------------------------------------------------
     @property

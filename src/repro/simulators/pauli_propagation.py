@@ -20,13 +20,13 @@ so the cost is O(num_gates · num_terms) with small numpy constants.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import is_clifford_angle
-from ..operators.pauli import PauliString, PauliSum
+from ..operators.pauli import PauliSum
 from .noise import ErrorLocation, NoiseModel, PauliChannel, pauli_twirl
 
 _SINGLE_PAULI_INDEX = {"I": 0, "X": 1, "Y": 2, "Z": 3}
@@ -184,7 +184,6 @@ class PauliPropagator:
         ``probabilities`` maps Pauli labels (length == len(qubits), character
         j acting on qubits[j]) to probabilities.
         """
-        k = len(qubits)
         factors = np.zeros(self.num_terms)
         restriction = np.stack(
             [_restriction_index_correct(self.x[:, q], self.z[:, q]) for q in qubits],

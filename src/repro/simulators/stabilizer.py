@@ -18,7 +18,7 @@ exactly.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -265,12 +265,13 @@ class StabilizerSimulator:
         self.noise_model = noise_model
         self._rng = np.random.default_rng(seed)
 
-    def _apply_instruction(self, state: StabilizerState, inst) -> None:
+    def _apply_instruction(self, state: StabilizerState, inst,
+                           rng: Optional[np.random.Generator] = None) -> None:
         name = inst.name
         if name in ("barrier", "measure"):
             return
         if name == "reset":
-            state.reset(inst.qubits[0], self._rng)
+            state.reset(inst.qubits[0], rng if rng is not None else self._rng)
             return
         if name in ("i", "id"):
             return
@@ -310,14 +311,23 @@ class StabilizerSimulator:
             raise ValueError(f"gate {name!r} is not supported by the stabilizer simulator")
 
     def _sample_channel(self, state: StabilizerState, channel,
-                        qubits: Sequence[int]) -> None:
+                        qubits: Sequence[int],
+                        rng: Optional[np.random.Generator] = None) -> None:
         pauli_channel = channel if isinstance(channel, PauliChannel) else pauli_twirl(channel)
-        label = pauli_channel.sample(self._rng)
+        label = pauli_channel.sample(rng if rng is not None else self._rng)
         state.apply_pauli_label(label, qubits)
 
     def run(self, circuit: QuantumCircuit,
-            inject_noise: bool = True) -> StabilizerState:
-        """Run a single (possibly noisy) trajectory of the circuit."""
+            inject_noise: bool = True,
+            rng: Optional[np.random.Generator] = None) -> StabilizerState:
+        """Run a single (possibly noisy) trajectory of the circuit.
+
+        ``rng`` overrides the simulator's own generator for this trajectory —
+        the hook that lets a trajectory ensemble assign one spawned
+        :class:`numpy.random.SeedSequence` child per trajectory, making the
+        ensemble's results independent of how trajectories are sharded
+        across worker processes.
+        """
         state = StabilizerState(circuit.num_qubits)
         noise = self.noise_model if inject_noise else None
         idle_channel = noise.idle_channel if noise is not None else None
@@ -325,14 +335,14 @@ class StabilizerSimulator:
             busy: set = set()
             for inst in layer:
                 busy.update(inst.qubits)
-                self._apply_instruction(state, inst)
+                self._apply_instruction(state, inst, rng)
                 if noise is not None and inst.gate.is_unitary and inst.name != "barrier":
                     for channel in noise.gate_channels(inst.name):
-                        self._sample_channel(state, channel, inst.qubits)
+                        self._sample_channel(state, channel, inst.qubits, rng)
             if idle_channel is not None:
                 for qubit in range(circuit.num_qubits):
                     if qubit not in busy:
-                        self._sample_channel(state, idle_channel, (qubit,))
+                        self._sample_channel(state, idle_channel, (qubit,), rng)
         return state
 
     def expectation(self, circuit: QuantumCircuit, observable: PauliSum, *,
@@ -438,6 +448,37 @@ class StabilizerSimulator:
         readout_damping = 1.0 - 2.0 * self.noise_model.readout_error
         weights = np.array([pauli.weight() for pauli, _ in observable.terms()])
         return values * readout_damping ** weights
+
+    def trajectory_term_values(self, circuit: QuantumCircuit,
+                               observable: PauliSum,
+                               seeds: Sequence) -> np.ndarray:
+        """Raw per-trajectory term values, one seeded trajectory per row.
+
+        Runs ``len(seeds)`` noisy trajectories, each with its **own**
+        generator built from the corresponding seed (any
+        ``numpy.random.default_rng`` seed — typically
+        :class:`numpy.random.SeedSequence` children spawned from one base
+        seed), and returns a ``(len(seeds), num_terms)`` array of term
+        values read through the QWC group plan.  Because every trajectory's
+        randomness is a pure function of its seed, any partition of the seed
+        list across worker processes reproduces the same rows — this is the
+        determinism contract behind process-sharded Monte-Carlo ensembles
+        (``parallel="process"``).  Values are raw: identity terms are 1,
+        readout damping is **not** applied (callers average the rows, then
+        damp by ``(1 − 2·p_meas)^weight`` exactly like :meth:`expectation_many`).
+        """
+        plan = self._grouped_term_plan(observable)
+        identity_indices = [i for i, (pauli, _)
+                            in enumerate(observable.terms())
+                            if pauli.is_identity()]
+        values = np.zeros((len(seeds), observable.num_terms))
+        for row, seed in enumerate(seeds):
+            rng = np.random.default_rng(seed)
+            state = self.run(circuit, inject_noise=True, rng=rng)
+            self._read_groups(state, plan, values[row])
+            for index in identity_indices:
+                values[row, index] = 1.0
+        return values
 
     def sample(self, circuit: QuantumCircuit, shots: int) -> Dict[str, int]:
         """Sample measurement outcomes over full trajectories (1 shot = 1 run)."""

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..qec.clifford_t import t_count_for_precision
-from .clifford_group import CLIFFORD_WORDS, clifford_group_elements
+from .clifford_group import clifford_group_elements
 from .verification import (gate_matrix, operator_distance, rz_unitary,
                            sequence_unitary)
 

@@ -21,7 +21,7 @@ is explicit or falls back to the Ross–Selinger cost model.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -12,7 +12,6 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.gates import Gate
 
 #: Matrices of the single-qubit gates synthesis sequences are built from.
 _GATE_MATRICES: Dict[str, np.ndarray] = {

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..architecture.routing import ProposedLayoutGeometry
 from ..circuits.circuit import QuantumCircuit

@@ -14,7 +14,7 @@ the per-benchmark γ values behind Figs. 12 and 14.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

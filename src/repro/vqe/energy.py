@@ -29,7 +29,6 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.transpile import decompose_to_clifford_rz, merge_rz_runs
@@ -84,7 +83,9 @@ class BackendEnergyEvaluator(EnergyEvaluator):
                  trajectories: Optional[int] = None,
                  executor: Optional[Executor] = None,
                  use_cache: bool = True,
-                 grouped: bool = True):
+                 grouped: bool = True,
+                 parallel: Optional[str] = None,
+                 max_workers: Optional[int] = None):
         super().__init__(hamiltonian)
         self.backend = backend
         self.noise_model = noise_model
@@ -93,6 +94,11 @@ class BackendEnergyEvaluator(EnergyEvaluator):
         self.trajectories = trajectories
         self.use_cache = use_cache
         self.grouped = grouped
+        # Fan-out policy forwarded to every executor call: None defers to
+        # the executor's own ShardPlanner defaults; "process" shards
+        # batches/trajectory ensembles across worker processes.
+        self.parallel = parallel
+        self.max_workers = max_workers
         self._executor = executor
 
     def _prepare_circuit(self, circuit: QuantumCircuit) -> QuantumCircuit:
@@ -115,9 +121,12 @@ class BackendEnergyEvaluator(EnergyEvaluator):
                 noise_model=self.noise_model, backend=self.backend,
                 trajectories=self.trajectories,
                 include_idle=self.include_idle,
-                use_cache=self.use_cache)[0]
+                use_cache=self.use_cache, parallel=self.parallel,
+                max_workers=self.max_workers)[0]
         result = executor.run(self._make_task(circuit), backend=self.backend,
-                              use_cache=self.use_cache)[0]
+                              use_cache=self.use_cache,
+                              parallel=self.parallel,
+                              max_workers=self.max_workers)[0]
         return float(result.value)
 
     def evaluate_sweep(self, template: QuantumCircuit,
@@ -146,12 +155,14 @@ class BackendEnergyEvaluator(EnergyEvaluator):
             return executor.evaluate_observable(
                 circuits, self.hamiltonian, noise_model=self.noise_model,
                 backend=self.backend, trajectories=self.trajectories,
-                include_idle=self.include_idle, use_cache=self.use_cache)
+                include_idle=self.include_idle, use_cache=self.use_cache,
+                parallel=self.parallel, max_workers=self.max_workers)
         return executor.evaluate_sweep(
             template, parameter_sets, self.hamiltonian,
             noise_model=self.noise_model, backend=self.backend,
             trajectories=self.trajectories, include_idle=self.include_idle,
-            use_cache=self.use_cache)
+            use_cache=self.use_cache, parallel=self.parallel,
+            max_workers=self.max_workers)
 
     # -- regime presets ------------------------------------------------------
     # Single source of truth for the historical evaluator configurations;
@@ -182,10 +193,15 @@ class BackendEnergyEvaluator(EnergyEvaluator):
                            trajectories: int = 200,
                            seed: Optional[int] = None) -> dict:
         from ..execution.adapters import StabilizerBackend
+        # A seeded ensemble is a deterministic function of the task (per-
+        # trajectory SeedSequence spawning), so its values are cacheable —
+        # including into the persistent disk cache, which is what lets a
+        # warm re-run of a Monte-Carlo workload do zero evolutions.
+        # Unseeded ensembles stay uncached (fresh randomness every call).
         return dict(hamiltonian=hamiltonian,
                     backend=StabilizerBackend(seed=seed),
                     noise_model=noise_model, canonicalize=True,
-                    trajectories=trajectories, use_cache=False)
+                    trajectories=trajectories, use_cache=seed is not None)
 
     @classmethod
     def exact(cls, hamiltonian: PauliSum) -> "BackendEnergyEvaluator":
@@ -256,8 +272,12 @@ class CliffordEnergyEvaluator(BackendEnergyEvaluator):
 class MonteCarloStabilizerEvaluator(BackendEnergyEvaluator):
     """Monte-Carlo stabilizer-trajectory estimate (cross-validation backend).
 
-    Stochastic, so results are never cached; a fresh seeded backend instance
-    keeps runs reproducible independent of other executor traffic.
+    With an explicit ``seed`` every trajectory's generator is derived from
+    the (task, seed) pair, so results are reproducible independent of other
+    executor traffic, of trajectory sharding across worker processes, *and*
+    across runs — which also makes them cacheable (the seed is part of the
+    cache key).  Without a seed the ensemble draws fresh randomness and is
+    never cached.
     """
 
     def __init__(self, hamiltonian: PauliSum,

@@ -9,7 +9,6 @@ Figs. 12–14.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -20,8 +19,7 @@ from ..operators.pauli import PauliSum
 from ..simulators.noise import NoiseModel
 from .energy import (DensityMatrixEnergyEvaluator, EnergyEvaluator,
                      ExactEnergyEvaluator)
-from .optimizers import (CobylaOptimizer, OptimizationResult, Optimizer,
-                         SPSAOptimizer)
+from .optimizers import CobylaOptimizer, OptimizationResult, Optimizer
 
 
 @dataclass

@@ -1,6 +1,5 @@
 """Tests for QAOA, VQD and the variational quantum classifier."""
 
-import math
 
 import numpy as np
 import pytest
@@ -11,8 +10,8 @@ from repro.algorithms.qml import (ClassificationDataset, VariationalClassifier,
 from repro.algorithms.vqd import VQD
 from repro.ansatz import FullyConnectedAnsatz
 from repro.core.regimes import NISQRegime
-from repro.operators.graphs import (cut_value, exact_maxcut,
-                                    maxcut_cost_hamiltonian, ring_graph)
+from repro.operators.graphs import (cut_value, maxcut_cost_hamiltonian,
+                                    ring_graph)
 from repro.operators.hamiltonians import ising_hamiltonian
 from repro.operators.pauli import PauliString, PauliSum
 from repro.simulators.statevector import StatevectorSimulator

@@ -1,6 +1,5 @@
 """Tests for the ansatz families and the Sec. 4.4 gate-count design rules."""
 
-import math
 
 import numpy as np
 import pytest
@@ -13,7 +12,6 @@ from repro.ansatz import (BlockedAllToAllAnsatz, FullyConnectedAnsatz,
                           make_ansatz, pqec_crossover_qubits,
                           regime_preference, rotation_count)
 from repro.circuits.transpile import gate_census
-from repro.operators import ising_hamiltonian
 from repro.simulators.statevector import StatevectorSimulator
 
 

@@ -1,6 +1,5 @@
 """Tests for layouts, lattice-surgery costs and the spacetime scheduler."""
 
-import math
 
 import pytest
 

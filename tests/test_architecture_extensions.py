@@ -1,6 +1,5 @@
 """Tests for layout geometry, bus routing, placement and the EFT compiler."""
 
-import math
 
 import numpy as np
 import pytest
@@ -17,8 +16,7 @@ from repro.architecture.placement import (PlacedAnsatz, annealed_placement,
 from repro.architecture.routing import (BusRouter, ContentionAwareScheduler,
                                         ProposedLayoutGeometry)
 from repro.architecture.scheduler import schedule_on_layout
-from repro.core.regimes import (NISQRegime, PQECRegime, QECConventionalRegime,
-                                QECCultivationRegime)
+from repro.core.regimes import PQECRegime
 from repro.core.resources import EFTDevice
 from repro.operators.hamiltonians import ising_hamiltonian
 

@@ -1,12 +1,9 @@
 """Tests for the core package: injection, patch shuffling, regimes, fidelity,
 resources and metrics."""
 
-import math
-
 import pytest
-from hypothesis import given, settings, strategies as st
 
-from repro.ansatz import BlockedAllToAllAnsatz, FullyConnectedAnsatz, LinearAnsatz
+from repro.ansatz import BlockedAllToAllAnsatz, FullyConnectedAnsatz
 from repro.core import (CircuitProfile, EFTDevice, InjectionStatistics,
                         NISQRegime, PQECRegime, QECConventionalRegime,
                         QECCultivationRegime, RegimeComparison,
@@ -15,7 +12,7 @@ from repro.core import (CircuitProfile, EFTDevice, InjectionStatistics,
                         injection_error_rate, naive_rotation_estimate,
                         nisq_fidelity, pqec_fidelity, provision_cultivation,
                         provision_distillation, qec_conventional_fidelity,
-                        qec_cultivation_fidelity, relative_improvement,
+                        relative_improvement,
                         shuffling_rotation_estimate, stall_free_probability,
                         summarize_gammas, win_fraction)
 from repro.core.resources import best_distillation_provision

@@ -1,14 +1,12 @@
 """Tests for decoding graphs, decoders and surface-code memory experiments."""
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.qec.decoders.graph import (BOUNDARY, DecodingGraph,
-                                      repetition_code_graph,
+from repro.qec.decoders.graph import (repetition_code_graph,
                                       rotated_surface_code_graph,
                                       rotated_surface_code_stabilizers)
 from repro.qec.decoders.lookup import LookupDecoder, syndrome_of_edges

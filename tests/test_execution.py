@@ -289,7 +289,7 @@ class TestDedupAndCache:
 
     def test_stochastic_tasks_are_never_shared(self):
         executor = fresh_executor()
-        backend = StabilizerBackend(seed=7)
+        backend = StabilizerBackend()  # unseeded: genuinely stochastic
         noisy = cx_noise()
         hamiltonian = ising_hamiltonian(3, 1.0)
         tasks = [ExecutionTask(clifford_circuit(3), observable=hamiltonian,
@@ -298,6 +298,28 @@ class TestDedupAndCache:
         results = executor.run(tasks, backend=backend)
         assert backend.invocations == 3
         assert all(r.source == "backend" for r in results)
+
+    def test_seeded_monte_carlo_tasks_dedup_and_cache(self):
+        # A *seeded* stabilizer backend derives every trajectory's generator
+        # from the task + seed (SeedSequence spawning), so equal noisy tasks
+        # are reproducible — and therefore shareable and cacheable.
+        executor = fresh_executor()
+        backend = StabilizerBackend(seed=7)
+        noisy = cx_noise()
+        hamiltonian = ising_hamiltonian(3, 1.0)
+        tasks = [ExecutionTask(clifford_circuit(3), observable=hamiltonian,
+                               noise_model=noisy, trajectories=20)
+                 for _ in range(3)]
+        results = executor.run(tasks, backend=backend)
+        assert backend.invocations == 1
+        assert [r.source for r in results] == ["backend", "dedup", "dedup"]
+        assert len({r.value for r in results}) == 1
+        repeat = executor.run(tasks[0], backend=backend)[0]
+        assert repeat.source == "cache"
+        assert repeat.value == results[0].value
+        # A differently seeded backend must not share those entries.
+        other = executor.run(tasks[0], backend=StabilizerBackend(seed=8))[0]
+        assert other.source == "backend"
 
     def test_different_observables_do_not_collide(self):
         executor = fresh_executor()
@@ -423,7 +445,6 @@ class TestEvaluatorIntegration:
 class TestReviewRegressions:
     def test_mutated_noise_model_invalidates_cache(self):
         """In-place add_* edits must not serve stale cached expectations."""
-        from repro.simulators import bit_flip_channel
         hamiltonian = PauliSum.from_label_dict({"ZZ": 1.0})
         qc = QuantumCircuit(2)
         qc.h(0).cx(0, 1)

@@ -7,10 +7,10 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.circuits.gates import (CX_MATRIX, Gate, H_MATRIX, S_MATRIX,
-                                  T_MATRIX, controlled_on_matrix,
-                                  gate_arity, gate_fidelity, is_clifford_angle,
-                                  rx_matrix, ry_matrix, rz_matrix, rzz_matrix,
-                                  u3_matrix, X_MATRIX, Y_MATRIX, Z_MATRIX)
+                                  T_MATRIX, controlled_on_matrix, gate_arity,
+                                  gate_fidelity, is_clifford_angle, rx_matrix,
+                                  ry_matrix, rz_matrix, rzz_matrix, u3_matrix,
+                                  X_MATRIX, Z_MATRIX)
 from repro.circuits.parameters import Parameter
 
 

@@ -214,7 +214,6 @@ class TestMeasurementGrouping:
     def test_basis_change_circuit_diagonalizes_group(self):
         """After the basis rotation every group member acts diagonally."""
         hamiltonian = heisenberg_hamiltonian(4)
-        simulator = StatevectorSimulator()
         for group in group_commuting(hamiltonian, qubitwise=True):
             rotation = group.basis_change_circuit(4)
             for pauli, _ in group.terms:

@@ -13,8 +13,7 @@ import pytest
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.execution import (Backend, BackendCapabilities, ExecutionTask,
-                             Executor, evaluate_observable, execute,
-                             term_expectations)
+                             Executor, evaluate_observable, term_expectations)
 from repro.operators.grouping import group_commuting
 from repro.operators.pauli import PauliString, PauliSum
 from repro.simulators.kernels import (density_matrix_term_expectations,

@@ -1,6 +1,5 @@
 """Tests for the extended injection protocols (Sec. 2.6 'future work')."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

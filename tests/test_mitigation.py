@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.ansatz import LinearAnsatz
-from repro.core import NISQRegime, PQECRegime
+from repro.core import PQECRegime
 from repro.mitigation import (MitigatedEnergyEvaluator, ReadoutCalibration,
                               VarSawMitigator, ZNEEnergyEvaluator, fold_circuit,
                               richardson_extrapolate,
                               zero_noise_extrapolation)
-from repro.operators import PauliString, PauliSum, ising_hamiltonian
+from repro.operators import PauliString, ising_hamiltonian
 from repro.simulators import NoiseModel, depolarizing_channel
 from repro.vqe import (CliffordEnergyEvaluator, DensityMatrixEnergyEvaluator,
                        ExactEnergyEvaluator, indices_to_angles)

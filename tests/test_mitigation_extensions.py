@@ -7,7 +7,6 @@ import pytest
 
 from repro.ansatz import FullyConnectedAnsatz, LinearAnsatz
 from repro.circuits.circuit import QuantumCircuit
-from repro.core.regimes import NISQRegime
 from repro.mitigation.cafqa import (CAFQABootstrappedVQE, cafqa_initialization,
                                     compare_initializations)
 from repro.mitigation.dynamical_decoupling import (DD_SEQUENCES,
@@ -26,7 +25,7 @@ from repro.operators.pauli import PauliString, PauliSum
 from repro.simulators.statevector import StatevectorSimulator, circuit_unitary
 from repro.synthesis.verification import operator_distance
 from repro.vqe.energy import ExactEnergyEvaluator
-from repro.vqe.optimizers import CobylaOptimizer, GeneticOptimizer, SPSAOptimizer
+from repro.vqe.optimizers import CobylaOptimizer, GeneticOptimizer
 
 
 # ---------------------------------------------------------------------------
@@ -318,7 +317,6 @@ class TestReadoutCalibration:
         calibration = ReadoutCalibrationMatrix.uniform(2, error)
         # Ideal state |q0=1, q1=0⟩ → bitstring "10"; simulate readout noise on
         # a large ensemble analytically.
-        ideal = {"10": 1.0}
         noisy = {
             "10": (1 - error) * (1 - error),
             "00": error * (1 - error),

@@ -8,9 +8,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.circuits import QuantumCircuit
 from repro.simulators.noise import (NoiseModel, PauliChannel, QuantumChannel,
-                                    amplitude_damping_channel, bit_flip_channel,
-                                    depolarizing_channel, pauli_error_channel,
-                                    pauli_twirl, phase_damping_channel,
+                                    amplitude_damping_channel,
+                                    bit_flip_channel, depolarizing_channel,
+                                    pauli_error_channel, pauli_twirl,
                                     phase_flip_channel,
                                     thermal_relaxation_channel,
                                     two_qubit_tensor_channel)

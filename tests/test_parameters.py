@@ -1,12 +1,10 @@
 """Tests for the affine parameter-expression system."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.circuits.parameters import (Parameter, ParameterExpression,
-                                       ParameterVector, bind_value,
+from repro.circuits.parameters import (Parameter, ParameterVector, bind_value,
                                        free_parameters)
 
 

@@ -5,7 +5,6 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.qec import (CultivationFarm, CultivationUnit, FactoryFarm,
                        LogicalOperationErrorModel, MatchingDecoder,

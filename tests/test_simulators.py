@@ -9,10 +9,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.circuits import QuantumCircuit
 from repro.operators import PauliString, PauliSum, ising_hamiltonian
-from repro.simulators import (DensityMatrix, DensityMatrixSimulator, NoiseModel,
-                              PauliPropagator, StabilizerSimulator,
-                              StabilizerState, Statevector,
-                              StatevectorSimulator, bit_flip_channel,
+from repro.simulators import (DensityMatrix, DensityMatrixSimulator,
+                              NoiseModel, StabilizerSimulator, StabilizerState,
+                              Statevector, StatevectorSimulator,
                               depolarizing_channel, expectation_value)
 from repro.simulators.statevector import circuit_unitary
 

@@ -9,14 +9,14 @@ from hypothesis import strategies as st
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.simulators.statevector import circuit_unitary
-from repro.synthesis.clifford_group import (CLIFFORD_WORDS, CliffordElement,
+from repro.synthesis.clifford_group import (CLIFFORD_WORDS,
                                             clifford_group_elements,
                                             clifford_word_for,
                                             closest_clifford,
                                             is_clifford_unitary,
                                             merge_clifford_prefix)
-from repro.synthesis.gridsynth import (EpsilonNet, approximate_rz,
-                                       build_epsilon_net, sequence_to_circuit,
+from repro.synthesis.gridsynth import (approximate_rz, build_epsilon_net,
+                                       sequence_to_circuit,
                                        synthesize_circuit_rotations,
                                        t_count_of_sequence)
 from repro.synthesis.solovay_kitaev import (SolovayKitaevSynthesizer,

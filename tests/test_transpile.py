@@ -10,7 +10,7 @@ from repro.circuits import (Parameter, QuantumCircuit, decompose_to_clifford_rz,
                             gate_census, merge_rz_runs, remove_barriers,
                             snap_to_clifford)
 from repro.circuits.transpile import bind_and_canonicalize
-from repro.simulators.statevector import StatevectorSimulator, circuit_unitary
+from repro.simulators.statevector import circuit_unitary
 
 
 def unitaries_equal_up_to_phase(a, b, atol=1e-8):

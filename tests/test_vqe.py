@@ -8,8 +8,7 @@ import pytest
 
 from repro.ansatz import FullyConnectedAnsatz, LinearAnsatz
 from repro.core import NISQRegime, PQECRegime
-from repro.operators import (PauliSum, exact_ground_state, heisenberg_hamiltonian,
-                             ising_hamiltonian)
+from repro.operators import heisenberg_hamiltonian, ising_hamiltonian
 from repro.simulators import NoiseModel, depolarizing_channel
 from repro.vqe import (VQE, CliffordEnergyEvaluator, CliffordVQE,
                        CobylaOptimizer, DensityMatrixEnergyEvaluator,
