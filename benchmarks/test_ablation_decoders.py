@@ -39,12 +39,20 @@ def test_ablation_decoder_accuracy(benchmark):
         return surface, repetition
 
     surface, repetition = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    def ci(outcome):
+        low, high = outcome.wilson_interval()
+        return f"[{low:.3f}, {high:.3f}]"
+
     rows = [[name, f"{surface[name].logical_error_rate:.4f}",
-             f"{repetition[name].logical_error_rate:.4f}"]
+             ci(surface[name]),
+             f"{repetition[name].logical_error_rate:.4f}",
+             ci(repetition[name])]
             for name in _factories()]
     print_table("Ablation: decoder comparison (rotated surface d=3 p=0.02; "
                 "repetition d=5 p=0.03)",
-                ["decoder", "surface LER", "repetition LER"], rows)
+                ["decoder", "surface LER", "surface 95% CI",
+                 "repetition LER", "repetition 95% CI"], rows)
     mwpm_rate = surface["mwpm"].logical_error_rate
     for name, outcome in surface.items():
         assert outcome.logical_error_rate <= max(3.0 * mwpm_rate, 0.12), \

@@ -66,22 +66,29 @@ def test_ablation_surface_code_model_vs_monte_carlo(benchmark):
         for distance in (3, 5, 7):
             experiment = RepetitionCodeMemory(distance, physical_error_rate=0.03,
                                               seed=17)
-            repetition[distance] = experiment.run(shots).logical_error_rate
+            repetition[distance] = experiment.run(shots)
         for distance in (3, 5):
-            outcome = surface_code_memory_experiment(
+            surface[distance] = surface_code_memory_experiment(
                 distance, 0.02, rounds=distance, shots=surface_shots, seed=23)
-            surface[distance] = outcome.logical_error_rate
-        return repetition, surface
+        return ({d: r.logical_error_rate for d, r in repetition.items()},
+                surface,
+                {d: r.wilson_interval() for d, r in repetition.items()})
 
-    repetition, surface = benchmark(compute)
+    repetition, surface_outcomes, repetition_ci = benchmark(compute)
+    surface = {d: outcome.logical_error_rate
+               for d, outcome in surface_outcomes.items()}
     rows = [[d, f"{repetition[d]:.4f}",
+             "[{:.3f}, {:.3f}]".format(*repetition_ci[d]),
              f"{surface.get(d, float('nan')):.4f}" if d in surface else "-",
+             ("[{:.3f}, {:.3f}]".format(*surface_outcomes[d].wilson_interval())
+              if d in surface_outcomes else "-"),
              f"{logical_error_rate(d, 1e-3):.2e}"]
             for d in sorted(repetition)]
     print_table("Ablation: Monte-Carlo memory experiments vs analytic model "
                 "(all suppress errors as distance grows below threshold)",
-                ["distance", "repetition MC (p=0.03)",
-                 "rotated surface MC (p=0.02)", "analytic model (p=1e-3)"],
+                ["distance", "repetition MC (p=0.03)", "repetition 95% CI",
+                 "rotated surface MC (p=0.02)", "surface 95% CI",
+                 "analytic model (p=1e-3)"],
                 rows)
     assert repetition[7] <= repetition[3] + 0.02
     assert surface[5] <= surface[3] + 0.03

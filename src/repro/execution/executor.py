@@ -602,6 +602,18 @@ class Executor:
                 for values in values_per_point]
 
     # -- introspection -------------------------------------------------------
+    def note_process_shards(self, count: int) -> None:
+        """Record ``count`` externally submitted process-shard payloads.
+
+        Pipelines that plan with this executor's :class:`ShardPlanner` and
+        cache in its expectation cache but submit their own shard payloads
+        (the batched QEC sampler, :mod:`repro.qec.sampling`) report their
+        pool traffic here so ``stats.process_shards`` stays a complete
+        account of the executor's fan-out.
+        """
+        with self._lock:
+            self.stats.process_shards += int(count)
+
     @property
     def cache_stats(self) -> CacheStats:
         return self.cache.stats

@@ -18,10 +18,17 @@ than asserted:
   resolves isolated adjacent defect pairs before handing the residual
   syndrome to a backing decoder.
 
-The memory-experiment driver that exercises all of them lives in
-:mod:`repro.qec.surface_memory`.
+Every decoder implements the per-shot ``decode(defects)`` contract plus the
+batched ``decode_batch(syndromes)`` protocol from
+:mod:`repro.qec.decoders.base` (unique-syndrome deduplication, decode
+accounting, process-shard counter fold-back).  The memory-experiment driver
+that exercises all of them lives in :mod:`repro.qec.surface_memory`, and the
+batched Monte-Carlo sampling pipeline in :mod:`repro.qec.sampling`.
 """
 
+from .base import (BatchDecodeStats, SyndromeBatchDecoder, batch_decode,
+                   batch_decode_stats, decoder_cache_token,
+                   reset_batch_decode_stats)
 from .graph import (DecodingEdge, DecodingGraph, repetition_code_graph,
                     rotated_surface_code_graph)
 from .lookup import LookupDecoder
@@ -30,12 +37,18 @@ from .predecoder import CliquePredecoder
 from .union_find import UnionFindDecoder
 
 __all__ = [
+    "BatchDecodeStats",
     "CliquePredecoder",
     "DecodingEdge",
     "DecodingGraph",
     "LookupDecoder",
     "MWPMDecoder",
+    "SyndromeBatchDecoder",
     "UnionFindDecoder",
+    "batch_decode",
+    "batch_decode_stats",
+    "decoder_cache_token",
     "repetition_code_graph",
+    "reset_batch_decode_stats",
     "rotated_surface_code_graph",
 ]

@@ -1,0 +1,300 @@
+"""The batched decoder protocol shared by every syndrome decoder.
+
+PRs 1–4 batched every other hot path in the repository; this module does the
+same for decoding.  A decoder that mixes in :class:`SyndromeBatchDecoder`
+gains ``decode_batch(syndromes)``: the whole Monte-Carlo shot matrix is
+decoded in one call, and — the structural win — shots are **deduplicated to
+unique syndromes** first.  At the low physical error rates the paper's
+EFT regime assumes, most shots share the empty or a small single-defect
+syndrome, so a 1 000-shot experiment typically pays for a few hundred real
+decodes (see ``benchmarks/test_qec_throughput.py``).
+
+The module also carries the cross-cutting plumbing the batched pipeline
+needs:
+
+* **decode accounting** — module-level counters (:func:`batch_decode_stats`)
+  record how many unique syndromes were actually decoded; the sampling layer
+  uses them to *prove* that a warm-cache re-run decodes nothing.
+* **decoder cache tokens** — :func:`decoder_cache_token` derives a stable,
+  content-ish key component from a decoder (its name plus configuration),
+  folded into the experiment cache key next to the graph fingerprint.
+* **counter fold-back** — decoders keep diagnostic counters
+  (``fallback_count``, ``predecoded_defects`` …).  When decoding happens in
+  worker *processes*, those counters mutate in a pickled copy; the
+  snapshot/delta helpers let the sampling layer ship the deltas home and
+  apply them to the caller's decoder instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .graph import Detector
+
+# ---------------------------------------------------------------------------
+# Decode accounting (module-level so worker processes can report deltas)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchDecodeStats:
+    """Counters for the batched decode path (process-wide totals)."""
+
+    batch_calls: int = 0
+    shots_decoded: int = 0
+    syndromes_decoded: int = 0
+
+    @property
+    def dedup_factor(self) -> float:
+        """Shots served per unique syndrome actually decoded."""
+        if self.syndromes_decoded == 0:
+            return 0.0
+        return self.shots_decoded / self.syndromes_decoded
+
+
+_stats = BatchDecodeStats()
+_stats_lock = threading.Lock()
+
+
+def batch_decode_stats() -> BatchDecodeStats:
+    """A snapshot of the process-wide batched-decode counters."""
+    with _stats_lock:
+        return replace(_stats)
+
+
+def reset_batch_decode_stats() -> None:
+    """Zero the process-wide batched-decode counters (tests, benchmarks)."""
+    with _stats_lock:
+        _stats.batch_calls = 0
+        _stats.shots_decoded = 0
+        _stats.syndromes_decoded = 0
+
+
+def _record_batch(unique_syndromes: int, shots: int) -> None:
+    with _stats_lock:
+        _stats.batch_calls += 1
+        _stats.shots_decoded += int(shots)
+        _stats.syndromes_decoded += int(unique_syndromes)
+
+
+def batch_decode_delta(before: BatchDecodeStats,
+                       after: BatchDecodeStats) -> Dict[str, int]:
+    """The counter movement between two snapshots (shard return payload)."""
+    return {"batch_calls": after.batch_calls - before.batch_calls,
+            "shots_decoded": after.shots_decoded - before.shots_decoded,
+            "syndromes_decoded": (after.syndromes_decoded
+                                  - before.syndromes_decoded)}
+
+
+def absorb_batch_decode_delta(delta: Dict[str, int]) -> None:
+    """Fold a worker process's counter delta into this process's totals."""
+    with _stats_lock:
+        _stats.batch_calls += int(delta.get("batch_calls", 0))
+        _stats.shots_decoded += int(delta.get("shots_decoded", 0))
+        _stats.syndromes_decoded += int(delta.get("syndromes_decoded", 0))
+
+
+# ---------------------------------------------------------------------------
+# Decoder diagnostic counters (fold-back across the pickle boundary)
+# ---------------------------------------------------------------------------
+
+#: Integer diagnostic attributes worth preserving across process shards.
+_COUNTER_ATTRS = ("fallback_count", "predecoded_defects", "forwarded_defects")
+
+#: Attributes holding a nested decoder whose counters also matter.
+_CHILD_ATTRS = ("_fallback", "_backing")
+
+
+def _walk_counters(decoder, prefix: str, out: Dict[str, int],
+                   seen: set) -> None:
+    if id(decoder) in seen:
+        return
+    seen.add(id(decoder))
+    for attr in _COUNTER_ATTRS:
+        value = getattr(decoder, attr, None)
+        if isinstance(value, int):
+            out[prefix + attr] = value
+    for child_attr in _CHILD_ATTRS:
+        child = getattr(decoder, child_attr, None)
+        if child is not None:
+            _walk_counters(child, prefix + child_attr + ".", out, seen)
+
+
+def decoder_counter_snapshot(decoder) -> Dict[str, int]:
+    """All diagnostic counters of ``decoder`` (and nested decoders), flat.
+
+    Keys are dotted attribute paths (``"fallback_count"``,
+    ``"_backing.predecoded_defects"`` …) so a delta computed in a worker
+    process can be replayed onto the caller's instance.
+    """
+    out: Dict[str, int] = {}
+    _walk_counters(decoder, "", out, set())
+    return out
+
+
+def decoder_counter_delta(before: Dict[str, int],
+                          after: Dict[str, int]) -> Dict[str, int]:
+    """Per-path counter movement between two snapshots."""
+    return {path: after.get(path, 0) - before.get(path, 0)
+            for path in after if after.get(path, 0) != before.get(path, 0)}
+
+
+def apply_decoder_counter_delta(decoder, delta: Dict[str, int]) -> None:
+    """Add a worker's counter ``delta`` onto the caller-side decoder."""
+    for path, movement in delta.items():
+        parts = path.split(".")
+        target = decoder
+        for child_attr in parts[:-1]:
+            target = getattr(target, child_attr, None)
+            if target is None:
+                break
+        if target is None:
+            continue
+        attr = parts[-1]
+        current = getattr(target, attr, None)
+        if isinstance(current, int):
+            setattr(target, attr, current + int(movement))
+
+
+def decoder_cache_token(decoder) -> Optional[tuple]:
+    """A stable cache-key component describing ``decoder``, or ``None``.
+
+    Uses the decoder's own :meth:`cache_token` (every in-repo decoder
+    defines one covering its full configuration).  Decoders without one —
+    or whose token resolves to ``None`` (e.g. a predecoder wrapping an
+    unknown backing decoder) — yield ``None``, which the sampling layer
+    treats as **not cacheable**: a class-name fallback would collide two
+    differently-configured instances of the same class and serve one of
+    them the other's failure counts.
+    """
+    token = getattr(decoder, "cache_token", None)
+    if callable(token):
+        value = token()
+        return None if value is None else tuple(value)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The decode_batch mixin
+# ---------------------------------------------------------------------------
+
+
+def _prepare_syndromes(syndromes: np.ndarray,
+                       num_detectors: int) -> np.ndarray:
+    syndromes = np.ascontiguousarray(np.asarray(syndromes, dtype=np.uint8) & 1)
+    if syndromes.ndim != 2 or syndromes.shape[1] != num_detectors:
+        raise ValueError(
+            f"syndromes must be (shots, {num_detectors}), got array of "
+            f"shape {syndromes.shape}")
+    return syndromes
+
+
+def _dedup_syndromes(syndromes: np.ndarray
+                     ) -> tuple:
+    """``(unique rows, inverse)`` via packed-bytes row keys.
+
+    One fixed-length S-dtype ``np.unique`` (rows share a length, so
+    trailing-null trimming cannot conflate two distinct rows) is several
+    times faster than ``unique(axis=0)``.
+    """
+    packed = np.ascontiguousarray(np.packbits(syndromes, axis=1))
+    keys = packed.view(f"S{packed.shape[1]}").ravel()
+    _, first_index, inverse = np.unique(keys, return_index=True,
+                                        return_inverse=True)
+    return syndromes[first_index], np.asarray(inverse).reshape(-1)
+
+
+def _loop_decode_unique(decoder, unique: np.ndarray,
+                        detectors: Sequence[Detector]) -> np.ndarray:
+    """Decode each unique syndrome row via the per-shot ``decode``."""
+    flips = np.zeros(unique.shape[0], dtype=bool)
+    for index in range(unique.shape[0]):
+        defects: List[Detector] = [detectors[column] for column
+                                   in np.flatnonzero(unique[index])]
+        flips[index] = bool(decoder.decode(defects).flips_logical)
+    return flips
+
+
+def batch_decode(decoder, syndromes: np.ndarray,
+                 detectors: Sequence[Detector]) -> np.ndarray:
+    """Batched decode for *any* decoder with the graph-protocol ``decode``.
+
+    Decoders implementing :class:`SyndromeBatchDecoder` (all in-repo ones)
+    dispatch to their own ``decode_batch``; a plain third-party decoder
+    exposing only ``decode(defects)`` still gets the dedup shell — unique
+    syndromes decode once through a per-shot loop — so the memory-
+    experiment drivers keep their historical "any decoder with a
+    ``decode(defects)`` method" contract.
+    """
+    batch = getattr(decoder, "decode_batch", None)
+    if callable(batch):
+        return batch(syndromes, detectors)
+    detectors = list(detectors)
+    syndromes = _prepare_syndromes(syndromes, len(detectors))
+    if syndromes.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    unique, inverse = _dedup_syndromes(syndromes)
+    flips = _loop_decode_unique(decoder, unique, detectors)
+    _record_batch(unique.shape[0], syndromes.shape[0])
+    return flips[inverse]
+
+
+class SyndromeBatchDecoder:
+    """Mixin giving any ``decode(defects)`` decoder a batched entry point.
+
+    ``decode_batch(syndromes)`` takes a ``(shots, n_detectors)`` 0/1 matrix
+    whose columns follow :meth:`DecodingGraph.detector_order`, deduplicates
+    the rows to unique syndromes (``np.unique``), decodes each unique
+    syndrome exactly once, and scatters the per-unique logical-flip verdicts
+    back to all shots.  Subclasses with a faster bulk path (the lookup
+    decoder's vectorized table probe) override :meth:`_decode_unique` and
+    keep the dedup/accounting shell.
+
+    Decoding is deterministic, so deduplication can never change results —
+    only how often the underlying decoder runs.  Note that diagnostic
+    counters (``fallback_count``, predecoder offload tallies) consequently
+    count **unique syndromes**, not shots, on the batched path.
+    """
+
+    def decode_batch(self, syndromes: np.ndarray,
+                     detectors: Optional[Sequence[Detector]] = None
+                     ) -> np.ndarray:
+        """Per-shot logical-flip verdicts for a syndrome matrix.
+
+        ``syndromes`` is ``(shots, n_detectors)`` with 0/1 entries; columns
+        follow ``detectors`` (default: the graph's canonical
+        ``detector_order()``).  Returns a boolean array of length ``shots``:
+        whether each shot's correction flips the logical operator.
+        """
+        graph = self.decoding_graph
+        if detectors is None:
+            detectors = graph.detector_order()
+        else:
+            detectors = list(detectors)
+        syndromes = _prepare_syndromes(syndromes, len(detectors))
+        if syndromes.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        unique, inverse = _dedup_syndromes(syndromes)
+        flips = self._decode_unique(unique, detectors)
+        _record_batch(unique.shape[0], syndromes.shape[0])
+        return np.asarray(flips, dtype=bool)[inverse]
+
+    def _decode_unique(self, unique: np.ndarray,
+                       detectors: Sequence[Detector]) -> np.ndarray:
+        """Decode each unique syndrome row via the per-shot ``decode``."""
+        return _loop_decode_unique(self, unique, detectors)
+
+    def cache_token(self) -> Optional[tuple]:
+        """Cache-key component covering this decoder's configuration.
+
+        The default returns ``None`` (the experiment is then not cached):
+        only a decoder that *knows* its name pins down its behaviour — as
+        the configuration-free :class:`~repro.qec.decoders.mwpm.MWPMDecoder`
+        does — should return a token, otherwise two differently-configured
+        instances of one class would share cache entries.
+        """
+        return None

@@ -19,7 +19,9 @@ on what counts as a logical error.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -70,6 +72,11 @@ class DecodingGraph:
         self._graph = nx.Graph()
         self._graph.add_node(BOUNDARY)
         self._edges: List[DecodingEdge] = []
+        # Memoized content caches, invalidated when the graph grows (the
+        # construction API is append-only: add_detector / add_edge).
+        self._fingerprint_cache: Optional[Tuple[Tuple[int, int], str]] = None
+        self._detector_order_cache: Optional[Tuple[Tuple[int, int],
+                                                   List[Detector]]] = None
 
     # -- construction --------------------------------------------------------
     def add_detector(self, detector: Detector) -> None:
@@ -134,6 +141,50 @@ class DecodingGraph:
     def correction_flips_logical(self, edges: Iterable[DecodingEdge]) -> bool:
         """Parity of the logical operator crossed by a set of correction edges."""
         return sum(1 for edge in edges if edge.flips_logical) % 2 == 1
+
+    # -- content identity -----------------------------------------------------
+    def _shape_token(self) -> Tuple[int, int]:
+        return (len(self._edges), self._graph.number_of_nodes())
+
+    def detector_order(self) -> List[Detector]:
+        """The canonical (sorted) detector ordering used by batched sampling.
+
+        Column ``i`` of a syndrome matrix refers to ``detector_order()[i]``;
+        both :mod:`repro.qec.sampling` and every decoder's ``decode_batch``
+        agree on this ordering, so syndromes can cross process boundaries as
+        plain arrays.
+        """
+        token = self._shape_token()
+        if (self._detector_order_cache is None
+                or self._detector_order_cache[0] != token):
+            self._detector_order_cache = (token, sorted(self.detectors))
+        return list(self._detector_order_cache[1])
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the graph (cache key component).
+
+        Covers the code metadata, every edge's endpoints, exact weight,
+        kind and round, and the logical mask — two graphs with equal
+        fingerprints sample identical error models and imply identical
+        corrections, so Monte-Carlo results keyed on the fingerprint are
+        shareable across processes and runs.
+        """
+        token = self._shape_token()
+        if (self._fingerprint_cache is not None
+                and self._fingerprint_cache[0] == token):
+            return self._fingerprint_cache[1]
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(repr((self.name, self.distance, self.rounds,
+                            self.num_stabilizers, self.num_data_qubits,
+                            tuple(sorted(self.logical_support)))).encode())
+        for edge in self._edges:
+            digest.update(repr((edge.node_a, edge.node_b, edge.kind,
+                                edge.data_qubit, edge.round_index,
+                                edge.flips_logical)).encode())
+            digest.update(struct.pack("<d", edge.weight))
+        value = digest.hexdigest()
+        self._fingerprint_cache = (token, value)
+        return value
 
 
 # ---------------------------------------------------------------------------

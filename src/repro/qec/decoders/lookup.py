@@ -6,13 +6,22 @@ distances of the EFT era.  This decoder enumerates all error sets up to
 ``max_error_weight`` elementary mechanisms (decoding-graph edges), stores the
 minimum-weight correction for every resulting syndrome, and falls back to a
 backing decoder (MWPM by default) for syndromes outside the table.
+
+For batched Monte-Carlo decoding the table is additionally compiled into a
+packed-bit array (one row per table syndrome, columns following the graph's
+canonical detector order), so :meth:`LookupDecoder.decode_batch` probes the
+whole unique-syndrome matrix with one ``np.searchsorted`` instead of a
+Python dict lookup per shot; only the (rare) misses reach the fallback.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .base import SyndromeBatchDecoder, decoder_cache_token
 from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
 from .mwpm import DecodeOutcome, MWPMDecoder
 
@@ -28,8 +37,15 @@ def syndrome_of_edges(edges: Sequence[DecodingEdge]) -> FrozenSet[Detector]:
     return frozenset(node for node, count in counts.items() if count % 2)
 
 
-class LookupDecoder:
-    """Exhaustive bounded-weight decoder with a configurable fallback."""
+class LookupDecoder(SyndromeBatchDecoder):
+    """Exhaustive bounded-weight decoder with a configurable fallback.
+
+    ``fallback_count`` counts decodes the table could not serve.  On the
+    per-shot :meth:`decode` path that is one count per call; on the batched
+    :meth:`decode_batch` path it is one count per **unique** syndrome
+    outside the table (duplicates of a shot never re-count).  Use
+    :meth:`reset_counters` to start fresh accounting for a new batch.
+    """
 
     name = "lookup"
 
@@ -40,7 +56,13 @@ class LookupDecoder:
         self._graph = graph
         self._max_error_weight = int(max_error_weight)
         self._fallback = fallback if fallback is not None else MWPMDecoder(graph)
+        # The detector set is fixed at construction; validating incoming
+        # defects against this set is O(len(defects)) instead of a graph
+        # lookup per defect per call.
+        self._known_detectors = frozenset(graph.detectors)
         self._table = self._build_table()
+        self._batch_table: Optional[Tuple[np.ndarray, np.ndarray,
+                                          List[Detector]]] = None
         self.fallback_count = 0
 
     @property
@@ -55,6 +77,16 @@ class LookupDecoder:
     def max_error_weight(self) -> int:
         return self._max_error_weight
 
+    def cache_token(self) -> Optional[tuple]:
+        fallback_token = decoder_cache_token(self._fallback)
+        if fallback_token is None:
+            return None
+        return (self.name, int(self._max_error_weight)) + fallback_token
+
+    def reset_counters(self) -> None:
+        """Zero ``fallback_count`` (fresh accounting for a new batch)."""
+        self.fallback_count = 0
+
     def _build_table(self) -> Dict[FrozenSet[Detector], Tuple[DecodingEdge, ...]]:
         table: Dict[FrozenSet[Detector], Tuple[DecodingEdge, ...]] = {
             frozenset(): ()}
@@ -68,15 +100,69 @@ class LookupDecoder:
                     table[syndrome] = tuple(combination)
         return table
 
+    # -- vectorized batch path ----------------------------------------------
+    def _compiled_batch_table(self) -> Tuple[np.ndarray, np.ndarray,
+                                             List[Detector]]:
+        """``(sorted packed syndromes, per-row logical flips, detectors)``.
+
+        Each table syndrome becomes one ``np.packbits`` row; rows are sorted
+        lexicographically so a batch of query rows resolves with a single
+        ``np.searchsorted`` over the void view.
+        """
+        if self._batch_table is None:
+            detectors = self._graph.detector_order()
+            index = {detector: i for i, detector in enumerate(detectors)}
+            masks = np.zeros((len(self._table), len(detectors)),
+                             dtype=np.uint8)
+            flips = np.zeros(len(self._table), dtype=bool)
+            for row, (syndrome, correction) in enumerate(self._table.items()):
+                for detector in syndrome:
+                    masks[row, index[detector]] = 1
+                flips[row] = (sum(1 for edge in correction
+                                  if edge.flips_logical) % 2 == 1)
+            packed = np.ascontiguousarray(np.packbits(masks, axis=1))
+            # Fixed-length bytes dtype: total lexicographic order with a
+            # well-defined searchsorted (rows share a length, so the
+            # S-dtype's trailing-null trimming cannot conflate two rows).
+            keys = packed.view(f"S{packed.shape[1]}").ravel()
+            order = np.argsort(keys)
+            self._batch_table = (keys[order], flips[order], detectors)
+        return self._batch_table
+
+    def _decode_unique(self, unique: np.ndarray,
+                       detectors: Sequence[Detector]) -> np.ndarray:
+        haystack, table_flips, table_detectors = \
+            self._compiled_batch_table()
+        if list(detectors) != table_detectors:
+            # Foreign column order: fall back to the generic per-row path.
+            return super()._decode_unique(unique, detectors)
+        packed = np.ascontiguousarray(np.packbits(unique, axis=1))
+        queries = packed.view(f"S{packed.shape[1]}").ravel()
+        positions = np.searchsorted(haystack, queries)
+        positions = np.minimum(positions, len(haystack) - 1)
+        hits = haystack[positions] == queries
+        flips = np.zeros(unique.shape[0], dtype=bool)
+        flips[hits] = table_flips[positions[hits]]
+        for row in np.flatnonzero(~hits):
+            defects = [detectors[column]
+                       for column in np.flatnonzero(unique[row])]
+            self.fallback_count += 1
+            flips[row] = bool(self._fallback.decode(defects).flips_logical)
+        return flips
+
+    # -- per-shot path -------------------------------------------------------
     def decode(self, defects: Sequence[Detector]) -> DecodeOutcome:
         syndrome = frozenset(defects)
-        for defect in syndrome:
-            if defect not in self._graph.graph:
-                raise ValueError(f"unknown detector {defect!r}")
+        unknown = syndrome - self._known_detectors
+        if unknown:
+            raise ValueError(f"unknown detector {next(iter(unknown))!r}")
         entry = self._table.get(syndrome)
         if entry is None:
             self.fallback_count += 1
-            return self._fallback.decode(list(syndrome))
+            # Canonical (sorted) defect order: degenerate matchings then
+            # tie-break identically however the syndrome was delivered,
+            # keeping the per-shot and batched paths bitwise equal.
+            return self._fallback.decode(sorted(syndrome))
         correction = list(entry)
         return DecodeOutcome(correction=correction, matched_pairs=[],
                              total_weight=sum(edge.weight for edge in correction))

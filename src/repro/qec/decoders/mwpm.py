@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx
 
+from .base import SyndromeBatchDecoder
 from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
 
 
@@ -30,7 +31,7 @@ class DecodeOutcome:
         return sum(1 for edge in self.correction if edge.flips_logical) % 2 == 1
 
 
-class MWPMDecoder:
+class MWPMDecoder(SyndromeBatchDecoder):
     """Exact minimum-weight perfect matching on the defect graph.
 
     The reference surface-code decoder: defects (flipped stabilizer
@@ -42,6 +43,10 @@ class MWPMDecoder:
 
         decoder = MWPMDecoder(decoding_graph)
         correction = decoder.decode(syndrome)
+
+    Batched Monte-Carlo pipelines call :meth:`decode_batch` instead (from
+    :class:`~repro.qec.decoders.base.SyndromeBatchDecoder`), which decodes
+    each unique syndrome only once.
     """
 
     name = "mwpm"
@@ -49,6 +54,10 @@ class MWPMDecoder:
     def __init__(self, graph: DecodingGraph):
         self._graph = graph
         self._distance_cache: Dict[object, Tuple[Dict, Dict]] = {}
+
+    def cache_token(self) -> tuple:
+        # Configuration-free: the name pins down the behaviour exactly.
+        return (self.name,)
 
     @property
     def decoding_graph(self) -> DecodingGraph:

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Tuple
 
+from .base import SyndromeBatchDecoder, decoder_cache_token
 from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
 from .mwpm import DecodeOutcome, MWPMDecoder
 
 
-class CliquePredecoder:
+class CliquePredecoder(SyndromeBatchDecoder):
     """Match isolated adjacent defect pairs, delegate the rest."""
 
     name = "clique_predecoder"
@@ -36,6 +37,17 @@ class CliquePredecoder:
     def offload_fraction(self) -> float:
         total = self.predecoded_defects + self.forwarded_defects
         return self.predecoded_defects / total if total else 0.0
+
+    def cache_token(self) -> Optional[tuple]:
+        backing_token = decoder_cache_token(self._backing)
+        if backing_token is None:
+            return None
+        return (self.name,) + backing_token
+
+    def reset_counters(self) -> None:
+        """Zero the offload tallies (fresh accounting for a new batch)."""
+        self.predecoded_defects = 0
+        self.forwarded_defects = 0
 
     # -- internals --------------------------------------------------------------
     def _neighbors(self, defect: Detector) -> Set[Detector]:

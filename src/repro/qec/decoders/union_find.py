@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from .base import SyndromeBatchDecoder
 from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
 from .mwpm import DecodeOutcome
 
@@ -66,7 +67,7 @@ class _DisjointSet:
         return self.defect_parity[root] == 0 or self.touches_boundary[root]
 
 
-class UnionFindDecoder:
+class UnionFindDecoder(SyndromeBatchDecoder):
     """Cluster-growth + peeling decoder over a :class:`DecodingGraph`."""
 
     name = "union_find"
@@ -76,6 +77,9 @@ class UnionFindDecoder:
         # The decoding graph diameter bounds how far growth can ever need to go.
         self._max_growth_steps = (max_growth_steps if max_growth_steps is not None
                                   else graph.graph.number_of_nodes())
+
+    def cache_token(self) -> tuple:
+        return (self.name, int(self._max_growth_steps))
 
     @property
     def decoding_graph(self) -> DecodingGraph:

@@ -10,10 +10,18 @@ the paper's pQEC regime assumes).  A memory experiment repeatedly
 3. runs a decoder (:mod:`repro.qec.decoders`), and
 4. checks whether the residual error commutes with the logical operator.
 
-Because errors, syndromes and corrections are all expressed as edge sets of
-the same :class:`~repro.qec.decoders.graph.DecodingGraph`, any decoder with a
-``decode(defects)`` method can be plugged in and compared — which is what the
-decoder-ablation benchmark does.
+Since PR 5 step 1–2 are the vectorized kernel of :mod:`repro.qec.sampling`
+(one Bernoulli matrix, one mod-2 incidence matmul) and step 3 is the
+decoder's batched ``decode_batch`` over *unique* syndromes, with the whole
+experiment routed through the execution layer's shard planner and
+expectation cache.  Because errors, syndromes and corrections are all
+expressed on the same :class:`~repro.qec.decoders.graph.DecodingGraph`, any
+decoder implementing the batch protocol can be plugged in and compared —
+which is what the decoder-ablation benchmark does.  The one-shot-at-a-time
+path survives as :meth:`SurfaceCodeMemory.run_trial` (legacy RNG) and
+:meth:`SurfaceCodeMemory.run_reference` (same seeds and samples as
+:meth:`SurfaceCodeMemory.run`, per-shot decoding — bitwise-identical
+failure counts, used by the equivalence tests and the throughput gate).
 """
 
 from __future__ import annotations
@@ -28,6 +36,9 @@ from .decoders.graph import (BOUNDARY, DecodingEdge, DecodingGraph,
                              repetition_code_graph,
                              rotated_surface_code_graph)
 from .decoders.mwpm import MWPMDecoder
+from .sampling import (SeedLike, binomial_standard_error,
+                       run_memory_sampling, run_memory_sampling_reference,
+                       wilson_interval)
 
 
 @dataclass(frozen=True)
@@ -72,19 +83,31 @@ class MemoryExperimentOutcome:
 
     @property
     def standard_error(self) -> float:
-        rate = self.logical_error_rate
-        return math.sqrt(max(rate * (1.0 - rate), 0.0) / max(self.shots, 1))
+        """Binomial standard error of :attr:`logical_error_rate`."""
+        return binomial_standard_error(self.failures, self.shots)
+
+    def wilson_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Wilson score confidence interval for the logical error rate."""
+        return wilson_interval(self.failures, self.shots, z=z)
 
 
 class SurfaceCodeMemory:
-    """Monte-Carlo memory experiment driver over a decoding graph."""
+    """Monte-Carlo memory experiment driver over a decoding graph.
+
+    :meth:`run` executes the batched, executor-routed pipeline and is
+    deterministic per construction ``seed`` — identical failure counts for
+    any worker count, with seeded runs cached in the execution layer.
+    :meth:`run_reference` replays the *same* samples through per-shot
+    decoding, and :meth:`run_trial` keeps the historical one-off sampler.
+    """
 
     def __init__(self, graph: DecodingGraph,
                  decoder_factory: Optional[Callable[[DecodingGraph], object]] = None,
-                 seed: Optional[int] = None):
+                 seed: SeedLike = None):
         self._graph = graph
         factory = decoder_factory if decoder_factory is not None else MWPMDecoder
         self._decoder = factory(graph)
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         # Pre-compute the sampling probability of every elementary mechanism.
         self._edges = graph.edges
@@ -99,7 +122,7 @@ class SurfaceCodeMemory:
     def decoding_graph(self) -> DecodingGraph:
         return self._graph
 
-    # -- sampling -----------------------------------------------------------------
+    # -- sampling (legacy per-shot path) ------------------------------------------
     def sample_error(self) -> List[DecodingEdge]:
         """Draw one independent-error sample over all elementary mechanisms."""
         draws = self._rng.random(len(self._edges))
@@ -120,6 +143,7 @@ class SurfaceCodeMemory:
 
     # -- running -----------------------------------------------------------------
     def run_trial(self) -> MemoryTrialResult:
+        """One shot through the legacy sampler (consumes this RNG)."""
         error_edges = self.sample_error()
         defects = self.syndrome_of(error_edges)
         outcome = self._decoder.decode(defects)
@@ -130,22 +154,43 @@ class SurfaceCodeMemory:
             decoder_flips_logical=outcome.flips_logical,
             error_flips_logical=error_flips)
 
-    def run(self, shots: int = 200) -> MemoryExperimentOutcome:
-        if shots < 1:
-            raise ValueError("shots must be positive")
-        failures = 0
-        total_defects = 0
-        for _ in range(shots):
-            trial = self.run_trial()
-            failures += int(trial.logical_failure)
-            total_defects += trial.num_defects
+    def _outcome(self, shots: int, failures: int,
+                 total_defects: int) -> MemoryExperimentOutcome:
         return MemoryExperimentOutcome(
             code=self._graph.name, distance=self._graph.distance,
             rounds=self._graph.rounds,
             physical_error_rate=float(self._probabilities.max(initial=0.0)),
             shots=shots, failures=failures,
-            decoder_name=getattr(self._decoder, "name", type(self._decoder).__name__),
-            average_defects=total_defects / shots)
+            decoder_name=getattr(self._decoder, "name",
+                                 type(self._decoder).__name__),
+            average_defects=total_defects / shots if shots else 0.0)
+
+    def run(self, shots: int = 200, *, executor=None,
+            parallel: Optional[str] = None,
+            max_workers: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> MemoryExperimentOutcome:
+        """Run ``shots`` through the batched, executor-routed pipeline."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        sampled = run_memory_sampling(self._graph, self._decoder, shots,
+                                      seed=self._seed, executor=executor,
+                                      parallel=parallel,
+                                      max_workers=max_workers,
+                                      use_cache=use_cache)
+        return self._outcome(shots, sampled.failures, sampled.total_defects)
+
+    def run_reference(self, shots: int = 200) -> MemoryExperimentOutcome:
+        """Per-shot decoding of the identical samples :meth:`run` draws.
+
+        Bitwise-identical failure counts to :meth:`run`; linear decoder
+        cost.  The throughput benchmark gates the batched speedup against
+        this path.
+        """
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        sampled = run_memory_sampling_reference(self._graph, self._decoder,
+                                                shots, seed=self._seed)
+        return self._outcome(shots, sampled.failures, sampled.total_defects)
 
 
 # ---------------------------------------------------------------------------
@@ -156,37 +201,54 @@ def surface_code_memory_experiment(distance: int, physical_error_rate: float,
                                    rounds: Optional[int] = None,
                                    shots: int = 200,
                                    decoder_factory: Optional[Callable] = None,
-                                   seed: Optional[int] = 7
+                                   seed: SeedLike = 7,
+                                   executor=None,
+                                   parallel: Optional[str] = None,
+                                   max_workers: Optional[int] = None,
+                                   use_cache: Optional[bool] = None
                                    ) -> MemoryExperimentOutcome:
     """Rotated-surface-code memory experiment with ``rounds`` defaulting to d."""
     rounds = rounds if rounds is not None else distance
     graph = rotated_surface_code_graph(distance, rounds, physical_error_rate)
     memory = SurfaceCodeMemory(graph, decoder_factory, seed=seed)
-    return memory.run(shots)
+    return memory.run(shots, executor=executor, parallel=parallel,
+                      max_workers=max_workers, use_cache=use_cache)
 
 
 def repetition_code_memory_experiment(distance: int, physical_error_rate: float,
                                       rounds: Optional[int] = None,
                                       shots: int = 400,
                                       decoder_factory: Optional[Callable] = None,
-                                      seed: Optional[int] = 7
+                                      seed: SeedLike = 7,
+                                      executor=None,
+                                      parallel: Optional[str] = None,
+                                      max_workers: Optional[int] = None,
+                                      use_cache: Optional[bool] = None
                                       ) -> MemoryExperimentOutcome:
     """Repetition-code memory experiment with ``rounds`` defaulting to d."""
     rounds = rounds if rounds is not None else distance
     graph = repetition_code_graph(distance, rounds, physical_error_rate)
     memory = SurfaceCodeMemory(graph, decoder_factory, seed=seed)
-    return memory.run(shots)
+    return memory.run(shots, executor=executor, parallel=parallel,
+                      max_workers=max_workers, use_cache=use_cache)
 
 
 def decoder_comparison(distance: int, physical_error_rate: float,
                        decoder_factories: Dict[str, Callable],
                        shots: int = 200, rounds: Optional[int] = None,
                        code: str = "rotated_surface",
-                       seed: int = 11) -> Dict[str, MemoryExperimentOutcome]:
+                       seed: int = 11,
+                       executor=None,
+                       parallel: Optional[str] = None,
+                       max_workers: Optional[int] = None,
+                       use_cache: Optional[bool] = None
+                       ) -> Dict[str, MemoryExperimentOutcome]:
     """Run the same error realizations through several decoders.
 
-    All decoders share the code, error rate and shot budget (but not the
-    literal samples); the returned mapping feeds the decoder-ablation bench.
+    All decoders share the code, error rate, shot budget *and* — because
+    batched sampling depends only on the graph and the seed — the literal
+    error samples, so the comparison is paired shot-for-shot; the returned
+    mapping feeds the decoder-ablation bench.
     """
     rounds = rounds if rounds is not None else distance
     builder = (rotated_surface_code_graph if code == "rotated_surface"
@@ -195,7 +257,9 @@ def decoder_comparison(distance: int, physical_error_rate: float,
     for name, factory in decoder_factories.items():
         graph = builder(distance, rounds, physical_error_rate)
         memory = SurfaceCodeMemory(graph, factory, seed=seed)
-        results[name] = memory.run(shots)
+        results[name] = memory.run(shots, executor=executor, parallel=parallel,
+                                   max_workers=max_workers,
+                                   use_cache=use_cache)
     return results
 
 
@@ -204,15 +268,31 @@ def logical_error_rate_curve(distances: Sequence[int],
                              shots: int = 200,
                              code: str = "rotated_surface",
                              decoder_factory: Optional[Callable] = None,
-                             seed: int = 3
+                             seed: int = 3,
+                             executor=None,
+                             parallel: Optional[str] = None,
+                             max_workers: Optional[int] = None,
+                             use_cache: Optional[bool] = None
                              ) -> Dict[Tuple[int, float], float]:
-    """Logical error rate over a (distance × physical error rate) sweep."""
+    """Logical error rate over a (distance × physical error rate) sweep.
+
+    Each grid cell is seeded by its own ``SeedSequence(seed)`` spawn child
+    (collision-free by construction) and cached in the execution layer, so
+    a warm re-run of the same curve decodes nothing.
+    """
+    distances = list(distances)
+    physical_error_rates = list(physical_error_rates)
     builder = (rotated_surface_code_graph if code == "rotated_surface"
                else repetition_code_graph)
+    children = np.random.SeedSequence(seed).spawn(
+        len(distances) * len(physical_error_rates))
     curve: Dict[Tuple[int, float], float] = {}
-    for distance in distances:
-        for error_rate in physical_error_rates:
+    for row, distance in enumerate(distances):
+        for column, error_rate in enumerate(physical_error_rates):
+            child = children[row * len(physical_error_rates) + column]
             graph = builder(distance, distance, error_rate)
-            memory = SurfaceCodeMemory(graph, decoder_factory, seed=seed)
-            curve[(distance, float(error_rate))] = memory.run(shots).logical_error_rate
+            memory = SurfaceCodeMemory(graph, decoder_factory, seed=child)
+            outcome = memory.run(shots, executor=executor, parallel=parallel,
+                                 max_workers=max_workers, use_cache=use_cache)
+            curve[(distance, float(error_rate))] = outcome.logical_error_rate
     return curve
