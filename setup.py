@@ -17,4 +17,10 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={
+        "console_scripts": [
+            # The job server is stdlib-only (asyncio + sqlite3 + json).
+            "repro-service=repro.service.__main__:main",
+        ],
+    },
 )

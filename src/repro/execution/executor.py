@@ -138,6 +138,7 @@ class Executor:
         self.use_cache = use_cache
         self.planner = ShardPlanner(parallel=parallel, max_workers=max_workers)
         self.stats = ExecutionStats()
+        self.final_disk_stats: Optional[DiskCacheStats] = None
         self._lock = threading.Lock()
 
     # -- resolution ----------------------------------------------------------
@@ -600,6 +601,36 @@ class Executor:
                                  for _, coeff in observable.terms()])
         return [float(np.dot(coefficients, values))
                 for values in values_per_point]
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> Optional[DiskCacheStats]:
+        """Retire the worker-process pool and flush disk-cache accounting.
+
+        Long-running hosts (the :mod:`repro.service` job server) need a
+        clean lifecycle: before this method the persistent
+        ``ProcessPoolExecutor`` only died with the interpreter.  ``wait=True``
+        lets in-flight shard payloads finish; ``wait=False`` abandons them.
+        The final :class:`~repro.execution.disk_cache.DiskCacheStats`
+        snapshot is captured on :attr:`final_disk_stats` and returned (None
+        when no persistent cache is configured), so a server's shutdown path
+        can log lifetime hit/miss/eviction counts after the pool is gone.
+
+        Shutdown is idempotent and deliberately non-poisoning: the pool is
+        process-global (shared by every executor), so a later dispatch from
+        any executor lazily recreates it.  Executors support the context
+        manager protocol — ``with Executor() as executor: ...`` shuts down
+        on exit.
+        """
+        from .sharding import shutdown_process_pool
+        shutdown_process_pool(wait=wait)
+        self.final_disk_stats = self.disk_cache_stats
+        return self.final_disk_stats
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
 
     # -- introspection -------------------------------------------------------
     def note_process_shards(self, count: int) -> None:

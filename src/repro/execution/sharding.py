@@ -231,12 +231,18 @@ def _submit_to_pool(workers: int, fn: Callable,
         return [_pool.submit(fn, *payload) for payload in payloads]
 
 
-def shutdown_process_pool() -> None:
-    """Tear down the shared pool (tests and interpreter exit)."""
+def shutdown_process_pool(wait: bool = True) -> None:
+    """Tear down the shared pool (graceful lifecycles, tests, exit).
+
+    ``wait=True`` (the default, and what :meth:`Executor.shutdown` uses)
+    drains futures already submitted before the workers exit; ``wait=False``
+    cancels whatever has not started.  The pool is recreated lazily by the
+    next process-mode dispatch, so tearing it down never poisons later work.
+    """
     global _pool, _pool_workers
     with _pool_lock:
         if _pool is not None:
-            _pool.shutdown(wait=True, cancel_futures=True)
+            _pool.shutdown(wait=wait, cancel_futures=not wait)
             _pool = None
             _pool_workers = 0
 

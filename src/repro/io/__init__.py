@@ -15,21 +15,30 @@ on:
 
 from .qasm import from_qasm, to_qasm
 from .reports import ExperimentRecord, ExperimentReport, markdown_table
-from .serialization import (circuit_from_dict, circuit_to_dict,
-                            load_json, pauli_sum_from_dict, pauli_sum_to_dict,
-                            result_to_dict, save_json)
+from .serialization import (channel_from_dict, channel_to_dict,
+                            circuit_from_dict, circuit_to_dict,
+                            load_json, noise_model_from_dict,
+                            noise_model_to_dict, pauli_sum_from_dict,
+                            pauli_sum_to_dict, result_to_dict, save_json,
+                            template_from_dict, template_to_dict)
 
 __all__ = [
     "ExperimentRecord",
     "ExperimentReport",
+    "channel_from_dict",
+    "channel_to_dict",
     "circuit_from_dict",
     "circuit_to_dict",
     "from_qasm",
     "load_json",
     "markdown_table",
+    "noise_model_from_dict",
+    "noise_model_to_dict",
     "pauli_sum_from_dict",
     "pauli_sum_to_dict",
     "result_to_dict",
     "save_json",
+    "template_from_dict",
+    "template_to_dict",
     "to_qasm",
 ]

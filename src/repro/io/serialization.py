@@ -16,11 +16,16 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
+from ..circuits.parameters import Parameter, ParameterExpression
 from ..operators.pauli import PauliString, PauliSum
+from ..simulators.noise import NoiseModel, QuantumChannel
 
 #: Format tags written into every serialized payload.
 CIRCUIT_FORMAT = "repro-circuit-v1"
 PAULI_SUM_FORMAT = "repro-pauli-sum-v1"
+TEMPLATE_FORMAT = "repro-template-v1"
+CHANNEL_FORMAT = "repro-channel-v1"
+NOISE_MODEL_FORMAT = "repro-noise-model-v1"
 
 
 # ---------------------------------------------------------------------------
@@ -71,6 +76,178 @@ def circuit_from_dict(payload: Mapping[str, Any]) -> QuantumCircuit:
         params = tuple(float(p) for p in entry.get("params", ()))
         circuit.append(Gate(name, params), qubits)
     return circuit
+
+
+# ---------------------------------------------------------------------------
+# Parametric templates
+# ---------------------------------------------------------------------------
+
+def _expression_to_dict(expression: ParameterExpression) -> Dict[str, Any]:
+    """Serialize an affine parameter expression as name→coefficient terms."""
+    return {
+        "terms": {param.name: expression.coefficient(param)
+                  for param in sorted(expression.parameters,
+                                      key=lambda p: p.name)},
+        "offset": expression.offset,
+    }
+
+
+def template_to_dict(circuit: QuantumCircuit) -> Dict[str, Any]:
+    """Serialize a circuit that may carry **unbound** symbolic parameters.
+
+    The wire format extends :func:`circuit_to_dict`: parametric gate angles
+    are stored as affine ``{name: coefficient}`` terms plus an offset, and
+    free parameters are identified by *name*.  Two distinct
+    :class:`~repro.circuits.parameters.Parameter` objects sharing a display
+    name cannot round-trip (they would merge on rebuild) and are rejected.
+    Rebuilding with :func:`template_from_dict` preserves
+    :meth:`~repro.circuits.circuit.QuantumCircuit.fingerprint` — parameters
+    hash by name and appearance order on both sides of the wire, which is
+    what lets the service layer share program and sweep caches with
+    in-process callers.
+    """
+    by_name: Dict[str, Parameter] = {}
+    for param in circuit.parameters:
+        other = by_name.setdefault(param.name, param)
+        if other is not param:
+            raise ValueError(
+                f"cannot serialize template: two distinct parameters share "
+                f"the name {param.name!r}")
+    instructions: List[Dict[str, Any]] = []
+    for inst in circuit.instructions:
+        entry: Dict[str, Any] = {"name": inst.name,
+                                 "qubits": list(inst.qubits)}
+        if inst.gate.params:
+            params: List[Any] = []
+            for param in inst.gate.params:
+                if isinstance(param, ParameterExpression) \
+                        and not param.is_bound:
+                    params.append({"expr": _expression_to_dict(param)})
+                else:
+                    params.append(float(param))
+            entry["params"] = params
+        if inst.clbits:
+            entry["clbits"] = list(inst.clbits)
+        instructions.append(entry)
+    return {
+        "format": TEMPLATE_FORMAT,
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "metadata": {key: value for key, value in circuit.metadata.items()
+                     if isinstance(value, (str, int, float, bool))},
+        "instructions": instructions,
+    }
+
+
+def template_from_dict(payload: Mapping[str, Any]) -> QuantumCircuit:
+    """Rebuild a (possibly parametric) circuit from :func:`template_to_dict`.
+
+    Free parameters are re-created by name, one shared
+    :class:`~repro.circuits.parameters.Parameter` instance per distinct name,
+    so expressions that referenced the same symbol keep referencing the same
+    symbol after the round trip.
+    """
+    if payload.get("format") != TEMPLATE_FORMAT:
+        raise ValueError(f"not a serialized template (format tag "
+                         f"{payload.get('format')!r})")
+    parameters: Dict[str, Parameter] = {}
+
+    def expression(entry: Mapping[str, Any]) -> ParameterExpression:
+        terms = {}
+        for name, coefficient in entry.get("terms", {}).items():
+            param = parameters.setdefault(str(name), Parameter(str(name)))
+            terms[param] = float(coefficient)
+        return ParameterExpression(terms, float(entry.get("offset", 0.0)))
+
+    circuit = QuantumCircuit(int(payload["num_qubits"]),
+                             name=str(payload.get("name", "template")))
+    circuit.metadata.update(payload.get("metadata", {}))
+    for entry in payload["instructions"]:
+        name = entry["name"]
+        qubits = tuple(int(q) for q in entry["qubits"])
+        if name == "barrier":
+            circuit.barrier(*qubits)
+            continue
+        if name == "measure":
+            clbits = entry.get("clbits", [])
+            circuit.measure(qubits[0], clbits[0] if clbits else None)
+            continue
+        params = tuple(expression(p["expr"]) if isinstance(p, Mapping)
+                       else float(p)
+                       for p in entry.get("params", ()))
+        circuit.append(Gate(name, params), qubits)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Noise models
+# ---------------------------------------------------------------------------
+
+def channel_to_dict(channel: QuantumChannel) -> Dict[str, Any]:
+    """Serialize a Kraus channel; complex entries become [real, imag] pairs."""
+    kraus = []
+    for op in channel.kraus_operators:
+        matrix = np.asarray(op, dtype=complex)
+        kraus.append([[[float(v.real), float(v.imag)] for v in row]
+                      for row in matrix])
+    return {"format": CHANNEL_FORMAT, "name": channel.name, "kraus": kraus}
+
+
+def channel_from_dict(payload: Mapping[str, Any]) -> QuantumChannel:
+    """Rebuild a channel serialized by :func:`channel_to_dict`.
+
+    The :class:`~repro.simulators.noise.QuantumChannel` constructor
+    re-validates trace preservation, so a corrupted payload cannot smuggle a
+    non-physical channel into a simulation.
+    """
+    if payload.get("format") != CHANNEL_FORMAT:
+        raise ValueError(f"not a serialized channel (format tag "
+                         f"{payload.get('format')!r})")
+    kraus = [np.array([[complex(entry[0], entry[1]) for entry in row]
+                       for row in op])
+             for op in payload["kraus"]]
+    return QuantumChannel(kraus, name=str(payload.get("name", "channel")))
+
+
+def noise_model_to_dict(model: NoiseModel) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.simulators.noise.NoiseModel`.
+
+    Gate channels keep their attachment order per gate name, so the rebuilt
+    model shares the original's content
+    :meth:`~repro.simulators.noise.NoiseModel.fingerprint` — cache entries
+    written by an in-process run are hit by a service job carrying the same
+    model over the wire.
+    """
+    gate_errors = []
+    for gate_name in sorted(model._gate_errors):
+        for channel in model._gate_errors[gate_name]:
+            gate_errors.append({"gate": gate_name,
+                                "channel": channel_to_dict(channel)})
+    idle = model.idle_channel
+    return {
+        "format": NOISE_MODEL_FORMAT,
+        "name": model.name,
+        "gate_errors": gate_errors,
+        "idle": channel_to_dict(idle) if idle is not None else None,
+        "readout": model.readout_error,
+    }
+
+
+def noise_model_from_dict(payload: Mapping[str, Any]) -> NoiseModel:
+    """Rebuild a noise model serialized by :func:`noise_model_to_dict`."""
+    if payload.get("format") != NOISE_MODEL_FORMAT:
+        raise ValueError(f"not a serialized noise model (format tag "
+                         f"{payload.get('format')!r})")
+    model = NoiseModel(name=str(payload.get("name", "noise_model")))
+    for entry in payload.get("gate_errors", ()):
+        model.add_gate_error(channel_from_dict(entry["channel"]),
+                             [str(entry["gate"])])
+    if payload.get("idle") is not None:
+        model.add_idle_error(channel_from_dict(payload["idle"]))
+    readout = float(payload.get("readout", 0.0))
+    if readout > 0.0:
+        model.add_readout_error(readout)
+    return model
 
 
 # ---------------------------------------------------------------------------

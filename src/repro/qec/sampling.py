@@ -469,6 +469,74 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
                        total_defects=int(total_defects), from_cache=False)
 
 
+def stream_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
+                           seed: SeedLike = None,
+                           executor=None,
+                           chunk_blocks: int = 4,
+                           use_cache: Optional[bool] = None):
+    """Generator variant of :func:`run_memory_sampling` with partial results.
+
+    Yields **cumulative** :class:`SamplingRun` snapshots after every
+    ``chunk_blocks`` sampling blocks (each :data:`SHOT_BLOCK` shots); the
+    final yield covers all ``shots`` and its failure count is **bitwise
+    identical** to ``run_memory_sampling(graph, decoder, shots, seed=seed)``
+    — both iterate the same per-block ``SeedSequence.spawn`` children, a
+    chunk boundary can never move a draw.  This is what the service layer
+    streams running Wilson intervals from
+    (:func:`wilson_interval` applied to each snapshot).
+
+    Seeded runs share the executor expectation-cache entry with
+    :func:`run_memory_sampling`: a warm cache yields the final snapshot
+    immediately (one yield, ``from_cache=True``) and decodes nothing, and a
+    cold streamed run writes the entry the batched entry point will hit.
+    Sampling happens inline (no process shards) — streaming is about
+    latency, not throughput.
+    """
+    if shots < 1:
+        raise ValueError("need at least one shot")
+    if chunk_blocks < 1:
+        raise ValueError("chunk_blocks must be a positive integer")
+    from ..execution.executor import default_executor
+    if executor is None:
+        executor = default_executor()
+    if use_cache is None:
+        use_cache = executor.use_cache
+
+    seed_sequence, seed_key = as_seed_sequence(seed)
+    decoder_token = decoder_cache_token(decoder)
+    cacheable = (use_cache and seed_key is not None
+                 and decoder_token is not None)
+    if cacheable:
+        failures_key, defects_key = _cache_keys(graph, decoder_token, shots,
+                                                seed_key)
+        failures_hit = executor.cache.get(failures_key)
+        defects_hit = executor.cache.get(defects_key)
+        if failures_hit is not None and defects_hit is not None:
+            _note_experiment(shots, cached=True, process_shards=0)
+            yield SamplingRun(shots=int(shots),
+                              failures=int(round(failures_hit)),
+                              total_defects=int(round(defects_hit)),
+                              from_cache=True)
+            return
+
+    blocks = _shot_blocks(seed_sequence, shots)
+    done_shots = 0
+    failures = 0
+    total_defects = 0
+    for start in range(0, len(blocks), int(chunk_blocks)):
+        chunk = blocks[start:start + int(chunk_blocks)]
+        partial = _memory_sampling_shard(graph, decoder, chunk)
+        done_shots += partial["shots"]
+        failures += partial["failures"]
+        total_defects += partial["total_defects"]
+        yield SamplingRun(shots=done_shots, failures=failures,
+                          total_defects=total_defects, from_cache=False)
+    _note_experiment(shots, cached=False, process_shards=0)
+    if cacheable:
+        executor.cache.put(failures_key, float(failures))
+        executor.cache.put(defects_key, float(total_defects))
+
+
 def run_memory_sampling_reference(graph: DecodingGraph, decoder,
                                   shots: int, *,
                                   seed: SeedLike = None) -> SamplingRun:

@@ -1,0 +1,314 @@
+"""Decoding wire payloads into runnable, dedup-keyed jobs.
+
+:func:`prepare_job` turns a validated submission payload into a
+:class:`PreparedJob`: the reconstructed in-memory objects (circuits,
+observables, noise models, decoding graphs, decoders), a **content job key**
+and a ``run`` callable the worker threads execute against the shared
+executor.
+
+The job key is what coalesces duplicate in-flight jobs *across clients*: it
+is derived from the engine's own content fingerprints — circuit/template
+:meth:`~repro.circuits.circuit.QuantumCircuit.fingerprint`,
+:func:`~repro.execution.task.observable_fingerprint`,
+:meth:`~repro.simulators.noise.NoiseModel.fingerprint`, decoding-graph
+fingerprints and decoder cache tokens — the same identities the expectation
+cache keys on.  Two clients independently building the same workload
+therefore hash to the same key, and the runner executes it once.  Jobs whose
+outcome is not a pure function of their payload (an unseeded QEC run) carry
+``key=None`` and are never coalesced.
+
+Runs are **chunked** so partial results stream out while the job executes:
+per-circuit energies for expectation jobs, per-point energies for sweeps,
+and cumulative failure counts with Wilson intervals for QEC memory jobs.
+Chunking never changes values — every chunk rides the exact same executor
+entry points an in-process caller would use, and the QEC path iterates the
+same seeded sampling blocks in the same order
+(:func:`repro.qec.sampling.stream_memory_sampling`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from .protocol import ProtocolError
+
+#: Default circuits / sweep points evaluated per streamed partial.
+DEFAULT_CHUNK = 16
+
+#: Default QEC sampling blocks per streamed partial.
+DEFAULT_CHUNK_BLOCKS = 8
+
+
+class JobCancelled(Exception):
+    """Raised inside ``run`` when the job's cancel flag is set."""
+
+
+@dataclass
+class JobContext:
+    """What a running job sees: the shared executor, an ``emit`` callback
+    for partial-result events, and the cancellation flag."""
+
+    executor: Any
+    emit: Callable[[str, Dict[str, Any]], None]
+    cancelled: threading.Event
+
+    def checkpoint(self) -> None:
+        if self.cancelled.is_set():
+            raise JobCancelled()
+
+
+@dataclass
+class PreparedJob:
+    """A decoded, validated, ready-to-run job."""
+
+    kind: str
+    key: Optional[str]
+    units: int
+    run: Callable[[JobContext], Dict[str, Any]]
+
+
+def _digest(*parts) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        hasher.update(repr(part).encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def _decode_noise(payload: Dict[str, Any]):
+    from ..io.serialization import noise_model_from_dict
+    entry = payload.get("noise_model")
+    return noise_model_from_dict(entry) if entry is not None else None
+
+
+def _noise_fingerprint(noise_model) -> Optional[str]:
+    if noise_model is None or not noise_model.has_noise():
+        return None
+    return noise_model.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# expectation
+# ---------------------------------------------------------------------------
+
+
+def _prepare_expectation(payload: Dict[str, Any]) -> PreparedJob:
+    from ..io.serialization import circuit_from_dict, pauli_sum_from_dict
+    circuits = [circuit_from_dict(entry) for entry in payload["circuits"]]
+    if not circuits:
+        raise ProtocolError("an expectation job needs at least one circuit")
+    observable = pauli_sum_from_dict(payload["observable"])
+    noise_model = _decode_noise(payload)
+    backend = payload.get("backend", "auto")
+    trajectories = payload.get("trajectories")
+    include_idle = bool(payload.get("include_idle", True))
+    chunk = int(payload.get("chunk", DEFAULT_CHUNK))
+    if chunk < 1:
+        raise ProtocolError("chunk must be a positive integer")
+
+    # chunk is part of the key: the engine's batched evaluation is
+    # ulp-sensitive to batch shape, so differently-chunked submissions are
+    # different jobs.
+    from ..execution.task import observable_fingerprint
+    key = _digest("expectation",
+                  tuple(circuit.fingerprint() for circuit in circuits),
+                  observable_fingerprint(observable),
+                  _noise_fingerprint(noise_model), backend, trajectories,
+                  include_idle, chunk)
+
+    def run(ctx: JobContext) -> Dict[str, Any]:
+        energies = []
+        for start in range(0, len(circuits), chunk):
+            ctx.checkpoint()
+            values = ctx.executor.evaluate_observable(
+                circuits[start:start + chunk], observable,
+                noise_model=noise_model, backend=backend,
+                trajectories=trajectories, include_idle=include_idle)
+            energies.extend(values)
+            ctx.emit("partial", {"start": start, "values": values,
+                                 "done": len(energies),
+                                 "total": len(circuits)})
+        return {"energies": energies}
+
+    return PreparedJob(kind="expectation", key=key, units=len(circuits),
+                       run=run)
+
+
+# ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+
+
+def _prepare_sweep(payload: Dict[str, Any]) -> PreparedJob:
+    from ..io.serialization import pauli_sum_from_dict, template_from_dict
+    template = template_from_dict(payload["template"])
+    parameter_sets = [[float(v) for v in values]
+                      for values in payload["parameter_sets"]]
+    if not parameter_sets:
+        raise ProtocolError("a sweep job needs at least one parameter set")
+    num_parameters = len(template.ordered_parameters())
+    for values in parameter_sets:
+        if len(values) != num_parameters:
+            raise ProtocolError(
+                f"template has {num_parameters} free parameters, got a "
+                f"sweep point with {len(values)}")
+    observable = pauli_sum_from_dict(payload["observable"])
+    noise_model = _decode_noise(payload)
+    backend = payload.get("backend", "auto")
+    trajectories = payload.get("trajectories")
+    include_idle = bool(payload.get("include_idle", True))
+    chunk = int(payload.get("chunk", DEFAULT_CHUNK))
+    if chunk < 1:
+        raise ProtocolError("chunk must be a positive integer")
+
+    # chunk is part of the key: batched sweep evaluation is ulp-sensitive
+    # to batch shape, so differently-chunked submissions are different jobs.
+    from ..execution.task import observable_fingerprint
+    key = _digest("sweep", template.fingerprint(),
+                  tuple(tuple(values) for values in parameter_sets),
+                  observable_fingerprint(observable),
+                  _noise_fingerprint(noise_model), backend, trajectories,
+                  include_idle, chunk)
+
+    def run(ctx: JobContext) -> Dict[str, Any]:
+        energies = []
+        for start in range(0, len(parameter_sets), chunk):
+            ctx.checkpoint()
+            values = ctx.executor.evaluate_sweep(
+                template, parameter_sets[start:start + chunk], observable,
+                noise_model=noise_model, backend=backend,
+                trajectories=trajectories, include_idle=include_idle)
+            energies.extend(values)
+            ctx.emit("partial", {"start": start, "values": values,
+                                 "done": len(energies),
+                                 "total": len(parameter_sets)})
+        return {"energies": energies}
+
+    return PreparedJob(kind="sweep", key=key, units=len(parameter_sets),
+                       run=run)
+
+
+# ---------------------------------------------------------------------------
+# qec_memory
+# ---------------------------------------------------------------------------
+
+_DECODER_BUILDERS = {
+    "mwpm": lambda graph: _import_qec().MWPMDecoder(graph),
+    "union_find": lambda graph: _import_qec().UnionFindDecoder(graph),
+    "lookup": lambda graph: _import_qec().LookupDecoder(graph),
+}
+
+
+def _import_qec():
+    from .. import qec
+    return qec
+
+
+def _prepare_qec_memory(payload: Dict[str, Any]) -> PreparedJob:
+    from ..qec import repetition_code_graph, rotated_surface_code_graph
+    from ..qec.decoders.base import decoder_cache_token
+    from ..qec.sampling import (SHOT_BLOCK, as_seed_sequence,
+                                stream_memory_sampling, wilson_interval)
+
+    code = payload.get("code", "repetition")
+    distance = int(payload["distance"])
+    rounds = int(payload["rounds"])
+    error_rate = float(payload["error_rate"])
+    measurement_error_rate = payload.get("measurement_error_rate")
+    if measurement_error_rate is not None:
+        measurement_error_rate = float(measurement_error_rate)
+    shots = int(payload["shots"])
+    if shots < 1:
+        raise ProtocolError("shots must be a positive integer")
+    seed = payload.get("seed")
+    chunk_blocks = int(payload.get("chunk_blocks", DEFAULT_CHUNK_BLOCKS))
+    if chunk_blocks < 1:
+        raise ProtocolError("chunk_blocks must be a positive integer")
+
+    if code == "repetition":
+        graph = repetition_code_graph(distance, rounds, error_rate,
+                                      measurement_error_rate)
+    elif code == "surface":
+        graph = rotated_surface_code_graph(distance, rounds, error_rate,
+                                           measurement_error_rate)
+    else:
+        raise ProtocolError(f"unknown code family {code!r} "
+                            f"(expected 'repetition' or 'surface')")
+    builder = _DECODER_BUILDERS.get(payload.get("decoder", "mwpm"))
+    if builder is None:
+        raise ProtocolError(
+            f"unknown decoder {payload.get('decoder')!r} (expected one of "
+            f"{sorted(_DECODER_BUILDERS)})")
+    decoder = builder(graph)
+
+    # Seeded runs key on the same content identities the engine caches on;
+    # an unseeded run is stochastic — no key, never coalesced.
+    key = None
+    if seed is not None:
+        _, seed_key = as_seed_sequence(int(seed))
+        token = decoder_cache_token(decoder)
+        if token is not None:
+            key = _digest("qec-memory", graph.fingerprint(), token, shots,
+                          SHOT_BLOCK, seed_key)
+
+    def run(ctx: JobContext) -> Dict[str, Any]:
+        final = None
+        for partial in stream_memory_sampling(
+                graph, decoder, shots,
+                seed=int(seed) if seed is not None else None,
+                executor=ctx.executor, chunk_blocks=chunk_blocks):
+            ctx.checkpoint()
+            low, high = wilson_interval(partial.failures, partial.shots)
+            ctx.emit("partial", {
+                "shots": partial.shots,
+                "failures": partial.failures,
+                "logical_error_rate": partial.logical_error_rate,
+                "wilson": [low, high],
+                "total": shots,
+            })
+            final = partial
+        low, high = wilson_interval(final.failures, final.shots)
+        return {
+            "shots": final.shots,
+            "failures": final.failures,
+            "total_defects": final.total_defects,
+            "logical_error_rate": final.logical_error_rate,
+            "wilson": [low, high],
+            "from_cache": final.from_cache,
+        }
+
+    return PreparedJob(kind="qec_memory", key=key,
+                       units=-(-shots // (SHOT_BLOCK * chunk_blocks)),
+                       run=run)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+_PREPARERS = {
+    "expectation": _prepare_expectation,
+    "sweep": _prepare_sweep,
+    "qec_memory": _prepare_qec_memory,
+}
+
+
+def prepare_job(kind: str, payload: Dict[str, Any]) -> PreparedJob:
+    """Decode and validate a submission payload into a :class:`PreparedJob`.
+
+    Raises :class:`~repro.service.protocol.ProtocolError` on any malformed
+    payload — validation happens at submit time, so a bad job is rejected on
+    the submitting connection instead of failing later in a worker.
+    """
+    preparer = _PREPARERS.get(kind)
+    if preparer is None:
+        raise ProtocolError(f"unknown job kind {kind!r}")
+    try:
+        return preparer(payload)
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed {kind} payload: {error}") from None

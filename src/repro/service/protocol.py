@@ -1,0 +1,375 @@
+"""The wire protocol of the execution job server.
+
+Versioned request/response **dataclasses** with a pure-JSON round trip —
+every message is one JSON object on one line (newline-delimited JSON over
+the local socket; the same objects travel as HTTP bodies and server-sent
+event lines).  Nothing on the wire is ever pickled: circuits, observables
+and noise models ride the :mod:`repro.io.serialization` dict formats, so a
+shared service socket can never be made to execute code by a malicious
+payload.
+
+Three job kinds are accepted (``JOB_KINDS``):
+
+``expectation``
+    ⟨H⟩ for a list of bound circuits — the service-side mirror of
+    :meth:`repro.execution.Executor.evaluate_observable`.
+``sweep``
+    ⟨H⟩ over a parameter sweep of one parametric template — the mirror of
+    :meth:`repro.execution.Executor.evaluate_sweep`, streamed chunk by
+    chunk.
+``qec_memory``
+    A seeded QEC Monte-Carlo memory experiment — the mirror of
+    :func:`repro.qec.run_memory_sampling`, streamed as running failure
+    counts with Wilson intervals.
+
+Use the ``*_payload`` helpers to build submission payloads from in-memory
+objects; :func:`encode_line` / :func:`decode_line` convert between message
+dataclasses and wire lines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Type
+
+#: Protocol version stamped into (and required on) every message.
+PROTOCOL_VERSION = 1
+
+#: The job kinds the server schedules.
+JOB_KINDS = ("expectation", "sweep", "qec_memory")
+
+#: Job lifecycle states persisted in the run registry.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Terminal states — once reached, a job row never changes again.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ProtocolError(ValueError):
+    """A message that cannot be decoded or validated."""
+
+
+# ---------------------------------------------------------------------------
+# Message registry
+# ---------------------------------------------------------------------------
+
+_MESSAGE_TYPES: Dict[str, Type] = {}
+
+
+def message(type_name: str):
+    """Class decorator registering a dataclass under a wire ``type`` tag."""
+    def register(cls):
+        cls.TYPE = type_name
+        _MESSAGE_TYPES[type_name] = cls
+        return cls
+    return register
+
+
+def encode_line(msg) -> str:
+    """One wire line (newline-terminated JSON object) for a message."""
+    payload = {"v": PROTOCOL_VERSION, "type": msg.TYPE}
+    for f in dataclasses.fields(msg):
+        payload[f.name] = getattr(msg, f.name)
+    return json.dumps(payload, separators=(",", ":"),
+                      sort_keys=True) + "\n"
+
+
+def decode_line(line: str):
+    """The message dataclass encoded on ``line`` (raises ProtocolError)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"not a JSON line: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("a protocol message must be a JSON object")
+    version = payload.pop("v", None)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this build speaks v{PROTOCOL_VERSION})")
+    type_name = payload.pop("type", None)
+    cls = _MESSAGE_TYPES.get(type_name)
+    if cls is None:
+        raise ProtocolError(f"unknown message type {type_name!r}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(payload) - names
+    if unknown:
+        raise ProtocolError(
+            f"unknown fields for {type_name!r}: {sorted(unknown)}")
+    try:
+        return cls(**payload)
+    except TypeError as error:
+        raise ProtocolError(f"malformed {type_name!r} message: {error}") \
+            from None
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+@message("submit")
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Submit one job; ``stream=True`` keeps the connection in event mode
+    until the job reaches a terminal state."""
+
+    kind: str
+    payload: Dict[str, Any]
+    tenant: str = "default"
+    priority: int = 0
+    stream: bool = False
+
+    def validate(self) -> "SubmitRequest":
+        if self.kind not in JOB_KINDS:
+            raise ProtocolError(
+                f"unknown job kind {self.kind!r} (expected one of "
+                f"{JOB_KINDS})")
+        if not isinstance(self.payload, dict):
+            raise ProtocolError("payload must be a JSON object")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ProtocolError("tenant must be a non-empty string")
+        return self
+
+
+@message("status")
+@dataclass(frozen=True)
+class StatusRequest:
+    job_id: str
+
+
+@message("result")
+@dataclass(frozen=True)
+class ResultRequest:
+    """Fetch a job's final result; ``wait=True`` blocks (server-side) until
+    the job reaches a terminal state."""
+
+    job_id: str
+    wait: bool = True
+
+
+@message("attach")
+@dataclass(frozen=True)
+class AttachRequest:
+    """Reattach to a job by id: replay persisted events after ``after_seq``,
+    then stream live ones until the job is terminal, then send the result.
+    This is the crashed-client recovery path — the run registry, not the
+    connection, owns the job."""
+
+    job_id: str
+    after_seq: int = 0
+
+
+@message("cancel")
+@dataclass(frozen=True)
+class CancelRequest:
+    job_id: str
+
+
+@message("jobs")
+@dataclass(frozen=True)
+class ListJobsRequest:
+    tenant: Optional[str] = None
+    limit: int = 50
+
+
+@message("stats")
+@dataclass(frozen=True)
+class StatsRequest:
+    pass
+
+
+@message("ping")
+@dataclass(frozen=True)
+class PingRequest:
+    pass
+
+
+@message("shutdown")
+@dataclass(frozen=True)
+class ShutdownRequest:
+    """Ask the server to shut down gracefully: stop accepting work, drain
+    running jobs, persist final states, retire the executor pool."""
+
+    drain: bool = True
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@message("submitted")
+@dataclass(frozen=True)
+class SubmittedResponse:
+    """``deduped=True`` means an identical job (same content fingerprints)
+    was already in flight and ``job_id`` names **that** job — exactly one
+    execution will serve every submitter."""
+
+    job_id: str
+    state: str
+    deduped: bool = False
+    position: Optional[int] = None
+
+
+@message("job")
+@dataclass(frozen=True)
+class JobResponse:
+    job: Dict[str, Any]
+
+
+@message("job-list")
+@dataclass(frozen=True)
+class JobListResponse:
+    jobs: List[Dict[str, Any]]
+
+
+@message("event")
+@dataclass(frozen=True)
+class EventResponse:
+    """One streamed partial-result / lifecycle event (also the SSE body)."""
+
+    job_id: str
+    seq: int
+    kind: str
+    data: Dict[str, Any]
+
+
+@message("result-data")
+@dataclass(frozen=True)
+class ResultResponse:
+    job_id: str
+    state: str
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+
+@message("error")
+@dataclass(frozen=True)
+class ErrorResponse:
+    """``status`` mirrors HTTP semantics: 400 bad request, 404 unknown job,
+    429 backpressure/quota rejection, 503 shutting down."""
+
+    code: str
+    message: str
+    status: int = 400
+
+
+@message("pong")
+@dataclass(frozen=True)
+class PongResponse:
+    server: str = "repro.service"
+    version: int = PROTOCOL_VERSION
+
+
+@message("stats-data")
+@dataclass(frozen=True)
+class StatsResponse:
+    stats: Dict[str, Any]
+
+
+@message("ok")
+@dataclass(frozen=True)
+class OkResponse:
+    detail: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Job payload builders (client-side sugar, server-side contract)
+# ---------------------------------------------------------------------------
+
+
+def expectation_payload(circuits, observable, *, noise_model=None,
+                        backend: Optional[str] = None,
+                        trajectories: Optional[int] = None,
+                        include_idle: bool = True,
+                        chunk: Optional[int] = None) -> Dict[str, Any]:
+    """Payload of an ``expectation`` job: ⟨observable⟩ per bound circuit.
+
+    Mirrors :meth:`repro.execution.Executor.evaluate_observable`; ``chunk``
+    bounds how many circuits the runner evaluates per streamed partial.
+    """
+    from ..circuits.circuit import QuantumCircuit
+    from ..io.serialization import (circuit_to_dict, noise_model_to_dict,
+                                    pauli_sum_to_dict)
+    if isinstance(circuits, QuantumCircuit):
+        circuits = [circuits]
+    payload = {
+        "circuits": [circuit_to_dict(circuit) for circuit in circuits],
+        "observable": pauli_sum_to_dict(observable),
+        "include_idle": bool(include_idle),
+    }
+    if noise_model is not None and noise_model.has_noise():
+        payload["noise_model"] = noise_model_to_dict(noise_model)
+    if backend is not None:
+        payload["backend"] = str(backend)
+    if trajectories is not None:
+        payload["trajectories"] = int(trajectories)
+    if chunk is not None:
+        payload["chunk"] = int(chunk)
+    return payload
+
+
+def sweep_payload(template, parameter_sets, observable, *, noise_model=None,
+                  backend: str = "auto",
+                  trajectories: Optional[int] = None,
+                  include_idle: bool = True,
+                  chunk: Optional[int] = None) -> Dict[str, Any]:
+    """Payload of a ``sweep`` job over one parametric template.
+
+    Mirrors :meth:`repro.execution.Executor.evaluate_sweep`; the runner
+    evaluates ``chunk`` points per streamed partial (all points in one batch
+    when unset).
+    """
+    from ..io.serialization import (noise_model_to_dict, pauli_sum_to_dict,
+                                    template_to_dict)
+    payload = {
+        "template": template_to_dict(template),
+        "parameter_sets": [[float(v) for v in values]
+                           for values in parameter_sets],
+        "observable": pauli_sum_to_dict(observable),
+        "backend": str(backend),
+        "include_idle": bool(include_idle),
+    }
+    if noise_model is not None and noise_model.has_noise():
+        payload["noise_model"] = noise_model_to_dict(noise_model)
+    if trajectories is not None:
+        payload["trajectories"] = int(trajectories)
+    if chunk is not None:
+        payload["chunk"] = int(chunk)
+    return payload
+
+
+def qec_memory_payload(*, code: str = "repetition", distance: int,
+                       rounds: int, error_rate: float,
+                       measurement_error_rate: Optional[float] = None,
+                       decoder: str = "mwpm", shots: int,
+                       seed: Optional[int] = None,
+                       chunk_blocks: Optional[int] = None) -> Dict[str, Any]:
+    """Payload of a ``qec_memory`` job (a seeded Monte-Carlo memory run).
+
+    The decoding graph is built server-side from this spec
+    (``code``: ``"repetition"`` or ``"surface"``), so the wire carries a few
+    numbers instead of a serialized graph.  ``decoder`` is one of
+    ``"mwpm"``, ``"union_find"`` or ``"lookup"``.  Seeded jobs are
+    deduplicated across clients and cached; an unseeded job is neither.
+    ``chunk_blocks`` controls streaming granularity (sampling blocks of
+    :data:`repro.qec.sampling.SHOT_BLOCK` shots per partial update).
+    """
+    payload = {
+        "code": str(code),
+        "distance": int(distance),
+        "rounds": int(rounds),
+        "error_rate": float(error_rate),
+        "decoder": str(decoder),
+        "shots": int(shots),
+    }
+    if measurement_error_rate is not None:
+        payload["measurement_error_rate"] = float(measurement_error_rate)
+    if seed is not None:
+        payload["seed"] = int(seed)
+    if chunk_blocks is not None:
+        payload["chunk_blocks"] = int(chunk_blocks)
+    return payload

@@ -1,0 +1,233 @@
+"""The SQLite run registry: durable job rows and append-only event logs.
+
+The registry — not any client connection — owns a job's lifecycle.  Every
+submission becomes a row in ``jobs``; every state change and every streamed
+partial result becomes a row in ``events`` with a per-job monotonically
+increasing ``seq``.  A client that dies mid-stream loses nothing: it (or any
+other client) reattaches by job id, replays the persisted events after the
+last ``seq`` it saw, and reads the final result straight from the row.
+
+Design points:
+
+* **WAL mode** — writers (worker threads recording partials) never block the
+  readers serving status/attach requests, and a crash can only lose the tail
+  of the log, never corrupt committed rows.
+* **Atomic state transitions** — ``transition()`` is one guarded
+  ``UPDATE … WHERE state IN (…)``; the returned row count decides who won a
+  race (e.g. a cancel racing the worker that just claimed the job), so
+  illegal jumps like ``done → running`` are structurally impossible.
+* **JSON columns** — payloads, results and event data are stored as JSON
+  text, mirroring the pickle-free wire protocol; the registry file is
+  inspectable with the ``sqlite3`` CLI and can never execute code on read.
+* **Cache accounting** — per-job expectation-cache hit/miss deltas
+  (in-memory L1 + persistent L2) recorded by the runner land on the job row
+  and in a ``cache`` event, making the shared
+  :class:`~repro.execution.disk_cache.DiskExpectationCache`'s contribution
+  to each tenant's job visible.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from .protocol import JOB_STATES, TERMINAL_STATES
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id            TEXT PRIMARY KEY,
+    tenant        TEXT NOT NULL,
+    kind          TEXT NOT NULL,
+    job_key       TEXT,
+    priority      INTEGER NOT NULL DEFAULT 0,
+    state         TEXT NOT NULL,
+    payload       TEXT NOT NULL,
+    result        TEXT,
+    error         TEXT,
+    created_at    REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL,
+    cache_hits    INTEGER NOT NULL DEFAULT 0,
+    cache_misses  INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_by_key    ON jobs (job_key, state);
+CREATE INDEX IF NOT EXISTS jobs_by_tenant ON jobs (tenant, created_at);
+CREATE TABLE IF NOT EXISTS events (
+    job_id      TEXT NOT NULL,
+    seq         INTEGER NOT NULL,
+    created_at  REAL NOT NULL,
+    kind        TEXT NOT NULL,
+    data        TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
+"""
+
+_JOB_COLUMNS = ("id", "tenant", "kind", "job_key", "priority", "state",
+                "payload", "result", "error", "created_at", "started_at",
+                "finished_at", "cache_hits", "cache_misses")
+
+
+class RegistryError(RuntimeError):
+    """An illegal registry operation (unknown job, bad state)."""
+
+
+class RunRegistry:
+    """Thread-safe job/event store over one SQLite database.
+
+    One connection is shared across the server's threads under a lock —
+    SQLite serializes writers anyway, and a single WAL connection keeps the
+    registry free of cross-connection visibility windows.  ``path`` may be
+    ``":memory:"`` (tests) or a filesystem path (production, reattach across
+    server restarts).
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(self.path,
+                                           check_same_thread=False)
+        self._connection.row_factory = sqlite3.Row
+        with self._lock:
+            if self.path != ":memory:":
+                self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA busy_timeout=5000")
+            self._connection.executescript(_SCHEMA)
+            self._connection.commit()
+
+    # -- jobs ---------------------------------------------------------------
+    def create_job(self, job_id: str, tenant: str, kind: str,
+                   job_key: Optional[str], priority: int,
+                   payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self._connection.execute(
+                "INSERT INTO jobs (id, tenant, kind, job_key, priority, "
+                "state, payload, created_at) VALUES (?,?,?,?,?,?,?,?)",
+                (job_id, tenant, kind, job_key, int(priority), "queued",
+                 json.dumps(payload, sort_keys=True), time.time()))
+            self._connection.commit()
+
+    def get_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        return self._job_dict(row) if row is not None else None
+
+    def list_jobs(self, tenant: Optional[str] = None,
+                  limit: int = 50) -> List[Dict[str, Any]]:
+        query = "SELECT * FROM jobs"
+        args: tuple = ()
+        if tenant is not None:
+            query += " WHERE tenant = ?"
+            args = (tenant,)
+        query += " ORDER BY created_at DESC LIMIT ?"
+        with self._lock:
+            rows = self._connection.execute(query,
+                                            args + (int(limit),)).fetchall()
+        return [self._job_dict(row) for row in rows]
+
+    def find_inflight(self, job_key: str) -> Optional[str]:
+        """The id of a queued/running job with this content key, if any."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT id FROM jobs WHERE job_key = ? AND state IN "
+                "('queued', 'running') ORDER BY created_at LIMIT 1",
+                (job_key,)).fetchone()
+        return row["id"] if row is not None else None
+
+    def transition(self, job_id: str, from_states: Sequence[str],
+                   to_state: str) -> bool:
+        """Atomically move a job between states; False if it was not in any
+        of ``from_states`` (somebody else won the race)."""
+        if to_state not in JOB_STATES:
+            raise RegistryError(f"unknown state {to_state!r}")
+        # Terminal states are absorbing: a finished row never moves again,
+        # regardless of what a (buggy) caller passes as from_states.
+        from_states = [state for state in from_states
+                       if state not in TERMINAL_STATES]
+        if not from_states:
+            return False
+        stamp = ", started_at = ?" if to_state == "running" else \
+            (", finished_at = ?" if to_state in TERMINAL_STATES else "")
+        placeholders = ",".join("?" for _ in from_states)
+        args: list = [to_state]
+        if stamp:
+            args.append(time.time())
+        args.append(job_id)
+        args.extend(from_states)
+        with self._lock:
+            cursor = self._connection.execute(
+                f"UPDATE jobs SET state = ?{stamp} WHERE id = ? AND state "
+                f"IN ({placeholders})", args)
+            self._connection.commit()
+        return cursor.rowcount > 0
+
+    def record_result(self, job_id: str, result: Dict[str, Any],
+                      cache_hits: int = 0, cache_misses: int = 0) -> None:
+        with self._lock:
+            self._connection.execute(
+                "UPDATE jobs SET result = ?, cache_hits = ?, "
+                "cache_misses = ? WHERE id = ?",
+                (json.dumps(result, sort_keys=True), int(cache_hits),
+                 int(cache_misses), job_id))
+            self._connection.commit()
+
+    def record_error(self, job_id: str, error: str) -> None:
+        with self._lock:
+            self._connection.execute(
+                "UPDATE jobs SET error = ? WHERE id = ?",
+                (str(error), job_id))
+            self._connection.commit()
+
+    # -- events -------------------------------------------------------------
+    def append_event(self, job_id: str, kind: str,
+                     data: Dict[str, Any]) -> int:
+        """Persist one event; returns its per-job ``seq`` (1-based)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT COALESCE(MAX(seq), 0) AS top FROM events "
+                "WHERE job_id = ?", (job_id,)).fetchone()
+            seq = int(row["top"]) + 1
+            self._connection.execute(
+                "INSERT INTO events (job_id, seq, created_at, kind, data) "
+                "VALUES (?,?,?,?,?)",
+                (job_id, seq, time.time(), kind,
+                 json.dumps(data, sort_keys=True)))
+            self._connection.commit()
+        return seq
+
+    def events_since(self, job_id: str,
+                     after_seq: int = 0) -> List[Dict[str, Any]]:
+        """All persisted events with ``seq > after_seq``, in order."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT seq, created_at, kind, data FROM events "
+                "WHERE job_id = ? AND seq > ? ORDER BY seq",
+                (job_id, int(after_seq))).fetchall()
+        return [{"job_id": job_id, "seq": int(row["seq"]),
+                 "kind": row["kind"], "data": json.loads(row["data"])}
+                for row in rows]
+
+    # -- introspection ------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Job counts per state (states with no jobs are omitted)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        return {row["state"]: int(row["n"]) for row in rows}
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def _job_dict(row: sqlite3.Row) -> Dict[str, Any]:
+        entry = {column: row[column] for column in _JOB_COLUMNS}
+        entry["payload"] = json.loads(entry["payload"])
+        if entry["result"] is not None:
+            entry["result"] = json.loads(entry["result"])
+        return entry

@@ -1,0 +1,312 @@
+"""The job runner: worker threads mapping queued jobs onto one Executor.
+
+The runner owns the glue between the durable registry, the in-memory
+scheduler and the execution engine:
+
+* **One shared executor.**  Every tenant's jobs run against a single
+  :class:`~repro.execution.Executor` (opened with the configured
+  ``cache_dir``), so the in-memory expectation cache and the persistent disk
+  tier are warm across jobs *and* across clients.
+* **Cross-client dedup.**  Submissions carry a content job key
+  (:mod:`repro.service.jobs`).  While a keyed job is in flight, an identical
+  submission — from any client, any tenant — returns the *same* job id with
+  ``deduped=True`` instead of a second execution; the registry records a
+  ``dedup`` event on the surviving job.
+* **Streaming partials.**  A running job's ``emit`` callback persists each
+  partial to the registry's event log (crash-proof) and fans it out to live
+  subscribers (low latency).  Attach = replay-then-follow with ``seq``
+  dedup, so a reattaching client sees every event exactly once.
+* **Per-job cache accounting.**  Expectation-cache hit/miss deltas are
+  measured around each job and stored on its row plus a ``cache`` event.
+  With concurrent workers the attribution is approximate (deltas of shared
+  counters); totals across jobs remain exact.
+* **Graceful shutdown.**  ``shutdown(drain=True)`` stops intake, cancels
+  queued jobs, lets running jobs finish, then retires the executor's
+  process pool.  ``drain=False`` additionally sets every running job's
+  cancel flag.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+from .jobs import JobCancelled, JobContext, PreparedJob, prepare_job
+from .protocol import TERMINAL_STATES
+from .queue import QueueFullError, QuotaExceededError, TenantQueues
+from .registry import RunRegistry
+
+#: Sentinel pushed to subscribers when a job reaches a terminal state.
+STREAM_END = None
+
+
+class UnknownJobError(KeyError):
+    """No job with that id exists in the registry."""
+
+
+class JobRunner:
+    """Schedules, executes and streams jobs (thread-safe).
+
+    The runner is transport-agnostic: the socket/HTTP front door calls
+    :meth:`submit`, :meth:`subscribe`/:meth:`unsubscribe`,
+    :meth:`wait_result` and :meth:`cancel`; tests may drive it directly
+    without any server at all.
+    """
+
+    def __init__(self, executor, registry: RunRegistry,
+                 queues: TenantQueues, workers: int = 2):
+        self.executor = executor
+        self.registry = registry
+        self.queues = queues
+        self._prepared: Dict[str, PreparedJob] = {}
+        self._cancel_flags: Dict[str, threading.Event] = {}
+        self._inflight: Dict[str, str] = {}  # job key -> live job id
+        self._submit_lock = threading.Lock()
+        self._subscribers: Dict[str, List[queue_module.SimpleQueue]] = {}
+        self._subscriber_lock = threading.Lock()
+        self._done = threading.Condition()
+        self._stopping = False
+        self._recover_stale()
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-service-worker-{index}",
+                             daemon=True)
+            for index in range(max(1, int(workers)))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, kind: str, payload: Dict[str, Any],
+               tenant: str = "default",
+               priority: int = 0) -> Tuple[str, bool, Optional[int]]:
+        """Validate, dedup and enqueue a job.
+
+        Returns ``(job_id, deduped, position)``.  Raises
+        :class:`~repro.service.protocol.ProtocolError` on a malformed
+        payload and :class:`QueueFullError` / :class:`QuotaExceededError`
+        on backpressure — nothing is persisted for a rejected submission.
+        """
+        prepared = prepare_job(kind, payload)
+        with self._submit_lock:
+            if self._stopping:
+                raise QueueFullError("the server is shutting down")
+            if prepared.key is not None:
+                existing = self._inflight.get(prepared.key)
+                if existing is not None:
+                    self._emit(existing, "dedup", {"tenant": tenant})
+                    return existing, True, None
+            job_id = uuid.uuid4().hex[:12]
+            self.registry.create_job(job_id, tenant, kind, prepared.key,
+                                     priority, payload)
+            self._prepared[job_id] = prepared
+            self._cancel_flags[job_id] = threading.Event()
+            if prepared.key is not None:
+                self._inflight[prepared.key] = job_id
+            try:
+                position = self.queues.submit(tenant, priority, job_id)
+            except (QueueFullError, QuotaExceededError):
+                self._forget(job_id, prepared.key)
+                self.registry.transition(job_id, ("queued",), "cancelled")
+                self.registry.record_error(
+                    job_id, "rejected: queue full or quota exceeded")
+                raise
+        self._emit(job_id, "state", {"state": "queued"})
+        return job_id, False, position
+
+    # -- queries ------------------------------------------------------------
+    def job(self, job_id: str) -> Dict[str, Any]:
+        entry = self.registry.get_job(job_id)
+        if entry is None:
+            raise UnknownJobError(job_id)
+        return entry
+
+    def wait_result(self, job_id: str,
+                    timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the job is terminal; returns its registry row."""
+        entry = self.job(job_id)
+        with self._done:
+            while entry["state"] not in TERMINAL_STATES:
+                if not self._done.wait(timeout=timeout):
+                    break
+                entry = self.job(job_id)
+        return entry
+
+    def stats(self) -> Dict[str, Any]:
+        cache = self.executor.cache_stats
+        stats = {
+            "jobs": self.registry.counts(),
+            "queue": self.queues.snapshot(),
+            "cache": {"hits": cache.hits, "misses": cache.misses},
+            "workers": len(self._workers),
+        }
+        disk = self.executor.disk_cache_stats
+        if disk is not None:
+            stats["disk_cache"] = {"hits": disk.hits, "misses": disk.misses,
+                                   "writes": disk.writes}
+        return stats
+
+    # -- event streaming ----------------------------------------------------
+    def subscribe(self, job_id: str) -> "queue_module.SimpleQueue":
+        """A live event feed for one job; pair with :meth:`unsubscribe`.
+
+        Subscribe **before** replaying :meth:`RunRegistry.events_since` and
+        drop live events with ``seq`` ≤ the replay horizon — that ordering
+        guarantees exactly-once delivery with no gap between replay and
+        follow.  :data:`STREAM_END` marks a terminal state.
+        """
+        feed: queue_module.SimpleQueue = queue_module.SimpleQueue()
+        with self._subscriber_lock:
+            self._subscribers.setdefault(job_id, []).append(feed)
+        return feed
+
+    def unsubscribe(self, job_id: str,
+                    feed: "queue_module.SimpleQueue") -> None:
+        with self._subscriber_lock:
+            feeds = self._subscribers.get(job_id)
+            if feeds and feed in feeds:
+                feeds.remove(feed)
+                if not feeds:
+                    del self._subscribers[job_id]
+
+    # -- cancellation -------------------------------------------------------
+    def cancel(self, job_id: str) -> str:
+        """Request cancellation; returns the job's (possibly new) state."""
+        entry = self.job(job_id)
+        tenant = entry["tenant"]
+        if entry["state"] == "queued" and self.queues.remove(tenant, job_id):
+            if self.registry.transition(job_id, ("queued",), "cancelled"):
+                with self._submit_lock:
+                    self._forget(job_id, entry["job_key"])
+                self._emit(job_id, "state", {"state": "cancelled"})
+                self._notify_done()
+                return "cancelled"
+        flag = self._cancel_flags.get(job_id)
+        if flag is not None:
+            flag.set()
+        return self.job(job_id)["state"]
+
+    # -- shutdown -----------------------------------------------------------
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = 30.0) -> None:
+        """Stop intake, cancel queued jobs, finish (or cancel) running ones,
+        then retire the executor's worker-process pool."""
+        with self._submit_lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        for tenant, job_id in self.queues.drain():
+            if self.registry.transition(job_id, ("queued",), "cancelled"):
+                entry = self.registry.get_job(job_id)
+                with self._submit_lock:
+                    self._forget(job_id, entry["job_key"] if entry else None)
+                self._emit(job_id, "state", {"state": "cancelled"})
+        if not drain:
+            for flag in list(self._cancel_flags.values()):
+                flag.set()
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+        self._notify_done()
+        self.executor.shutdown(wait=drain)
+
+    # -- internals ----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self.queues.next_job(timeout=0.2)
+            if item is None:
+                if self._stopping:
+                    return
+                continue
+            tenant, job_id = item
+            try:
+                self._run_job(job_id)
+            finally:
+                self.queues.task_done(tenant)
+
+    def _run_job(self, job_id: str) -> None:
+        prepared = self._prepared.get(job_id)
+        flag = self._cancel_flags.get(job_id)
+        if prepared is None or flag is None:
+            return  # cancelled between pop and claim
+        if not self.registry.transition(job_id, ("queued",), "running"):
+            return  # a racing cancel won
+        self._emit(job_id, "state", {"state": "running"})
+        cache = self.executor.cache_stats
+        hits_before, misses_before = cache.hits, cache.misses
+        context = JobContext(
+            executor=self.executor,
+            emit=lambda kind, data: self._emit(job_id, kind, data),
+            cancelled=flag)
+        try:
+            result = prepared.run(context)
+        except JobCancelled:
+            self.registry.transition(job_id, ("running",), "cancelled")
+            self._finish(job_id, prepared.key, "cancelled")
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            self.registry.record_error(job_id, f"{type(error).__name__}: "
+                                               f"{error}")
+            self.registry.transition(job_id, ("running",), "failed")
+            self._finish(job_id, prepared.key, "failed",
+                         {"error": str(error)})
+        else:
+            cache = self.executor.cache_stats
+            hits = cache.hits - hits_before
+            misses = cache.misses - misses_before
+            self.registry.record_result(job_id, result, hits, misses)
+            self._emit(job_id, "cache", {"hits": hits, "misses": misses})
+            self.registry.transition(job_id, ("running",), "done")
+            self._finish(job_id, prepared.key, "done")
+
+    def _finish(self, job_id: str, key: Optional[str], state: str,
+                extra: Optional[Dict[str, Any]] = None) -> None:
+        data = {"state": state}
+        if extra:
+            data.update(extra)
+        with self._submit_lock:
+            self._forget(job_id, key)
+        self._emit(job_id, "state", data)
+        self._notify_done()
+
+    def _forget(self, job_id: str, key: Optional[str]) -> None:
+        """Drop in-memory tracking for a job (submit lock must be held)."""
+        self._prepared.pop(job_id, None)
+        self._cancel_flags.pop(job_id, None)
+        if key is not None and self._inflight.get(key) == job_id:
+            del self._inflight[key]
+
+    def _emit(self, job_id: str, kind: str, data: Dict[str, Any]) -> None:
+        """Persist one event, then fan it out to live subscribers."""
+        seq = self.registry.append_event(job_id, kind, data)
+        event = {"job_id": job_id, "seq": seq, "kind": kind, "data": data}
+        terminal = kind == "state" and data.get("state") in TERMINAL_STATES
+        with self._subscriber_lock:
+            feeds = list(self._subscribers.get(job_id, ()))
+        for feed in feeds:
+            feed.put(event)
+            if terminal:
+                feed.put(STREAM_END)
+
+    def _notify_done(self) -> None:
+        with self._done:
+            self._done.notify_all()
+
+    def _recover_stale(self) -> None:
+        """Fail over jobs a previous server process left non-terminal.
+
+        A persistent registry reopened after a crash may hold ``queued`` /
+        ``running`` rows whose work died with the old process; their results
+        will never arrive, so mark them failed (their already-persisted
+        events stay replayable for reattaching clients).
+        """
+        for entry in self.registry.list_jobs(limit=10_000):
+            if entry["state"] in TERMINAL_STATES:
+                continue
+            if self.registry.transition(
+                    entry["id"], ("queued", "running"), "failed"):
+                self.registry.record_error(
+                    entry["id"], "orphaned: the serving process restarted")
+                self.registry.append_event(
+                    entry["id"], "state",
+                    {"state": "failed", "error": "orphaned"})

@@ -1,0 +1,729 @@
+"""The repro.service job server: protocol, scheduling, registry, E2E.
+
+The PR-6 acceptance surface:
+
+* two concurrent clients submitting an identical deterministic job are
+  served by ONE engine execution (counter-verified against
+  ``Executor.stats.backend_invocations`` and
+  ``repro.qec.sampling_stats()``);
+* a client killed mid-stream reattaches by job id and retrieves the full
+  event history and final result from the SQLite run registry;
+* a streaming QEC job delivers at least two partial Wilson-interval
+  updates before the final result, and every value returned over the wire
+  is bitwise identical to the equivalent in-process ``Executor`` call;
+* bounded queues and per-tenant quotas reject excess submissions with
+  429-style errors instead of buffering unboundedly.
+"""
+
+import contextlib
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.parameters import Parameter
+from repro.execution import Executor
+from repro.operators.pauli import PauliSum
+from repro.qec import MWPMDecoder, repetition_code_graph
+from repro.qec.sampling import (reset_sampling_stats, run_memory_sampling,
+                                sampling_stats, stream_memory_sampling)
+from repro.service import (JobFailedError, JobRunner, ProtocolError,
+                           QueueFullError, QuotaExceededError, RunRegistry,
+                           ServiceClient, ServiceConfig, ServiceError,
+                           TenantQueues, decode_line, encode_line,
+                           qec_memory_payload, start_in_thread,
+                           sweep_payload)
+from repro.service import protocol as protocol_module
+from repro.service import runner as runner_module
+from repro.service.jobs import PreparedJob
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def sweep_fixture(points=6):
+    theta = Parameter("theta")
+    template = QuantumCircuit(2)
+    template.h(0)
+    template.rz(theta, 0)
+    template.cx(0, 1)
+    observable = PauliSum.from_label_dict({"ZZ": 1.0, "XI": 0.5})
+    parameter_sets = [[0.1 * k] for k in range(points)]
+    return template, parameter_sets, observable
+
+
+@contextlib.contextmanager
+def service(**overrides):
+    """A live in-thread server on a short unix-socket path."""
+    tmp = tempfile.mkdtemp(dir="/tmp", prefix="rsvc")
+    defaults = dict(socket_path=os.path.join(tmp, "s.sock"),
+                    db_path=os.path.join(tmp, "registry.db"), workers=2)
+    defaults.update(overrides)
+    handle = start_in_thread(ServiceConfig(**defaults))
+    try:
+        yield handle
+    finally:
+        handle.stop()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def wait_for_state(client, job_id, state, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if client.status(job_id)["state"] == state:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} never reached {state!r}")
+
+
+BLOCKER = dict(distance=3, rounds=2, error_rate=0.02, shots=262144,
+               chunk_blocks=4)  # unseeded: never deduped, never cached
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        request = protocol_module.SubmitRequest(
+            kind="sweep", payload={"a": 1}, tenant="alice", priority=3,
+            stream=True)
+        line = encode_line(request)
+        assert line.endswith("\n") and "\n" not in line[:-1]
+        decoded = decode_line(line)
+        assert decoded == request
+
+    def test_every_message_type_round_trips(self):
+        for cls in protocol_module._MESSAGE_TYPES.values():
+            try:
+                instance = cls()
+            except TypeError:
+                continue  # needs positional fields; covered elsewhere
+            assert decode_line(encode_line(instance)) == instance
+
+    def test_rejects_wrong_version(self):
+        line = json.dumps({"v": 99, "type": "ping"})
+        with pytest.raises(ProtocolError, match="version"):
+            decode_line(line)
+
+    def test_rejects_unknown_type(self):
+        line = json.dumps({"v": 1, "type": "teleport"})
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_line(line)
+
+    def test_rejects_unknown_fields(self):
+        line = json.dumps({"v": 1, "type": "ping", "extra": 1})
+        with pytest.raises(ProtocolError, match="unknown fields"):
+            decode_line(line)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_line("[1, 2]")
+        with pytest.raises(ProtocolError):
+            decode_line("not json")
+
+    def test_submit_validation(self):
+        with pytest.raises(ProtocolError, match="unknown job kind"):
+            protocol_module.SubmitRequest(kind="bogus",
+                                          payload={}).validate()
+        with pytest.raises(ProtocolError, match="tenant"):
+            protocol_module.SubmitRequest(kind="sweep", payload={},
+                                          tenant="").validate()
+
+    def test_no_pickle_on_the_wire(self):
+        template, points, observable = sweep_fixture()
+        payload = sweep_payload(template, points, observable)
+        # The whole payload must survive a strict JSON round trip.
+        assert json.loads(json.dumps(payload)) == payload
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+
+
+class TestTenantQueues:
+    def test_priority_order_within_tenant(self):
+        queues = TenantQueues(max_running_per_tenant=8)
+        queues.submit("a", 0, "low")
+        queues.submit("a", 5, "high")
+        queues.submit("a", 5, "high2")
+        popped = [queues.next_job(timeout=0.1)[1] for _ in range(3)]
+        assert popped == ["high", "high2", "low"]
+
+    def test_global_bound_rejects(self):
+        queues = TenantQueues(max_pending=2, max_pending_per_tenant=10)
+        queues.submit("a", 0, "j1")
+        queues.submit("b", 0, "j2")
+        with pytest.raises(QueueFullError):
+            queues.submit("c", 0, "j3")
+
+    def test_tenant_quota_rejects(self):
+        queues = TenantQueues(max_pending=100, max_pending_per_tenant=1)
+        queues.submit("a", 0, "j1")
+        with pytest.raises(QuotaExceededError):
+            queues.submit("a", 0, "j2")
+        queues.submit("b", 0, "j3")  # other tenants unaffected
+
+    def test_running_quota_parks_tenant(self):
+        queues = TenantQueues(max_running_per_tenant=1)
+        queues.submit("a", 0, "a1")
+        queues.submit("a", 0, "a2")
+        queues.submit("b", 0, "b1")
+        first = queues.next_job(timeout=0.1)
+        assert first == ("a", "a1")
+        # Tenant a is at its running quota: b runs next, then nothing.
+        assert queues.next_job(timeout=0.1) == ("b", "b1")
+        assert queues.next_job(timeout=0.05) is None
+        queues.task_done("a")
+        assert queues.next_job(timeout=0.1) == ("a", "a2")
+
+    def test_remove_and_drain(self):
+        queues = TenantQueues()
+        queues.submit("a", 0, "j1")
+        queues.submit("a", 1, "j2")
+        assert queues.remove("a", "j1") is True
+        assert queues.remove("a", "j1") is False
+        assert queues.drain() == [("a", "j2")]
+        assert queues.pending == 0
+        with pytest.raises(QueueFullError):
+            queues.submit("a", 0, "j3")
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestRunRegistry:
+    def test_job_lifecycle_and_guarded_transitions(self):
+        registry = RunRegistry(":memory:")
+        registry.create_job("j1", "alice", "sweep", "key1", 2, {"x": 1})
+        entry = registry.get_job("j1")
+        assert entry["state"] == "queued"
+        assert entry["payload"] == {"x": 1}
+        assert registry.transition("j1", ("queued",), "running") is True
+        # Illegal jump: the job is no longer queued.
+        assert registry.transition("j1", ("queued",), "cancelled") is False
+        registry.record_result("j1", {"energies": [1.0]}, cache_hits=3,
+                               cache_misses=4)
+        assert registry.transition("j1", ("running",), "done") is True
+        entry = registry.get_job("j1")
+        assert entry["state"] == "done"
+        assert entry["result"] == {"energies": [1.0]}
+        assert (entry["cache_hits"], entry["cache_misses"]) == (3, 4)
+        assert entry["started_at"] is not None
+        assert entry["finished_at"] is not None
+        # Terminal rows never move again.
+        assert registry.transition("j1", ("done",), "running") is False
+
+    def test_event_log_is_append_only_and_ordered(self):
+        registry = RunRegistry(":memory:")
+        registry.create_job("j1", "t", "sweep", None, 0, {})
+        seqs = [registry.append_event("j1", "partial", {"n": n})
+                for n in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        tail = registry.events_since("j1", after_seq=3)
+        assert [event["seq"] for event in tail] == [4, 5]
+        assert tail[0]["data"] == {"n": 3}
+
+    def test_find_inflight_and_counts(self):
+        registry = RunRegistry(":memory:")
+        registry.create_job("j1", "t", "sweep", "K", 0, {})
+        registry.create_job("j2", "t", "sweep", "K2", 0, {})
+        assert registry.find_inflight("K") == "j1"
+        registry.transition("j1", ("queued",), "cancelled")
+        assert registry.find_inflight("K") is None
+        assert registry.counts() == {"queued": 1, "cancelled": 1}
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "registry.db")
+        registry = RunRegistry(path)
+        registry.create_job("j1", "t", "sweep", None, 0, {"x": 2})
+        registry.append_event("j1", "partial", {"n": 0})
+        registry.close()
+        reopened = RunRegistry(path)
+        assert reopened.get_job("j1")["payload"] == {"x": 2}
+        assert len(reopened.events_since("j1")) == 1
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# runner (deterministic, with stub jobs)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def stub_runner(monkeypatch):
+    """A JobRunner whose jobs block on events — fully deterministic."""
+    started = {}
+    release = {}
+
+    def fake_prepare(kind, payload):
+        name = payload["name"]
+        started[name] = threading.Event()
+        release[name] = threading.Event()
+
+        def run(ctx):
+            started[name].set()
+            while not release[name].wait(0.02):
+                ctx.checkpoint()
+            if payload.get("fail"):
+                raise RuntimeError("boom")
+            ctx.emit("partial", {"name": name})
+            return {"name": name}
+
+        return PreparedJob(kind=kind, key=payload.get("key"), units=1,
+                           run=run)
+
+    monkeypatch.setattr(runner_module, "prepare_job", fake_prepare)
+    registry = RunRegistry(":memory:")
+    runner = JobRunner(Executor(), registry, TenantQueues(), workers=2)
+    try:
+        yield runner, started, release
+    finally:
+        for event in release.values():
+            event.set()
+        runner.shutdown(drain=True, timeout=10)
+
+
+class TestJobRunner:
+    def test_inflight_dedup_returns_same_job(self, stub_runner):
+        runner, started, release = stub_runner
+        job_id, deduped, _ = runner.submit("sweep", {"name": "a",
+                                                     "key": "K"})
+        assert not deduped
+        dup_id, dup_deduped, _ = runner.submit("sweep", {"name": "a2",
+                                                         "key": "K"})
+        assert dup_deduped and dup_id == job_id
+        # A keyless job never coalesces.
+        other_id, other_deduped, _ = runner.submit("sweep", {"name": "b"})
+        assert not other_deduped and other_id != job_id
+        release["a"].set()
+        release["b"].set()
+        assert runner.wait_result(job_id, timeout=10)["state"] == "done"
+        # Once terminal, the key is released: a resubmission is a new job.
+        new_id, new_deduped, _ = runner.submit("sweep", {"name": "c",
+                                                         "key": "K"})
+        assert not new_deduped and new_id != job_id
+        release["c"].set()
+        runner.wait_result(new_id, timeout=10)
+
+    def test_cancel_running_job(self, stub_runner):
+        runner, started, release = stub_runner
+        job_id, _, _ = runner.submit("sweep", {"name": "a"})
+        assert started["a"].wait(timeout=10)
+        assert runner.cancel(job_id) in ("running", "cancelled")
+        entry = runner.wait_result(job_id, timeout=10)
+        assert entry["state"] == "cancelled"
+
+    def test_failed_job_records_error(self, stub_runner):
+        runner, started, release = stub_runner
+        job_id, _, _ = runner.submit("sweep", {"name": "a", "fail": True})
+        release["a"].set()
+        entry = runner.wait_result(job_id, timeout=10)
+        assert entry["state"] == "failed"
+        assert "boom" in entry["error"]
+
+    def test_events_are_persisted_and_fanned_out(self, stub_runner):
+        runner, started, release = stub_runner
+        job_id, _, _ = runner.submit("sweep", {"name": "a"})
+        feed = runner.subscribe(job_id)
+        release["a"].set()
+        runner.wait_result(job_id, timeout=10)
+        kinds = [event["kind"]
+                 for event in runner.registry.events_since(job_id)]
+        assert kinds == ["state", "state", "partial", "cache", "state"]
+        seqs = [event["seq"]
+                for event in runner.registry.events_since(job_id)]
+        assert seqs == [1, 2, 3, 4, 5]
+        runner.unsubscribe(job_id, feed)
+
+    def test_recovers_stale_jobs_from_dead_process(self, monkeypatch):
+        registry = RunRegistry(":memory:")
+        registry.create_job("dead1", "t", "sweep", None, 0, {})
+        registry.create_job("dead2", "t", "sweep", None, 0, {})
+        registry.transition("dead2", ("queued",), "running")
+        runner = JobRunner(Executor(), registry, TenantQueues(), workers=1)
+        try:
+            for job_id in ("dead1", "dead2"):
+                entry = registry.get_job(job_id)
+                assert entry["state"] == "failed"
+                assert "orphaned" in entry["error"]
+        finally:
+            runner.shutdown(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end over the unix socket
+# ---------------------------------------------------------------------------
+
+
+class TestServiceEndToEnd:
+    def test_sweep_results_bitwise_identical_to_in_process(self):
+        template, points, observable = sweep_fixture()
+        with Executor(use_cache=False) as reference:
+            whole = reference.evaluate_sweep(template, points, observable)
+            chunked = []
+            for start in range(0, len(points), 2):
+                chunked.extend(reference.evaluate_sweep(
+                    template, points[start:start + 2], observable))
+        with service() as handle:
+            with ServiceClient(handle.socket_path) as client:
+                # One chunk == the plain whole-batch in-process call.
+                _, result = client.submit_and_stream(
+                    "sweep", sweep_payload(template, points, observable))
+                assert result.result["energies"] == list(whole)
+                # chunk=2 == in-process calls of the same chunk shape.
+                events = []
+                _, result = client.submit_and_stream(
+                    "sweep",
+                    sweep_payload(template, points, observable, chunk=2),
+                    on_event=events.append)
+                assert result.result["energies"] == chunked
+                partials = [e for e in events if e["kind"] == "partial"]
+                assert len(partials) == 3
+                assert [p["data"]["done"] for p in partials] == [2, 4, 6]
+
+    def test_qec_stream_delivers_wilson_partials_before_result(self):
+        payload = qec_memory_payload(distance=3, rounds=2, error_rate=0.02,
+                                     shots=1024, seed=11, chunk_blocks=1)
+        graph = repetition_code_graph(3, 2, 0.02)
+        reference = run_memory_sampling(graph, MWPMDecoder(graph), 1024,
+                                        seed=11)
+        with service() as handle:
+            with ServiceClient(handle.socket_path) as client:
+                events = []
+                _, result = client.submit_and_stream(
+                    "qec_memory", payload, on_event=events.append)
+        partials = [e for e in events if e["kind"] == "partial"]
+        assert len(partials) >= 2  # streamed, not just a final dump
+        for partial in partials:
+            low, high = partial["data"]["wilson"]
+            assert 0.0 <= low <= high <= 1.0
+        shots_seen = [p["data"]["shots"] for p in partials]
+        assert shots_seen == sorted(shots_seen)
+        assert shots_seen[-1] == 1024
+        # Bitwise identity with the in-process call.
+        assert result.result["failures"] == reference.failures
+        assert result.result["total_defects"] == reference.total_defects
+        assert result.result["logical_error_rate"] == \
+            reference.logical_error_rate
+
+    def test_cross_client_dedup_single_engine_execution(self):
+        template, points, observable = sweep_fixture(points=8)
+        sweep = sweep_payload(template, points, observable)
+        qec = qec_memory_payload(distance=3, rounds=2, error_rate=0.02,
+                                 shots=2048, seed=5)
+        with service(workers=1) as handle:
+            executor = handle.server.executor
+            with ServiceClient(handle.socket_path) as alice, \
+                    ServiceClient(handle.socket_path) as bob:
+                # One worker, occupied by an unkeyed blocker: everything
+                # else stays queued, so the duplicate submissions below
+                # are deterministically in flight together.
+                blocker = alice.submit("qec_memory", BLOCKER).job_id
+                wait_for_state(alice, blocker, "running")
+                reset_sampling_stats()
+                invocations_before = executor.stats.simulator_invocations
+
+                first = alice.submit("sweep", sweep)
+                second = bob.submit("sweep", sweep)
+                assert not first.deduped
+                assert second.deduped
+                assert second.job_id == first.job_id
+
+                qec_first = alice.submit("qec_memory", qec)
+                qec_second = bob.submit("qec_memory", qec)
+                assert qec_second.deduped
+                assert qec_second.job_id == qec_first.job_id
+
+                alice_result = alice.fetch(first.job_id)
+                bob_result = bob.fetch(second.job_id)
+                assert alice_result == bob_result  # same row, same bits
+                alice.fetch(qec_first.job_id)
+                bob.fetch(qec_second.job_id)
+
+                # Counter verification: one sweep execution (8 points, no
+                # cache hits) and one seeded QEC experiment — not two.
+                invocations = executor.stats.simulator_invocations - \
+                    invocations_before
+                assert invocations == len(points)
+                # The blocker itself counts as one experiment; the pair of
+                # identical seeded submissions adds exactly ONE more (and
+                # exactly one job's worth of freshly sampled shots).
+                stats = sampling_stats()
+                assert stats.experiments == 2
+                assert stats.shots_sampled == BLOCKER["shots"] + 2048
+                # The registry holds ONE row per deduplicated submission.
+                rows = [row for row in alice.list_jobs()
+                        if row["job_key"] is not None]
+                assert len(rows) == 2
+                dedup_events = [
+                    event for event in
+                    handle.server.registry.events_since(first.job_id)
+                    if event["kind"] == "dedup"]
+                assert len(dedup_events) == 1
+
+    def test_crashed_client_reattaches_by_job_id(self):
+        payload = qec_memory_payload(distance=3, rounds=2, error_rate=0.02,
+                                     shots=4096, seed=13, chunk_blocks=1)
+        graph = repetition_code_graph(3, 2, 0.02)
+        reference = run_memory_sampling(graph, MWPMDecoder(graph), 4096,
+                                        seed=13)
+        with service() as handle:
+            # Client A submits with streaming, reads two events, then dies
+            # without closing the stream properly.
+            victim = ServiceClient(handle.socket_path)
+            submitted = victim.submit(
+                "qec_memory", dict(payload), tenant="victim")
+            job_id = submitted.job_id
+            seen = []
+            for event in victim.iter_events(job_id):
+                seen.append(event)
+                if len(seen) == 2:
+                    break
+            victim._socket.close()  # simulated crash: no goodbye
+            last_seq = seen[-1]["seq"]
+
+            # Client B (a different process in real life) reattaches by
+            # job id and replays exactly the missed tail.
+            with ServiceClient(handle.socket_path) as rescuer:
+                tail = []
+                result = rescuer.attach(job_id, after_seq=last_seq,
+                                        on_event=tail.append)
+                assert result.state == "done"
+                assert result.result["failures"] == reference.failures
+                assert result.result["total_defects"] == \
+                    reference.total_defects
+                seqs = [event["seq"] for event in seen + tail]
+                assert seqs == list(range(1, seqs[-1] + 1))  # no gaps
+                # The full result also survives in the SQLite registry.
+                row = rescuer.status(job_id)
+                assert row["state"] == "done"
+                assert row["result"]["failures"] == reference.failures
+
+    def test_backpressure_rejects_with_429(self):
+        with service(workers=1, max_pending=1) as handle:
+            with ServiceClient(handle.socket_path) as client:
+                blocker = client.submit("qec_memory", BLOCKER).job_id
+                wait_for_state(client, blocker, "running")
+                client.submit("qec_memory", BLOCKER)  # fills the queue
+                with pytest.raises(ServiceError) as caught:
+                    client.submit("qec_memory", BLOCKER)
+                assert caught.value.status == 429
+                assert caught.value.code == "queue-full"
+
+    def test_tenant_quota_rejects_with_429(self):
+        with service(workers=1, max_pending_per_tenant=1) as handle:
+            with ServiceClient(handle.socket_path) as client:
+                blocker = client.submit("qec_memory", BLOCKER,
+                                        tenant="greedy").job_id
+                wait_for_state(client, blocker, "running")
+                client.submit("qec_memory", BLOCKER, tenant="greedy")
+                with pytest.raises(ServiceError) as caught:
+                    client.submit("qec_memory", BLOCKER, tenant="greedy")
+                assert caught.value.status == 429
+                assert caught.value.code == "quota-exceeded"
+                # Another tenant is not affected by the greedy one.
+                other = client.submit("qec_memory", BLOCKER,
+                                      tenant="modest")
+                assert other.state == "queued"
+
+    def test_cancel_queued_job(self):
+        with service(workers=1) as handle:
+            with ServiceClient(handle.socket_path) as client:
+                blocker = client.submit("qec_memory", BLOCKER).job_id
+                wait_for_state(client, blocker, "running")
+                queued = client.submit("qec_memory", BLOCKER).job_id
+                assert client.cancel(queued) == "cancelled"
+                with pytest.raises(JobFailedError):
+                    client.fetch(queued)
+
+    def test_unknown_job_is_404(self):
+        with service() as handle:
+            with ServiceClient(handle.socket_path) as client:
+                with pytest.raises(ServiceError) as caught:
+                    client.status("nope")
+                assert caught.value.status == 404
+
+    def test_malformed_payload_rejected_at_submit(self):
+        with service() as handle:
+            with ServiceClient(handle.socket_path) as client:
+                with pytest.raises(ServiceError) as caught:
+                    client.submit("qec_memory", {"distance": 3})
+                assert caught.value.status == 400
+                assert client.list_jobs() == []  # nothing persisted
+
+    def test_registry_survives_server_restart(self):
+        tmp = tempfile.mkdtemp(dir="/tmp", prefix="rsvc")
+        socket_path = os.path.join(tmp, "s.sock")
+        db_path = os.path.join(tmp, "registry.db")
+        payload = qec_memory_payload(distance=3, rounds=2, error_rate=0.02,
+                                     shots=512, seed=3, chunk_blocks=1)
+        try:
+            handle = start_in_thread(ServiceConfig(
+                socket_path=socket_path, db_path=db_path, workers=1))
+            with ServiceClient(socket_path) as client:
+                job_id = client.submit("qec_memory", payload).job_id
+                first = client.fetch(job_id)
+            handle.stop()
+            # A brand-new server process over the same registry file still
+            # serves the finished job's events and result.
+            handle = start_in_thread(ServiceConfig(
+                socket_path=socket_path, db_path=db_path, workers=1))
+            with ServiceClient(socket_path) as client:
+                replayed = []
+                result = client.attach(job_id, on_event=replayed.append)
+                assert result.state == "done"
+                assert result.result == first
+                assert any(e["kind"] == "partial" for e in replayed)
+            handle.stop()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def test_service_cache_dir_env_shares_one_disk_cache(self, monkeypatch):
+        template, points, observable = sweep_fixture()
+        payload = sweep_payload(template, points, observable)
+        tmp = tempfile.mkdtemp(dir="/tmp", prefix="rsvc")
+        monkeypatch.setenv("REPRO_SERVICE_CACHE_DIR",
+                           os.path.join(tmp, "cache"))
+        try:
+            config = ServiceConfig.from_env(
+                socket_path=os.path.join(tmp, "s.sock"),
+                db_path=":memory:", workers=1)
+            assert config.cache_dir == os.path.join(tmp, "cache")
+            with start_in_thread(config) as handle:
+                with ServiceClient(handle.socket_path) as client:
+                    first_id = client.submit("sweep", payload).job_id
+                    client.fetch(first_id)
+                    # Sequential resubmission: not in flight, so not
+                    # deduped — served by the shared cache instead.
+                    second_id = client.submit("sweep", payload).job_id
+                    assert second_id != first_id
+                    client.fetch(second_id)
+                    first = client.status(first_id)
+                    second = client.status(second_id)
+                    assert first["cache_misses"] > 0
+                    assert second["cache_hits"] > 0
+                    assert second["cache_misses"] < \
+                        first["cache_misses"]
+                    stats = client.stats()
+                    assert "disk_cache" in stats
+                    # The per-job accounting also lands in the event log.
+                    cache_events = [
+                        e for e in
+                        handle.server.registry.events_since(second_id)
+                        if e["kind"] == "cache"]
+                    assert cache_events and \
+                        cache_events[0]["data"]["hits"] == \
+                        second["cache_hits"]
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def test_http_transport(self):
+        payload = qec_memory_payload(distance=3, rounds=2, error_rate=0.02,
+                                     shots=512, seed=9, chunk_blocks=1)
+        graph = repetition_code_graph(3, 2, 0.02)
+        reference = run_memory_sampling(graph, MWPMDecoder(graph), 512,
+                                        seed=9)
+        with service(http_port=0) as handle:
+            base = f"http://127.0.0.1:{handle.http_port}"
+            pong = json.load(urllib.request.urlopen(base + "/v1/ping"))
+            assert pong["server"] == "repro.service"
+            request = urllib.request.Request(
+                base + "/v1/jobs", method="POST",
+                data=json.dumps({"kind": "qec_memory",
+                                 "payload": payload}).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 202
+                job_id = json.load(response)["job_id"]
+            result = json.load(urllib.request.urlopen(
+                base + f"/v1/jobs/{job_id}/result"))
+            assert result["state"] == "done"
+            assert result["result"]["failures"] == reference.failures
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(base + "/v1/jobs/nope")
+            assert caught.value.code == 404
+
+    def test_graceful_shutdown_drains_running_jobs(self):
+        with service(workers=1) as handle:
+            client = ServiceClient(handle.socket_path)
+            running = client.submit("qec_memory", BLOCKER).job_id
+            wait_for_state(client, running, "running")
+            queued = client.submit("qec_memory", BLOCKER).job_id
+            assert client.shutdown_server(drain=True) == "shutting down"
+            client.close()
+            handle.thread.join(timeout=60)
+            assert not handle.thread.is_alive()
+            # The running job finished; the queued one was cancelled.
+            registry = RunRegistry(handle.server.config.db_path)
+            try:
+                assert registry.get_job(running)["state"] == "done"
+                assert registry.get_job(queued)["state"] == "cancelled"
+            finally:
+                registry.close()
+
+
+# ---------------------------------------------------------------------------
+# foundations that ride along in this PR
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorShutdown:
+    def test_context_manager_flushes_disk_stats(self, tmp_path):
+        template, points, observable = sweep_fixture(points=3)
+        with Executor(cache_dir=str(tmp_path / "cache")) as executor:
+            executor.evaluate_sweep(template, points, observable)
+            assert executor.final_disk_stats is None
+        assert executor.final_disk_stats is not None
+        assert executor.final_disk_stats.writes > 0
+
+    def test_engine_usable_after_shutdown(self):
+        template, points, observable = sweep_fixture(points=2)
+        executor = Executor()
+        executor.evaluate_sweep(template, points, observable)
+        executor.shutdown()
+        # The process pool is recreated lazily: later work still runs.
+        again = Executor()
+        values = again.evaluate_sweep(template, points, observable)
+        assert len(values) == 2
+
+
+class TestStreamMemorySampling:
+    def test_stream_is_bitwise_identical_to_batch(self):
+        graph = repetition_code_graph(3, 4, 0.03)
+        decoder = MWPMDecoder(graph)
+        # Distinct executors: neither call may see the other's cache.
+        reference = run_memory_sampling(graph, decoder, 2048, seed=21,
+                                        executor=Executor())
+        partials = list(stream_memory_sampling(graph, decoder, 2048,
+                                               seed=21, chunk_blocks=2,
+                                               executor=Executor()))
+        assert len(partials) >= 2
+        final = partials[-1]
+        assert final.shots == reference.shots
+        assert final.failures == reference.failures
+        assert final.total_defects == reference.total_defects
+
+    def test_warm_cache_yields_single_cached_partial(self):
+        graph = repetition_code_graph(3, 2, 0.02)
+        decoder = MWPMDecoder(graph)
+        executor = Executor()
+        run_memory_sampling(graph, decoder, 512, seed=8, executor=executor)
+        partials = list(stream_memory_sampling(graph, decoder, 512, seed=8,
+                                               executor=executor))
+        assert len(partials) == 1
+        assert partials[0].from_cache is True
