@@ -27,8 +27,8 @@ batched Monte-Carlo sampling pipeline in :mod:`repro.qec.sampling`.
 """
 
 from .base import (BatchDecodeStats, SyndromeBatchDecoder, batch_decode,
-                   batch_decode_stats, decoder_cache_token,
-                   reset_batch_decode_stats)
+                   batch_decode_packed, batch_decode_stats,
+                   decoder_cache_token, reset_batch_decode_stats)
 from .graph import (DecodingEdge, DecodingGraph, repetition_code_graph,
                     rotated_surface_code_graph)
 from .lookup import LookupDecoder
@@ -46,6 +46,7 @@ __all__ = [
     "SyndromeBatchDecoder",
     "UnionFindDecoder",
     "batch_decode",
+    "batch_decode_packed",
     "batch_decode_stats",
     "decoder_cache_token",
     "repetition_code_graph",

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..bitops import pack_rows, packed_words, unpack_rows
 from .graph import Detector
 
 # ---------------------------------------------------------------------------
@@ -185,27 +186,53 @@ def decoder_cache_token(decoder) -> Optional[tuple]:
 
 def _prepare_syndromes(syndromes: np.ndarray,
                        num_detectors: int) -> np.ndarray:
-    syndromes = np.ascontiguousarray(np.asarray(syndromes, dtype=np.uint8) & 1)
-    if syndromes.ndim != 2 or syndromes.shape[1] != num_detectors:
+    """Validate and normalize a syndrome matrix to C-contiguous 0/1 uint8.
+
+    Normalization happens exactly **once** here: a transposed or otherwise
+    strided view is copied into C order a single time, and an input that is
+    already contiguous 0/1 ``uint8`` passes through untouched — the old
+    unconditional ``& 1`` re-copied every batch, and downstream packers
+    would silently re-copy strided input again per call.  Non-binary
+    entries are masked in place only when this function owns the buffer
+    (the caller's array is never mutated).
+    """
+    source = np.asarray(syndromes)
+    if source.ndim != 2 or source.shape[1] != num_detectors:
         raise ValueError(
             f"syndromes must be (shots, {num_detectors}), got array of "
-            f"shape {syndromes.shape}")
-    return syndromes
+            f"shape {source.shape}")
+    normalized = np.ascontiguousarray(source, dtype=np.uint8)
+    if normalized.size and int(normalized.max()) > 1:
+        if np.shares_memory(normalized, source):
+            normalized = normalized & 1
+        else:
+            normalized &= 1
+    return normalized
+
+
+def _dedup_packed(words: np.ndarray) -> tuple:
+    """``(unique word rows, first_index, inverse)`` for packed syndromes.
+
+    One fixed-length S-dtype ``np.unique`` over the raw word bytes (rows
+    share a length, so trailing-null trimming cannot conflate two distinct
+    rows) is several times faster than ``unique(axis=0)``.  Packed rows
+    are valid equality keys because :func:`repro.qec.bitops.pack_rows`
+    zeroes every tail bit past the row width.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    keys = words.view(f"S{words.shape[1] * words.itemsize}").ravel()
+    _, first_index, inverse = np.unique(keys, return_index=True,
+                                        return_inverse=True)
+    return words[first_index], first_index, np.asarray(inverse).reshape(-1)
 
 
 def _dedup_syndromes(syndromes: np.ndarray
                      ) -> tuple:
-    """``(unique rows, inverse)`` via packed-bytes row keys.
-
-    One fixed-length S-dtype ``np.unique`` (rows share a length, so
-    trailing-null trimming cannot conflate two distinct rows) is several
-    times faster than ``unique(axis=0)``.
-    """
-    packed = np.ascontiguousarray(np.packbits(syndromes, axis=1))
-    keys = packed.view(f"S{packed.shape[1]}").ravel()
-    _, first_index, inverse = np.unique(keys, return_index=True,
-                                        return_inverse=True)
-    return syndromes[first_index], np.asarray(inverse).reshape(-1)
+    """``(unique rows, inverse)`` via packed-word row keys (see
+    :func:`_dedup_packed`)."""
+    words = pack_rows(syndromes)
+    _, first_index, inverse = _dedup_packed(words)
+    return syndromes[first_index], inverse
 
 
 def _loop_decode_unique(decoder, unique: np.ndarray,
@@ -241,6 +268,42 @@ def batch_decode(decoder, syndromes: np.ndarray,
     flips = _loop_decode_unique(decoder, unique, detectors)
     _record_batch(unique.shape[0], syndromes.shape[0])
     return flips[inverse]
+
+
+def batch_decode_packed(decoder, syndrome_words: np.ndarray,
+                        detectors: Sequence[Detector]) -> np.ndarray:
+    """Batched decode of bit-packed syndromes for *any* decoder.
+
+    ``syndrome_words`` is ``(shots, packed_words(n_detectors))`` uint64 as
+    produced by :func:`repro.qec.bitops.pack_rows` (tail bits zero).
+    Dispatches to :meth:`SyndromeBatchDecoder.decode_batch_packed` when
+    available; a plain third-party decoder gets the packed dedup shell
+    with a per-unique unpack + per-shot ``decode`` loop.
+    """
+    packed = getattr(decoder, "decode_batch_packed", None)
+    if callable(packed):
+        return packed(syndrome_words, detectors)
+    detectors = list(detectors)
+    words = _prepare_syndrome_words(syndrome_words, len(detectors))
+    if words.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    unique_words, _, inverse = _dedup_packed(words)
+    unique = unpack_rows(unique_words, len(detectors))
+    flips = _loop_decode_unique(decoder, unique, detectors)
+    _record_batch(unique.shape[0], words.shape[0])
+    return flips[inverse]
+
+
+def _prepare_syndrome_words(words: np.ndarray,
+                            num_detectors: int) -> np.ndarray:
+    """Validate a packed-syndrome matrix ``(shots, packed_words(n))``."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    expected = packed_words(num_detectors)
+    if words.ndim != 2 or words.shape[1] != expected:
+        raise ValueError(
+            f"packed syndromes must be (shots, {expected}) uint64 for "
+            f"{num_detectors} detectors, got shape {words.shape}")
+    return words
 
 
 class SyndromeBatchDecoder:
@@ -283,10 +346,48 @@ class SyndromeBatchDecoder:
         _record_batch(unique.shape[0], syndromes.shape[0])
         return np.asarray(flips, dtype=bool)[inverse]
 
+    def decode_batch_packed(self, syndrome_words: np.ndarray,
+                            detectors: Optional[Sequence[Detector]] = None
+                            ) -> np.ndarray:
+        """Per-shot flips for a **bit-packed** syndrome matrix.
+
+        ``syndrome_words`` is ``(shots, packed_words(n_detectors))``
+        uint64 in the :func:`repro.qec.bitops.pack_rows` layout (bit ``i``
+        of a row in word ``i // 64`` at position ``i % 64``; tail bits
+        zero).  Dedup runs directly on the packed words — the dense
+        syndrome matrix is never materialized; only the (few) unique rows
+        are unpacked for decoders without a packed bulk path.  Bitwise
+        identical to ``decode_batch(unpack_rows(words, n))``: decoding is
+        deterministic, so the representation of the dedup keys cannot
+        change any verdict.
+        """
+        graph = self.decoding_graph
+        if detectors is None:
+            detectors = graph.detector_order()
+        else:
+            detectors = list(detectors)
+        words = _prepare_syndrome_words(syndrome_words, len(detectors))
+        if words.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        unique_words, _, inverse = _dedup_packed(words)
+        flips = self._decode_unique_packed(unique_words, detectors)
+        _record_batch(unique_words.shape[0], words.shape[0])
+        return np.asarray(flips, dtype=bool)[inverse]
+
     def _decode_unique(self, unique: np.ndarray,
                        detectors: Sequence[Detector]) -> np.ndarray:
         """Decode each unique syndrome row via the per-shot ``decode``."""
         return _loop_decode_unique(self, unique, detectors)
+
+    def _decode_unique_packed(self, unique_words: np.ndarray,
+                              detectors: Sequence[Detector]) -> np.ndarray:
+        """Decode unique **packed** rows; default unpacks to the dense hook.
+
+        Subclasses with a packed bulk probe (the lookup decoder) override
+        this to avoid the unpack entirely.
+        """
+        unique = unpack_rows(unique_words, len(detectors))
+        return self._decode_unique(unique, detectors)
 
     def cache_token(self) -> Optional[tuple]:
         """Cache-key component covering this decoder's configuration.

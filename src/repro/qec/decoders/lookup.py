@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..bitops import pack_rows, unpack_rows
 from .base import SyndromeBatchDecoder, decoder_cache_token
 from .graph import BOUNDARY, DecodingEdge, DecodingGraph, Detector
 from .mwpm import DecodeOutcome, MWPMDecoder
@@ -103,11 +104,13 @@ class LookupDecoder(SyndromeBatchDecoder):
     # -- vectorized batch path ----------------------------------------------
     def _compiled_batch_table(self) -> Tuple[np.ndarray, np.ndarray,
                                              List[Detector]]:
-        """``(sorted packed syndromes, per-row logical flips, detectors)``.
+        """``(sorted packed-word keys, per-row logical flips, detectors)``.
 
-        Each table syndrome becomes one ``np.packbits`` row; rows are sorted
-        lexicographically so a batch of query rows resolves with a single
-        ``np.searchsorted`` over the void view.
+        Each table syndrome becomes one bit-packed ``uint64`` word row
+        (:func:`repro.qec.bitops.pack_rows` layout); rows are sorted
+        lexicographically over their raw bytes so a batch of query rows
+        resolves with a single ``np.searchsorted``, and packed query
+        batches probe the table without ever materializing dense rows.
         """
         if self._batch_table is None:
             detectors = self._graph.detector_order()
@@ -120,14 +123,21 @@ class LookupDecoder(SyndromeBatchDecoder):
                     masks[row, index[detector]] = 1
                 flips[row] = (sum(1 for edge in correction
                                   if edge.flips_logical) % 2 == 1)
-            packed = np.ascontiguousarray(np.packbits(masks, axis=1))
-            # Fixed-length bytes dtype: total lexicographic order with a
-            # well-defined searchsorted (rows share a length, so the
-            # S-dtype's trailing-null trimming cannot conflate two rows).
-            keys = packed.view(f"S{packed.shape[1]}").ravel()
+            keys = self._word_keys(pack_rows(masks, len(detectors)))
             order = np.argsort(keys)
             self._batch_table = (keys[order], flips[order], detectors)
         return self._batch_table
+
+    @staticmethod
+    def _word_keys(words: np.ndarray) -> np.ndarray:
+        """Fixed-length bytes view of packed word rows.
+
+        The S dtype gives a total lexicographic order with a well-defined
+        ``searchsorted``; rows share a length and packed tail bits are
+        zero, so trailing-null trimming cannot conflate two rows.
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        return words.view(f"S{words.shape[1] * words.itemsize}").ravel()
 
     def _decode_unique(self, unique: np.ndarray,
                        detectors: Sequence[Detector]) -> np.ndarray:
@@ -136,16 +146,34 @@ class LookupDecoder(SyndromeBatchDecoder):
         if list(detectors) != table_detectors:
             # Foreign column order: fall back to the generic per-row path.
             return super()._decode_unique(unique, detectors)
-        packed = np.ascontiguousarray(np.packbits(unique, axis=1))
-        queries = packed.view(f"S{packed.shape[1]}").ravel()
+        return self._probe_table(
+            self._word_keys(pack_rows(unique, len(table_detectors))),
+            lambda row: np.flatnonzero(unique[row]))
+
+    def _decode_unique_packed(self, unique_words: np.ndarray,
+                              detectors: Sequence[Detector]) -> np.ndarray:
+        haystack, table_flips, table_detectors = \
+            self._compiled_batch_table()
+        if list(detectors) != table_detectors:
+            return super()._decode_unique_packed(unique_words, detectors)
+        # Misses are rare (the table covers all low-weight syndromes), so
+        # only miss rows ever get unpacked to dense bits.
+        return self._probe_table(
+            self._word_keys(unique_words),
+            lambda row: np.flatnonzero(
+                unpack_rows(unique_words[row], len(table_detectors))))
+
+    def _probe_table(self, queries: np.ndarray, defect_columns) -> np.ndarray:
+        """One ``searchsorted`` probe; ``defect_columns(row)`` serves misses."""
+        haystack, table_flips, table_detectors = self._compiled_batch_table()
         positions = np.searchsorted(haystack, queries)
         positions = np.minimum(positions, len(haystack) - 1)
         hits = haystack[positions] == queries
-        flips = np.zeros(unique.shape[0], dtype=bool)
+        flips = np.zeros(queries.shape[0], dtype=bool)
         flips[hits] = table_flips[positions[hits]]
         for row in np.flatnonzero(~hits):
-            defects = [detectors[column]
-                       for column in np.flatnonzero(unique[row])]
+            defects = [table_detectors[column]
+                       for column in defect_columns(int(row))]
             self.fallback_count += 1
             flips[row] = bool(self._fallback.decode(defects).flips_logical)
         return flips

@@ -8,10 +8,14 @@ experiment is three NumPy operations plus one batched decode:
 1. **Bernoulli matrix** — every elementary error mechanism is one column, so
    all shots draw as a single ``(shots, n_edges)`` comparison against the
    per-edge probabilities (recovered from the decoding-graph weights).
-2. **Syndrome matmul** — a precomputed sparse edge→detector incidence matrix
-   turns the error matrix into all detector syndromes with one mod-2 matmul;
-   the logical-mask vector yields every shot's true logical flip the same
-   way.
+2. **Syndrome matmul** — a precomputed edge→detector incidence matrix turns
+   the error matrix into all detector syndromes with one mod-2 matmul; the
+   logical-mask vector yields every shot's true logical flip the same way.
+   The default ``"packed"`` kernel (:mod:`repro.qec.bitops`) does this in
+   bit-packed uint64 words via a precompiled gather-table plan — exact
+   integer mod-2 math at any size; the legacy ``"dense"`` float32-GEMM
+   kernel remains selectable (``kernel=`` / ``REPRO_QEC_KERNEL``) and both
+   produce bitwise-identical failure counts.
 3. **Batched decode** — the decoder's ``decode_batch``
    (:mod:`repro.qec.decoders.base`) deduplicates shots to unique syndromes
    and decodes each once.
@@ -38,6 +42,7 @@ Execution-layer contract (mirrors :mod:`repro.execution.sharding`):
 from __future__ import annotations
 
 import math
+import os
 import threading
 import weakref
 from dataclasses import dataclass
@@ -46,8 +51,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..execution.sharding import run_sharded, split_evenly
+from .bitops import Mod2GatherPlan, mod2_matvec_packed, pack_rows, popcount
 from .decoders.base import (absorb_batch_decode_delta, batch_decode,
-                            batch_decode_delta, batch_decode_stats,
+                            batch_decode_delta, batch_decode_packed,
+                            batch_decode_stats,
                             decoder_cache_token,
                             apply_decoder_counter_delta,
                             decoder_counter_delta, decoder_counter_snapshot,
@@ -82,11 +89,16 @@ class SamplingArrays:
     probabilities: np.ndarray
     incidence: np.ndarray
     logical_mask: np.ndarray
-    # float32 copies: integer matmuls bypass BLAS, so the mod-2 reductions
-    # run over exact small-count float32 GEMMs instead (counts are bounded
-    # by the detector degree, far below float32's 2^24 integer ceiling).
+    # float32 copies drive the legacy dense kernel: integer matmuls bypass
+    # BLAS, so its mod-2 reductions run over small-count float32 GEMMs
+    # (exact only while detector degrees stay below float32's 2^24 integer
+    # ceiling — the limit the packed kernel removes).
     incidence_f32: np.ndarray
     logical_mask_f32: np.ndarray
+    # Bit-packed kernel state (repro.qec.bitops): the gather-table matmul
+    # plan for the fixed incidence matrix and the packed logical mask.
+    incidence_plan: Mod2GatherPlan
+    logical_mask_words: np.ndarray
 
     @property
     def num_edges(self) -> int:
@@ -124,7 +136,9 @@ def sampling_arrays(graph: DecodingGraph) -> SamplingArrays:
     arrays = SamplingArrays(probabilities=probabilities, incidence=incidence,
                             logical_mask=logical_mask,
                             incidence_f32=incidence.astype(np.float32),
-                            logical_mask_f32=logical_mask.astype(np.float32))
+                            logical_mask_f32=logical_mask.astype(np.float32),
+                            incidence_plan=Mod2GatherPlan(incidence),
+                            logical_mask_words=pack_rows(logical_mask))
     _arrays_cache[graph] = (token, arrays)
     return arrays
 
@@ -168,6 +182,45 @@ def syndromes_and_flips(arrays: SamplingArrays, errors: np.ndarray
     syndromes = (errors_f32 @ arrays.incidence_f32).astype(np.uint8) & 1
     flips = (errors_f32 @ arrays.logical_mask_f32).astype(np.uint8) & 1
     return syndromes, flips
+
+
+def packed_syndromes_and_flips(arrays: SamplingArrays, errors: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+    """``(packed syndrome words, logical flips)`` via the bit-packed kernel.
+
+    The error matrix is packed once
+    (:func:`repro.qec.bitops.pack_rows`); syndromes come from the
+    precompiled incidence :class:`~repro.qec.bitops.Mod2GatherPlan` as
+    ``(shots, packed_words(n_detectors))`` uint64 words, and the logical
+    flips from one packed mod-2 matvec against the logical mask.  Exact
+    mod-2 arithmetic at any size — no float32 ceiling — and bit-for-bit
+    equal to :func:`syndromes_and_flips` after
+    :func:`~repro.qec.bitops.unpack_rows`.
+    """
+    error_words = pack_rows(errors, arrays.num_edges)
+    syndrome_words = arrays.incidence_plan.matmul_packed(error_words)
+    flips = mod2_matvec_packed(error_words, arrays.logical_mask_words)
+    return syndrome_words, flips
+
+
+#: Environment knob selecting the default syndrome kernel
+#: (``"packed"`` | ``"dense"``); per-call ``kernel=`` overrides win.
+_KERNEL_ENV = "REPRO_QEC_KERNEL"
+_KERNELS = ("packed", "dense")
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """The effective syndrome kernel: argument > ``REPRO_QEC_KERNEL`` > packed.
+
+    Both kernels produce bitwise-identical failure counts (the property
+    suite holds them to it), so the choice never enters a cache key — a
+    result cached under one kernel is valid for the other.
+    """
+    choice = kernel or os.environ.get(_KERNEL_ENV) or "packed"
+    if choice not in _KERNELS:
+        raise ValueError(
+            f"unknown QEC kernel {choice!r}; expected one of {_KERNELS}")
+    return choice
 
 
 # ---------------------------------------------------------------------------
@@ -318,8 +371,20 @@ def _shot_blocks(seed_sequence: np.random.SeedSequence, shots: int
 
 def _memory_sampling_shard(graph: DecodingGraph, decoder,
                            blocks: Sequence[Tuple[np.random.SeedSequence,
-                                                  int]]) -> Dict:
+                                                  int]],
+                           kernel: str = "packed",
+                           streaming: bool = False) -> Dict:
     """Sample + decode one worker's slice of blocks.
+
+    ``kernel`` picks the syndrome-extraction math: ``"packed"`` (bit-packed
+    uint64 words, :mod:`repro.qec.bitops`) or ``"dense"`` (the legacy
+    float32 GEMM).  Both sample the identical Bernoulli stream and produce
+    bitwise-identical failure counts.  ``streaming`` (packed kernel only)
+    decodes and folds each :data:`SHOT_BLOCK`-shot block as it is sampled —
+    constant memory in the shot count; neither the ``(shots, n_edges)``
+    error matrix nor any per-shard syndrome accumulation is ever
+    materialized.  Decoding is deterministic, so folding per block instead
+    of deduplicating across the shard cannot change any verdict.
 
     Returns plain ints plus the decode/decoder counter deltas accumulated
     inside this call, so the parent process can fold worker-side accounting
@@ -331,23 +396,59 @@ def _memory_sampling_shard(graph: DecodingGraph, decoder,
     decode_before = batch_decode_stats()
     counters_before = decoder_counter_snapshot(decoder)
 
-    syndrome_rows: List[np.ndarray] = []
-    flip_rows: List[np.ndarray] = []
-    for seed_sequence, block_shots in blocks:
-        rng = np.random.default_rng(seed_sequence)
-        errors = sample_errors(arrays, block_shots, rng)
-        block_syndromes, block_flips = syndromes_and_flips(arrays, errors)
-        syndrome_rows.append(block_syndromes)
-        flip_rows.append(block_flips)
-    syndromes = np.concatenate(syndrome_rows, axis=0)
-    error_flips = np.concatenate(flip_rows, axis=0).astype(bool)
-
-    decoder_flips = batch_decode(decoder, syndromes, detectors)
-    failures = int(np.sum(decoder_flips != error_flips))
-    total_defects = int(syndromes.sum(dtype=np.int64))
+    shots = 0
+    failures = 0
+    total_defects = 0
+    if kernel == "dense":
+        syndrome_rows: List[np.ndarray] = []
+        flip_rows: List[np.ndarray] = []
+        for seed_sequence, block_shots in blocks:
+            rng = np.random.default_rng(seed_sequence)
+            errors = sample_errors(arrays, block_shots, rng)
+            block_syndromes, block_flips = syndromes_and_flips(arrays, errors)
+            syndrome_rows.append(block_syndromes)
+            flip_rows.append(block_flips)
+        syndromes = np.concatenate(syndrome_rows, axis=0)
+        error_flips = np.concatenate(flip_rows, axis=0).astype(bool)
+        decoder_flips = batch_decode(decoder, syndromes, detectors)
+        shots = int(syndromes.shape[0])
+        failures = int(np.sum(decoder_flips != error_flips))
+        total_defects = int(syndromes.sum(dtype=np.int64))
+    elif streaming:
+        # sample → pack → decode → fold, one block at a time.
+        for seed_sequence, block_shots in blocks:
+            rng = np.random.default_rng(seed_sequence)
+            errors = sample_errors(arrays, block_shots, rng)
+            syndrome_words, block_flips = \
+                packed_syndromes_and_flips(arrays, errors)
+            decoder_flips = batch_decode_packed(decoder, syndrome_words,
+                                                detectors)
+            shots += int(block_shots)
+            failures += int(np.sum(decoder_flips
+                                   != block_flips.astype(bool)))
+            total_defects += int(popcount(syndrome_words))
+    else:
+        # Packed batch path: only the 8×-smaller packed syndrome words are
+        # accumulated across blocks (the error matrix stays per-block), and
+        # dedup spans the whole shard for maximum decode sharing.
+        word_rows: List[np.ndarray] = []
+        flip_blocks: List[np.ndarray] = []
+        for seed_sequence, block_shots in blocks:
+            rng = np.random.default_rng(seed_sequence)
+            errors = sample_errors(arrays, block_shots, rng)
+            syndrome_words, block_flips = \
+                packed_syndromes_and_flips(arrays, errors)
+            word_rows.append(syndrome_words)
+            flip_blocks.append(block_flips)
+        all_words = np.concatenate(word_rows, axis=0)
+        error_flips = np.concatenate(flip_blocks, axis=0).astype(bool)
+        decoder_flips = batch_decode_packed(decoder, all_words, detectors)
+        shots = int(all_words.shape[0])
+        failures = int(np.sum(decoder_flips != error_flips))
+        total_defects = int(popcount(all_words))
 
     return {
-        "shots": int(syndromes.shape[0]),
+        "shots": shots,
         "failures": failures,
         "total_defects": total_defects,
         "decode_delta": batch_decode_delta(decode_before,
@@ -392,7 +493,9 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
                         executor=None,
                         parallel: Optional[str] = None,
                         max_workers: Optional[int] = None,
-                        use_cache: Optional[bool] = None) -> SamplingRun:
+                        use_cache: Optional[bool] = None,
+                        kernel: Optional[str] = None,
+                        streaming: bool = False) -> SamplingRun:
     """Run a batched Monte-Carlo memory experiment over ``graph``.
 
     ``decoder`` needs only the graph-protocol ``decode(defects)``; in-repo
@@ -405,13 +508,25 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
     :func:`repro.execution.executor.default_executor`); ``parallel`` /
     ``max_workers`` override its fan-out policy for this call.
 
-    Failure counts are bitwise identical for any worker count and any of
-    the inline/thread/process paths; seeded runs additionally cache their
-    aggregate in the executor's (tiered) expectation cache, so repeating a
-    seeded experiment decodes nothing.
+    ``kernel`` selects the syndrome math (:func:`resolve_kernel`:
+    ``"packed"`` bit-packed words by default, ``"dense"`` the legacy
+    float32 GEMM); ``streaming=True`` decodes and folds each
+    :data:`SHOT_BLOCK`-shot block as it is sampled, keeping memory
+    constant in the shot count (d≥15 surface-code runs fit where the
+    dense path cannot — see ``benchmarks/test_bitpacked_kernels.py``).
+
+    Failure counts are bitwise identical for any worker count, any of the
+    inline/thread/process paths, either kernel, and streaming on or off:
+    all variants consume the identical per-block Bernoulli draw stream and
+    decoding is deterministic.  Seeded runs therefore share one cache
+    entry — the key encodes none of those execution choices — so
+    repeating a seeded experiment decodes nothing.
     """
     if shots < 1:
         raise ValueError("need at least one shot")
+    kernel = resolve_kernel(kernel)
+    if streaming and kernel != "packed":
+        raise ValueError("streaming mode requires the packed kernel")
     from ..execution.executor import default_executor
     if executor is None:
         executor = default_executor()
@@ -443,7 +558,8 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
         chunks = split_evenly(blocks, plan.workers)
     else:
         chunks = [blocks]
-    payloads = [(graph, decoder, chunk) for chunk in chunks]
+    payloads = [(graph, decoder, chunk, kernel, streaming)
+                for chunk in chunks]
     # run_sharded executes a single payload inline even under a process
     # plan, in which case the caller's objects were mutated directly and
     # the returned deltas must NOT be applied a second time.
@@ -473,7 +589,8 @@ def stream_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
                            seed: SeedLike = None,
                            executor=None,
                            chunk_blocks: int = 4,
-                           use_cache: Optional[bool] = None):
+                           use_cache: Optional[bool] = None,
+                           kernel: Optional[str] = None):
     """Generator variant of :func:`run_memory_sampling` with partial results.
 
     Yields **cumulative** :class:`SamplingRun` snapshots after every
@@ -496,6 +613,7 @@ def stream_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
         raise ValueError("need at least one shot")
     if chunk_blocks < 1:
         raise ValueError("chunk_blocks must be a positive integer")
+    kernel = resolve_kernel(kernel)
     from ..execution.executor import default_executor
     if executor is None:
         executor = default_executor()
@@ -525,7 +643,7 @@ def stream_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
     total_defects = 0
     for start in range(0, len(blocks), int(chunk_blocks)):
         chunk = blocks[start:start + int(chunk_blocks)]
-        partial = _memory_sampling_shard(graph, decoder, chunk)
+        partial = _memory_sampling_shard(graph, decoder, chunk, kernel)
         done_shots += partial["shots"]
         failures += partial["failures"]
         total_defects += partial["total_defects"]

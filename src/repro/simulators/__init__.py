@@ -19,7 +19,8 @@ from .pauli_propagation import (PauliPropagationSimulator, PauliPropagator,
                                 expectation_value)
 from .program import (CompiledProgram, compile_circuit, program_cache_counters,
                       run_batch, run_interpreted)
-from .stabilizer import StabilizerSimulator, StabilizerState
+from .stabilizer import (DenseStabilizerState, StabilizerSimulator,
+                         StabilizerState)
 from .statevector import Statevector, StatevectorSimulator, circuit_unitary
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "PauliPropagationSimulator",
     "PauliPropagator",
     "QuantumChannel",
+    "DenseStabilizerState",
     "StabilizerSimulator",
     "StabilizerState",
     "Statevector",

@@ -30,10 +30,13 @@ from repro.qec.memory_experiment import (MemoryExperimentResult,
                                          RepetitionCodeMemory,
                                          RepetitionMatchingDecoder,
                                          logical_error_rate_sweep)
+from repro.qec.bitops import unpack_rows
 from repro.qec.sampling import (SHOT_BLOCK, as_seed_sequence,
                                 binomial_standard_error,
                                 logical_flips_of_errors,
-                                reset_sampling_stats, run_memory_sampling,
+                                packed_syndromes_and_flips,
+                                reset_sampling_stats, resolve_kernel,
+                                run_memory_sampling,
                                 run_memory_sampling_reference, sample_errors,
                                 sampling_arrays, sampling_stats,
                                 syndromes_of_errors, wilson_interval)
@@ -503,3 +506,141 @@ class TestUncertainty:
             assert stats.standard_error > 0
             low, high = stats.wilson_interval()
             assert 0.0 <= low <= stats.logical_error_rate <= high <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Bit-packed kernel (PR 7)
+# ---------------------------------------------------------------------------
+
+
+class TestPackedKernel:
+    """The bit-packed syndrome path: selection, equivalence, cache identity."""
+
+    def test_packed_syndromes_and_flips_match_dense(self):
+        graph = rotated_surface_code_graph(3, 2, 0.05)
+        arrays = sampling_arrays(graph)
+        errors = sample_errors(arrays, 60, np.random.default_rng(4))
+        words, flips = packed_syndromes_and_flips(arrays, errors)
+        assert words.dtype == np.uint64
+        assert np.array_equal(unpack_rows(words, arrays.num_detectors),
+                              syndromes_of_errors(arrays, errors))
+        assert np.array_equal(flips, logical_flips_of_errors(arrays, errors))
+
+    def test_resolve_kernel_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QEC_KERNEL", raising=False)
+        assert resolve_kernel() == "packed"          # default
+        monkeypatch.setenv("REPRO_QEC_KERNEL", "dense")
+        assert resolve_kernel() == "dense"           # env overrides default
+        assert resolve_kernel("packed") == "packed"  # argument overrides env
+        with pytest.raises(ValueError, match="unknown QEC kernel"):
+            resolve_kernel("float128")
+        monkeypatch.setenv("REPRO_QEC_KERNEL", "simd")
+        with pytest.raises(ValueError, match="unknown QEC kernel"):
+            resolve_kernel()
+
+    def test_streaming_requires_packed_kernel(self):
+        graph = repetition_code_graph(3, 1, 1e-3)
+        with pytest.raises(ValueError, match="streaming"):
+            run_memory_sampling(graph, MWPMDecoder(graph), 10, seed=1,
+                                kernel="dense", streaming=True,
+                                use_cache=False)
+
+    def test_kernels_and_streaming_bitwise_identical_with_real_failures(self):
+        graph = rotated_surface_code_graph(3, 2, 0.03)
+        decoder = MWPMDecoder(graph)
+        shots = 2 * SHOT_BLOCK + 17   # three blocks, uneven tail
+        runs = {
+            mode: run_memory_sampling(
+                graph, decoder, shots, seed=321,
+                executor=Executor(use_cache=False),
+                kernel=kernel, streaming=streaming)
+            for mode, (kernel, streaming) in {
+                "dense": ("dense", False),
+                "packed": ("packed", False),
+                "streaming": ("packed", True),
+            }.items()
+        }
+        reference = run_memory_sampling_reference(graph, decoder, shots,
+                                                  seed=321)
+        assert runs["dense"].failures > 0, "workload should produce failures"
+        assert len({run.failures for run in runs.values()}) == 1
+        assert len({run.total_defects for run in runs.values()}) == 1
+        assert runs["dense"].failures == reference.failures
+        assert runs["dense"].total_defects == reference.total_defects
+
+    def test_worker_count_determinism_with_real_failures(self):
+        """Small-shot tier-1 version of the benchmark determinism gate:
+        failure counts are bitwise identical across shard modes/workers on a
+        workload that actually fails, for both kernels."""
+        graph = rotated_surface_code_graph(3, 2, 0.03)
+        shots = 2 * SHOT_BLOCK + 17
+
+        def failures(parallel, workers, **kwargs):
+            run = run_memory_sampling(graph, MWPMDecoder(graph), shots,
+                                      seed=321,
+                                      executor=Executor(use_cache=False),
+                                      parallel=parallel, max_workers=workers,
+                                      **kwargs)
+            return run.failures, run.total_defects
+
+        inline = failures("none", 1)
+        assert inline[0] > 0, "workload should produce real failures"
+        assert failures("process", 2) == inline
+        assert failures("thread", 2) == inline
+        assert failures("process", 2, kernel="dense") == inline
+        assert failures("process", 2, streaming=True) == inline
+
+    def test_kernel_choice_not_in_cache_key(self, tmp_path):
+        """Dense, packed and streaming runs are bitwise identical, so the
+        kernel deliberately stays out of the cache key: a packed (or
+        streaming) re-run of a dense-cached experiment is served without
+        decoding a single syndrome."""
+        graph = rotated_surface_code_graph(3, 2, 0.03)
+        kwargs = dict(shots=200, seed=9)
+        cold = run_memory_sampling(graph, MWPMDecoder(graph),
+                                   executor=Executor(cache_dir=tmp_path),
+                                   kernel="dense", **kwargs)
+        reset_sampling_stats()
+        for kernel, streaming in (("packed", False), ("packed", True)):
+            warm = run_memory_sampling(graph, MWPMDecoder(graph),
+                                       executor=Executor(cache_dir=tmp_path),
+                                       kernel=kernel, streaming=streaming,
+                                       **kwargs)
+            assert (warm.failures, warm.total_defects) \
+                == (cold.failures, cold.total_defects)
+        stats = sampling_stats()
+        assert stats.syndromes_decoded == 0
+        assert stats.shots_sampled == 0
+        assert stats.cached_experiments == 2
+
+
+class TestSyndromeNormalization:
+    """Regression tests for the decode_batch input-normalization contract."""
+
+    def test_non_contiguous_batches_decode_identically(self):
+        graph = rotated_surface_code_graph(3, 2, 0.02)
+        syndromes = _random_syndromes(graph, 24, seed=13, boost=3.0)
+        detectors = graph.detector_order()
+        decoder = MWPMDecoder(graph)
+        baseline = decoder.decode_batch(syndromes, detectors)
+        fortran = np.asfortranarray(syndromes)
+        strided = np.repeat(syndromes, 2, axis=0)[::2]
+        assert not fortran.flags.c_contiguous
+        assert not strided.flags.c_contiguous
+        assert np.array_equal(decoder.decode_batch(fortran, detectors),
+                              baseline)
+        assert np.array_equal(decoder.decode_batch(strided, detectors),
+                              baseline)
+
+    def test_unnormalized_input_not_mutated(self):
+        graph = repetition_code_graph(3, 2, 1e-3)
+        detectors = graph.detector_order()
+        decoder = UnionFindDecoder(graph)
+        raw = (_random_syndromes(graph, 12, seed=5, boost=50.0)
+               .astype(np.int64) * 3)          # values in {0, 3}: needs & 1
+        snapshot = raw.copy()
+        masked = decoder.decode_batch(raw, detectors)
+        assert np.array_equal(raw, snapshot), "caller's array was mutated"
+        assert np.array_equal(
+            masked, decoder.decode_batch((raw & 1).astype(np.uint8),
+                                         detectors))

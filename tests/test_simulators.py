@@ -9,8 +9,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.circuits import QuantumCircuit
 from repro.operators import PauliString, PauliSum, ising_hamiltonian
-from repro.simulators import (DensityMatrix, DensityMatrixSimulator,
-                              NoiseModel, StabilizerSimulator, StabilizerState,
+from repro.simulators import (DenseStabilizerState, DensityMatrix,
+                              DensityMatrixSimulator, NoiseModel,
+                              StabilizerSimulator, StabilizerState,
                               Statevector, StatevectorSimulator,
                               depolarizing_channel, expectation_value)
 from repro.simulators.statevector import circuit_unitary
@@ -239,3 +240,34 @@ class TestPauliPropagation:
         sampled = StabilizerSimulator(noise, seed=11).expectation(
             qc, observable, trajectories=600)
         assert sampled == pytest.approx(exact, abs=0.1)
+
+
+class TestStabilizerMeasureRegression:
+    """Regression: measuring a qubit whose paired destabilizer also carries
+    an X at that qubit crashed pre-PR-7 with "rowsum produced imaginary
+    phase".  The Aaronson–Gottesman update must skip row p−n (it always
+    anticommutes with stabilizer row p and is overwritten right after)."""
+
+    @pytest.mark.parametrize("cls", [StabilizerState, DenseStabilizerState])
+    def test_s_h_measure_does_not_crash(self, cls):
+        state = cls(1)
+        state.apply_s(0)
+        state.apply_h(0)
+        # Both tableau rows carry an X at qubit 0 — the crash condition.
+        assert state.x[0, 0] == 1 and state.x[1, 0] == 1
+        outcome = state.measure(0, np.random.default_rng(3))
+        assert outcome in (0, 1)
+        assert [str(s) for s in state.stabilizer_strings()] \
+            == [("-Z" if outcome else "+Z")]
+
+    def test_packed_and_dense_agree_through_the_fixed_path(self):
+        for seed in range(8):
+            packed, dense = StabilizerState(1), DenseStabilizerState(1)
+            for state in (packed, dense):
+                state.apply_s(0)
+                state.apply_h(0)
+            assert packed.measure(0, np.random.default_rng(seed)) \
+                == dense.measure(0, np.random.default_rng(seed))
+            assert np.array_equal(packed.x, dense.x)
+            assert np.array_equal(packed.z, dense.z)
+            assert np.array_equal(packed.r, dense.r)
