@@ -44,15 +44,19 @@ from .cache import CacheStats, ExpectationCache
 from .disk_cache import (CACHE_DIR_ENV, DiskCacheStats, DiskExpectationCache,
                          TieredExpectationCache, disk_cache_from_env)
 from .errors import (BackendCapabilityError, ExecutionError, RoutingError,
-                     UnknownBackendError)
+                     TransientFault, UnknownBackendError)
 from .executor import (ExecutionStats, Executor, default_executor,
                        evaluate_observable, evaluate_sweep, execute,
                        execute_one, reset_default_executor, term_expectations)
+from .faults import (FAULTS_ENV, FaultDirective, FaultInjector, FaultRule,
+                     clear_injector, inject_faults, install_injector,
+                     parse_fault_spec)
 from .observables import pauli_from_key, run_grouped
 from .registry import (BackendRegistry, DEFAULT_REGISTRY, available_backends,
                        get_backend, register_backend)
 from .router import route_task
-from .sharding import (ShardPlan, ShardPlanner, WORKERS_ENV, resolve_workers,
+from .sharding import (FaultReport, ShardPlan, ShardPlanner,
+                       ShardRetryPolicy, WORKERS_ENV, resolve_workers,
                        shutdown_process_pool)
 from .task import (ExecutionResult, ExecutionTask, noise_token,
                    observable_fingerprint)
@@ -74,20 +78,31 @@ __all__ = [
     "ExecutionTask",
     "Executor",
     "ExpectationCache",
+    "FAULTS_ENV",
+    "FaultDirective",
+    "FaultInjector",
+    "FaultReport",
+    "FaultRule",
     "MAX_DENSITY_MATRIX_QUBITS",
     "MAX_STATEVECTOR_QUBITS",
     "PauliPropagationBackend",
     "RoutingError",
     "ShardPlan",
     "ShardPlanner",
+    "ShardRetryPolicy",
     "StabilizerBackend",
     "StatevectorBackend",
     "TieredExpectationCache",
+    "TransientFault",
     "UnknownBackendError",
     "WORKERS_ENV",
     "available_backends",
+    "clear_injector",
     "default_executor",
     "disk_cache_from_env",
+    "inject_faults",
+    "install_injector",
+    "parse_fault_spec",
     "evaluate_observable",
     "evaluate_sweep",
     "execute",

@@ -24,8 +24,11 @@ Layout and guarantees:
   directory and ``os.replace``\\ d into place, so readers never observe a
   torn entry and concurrent writers of the same key settle on one winner.
 * **Corrupt-entry recovery** — an unreadable or mismatched entry (truncated
-  file, hash collision, foreign bytes) counts as a miss, is deleted, and
-  bumps the ``corrupt`` counter; the cache never raises on bad disk state.
+  file, hash collision, foreign bytes) counts as a miss, is **quarantined**
+  (renamed to a ``.corrupt-`` dot-file, invisible to later reads and reaped
+  by the next eviction scan) and bumps the ``corrupt`` counter; the cache
+  never raises on bad disk state, and the quarantined bytes stay around
+  briefly for post-mortems instead of being destroyed mid-run.
 * **Size-bounded LRU eviction** — entry files are touched on read; when the
   store grows past ``max_bytes``, the oldest-``mtime`` entries are removed
   until it fits again.  Eviction scans are amortized (every
@@ -52,6 +55,7 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .cache import CacheStats, ExpectationCache
+from .faults import consult as _consult_faults
 
 #: Environment variable naming the directory of the process-wide L2 cache.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -229,10 +233,22 @@ class DiskExpectationCache:
         return [self.get(key) for key in keys]
 
     def _discard_corrupt(self, path: Path) -> None:
+        """Quarantine a bad entry out of the read path.
+
+        The ``.corrupt-`` rename (same directory, so it is atomic) makes
+        the entry invisible to reads — dot-names are skipped by
+        :meth:`_entries` and never match a key digest — while preserving
+        the bytes for inspection; the stale-file reaper deletes quarantined
+        files on a later eviction scan.  Unlinking is the fallback when the
+        rename itself fails.
+        """
         try:
-            path.unlink()
+            path.rename(path.with_name(".corrupt-" + path.name))
         except OSError:
-            pass
+            try:
+                path.unlink()
+            except OSError:
+                pass
         with self._lock:
             self._stats.misses += 1
             self._stats.corrupt += 1
@@ -267,6 +283,13 @@ class DiskExpectationCache:
                 with os.fdopen(descriptor, "wb") as handle:
                     handle.write(payload)
                 os.replace(temp_name, path)
+                directive = _consult_faults("disk-cache")
+                if directive is not None and directive.kind == "corrupt":
+                    # Chaos harness: truncate the entry just written, as a
+                    # crashed writer or torn volume would.  The next read
+                    # must detect it, quarantine it and recompute.
+                    with open(path, "r+b") as handle:
+                        handle.truncate(max(1, len(payload) // 2))
             except OSError:
                 try:
                     os.unlink(temp_name)
@@ -286,9 +309,9 @@ class DiskExpectationCache:
 
     # -- eviction ------------------------------------------------------------
 
-    #: A ``.tmp-*`` file older than this is an orphan from a killed writer
-    #: (nothing legitimately holds one open for minutes) and gets reaped by
-    #: the next eviction scan.
+    #: A dot-file (``.tmp-*`` writer orphan, ``.corrupt-*`` quarantined
+    #: entry) older than this has no live owner and gets reaped by the
+    #: next eviction scan.
     _STALE_TEMP_SECONDS = 600.0
 
     def _entries(self, reap_stale_temps: bool = False
@@ -296,9 +319,10 @@ class DiskExpectationCache:
         """(mtime, size, path) for every entry file currently on disk.
 
         With ``reap_stale_temps`` (eviction scans and :meth:`clear`), also
-        deletes orphaned temp files left by writers killed between
-        ``mkstemp`` and ``os.replace`` — they are invisible to reads and
-        would otherwise accumulate unboundedly on a long-lived volume.
+        deletes stale dot-files — temp files orphaned by writers killed
+        between ``mkstemp`` and ``os.replace``, and ``.corrupt-``
+        quarantined entries — which are invisible to reads and would
+        otherwise accumulate unboundedly on a long-lived volume.
         """
         import time as _time
         now = _time.time()
@@ -380,11 +404,12 @@ class DiskExpectationCache:
                     path.unlink()
                 except OSError:
                     pass
-            for path in bucket.glob(".tmp-*"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            for pattern in (".tmp-*", ".corrupt-*"):
+                for path in bucket.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
         with self._lock:
             self._stats = DiskCacheStats()
             self._writes_since_check = 0

@@ -22,10 +22,11 @@ Pipeline for one :meth:`Executor.run` call:
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,8 +38,8 @@ from .errors import BackendCapabilityError, ExecutionError
 from .observables import run_grouped, track_program_cache
 from .registry import BackendRegistry, DEFAULT_REGISTRY
 from .router import route_task
-from .sharding import (ShardPlanner, _run_batch_shard, _sweep_points_shard,
-                       run_sharded, split_evenly)
+from .sharding import (FaultReport, ShardPlanner, _run_batch_shard,
+                       _sweep_points_shard, run_sharded, split_evenly)
 from .task import ExecutionResult, ExecutionTask
 
 #: Upper bound on complex amplitudes one stacked sweep batch may hold
@@ -60,6 +61,13 @@ class ExecutionStats:
     fingerprint-keyed program cache already held them.  ``process_shards``
     counts shard payloads submitted to the worker-process pool (worker-side
     program compiles are not visible to the parent's program counters).
+
+    The fault counters aggregate the shard supervisor's
+    :class:`~repro.execution.sharding.FaultReport`\\ s: ``shard_retries``
+    re-dispatched shards, ``shard_timeouts`` per-shard wall-clock timeouts,
+    ``pool_respawns`` worker-pool invalidations (crash or timeout), and
+    ``degraded_shards`` shards that fell back to inline execution after
+    the retry budget.  All stay 0 on a healthy run.
     """
 
     tasks_submitted: int = 0
@@ -70,6 +78,10 @@ class ExecutionStats:
     programs_compiled: int = 0
     program_cache_hits: int = 0
     process_shards: int = 0
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    pool_respawns: int = 0
+    degraded_shards: int = 0
     backend_invocations: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -84,6 +96,9 @@ class ExecutionStats:
                 f"programs={self.programs_compiled}/"
                 f"{self.program_cache_hits} compiled/cached, "
                 f"process_shards={self.process_shards}, "
+                f"faults={self.shard_retries}/{self.shard_timeouts}/"
+                f"{self.pool_respawns}/{self.degraded_shards} "
+                f"retries/timeouts/respawns/degraded, "
                 f"invocations={dict(self.backend_invocations)})")
 
 
@@ -139,6 +154,8 @@ class Executor:
         self.planner = ShardPlanner(parallel=parallel, max_workers=max_workers)
         self.stats = ExecutionStats()
         self.final_disk_stats: Optional[DiskCacheStats] = None
+        #: Recent shard-supervisor FaultReports (bounded; newest last).
+        self.fault_reports: Deque = collections.deque(maxlen=32)
         self._lock = threading.Lock()
 
     # -- resolution ----------------------------------------------------------
@@ -278,7 +295,8 @@ class Executor:
                 for chunk in split_evenly(indices, plan.workers):
                     payloads.append((backend, [tasks[i] for i in chunk]))
                     owners.append(chunk)
-            shard_results = run_sharded(plan, _run_batch_shard, payloads)
+            shard_results = run_sharded(plan, _run_batch_shard, payloads,
+                                        on_fault=self.note_fault_report)
             for (backend, _), indices, batch in zip(payloads, owners,
                                                     shard_results):
                 for i, result in zip(indices, batch):
@@ -570,7 +588,8 @@ class Executor:
                                  [parameter_sets[index] for index in shard],
                                  observable, shard_budget)
                                 for shard in shards]
-                    blocks = run_sharded(plan, _sweep_points_shard, payloads)
+                    blocks = run_sharded(plan, _sweep_points_shard, payloads,
+                                         on_fault=self.note_fault_report)
                     unique_values = (blocks[0] if len(blocks) == 1
                                      else np.concatenate(blocks, axis=0))
                     with self._lock:
@@ -633,6 +652,22 @@ class Executor:
         self.shutdown()
 
     # -- introspection -------------------------------------------------------
+    def note_fault_report(self, report: FaultReport) -> None:
+        """Fold one shard-supervisor :class:`FaultReport` into the stats.
+
+        Wired as the ``on_fault`` callback of every ``run_sharded`` call
+        this executor plans (its own dispatches and executor-routed
+        pipelines like :mod:`repro.qec.sampling`), so recoveries are never
+        silent: counters land in :attr:`stats` and the report itself is
+        kept on the bounded :attr:`fault_reports` deque for inspection.
+        """
+        with self._lock:
+            self.stats.shard_retries += len(report.retried)
+            self.stats.shard_timeouts += report.timeouts
+            self.stats.pool_respawns += report.respawns
+            self.stats.degraded_shards += report.inline_shards
+        self.fault_reports.append(report)
+
     def note_process_shards(self, count: int) -> None:
         """Record ``count`` externally submitted process-shard payloads.
 

@@ -281,7 +281,8 @@ def _evolve_process_sharded(executor, pending, plan, record) -> None:
     for runner, jobs in trajectory_jobs.items():
         flat = [payload for _, _, payloads, _ in jobs
                 for payload in payloads]
-        blocks = run_sharded(plan, runner, flat)
+        blocks = run_sharded(plan, runner, flat,
+                             on_fault=executor.note_fault_report)
         shard_count += len(flat)
         offset = 0
         for slot, missing, payloads, finalize in jobs:
@@ -303,7 +304,8 @@ def _evolve_process_sharded(executor, pending, plan, record) -> None:
     if payloads:
         shard_count += len(payloads)
         for chunk, value_arrays in zip(owners, run_sharded(
-                plan, _term_expectations_shard, payloads)):
+                plan, _term_expectations_shard, payloads,
+                on_fault=executor.note_fault_report)):
             for (slot, missing, _), values in zip(chunk, value_arrays):
                 slot.backend._count_invocations()
                 record(slot, missing, values)

@@ -15,7 +15,14 @@ This module is the multi-core rung of the ROADMAP:
   count) and the backends' :attr:`~repro.execution.backend.BackendCapabilities.parallel_hint`.
 * :func:`run_sharded` executes shard payloads under a plan, reusing one
   persistent process pool across calls so fork/spawn cost is paid once per
-  process, not once per batch.
+  process, not once per batch.  Process dispatch is **supervised**: a
+  crashed worker (``BrokenProcessPool``) or a shard exceeding its
+  wall-clock timeout invalidates the pool, which is respawned, and only
+  the failed shards are retried under a capped exponential-backoff budget
+  (:class:`ShardRetryPolicy`); when the budget is exhausted the survivors
+  run inline.  Per-shard seeding makes retried results bitwise identical,
+  and a :class:`FaultReport` describing the recovery is handed to the
+  caller's ``on_fault`` callback.
 * The module-level ``_*_shard`` functions are the process-pool targets —
   top-level so they pickle by reference; workers receive picklable
   :class:`~repro.execution.task.ExecutionTask` / circuit / observable specs
@@ -34,13 +41,17 @@ import atexit
 import multiprocessing
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+import time
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .errors import ExecutionError
+from .errors import ExecutionError, TransientFault
+from .faults import FaultDirective, consult, execute_directive
 
 #: Environment override for the worker count (argument > env > cpu count).
 WORKERS_ENV = "REPRO_WORKERS"
@@ -62,6 +73,11 @@ _TRAJECTORY_SHARD_THRESHOLD = 32
 
 #: Set in worker processes so nested dispatches always run inline.
 _WORKER_ENV = "REPRO_IN_WORKER"
+
+#: Environment overrides for the default shard-retry policy.
+SHARD_RETRIES_ENV = "REPRO_SHARD_RETRIES"
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+SHARD_BACKOFF_ENV = "REPRO_SHARD_BACKOFF"
 
 _PARALLEL_MODES = ("auto", "process", "thread", "none")
 
@@ -247,21 +263,218 @@ def shutdown_process_pool(wait: bool = True) -> None:
             _pool_workers = 0
 
 
+def _invalidate_pool() -> None:
+    """Retire the shared pool after a breakage or timeout.
+
+    A ``BrokenProcessPool`` is permanent — every later submit raises — so
+    the broken object must never be left in the module global: resetting
+    ``_pool``/``_pool_workers`` here is what lets the next dispatch (a
+    supervisor retry *or* an unrelated later caller) lazily rebuild a
+    healthy pool.  ``wait=False`` + ``cancel_futures`` abandons stuck
+    workers; they finish (or die) on their own and exit.
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+            _pool = None
+            _pool_workers = 0
+
+
 atexit.register(shutdown_process_pool)
 
 
+# ---------------------------------------------------------------------------
+# The shard supervisor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardRetryPolicy:
+    """Retry budget for supervised process dispatch.
+
+    ``max_retries`` extra dispatch rounds after the first (each retries
+    only the still-failed shards), with exponential backoff between rounds
+    (``backoff_base * 2**(round-1)``, capped at ``backoff_cap``).
+    ``timeout`` bounds one dispatch round's wall clock — a shard result
+    not collected by then counts as failed and the stuck pool is retired.
+    After the budget, failed shards run inline (no pool, no injection).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    timeout: Optional[float] = None
+
+    @classmethod
+    def from_env(cls) -> "ShardRetryPolicy":
+        """Policy with ``REPRO_SHARD_RETRIES`` / ``REPRO_SHARD_TIMEOUT`` /
+        ``REPRO_SHARD_BACKOFF`` environment overrides applied."""
+        retries = os.environ.get(SHARD_RETRIES_ENV, "").strip()
+        timeout = os.environ.get(SHARD_TIMEOUT_ENV, "").strip()
+        backoff = os.environ.get(SHARD_BACKOFF_ENV, "").strip()
+        return cls(
+            max_retries=int(retries) if retries else cls.max_retries,
+            backoff_base=float(backoff) if backoff else cls.backoff_base,
+            timeout=float(timeout) if timeout else None)
+
+
+@dataclass
+class FaultReport:
+    """What the supervisor did to finish one process dispatch.
+
+    ``attempts`` counts dispatch rounds (1 = no retries), ``retried`` the
+    shard indices re-dispatched (in round order, repeats possible),
+    ``causes`` one human-readable cause per failed shard observation,
+    ``backoff`` the inter-round sleeps taken, ``respawns`` how often the
+    pool was invalidated, and ``inline_shards`` how many shards fell back
+    to inline execution after the budget was exhausted.
+    """
+
+    shards: int = 0
+    attempts: int = 1
+    retried: List[int] = field(default_factory=list)
+    causes: List[str] = field(default_factory=list)
+    backoff: List[float] = field(default_factory=list)
+    timeouts: int = 0
+    respawns: int = 0
+    inline_shards: int = 0
+    #: Payload indices that ran inline (callers folding worker-side deltas
+    #: must skip these — their side effects already landed in-process).
+    inline_indices: List[int] = field(default_factory=list)
+
+    @property
+    def faulted(self) -> bool:
+        return bool(self.causes or self.respawns or self.inline_shards)
+
+    def as_dict(self) -> dict:
+        return {"shards": self.shards, "attempts": self.attempts,
+                "retried": list(self.retried), "causes": list(self.causes),
+                "backoff": list(self.backoff), "timeouts": self.timeouts,
+                "respawns": self.respawns,
+                "inline_shards": self.inline_shards,
+                "inline_indices": list(self.inline_indices)}
+
+
+def _shard_entry(directive: Optional[FaultDirective], fn: Callable,
+                 payload: tuple):
+    """Worker-side shard entry: apply an injected fault, then run.
+
+    The parent consults the fault injector and embeds the (picklable)
+    directive per shard, so injection needs no worker-side configuration
+    and the schedule is independent of which worker picks the shard up.
+    """
+    if directive is not None:
+        execute_directive(directive)
+    return fn(*payload)
+
+
+def _run_supervised(workers: int, fn: Callable, payloads: Sequence[tuple],
+                    policy: ShardRetryPolicy,
+                    report: FaultReport) -> List:
+    """Process dispatch with breakage/timeout detection and shard retry.
+
+    Per-shard seeds mean a retried shard reproduces its result bitwise, so
+    retrying is always safe.  Retryable causes are ``BrokenExecutor``
+    failures (a worker died), wall-clock timeouts, and
+    :class:`~repro.execution.errors.TransientFault`; any other exception
+    propagates immediately — a deterministic error would fail every retry
+    identically.  After ``policy.max_retries`` extra rounds the remaining
+    shards run inline with their **raw** payloads (never through
+    :func:`_shard_entry` — an injected ``kill`` must not execute in the
+    caller's process).
+    """
+    results: List = [None] * len(payloads)
+    pending = list(range(len(payloads)))
+    retries_used = 0
+    while pending:
+        wrapped = [(consult("shard"), fn, tuple(payloads[index]))
+                   for index in pending]
+        failed: List[int] = []
+        causes: List[str] = []
+        broken = timed_out = False
+        try:
+            futures = _submit_to_pool(workers, _shard_entry, wrapped)
+        except BrokenExecutor as error:
+            failed = list(pending)
+            causes = [type(error).__name__] * len(pending)
+            broken = True
+        else:
+            deadline = None if policy.timeout is None \
+                else time.monotonic() + policy.timeout
+            for position, future in zip(pending, futures):
+                remaining = None if deadline is None \
+                    else max(0.0, deadline - time.monotonic())
+                try:
+                    results[position] = future.result(timeout=remaining)
+                except FuturesTimeoutError:
+                    future.cancel()
+                    failed.append(position)
+                    causes.append("timeout")
+                    report.timeouts += 1
+                    timed_out = True
+                except BrokenExecutor as error:
+                    failed.append(position)
+                    causes.append(type(error).__name__)
+                    broken = True
+                except TransientFault as error:
+                    failed.append(position)
+                    causes.append(f"TransientFault: {error}")
+        if broken or timed_out:
+            # A broken pool poisons every later submit and a timed-out one
+            # is wedged on a stuck worker: retire it either way so the next
+            # round (or any later caller) lazily rebuilds a fresh pool.
+            _invalidate_pool()
+            report.respawns += 1
+        if not failed:
+            break
+        report.causes.extend(causes)
+        pending = failed
+        if retries_used >= policy.max_retries:
+            for position in pending:
+                results[position] = fn(*payloads[position])
+            report.inline_shards = len(pending)
+            report.inline_indices = list(pending)
+            break
+        retries_used += 1
+        delay = min(policy.backoff_cap,
+                    policy.backoff_base * (2 ** (retries_used - 1)))
+        if delay > 0:
+            time.sleep(delay)
+        report.backoff.append(delay)
+        report.retried.extend(pending)
+        report.attempts += 1
+    return results
+
+
 def run_sharded(plan: ShardPlan, fn: Callable,
-                payloads: Sequence[tuple]) -> List:
+                payloads: Sequence[tuple],
+                policy: Optional[ShardRetryPolicy] = None,
+                on_fault: Optional[Callable[[FaultReport], None]] = None
+                ) -> List:
     """Run ``fn(*payload)`` for every payload under ``plan``; results align
     with the payload order.  ``fn`` must be a module-level callable when the
-    plan is ``"process"`` (it crosses the pickle boundary)."""
+    plan is ``"process"`` (it crosses the pickle boundary).
+
+    Process dispatch runs supervised (see :func:`_run_supervised`):
+    ``policy`` overrides the retry budget (default
+    :meth:`ShardRetryPolicy.from_env`), and ``on_fault`` receives the
+    :class:`FaultReport` — only when something actually faulted, so the
+    happy path stays callback-free.
+    """
     if not payloads:
         return []
     if not plan.is_parallel or len(payloads) == 1:
         return [fn(*payload) for payload in payloads]
     if plan.mode == "process":
-        futures = _submit_to_pool(plan.workers, fn, payloads)
-        return [future.result() for future in futures]
+        if policy is None:
+            policy = ShardRetryPolicy.from_env()
+        report = FaultReport(shards=len(payloads))
+        results = _run_supervised(plan.workers, fn, payloads, policy,
+                                  report)
+        if report.faulted and on_fault is not None:
+            on_fault(report)
+        return results
     with ThreadPoolExecutor(
             max_workers=min(plan.workers, len(payloads))) as pool:
         futures = [pool.submit(fn, *payload) for payload in payloads]

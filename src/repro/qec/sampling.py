@@ -465,12 +465,20 @@ def _memory_sampling_shard(graph: DecodingGraph, decoder,
 
 @dataclass(frozen=True)
 class SamplingRun:
-    """Raw outcome of one batched memory-experiment sampling run."""
+    """Raw outcome of one batched memory-experiment sampling run.
+
+    ``fault_report`` is the shard supervisor's
+    :class:`~repro.execution.sharding.FaultReport` when process dispatch
+    had to recover from a worker crash/timeout (None on a healthy run);
+    recovery never changes the counts — retried shards are re-seeded
+    identically.
+    """
 
     shots: int
     failures: int
     total_defects: int
     from_cache: bool
+    fault_report: Optional[object] = None
 
     @property
     def logical_error_rate(self) -> float:
@@ -485,6 +493,22 @@ def _cache_keys(graph: DecodingGraph, decoder_token: tuple, shots: int,
                 seed_key: tuple) -> Tuple[tuple, tuple]:
     base = ("qec-memory", graph.fingerprint(), decoder_token,
             int(shots), int(SHOT_BLOCK), seed_key)
+    return base + ("failures",), base + ("defects",)
+
+
+def _chunk_cache_keys(graph: DecodingGraph, decoder_token: tuple,
+                      shots: int, seed_key: tuple, start_block: int,
+                      num_blocks: int) -> Tuple[tuple, tuple]:
+    """Checkpoint keys for one streamed chunk of sampling blocks.
+
+    Keyed by chunk position *and* width on top of the full-run identity,
+    so a resumed :func:`stream_memory_sampling` with the same
+    ``chunk_blocks`` re-decodes nothing already flushed, while a different
+    chunking can never alias a partial count onto the wrong shots.
+    """
+    base = ("qec-memory-chunk", graph.fingerprint(), decoder_token,
+            int(shots), int(SHOT_BLOCK), seed_key, int(start_block),
+            int(num_blocks))
     return base + ("failures",), base + ("defects",)
 
 
@@ -566,12 +590,28 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
     crosses_processes = (plan.mode == "process" and plan.is_parallel
                          and len(payloads) > 1)
 
-    shard_results = run_sharded(plan, _memory_sampling_shard, payloads)
+    fault_reports: list = []
+
+    def _on_fault(report) -> None:
+        fault_reports.append(report)
+        note = getattr(executor, "note_fault_report", None)
+        if note is not None:
+            note(report)
+
+    shard_results = run_sharded(plan, _memory_sampling_shard, payloads,
+                                on_fault=_on_fault)
 
     failures = sum(result["failures"] for result in shard_results)
     total_defects = sum(result["total_defects"] for result in shard_results)
     if crosses_processes:
-        for result in shard_results:
+        # Shards the supervisor degraded to inline execution mutated this
+        # process's counters directly — folding their deltas again would
+        # double-count them.
+        inline_shards = {index for report in fault_reports
+                         for index in report.inline_indices}
+        for index, result in enumerate(shard_results):
+            if index in inline_shards:
+                continue
             absorb_batch_decode_delta(result["decode_delta"])
             apply_decoder_counter_delta(decoder, result["decoder_delta"])
         executor.note_process_shards(len(payloads))
@@ -582,7 +622,9 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
         executor.cache.put(failures_key, float(failures))
         executor.cache.put(defects_key, float(total_defects))
     return SamplingRun(shots=int(shots), failures=int(failures),
-                       total_defects=int(total_defects), from_cache=False)
+                       total_defects=int(total_defects), from_cache=False,
+                       fault_report=fault_reports[0] if fault_reports
+                       else None)
 
 
 def stream_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
@@ -608,6 +650,16 @@ def stream_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
     cold streamed run writes the entry the batched entry point will hit.
     Sampling happens inline (no process shards) — streaming is about
     latency, not throughput.
+
+    Seeded streamed runs additionally **checkpoint each chunk** through the
+    same cache (and its persistent disk tier when configured): after every
+    ``chunk_blocks`` chunk, its failure/defect counts are flushed under a
+    chunk-position key.  A resumed run — a retried service job, a restarted
+    server, a new process over the same cache directory — replays cached
+    chunks without sampling or decoding them and only computes from where
+    the previous attempt died.  Chunk checkpoints are exact partial sums of
+    the same per-block stream, so a resumed run's snapshots and final
+    counts stay bitwise identical to an uninterrupted one.
     """
     if shots < 1:
         raise ValueError("need at least one shot")
@@ -643,10 +695,30 @@ def stream_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
     total_defects = 0
     for start in range(0, len(blocks), int(chunk_blocks)):
         chunk = blocks[start:start + int(chunk_blocks)]
+        chunk_keys = None
+        if cacheable:
+            chunk_keys = _chunk_cache_keys(graph, decoder_token, shots,
+                                           seed_key, start, len(chunk))
+            chunk_failures = executor.cache.get(chunk_keys[0])
+            chunk_defects = executor.cache.get(chunk_keys[1])
+            if chunk_failures is not None and chunk_defects is not None:
+                # Checkpointed by a previous attempt: fold the flushed
+                # counts, decode nothing.
+                done_shots += sum(block_shots for _, block_shots in chunk)
+                failures += int(round(chunk_failures))
+                total_defects += int(round(chunk_defects))
+                yield SamplingRun(shots=done_shots, failures=failures,
+                                  total_defects=total_defects,
+                                  from_cache=False)
+                continue
         partial = _memory_sampling_shard(graph, decoder, chunk, kernel)
         done_shots += partial["shots"]
         failures += partial["failures"]
         total_defects += partial["total_defects"]
+        if chunk_keys is not None:
+            executor.cache.put(chunk_keys[0], float(partial["failures"]))
+            executor.cache.put(chunk_keys[1],
+                               float(partial["total_defects"]))
         yield SamplingRun(shots=done_shots, failures=failures,
                           total_defects=total_defects, from_cache=False)
     _note_experiment(shots, cached=False, process_shards=0)

@@ -128,27 +128,35 @@ class ServiceClient:
         return self._round_trip(StatsRequest(), StatsResponse).stats
 
     def submit(self, kind: str, payload: Dict[str, Any],
-               tenant: str = "default",
-               priority: int = 0) -> SubmittedResponse:
+               tenant: str = "default", priority: int = 0,
+               deadline: Optional[float] = None,
+               max_attempts: Optional[int] = None) -> SubmittedResponse:
         """Submit a job and return immediately (no streaming).
 
         ``response.deduped`` is True when an identical job was already in
-        flight and ``response.job_id`` names that job.
+        flight and ``response.job_id`` names that job.  ``deadline`` (a
+        per-attempt wall-clock budget in seconds) and ``max_attempts`` (the
+        retry budget, ``1`` = fail on first error) override the server's
+        defaults for this job.
         """
         return self._round_trip(
             SubmitRequest(kind=kind, payload=payload, tenant=tenant,
-                          priority=priority), SubmittedResponse)
+                          priority=priority, deadline=deadline,
+                          max_attempts=max_attempts), SubmittedResponse)
 
     def submit_and_stream(
             self, kind: str, payload: Dict[str, Any],
             tenant: str = "default", priority: int = 0,
-            on_event: Optional[EventCallback] = None
+            on_event: Optional[EventCallback] = None,
+            deadline: Optional[float] = None,
+            max_attempts: Optional[int] = None
     ) -> Tuple[SubmittedResponse, ResultResponse]:
         """Submit with streaming: block until the job is terminal, invoking
         ``on_event`` for every persisted event along the way."""
         submitted = self._round_trip(
             SubmitRequest(kind=kind, payload=payload, tenant=tenant,
-                          priority=priority, stream=True),
+                          priority=priority, stream=True, deadline=deadline,
+                          max_attempts=max_attempts),
             SubmittedResponse)
         return submitted, self._read_stream(on_event)
 

@@ -32,10 +32,24 @@ HTTP_PORT_ENV = "REPRO_SERVICE_HTTP_PORT"
 #: Worker threads mapping jobs onto the executor.
 WORKERS_ENV = "REPRO_SERVICE_WORKERS"
 
+#: Default per-job attempt budget (1 = no retries, the historical behavior).
+MAX_ATTEMPTS_ENV = "REPRO_SERVICE_MAX_ATTEMPTS"
+
+#: Lease duration granted on claim and renewed by the heartbeat thread.
+LEASE_SECONDS_ENV = "REPRO_SERVICE_LEASE_SECONDS"
+
+#: Base of the exponential retry backoff applied between job attempts.
+RETRY_BACKOFF_ENV = "REPRO_SERVICE_RETRY_BACKOFF"
+
 
 def _env_int(name: str, default: int) -> int:
     raw = os.environ.get(name, "").strip()
     return int(raw) if raw else default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else default
 
 
 @dataclass(frozen=True)
@@ -54,6 +68,13 @@ class ServiceConfig:
     ``max_pending_per_tenant`` / ``max_running_per_tenant`` are the
     per-tenant quotas; submissions beyond a bound are rejected with a
     429-style error instead of queueing unboundedly.
+
+    Resilience: ``max_attempts`` is the default per-job attempt budget
+    (clients may request more per submission, ``1`` keeps the historical
+    fail-on-first-error behavior), ``lease_seconds`` is how long a claimed
+    job's lease lasts between heartbeats before a restarted/peer server may
+    reclaim it, and ``retry_backoff`` seeds the exponential delay between
+    attempts.
     """
 
     socket_path: Optional[str] = None
@@ -66,6 +87,9 @@ class ServiceConfig:
     max_pending_per_tenant: int = 64
     max_running_per_tenant: int = 2
     default_tenant: str = "default"
+    max_attempts: int = 1
+    lease_seconds: float = 15.0
+    retry_backoff: float = 0.2
 
     @classmethod
     def from_env(cls, **overrides) -> "ServiceConfig":
@@ -78,5 +102,8 @@ class ServiceConfig:
             db_path=os.environ.get(DB_ENV) or ":memory:",
             cache_dir=os.environ.get(CACHE_DIR_ENV) or None,
             workers=_env_int(WORKERS_ENV, 2),
+            max_attempts=_env_int(MAX_ATTEMPTS_ENV, 1),
+            lease_seconds=_env_float(LEASE_SECONDS_ENV, 15.0),
+            retry_backoff=_env_float(RETRY_BACKOFF_ENV, 0.2),
         )
         return replace(config, **overrides) if overrides else config

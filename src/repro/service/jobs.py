@@ -33,6 +33,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from ..execution.faults import consult as _consult_faults
+from ..execution.faults import execute_directive as _execute_directive
 from .protocol import ProtocolError
 
 #: Default circuits / sweep points evaluated per streamed partial.
@@ -56,8 +58,14 @@ class JobContext:
     cancelled: threading.Event
 
     def checkpoint(self) -> None:
+        """Raise :class:`JobCancelled` if the job was cancelled; also the
+        ``"job"`` fault-injection site, so chaos tests can raise transient
+        errors or stall a job at a chunk boundary deterministically."""
         if self.cancelled.is_set():
             raise JobCancelled()
+        directive = _consult_faults("job")
+        if directive is not None:
+            _execute_directive(directive)
 
 
 @dataclass

@@ -114,13 +114,22 @@ def decode_line(line: str):
 @dataclass(frozen=True)
 class SubmitRequest:
     """Submit one job; ``stream=True`` keeps the connection in event mode
-    until the job reaches a terminal state."""
+    until the job reaches a terminal state.
+
+    ``deadline`` is a per-job wall-clock budget in seconds (attempts that
+    outlive it are cancelled and retried); ``max_attempts`` overrides the
+    server's default retry budget (``1`` = fail on first error).  Both are
+    optional and default to the server's configuration, so v1 clients that
+    never send them keep their exact historical behavior.
+    """
 
     kind: str
     payload: Dict[str, Any]
     tenant: str = "default"
     priority: int = 0
     stream: bool = False
+    deadline: Optional[float] = None
+    max_attempts: Optional[int] = None
 
     def validate(self) -> "SubmitRequest":
         if self.kind not in JOB_KINDS:
@@ -131,6 +140,14 @@ class SubmitRequest:
             raise ProtocolError("payload must be a JSON object")
         if not self.tenant or not isinstance(self.tenant, str):
             raise ProtocolError("tenant must be a non-empty string")
+        if self.deadline is not None and not (
+                isinstance(self.deadline, (int, float))
+                and float(self.deadline) > 0):
+            raise ProtocolError("deadline must be a positive number")
+        if self.max_attempts is not None and not (
+                isinstance(self.max_attempts, int)
+                and self.max_attempts >= 1):
+            raise ProtocolError("max_attempts must be an integer >= 1")
         return self
 
 

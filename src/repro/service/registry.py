@@ -19,6 +19,13 @@ Design points:
 * **JSON columns** — payloads, results and event data are stored as JSON
   text, mirroring the pickle-free wire protocol; the registry file is
   inspectable with the ``sqlite3`` CLI and can never execute code on read.
+* **Leases & attempts** — :meth:`~RunRegistry.claim` takes a queued job in
+  one atomic UPDATE that spends an attempt and grants a time-bounded lease
+  the owner must :meth:`~RunRegistry.heartbeat`; a restarted or peer server
+  finds crashed work via :meth:`~RunRegistry.expired_running` and either
+  calls :meth:`~RunRegistry.requeue` (attempts < max_attempts) or
+  dead-letters it as ``failed``.  Attempt counts live on the row, so retry
+  budgets survive server restarts.
 * **Cache accounting** — per-job expectation-cache hit/miss deltas
   (in-memory L1 + persistent L2) recorded by the runner land on the job row
   and in a ``cache`` event, making the shared
@@ -38,20 +45,26 @@ from .protocol import JOB_STATES, TERMINAL_STATES
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
-    id            TEXT PRIMARY KEY,
-    tenant        TEXT NOT NULL,
-    kind          TEXT NOT NULL,
-    job_key       TEXT,
-    priority      INTEGER NOT NULL DEFAULT 0,
-    state         TEXT NOT NULL,
-    payload       TEXT NOT NULL,
-    result        TEXT,
-    error         TEXT,
-    created_at    REAL NOT NULL,
-    started_at    REAL,
-    finished_at   REAL,
-    cache_hits    INTEGER NOT NULL DEFAULT 0,
-    cache_misses  INTEGER NOT NULL DEFAULT 0
+    id               TEXT PRIMARY KEY,
+    tenant           TEXT NOT NULL,
+    kind             TEXT NOT NULL,
+    job_key          TEXT,
+    priority         INTEGER NOT NULL DEFAULT 0,
+    state            TEXT NOT NULL,
+    payload          TEXT NOT NULL,
+    result           TEXT,
+    error            TEXT,
+    created_at       REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    cache_hits       INTEGER NOT NULL DEFAULT 0,
+    cache_misses     INTEGER NOT NULL DEFAULT 0,
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    max_attempts     INTEGER NOT NULL DEFAULT 1,
+    deadline_seconds REAL,
+    next_eligible_at REAL,
+    lease_owner      TEXT,
+    lease_expires_at REAL
 );
 CREATE INDEX IF NOT EXISTS jobs_by_key    ON jobs (job_key, state);
 CREATE INDEX IF NOT EXISTS jobs_by_tenant ON jobs (tenant, created_at);
@@ -67,7 +80,20 @@ CREATE TABLE IF NOT EXISTS events (
 
 _JOB_COLUMNS = ("id", "tenant", "kind", "job_key", "priority", "state",
                 "payload", "result", "error", "created_at", "started_at",
-                "finished_at", "cache_hits", "cache_misses")
+                "finished_at", "cache_hits", "cache_misses", "attempts",
+                "max_attempts", "deadline_seconds", "next_eligible_at",
+                "lease_owner", "lease_expires_at")
+
+#: Columns added after the PR-6 schema, with the DDL used to backfill a
+#: registry file created by an older server (ALTER TABLE migration).
+_MIGRATIONS = (
+    ("attempts", "INTEGER NOT NULL DEFAULT 0"),
+    ("max_attempts", "INTEGER NOT NULL DEFAULT 1"),
+    ("deadline_seconds", "REAL"),
+    ("next_eligible_at", "REAL"),
+    ("lease_owner", "TEXT"),
+    ("lease_expires_at", "REAL"),
+)
 
 
 class RegistryError(RuntimeError):
@@ -95,18 +121,29 @@ class RunRegistry:
                 self._connection.execute("PRAGMA journal_mode=WAL")
             self._connection.execute("PRAGMA busy_timeout=5000")
             self._connection.executescript(_SCHEMA)
+            present = {row["name"] for row in self._connection.execute(
+                "PRAGMA table_info(jobs)")}
+            for column, ddl in _MIGRATIONS:
+                if column not in present:
+                    self._connection.execute(
+                        f"ALTER TABLE jobs ADD COLUMN {column} {ddl}")
             self._connection.commit()
 
     # -- jobs ---------------------------------------------------------------
     def create_job(self, job_id: str, tenant: str, kind: str,
                    job_key: Optional[str], priority: int,
-                   payload: Dict[str, Any]) -> None:
+                   payload: Dict[str, Any], *, max_attempts: int = 1,
+                   deadline_seconds: Optional[float] = None) -> None:
         with self._lock:
             self._connection.execute(
                 "INSERT INTO jobs (id, tenant, kind, job_key, priority, "
-                "state, payload, created_at) VALUES (?,?,?,?,?,?,?,?)",
+                "state, payload, created_at, max_attempts, deadline_seconds) "
+                "VALUES (?,?,?,?,?,?,?,?,?,?)",
                 (job_id, tenant, kind, job_key, int(priority), "queued",
-                 json.dumps(payload, sort_keys=True), time.time()))
+                 json.dumps(payload, sort_keys=True), time.time(),
+                 max(1, int(max_attempts)),
+                 None if deadline_seconds is None else
+                 float(deadline_seconds)))
             self._connection.commit()
 
     def get_job(self, job_id: str) -> Optional[Dict[str, Any]]:
@@ -163,6 +200,89 @@ class RunRegistry:
                 f"IN ({placeholders})", args)
             self._connection.commit()
         return cursor.rowcount > 0
+
+    # -- leases & retries ---------------------------------------------------
+    def claim(self, job_id: str, lease_owner: str,
+              lease_seconds: float) -> Optional[int]:
+        """Atomically claim a queued job for one execution attempt.
+
+        Moves the row ``queued -> running``, increments ``attempts``, stamps
+        ``started_at`` and grants a lease to ``lease_owner``.  Returns the new
+        attempt number (1-based) on success, ``None`` if the job was not
+        queued (cancelled, already claimed, …).
+        """
+        now = time.time()
+        with self._lock:
+            cursor = self._connection.execute(
+                "UPDATE jobs SET state = 'running', attempts = attempts + 1, "
+                "started_at = ?, lease_owner = ?, lease_expires_at = ?, "
+                "next_eligible_at = NULL WHERE id = ? AND state = 'queued'",
+                (now, str(lease_owner), now + float(lease_seconds), job_id))
+            if cursor.rowcount == 0:
+                self._connection.commit()
+                return None
+            row = self._connection.execute(
+                "SELECT attempts FROM jobs WHERE id = ?", (job_id,)).fetchone()
+            self._connection.commit()
+        return int(row["attempts"]) if row is not None else None
+
+    def heartbeat(self, job_id: str, lease_owner: str,
+                  lease_seconds: float) -> bool:
+        """Extend the lease on a running job this owner holds."""
+        with self._lock:
+            cursor = self._connection.execute(
+                "UPDATE jobs SET lease_expires_at = ? WHERE id = ? AND "
+                "state = 'running' AND lease_owner = ?",
+                (time.time() + float(lease_seconds), job_id,
+                 str(lease_owner)))
+            self._connection.commit()
+        return cursor.rowcount > 0
+
+    def requeue(self, job_id: str, next_eligible_at: Optional[float] = None,
+                from_states: Sequence[str] = ("running",)) -> bool:
+        """Return a non-terminal job to ``queued``, clearing its lease.
+
+        ``next_eligible_at`` (absolute time) delays redispatch — the retry
+        backoff.  Attempt count is preserved: only :meth:`claim` spends
+        attempts, so requeueing a job that never ran is free.
+        """
+        from_states = [state for state in from_states
+                       if state not in TERMINAL_STATES]
+        if not from_states:
+            return False
+        placeholders = ",".join("?" for _ in from_states)
+        with self._lock:
+            cursor = self._connection.execute(
+                f"UPDATE jobs SET state = 'queued', lease_owner = NULL, "
+                f"lease_expires_at = NULL, next_eligible_at = ? "
+                f"WHERE id = ? AND state IN ({placeholders})",
+                [next_eligible_at, job_id] + list(from_states))
+            self._connection.commit()
+        return cursor.rowcount > 0
+
+    def expired_running(self, now: Optional[float] = None
+                        ) -> List[Dict[str, Any]]:
+        """Running jobs whose lease is missing or expired at ``now``."""
+        if now is None:
+            now = time.time()
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT * FROM jobs WHERE state = 'running' AND "
+                "(lease_expires_at IS NULL OR lease_expires_at < ?)",
+                (float(now),)).fetchall()
+        return [self._job_dict(row) for row in rows]
+
+    def running_jobs(self, lease_owner: Optional[str] = None
+                     ) -> List[Dict[str, Any]]:
+        """Running jobs, optionally only those leased to ``lease_owner``."""
+        query = "SELECT * FROM jobs WHERE state = 'running'"
+        args: tuple = ()
+        if lease_owner is not None:
+            query += " AND lease_owner = ?"
+            args = (str(lease_owner),)
+        with self._lock:
+            rows = self._connection.execute(query, args).fetchall()
+        return [self._job_dict(row) for row in rows]
 
     def record_result(self, job_id: str, result: Dict[str, Any],
                       cache_hits: int = 0, cache_misses: int = 0) -> None:

@@ -20,6 +20,19 @@ scheduler and the execution engine:
   measured around each job and stored on its row plus a ``cache`` event.
   With concurrent workers the attribution is approximate (deltas of shared
   counters); totals across jobs remain exact.
+* **Leases, retries & recovery.**  Claiming a job spends one attempt from
+  its budget and grants a time-bounded lease the monitor thread heartbeats.
+  A failed attempt with budget left is requeued after exponential backoff
+  (a delayed heap holds it until ``next_eligible_at``); the budget's last
+  failure dead-letters the job as ``failed``.  Per-job deadlines are
+  enforced through the cancellation flag — a deadline-cancelled attempt
+  re-enters the retry path instead of the cancelled state.  On startup
+  :meth:`_recover_stale` requeues ``queued`` rows from a dead process
+  (consuming no attempt — they never ran) and reclaims ``running`` rows
+  whose lease is missing or expired; rows with a live lease belong to
+  another healthy server sharing the registry and are left alone.  Work
+  recovered this way re-decodes its persisted payload lazily in the worker;
+  checkpointed partials (disk-cache chunk entries) make the re-run cheap.
 * **Graceful shutdown.**  ``shutdown(drain=True)`` stops intake, cancels
   queued jobs, lets running jobs finish, then retires the executor's
   process pool.  ``drain=False`` additionally sets every running job's
@@ -28,10 +41,12 @@ scheduler and the execution engine:
 
 from __future__ import annotations
 
+import heapq
 import queue as queue_module
 import threading
+import time
 import uuid
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .jobs import JobCancelled, JobContext, PreparedJob, prepare_job
 from .protocol import TERMINAL_STATES
@@ -40,6 +55,12 @@ from .registry import RunRegistry
 
 #: Sentinel pushed to subscribers when a job reaches a terminal state.
 STREAM_END = None
+
+#: Upper bound on the exponential retry backoff between job attempts.
+MAX_RETRY_BACKOFF = 30.0
+
+#: Monitor tick: delayed-job release and deadline enforcement granularity.
+_MONITOR_TICK = 0.05
 
 
 class UnknownJobError(KeyError):
@@ -53,13 +74,25 @@ class JobRunner:
     :meth:`submit`, :meth:`subscribe`/:meth:`unsubscribe`,
     :meth:`wait_result` and :meth:`cancel`; tests may drive it directly
     without any server at all.
+
+    ``max_attempts`` is the default per-job attempt budget (``1`` — the
+    historical fail-on-first-error behavior — unless a submission overrides
+    it), ``lease_seconds`` the lease granted on claim and renewed by the
+    monitor thread, ``retry_backoff`` the base of the exponential delay
+    between attempts.
     """
 
     def __init__(self, executor, registry: RunRegistry,
-                 queues: TenantQueues, workers: int = 2):
+                 queues: TenantQueues, workers: int = 2, *,
+                 max_attempts: int = 1, lease_seconds: float = 15.0,
+                 retry_backoff: float = 0.2):
         self.executor = executor
         self.registry = registry
         self.queues = queues
+        self.instance_id = uuid.uuid4().hex[:8]
+        self._max_attempts = max(1, int(max_attempts))
+        self._lease_seconds = float(lease_seconds)
+        self._retry_backoff = float(retry_backoff)
         self._prepared: Dict[str, PreparedJob] = {}
         self._cancel_flags: Dict[str, threading.Event] = {}
         self._inflight: Dict[str, str] = {}  # job key -> live job id
@@ -68,6 +101,17 @@ class JobRunner:
         self._subscriber_lock = threading.Lock()
         self._done = threading.Condition()
         self._stopping = False
+        # Jobs waiting out a retry backoff: (eligible_at, tenant, priority,
+        # job_id) min-heap, released into the tenant queues by the monitor.
+        self._delayed: List[Tuple[float, str, int, str]] = []
+        self._delayed_lock = threading.Lock()
+        # job id -> (claimed_at, deadline_seconds) for attempts running in
+        # THIS process; drives heartbeats and deadline enforcement.
+        self._local_running: Dict[str, Tuple[float, Optional[float]]] = {}
+        # Jobs whose cancel flag was set by the deadline enforcer, not a
+        # client — their JobCancelled re-enters the retry path.
+        self._deadline_hit: Set[str] = set()
+        self._stop_event = threading.Event()
         self._recover_stale()
         self._workers = [
             threading.Thread(target=self._worker_loop,
@@ -77,19 +121,29 @@ class JobRunner:
         ]
         for worker in self._workers:
             worker.start()
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="repro-service-monitor",
+                                         daemon=True)
+        self._monitor.start()
 
     # -- submission ---------------------------------------------------------
     def submit(self, kind: str, payload: Dict[str, Any],
-               tenant: str = "default",
-               priority: int = 0) -> Tuple[str, bool, Optional[int]]:
+               tenant: str = "default", priority: int = 0,
+               deadline: Optional[float] = None,
+               max_attempts: Optional[int] = None
+               ) -> Tuple[str, bool, Optional[int]]:
         """Validate, dedup and enqueue a job.
 
         Returns ``(job_id, deduped, position)``.  Raises
         :class:`~repro.service.protocol.ProtocolError` on a malformed
         payload and :class:`QueueFullError` / :class:`QuotaExceededError`
         on backpressure — nothing is persisted for a rejected submission.
+        ``deadline`` / ``max_attempts`` override the runner defaults for
+        this job only.
         """
         prepared = prepare_job(kind, payload)
+        attempts_budget = self._max_attempts if max_attempts is None \
+            else max(1, int(max_attempts))
         with self._submit_lock:
             if self._stopping:
                 raise QueueFullError("the server is shutting down")
@@ -100,7 +154,9 @@ class JobRunner:
                     return existing, True, None
             job_id = uuid.uuid4().hex[:12]
             self.registry.create_job(job_id, tenant, kind, prepared.key,
-                                     priority, payload)
+                                     priority, payload,
+                                     max_attempts=attempts_budget,
+                                     deadline_seconds=deadline)
             self._prepared[job_id] = prepared
             self._cancel_flags[job_id] = threading.Event()
             if prepared.key is not None:
@@ -141,7 +197,18 @@ class JobRunner:
             "queue": self.queues.snapshot(),
             "cache": {"hits": cache.hits, "misses": cache.misses},
             "workers": len(self._workers),
+            "instance": self.instance_id,
         }
+        with self._delayed_lock:
+            stats["delayed"] = len(self._delayed)
+        executor_stats = getattr(self.executor, "stats", None)
+        if executor_stats is not None:
+            stats["faults"] = {
+                "shard_retries": executor_stats.shard_retries,
+                "shard_timeouts": executor_stats.shard_timeouts,
+                "pool_respawns": executor_stats.pool_respawns,
+                "degraded_shards": executor_stats.degraded_shards,
+            }
         disk = self.executor.disk_cache_stats
         if disk is not None:
             stats["disk_cache"] = {"hits": disk.hits, "misses": disk.misses,
@@ -176,7 +243,9 @@ class JobRunner:
         """Request cancellation; returns the job's (possibly new) state."""
         entry = self.job(job_id)
         tenant = entry["tenant"]
-        if entry["state"] == "queued" and self.queues.remove(tenant, job_id):
+        if entry["state"] == "queued" and (
+                self.queues.remove(tenant, job_id)
+                or self._remove_delayed(job_id)):
             if self.registry.transition(job_id, ("queued",), "cancelled"):
                 with self._submit_lock:
                     self._forget(job_id, entry["job_key"])
@@ -197,7 +266,17 @@ class JobRunner:
             if self._stopping:
                 return
             self._stopping = True
+        self._stop_event.set()
         for tenant, job_id in self.queues.drain():
+            if self.registry.transition(job_id, ("queued",), "cancelled"):
+                entry = self.registry.get_job(job_id)
+                with self._submit_lock:
+                    self._forget(job_id, entry["job_key"] if entry else None)
+                self._emit(job_id, "state", {"state": "cancelled"})
+        with self._delayed_lock:
+            delayed = list(self._delayed)
+            self._delayed.clear()
+        for _, _, _, job_id in delayed:
             if self.registry.transition(job_id, ("queued",), "cancelled"):
                 entry = self.registry.get_job(job_id)
                 with self._submit_lock:
@@ -208,6 +287,7 @@ class JobRunner:
                 flag.set()
         for worker in self._workers:
             worker.join(timeout=timeout)
+        self._monitor.join(timeout=timeout)
         self._notify_done()
         self.executor.shutdown(wait=drain)
 
@@ -226,13 +306,37 @@ class JobRunner:
                 self.queues.task_done(tenant)
 
     def _run_job(self, job_id: str) -> None:
-        prepared = self._prepared.get(job_id)
+        entry = self.registry.get_job(job_id)
         flag = self._cancel_flags.get(job_id)
-        if prepared is None or flag is None:
+        if entry is None or flag is None:
             return  # cancelled between pop and claim
-        if not self.registry.transition(job_id, ("queued",), "running"):
+        prepared = self._prepared.get(job_id)
+        if prepared is None:
+            # A job recovered from a dead server process: its PreparedJob
+            # died with that process, so re-decode the persisted payload.
+            try:
+                prepared = prepare_job(entry["kind"], entry["payload"])
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                self.registry.record_error(
+                    job_id, f"recovered payload failed to prepare: {error}")
+                self.registry.transition(job_id, ("queued", "running"),
+                                         "failed")
+                self._finish(job_id, entry["job_key"], "failed",
+                             {"error": str(error)})
+                return
+            with self._submit_lock:
+                self._prepared[job_id] = prepared
+        attempt = self.registry.claim(job_id, self.instance_id,
+                                      self._lease_seconds)
+        if attempt is None:
             return  # a racing cancel won
-        self._emit(job_id, "state", {"state": "running"})
+        running: Dict[str, Any] = {"state": "running"}
+        if attempt > 1:
+            running["attempt"] = attempt
+        self._emit(job_id, "state", running)
+        deadline = entry["deadline_seconds"]
+        self._local_running[job_id] = (
+            time.time(), float(deadline) if deadline is not None else None)
         cache = self.executor.cache_stats
         hits_before, misses_before = cache.hits, cache.misses
         context = JobContext(
@@ -242,14 +346,19 @@ class JobRunner:
         try:
             result = prepared.run(context)
         except JobCancelled:
-            self.registry.transition(job_id, ("running",), "cancelled")
-            self._finish(job_id, prepared.key, "cancelled")
+            with self._submit_lock:
+                deadline_hit = job_id in self._deadline_hit
+            if deadline_hit:
+                self._retry_or_fail(
+                    entry, attempt, "deadline",
+                    f"deadline exceeded ({deadline}s)")
+            else:
+                self.registry.transition(job_id, ("running",), "cancelled")
+                self._finish(job_id, prepared.key, "cancelled")
         except Exception as error:  # noqa: BLE001 - job isolation boundary
-            self.registry.record_error(job_id, f"{type(error).__name__}: "
-                                               f"{error}")
-            self.registry.transition(job_id, ("running",), "failed")
-            self._finish(job_id, prepared.key, "failed",
-                         {"error": str(error)})
+            self._retry_or_fail(entry, attempt, type(error).__name__,
+                                f"{type(error).__name__}: {error}",
+                                event_error=str(error))
         else:
             cache = self.executor.cache_stats
             hits = cache.hits - hits_before
@@ -258,6 +367,39 @@ class JobRunner:
             self._emit(job_id, "cache", {"hits": hits, "misses": misses})
             self.registry.transition(job_id, ("running",), "done")
             self._finish(job_id, prepared.key, "done")
+        finally:
+            self._local_running.pop(job_id, None)
+            with self._submit_lock:
+                self._deadline_hit.discard(job_id)
+
+    def _retry_or_fail(self, entry: Dict[str, Any], attempt: int,
+                       cause: str, error_text: str,
+                       event_error: Optional[str] = None) -> None:
+        """After a failed attempt: requeue with backoff, or dead-letter."""
+        job_id = entry["id"]
+        limit = max(1, int(entry["max_attempts"] or 1))
+        if attempt >= limit:
+            self.registry.record_error(job_id, error_text)
+            self.registry.transition(job_id, ("running",), "failed")
+            self._finish(job_id, entry["job_key"], "failed",
+                         {"error": event_error if event_error is not None
+                          else error_text})
+            return
+        delay = min(MAX_RETRY_BACKOFF,
+                    self._retry_backoff * (2.0 ** (attempt - 1)))
+        eligible_at = time.time() + delay
+        self.registry.requeue(job_id, next_eligible_at=eligible_at)
+        with self._submit_lock:
+            # A fresh flag: a deadline cancellation must not poison the
+            # next attempt.
+            self._cancel_flags[job_id] = threading.Event()
+        self._emit(job_id, "state", {"state": "queued", "retry": attempt,
+                                     "cause": cause,
+                                     "backoff": round(delay, 4)})
+        with self._delayed_lock:
+            heapq.heappush(self._delayed,
+                           (eligible_at, entry["tenant"],
+                            int(entry["priority"]), job_id))
 
     def _finish(self, job_id: str, key: Optional[str], state: str,
                 extra: Optional[Dict[str, Any]] = None) -> None:
@@ -292,21 +434,145 @@ class JobRunner:
         with self._done:
             self._done.notify_all()
 
-    def _recover_stale(self) -> None:
-        """Fail over jobs a previous server process left non-terminal.
+    # -- the monitor thread -------------------------------------------------
+    def _monitor_loop(self) -> None:
+        """Release backed-off retries, heartbeat leases, enforce deadlines,
+        reclaim work whose owning server died mid-run."""
+        sweep_every = max(_MONITOR_TICK, self._lease_seconds / 3.0)
+        last_sweep = 0.0
+        while not self._stop_event.wait(_MONITOR_TICK):
+            now = time.time()
+            self._release_due(now)
+            self._enforce_deadlines(now)
+            if now - last_sweep >= sweep_every:
+                last_sweep = now
+                try:
+                    self._heartbeat_running()
+                    self._reclaim_foreign(now)
+                except Exception:  # noqa: BLE001 - registry may be closing
+                    if self._stopping:
+                        return
 
-        A persistent registry reopened after a crash may hold ``queued`` /
-        ``running`` rows whose work died with the old process; their results
-        will never arrive, so mark them failed (their already-persisted
-        events stay replayable for reattaching clients).
-        """
-        for entry in self.registry.list_jobs(limit=10_000):
-            if entry["state"] in TERMINAL_STATES:
+    def _release_due(self, now: float) -> None:
+        ready = []
+        with self._delayed_lock:
+            while self._delayed and self._delayed[0][0] <= now:
+                ready.append(heapq.heappop(self._delayed))
+        for _, tenant, priority, job_id in ready:
+            with self._submit_lock:
+                if job_id not in self._cancel_flags:
+                    continue  # cancelled/forgotten while waiting
+            try:
+                self.queues.submit(tenant, priority, job_id)
+            except (QueueFullError, QuotaExceededError):
+                with self._delayed_lock:
+                    heapq.heappush(self._delayed,
+                                   (now + 1.0, tenant, priority, job_id))
+
+    def _enforce_deadlines(self, now: float) -> None:
+        for job_id, (claimed_at, deadline) in list(
+                self._local_running.items()):
+            if deadline is None or now - claimed_at <= deadline:
                 continue
-            if self.registry.transition(
-                    entry["id"], ("queued", "running"), "failed"):
+            with self._submit_lock:
+                already = job_id in self._deadline_hit
+                self._deadline_hit.add(job_id)
+            if not already:
+                flag = self._cancel_flags.get(job_id)
+                if flag is not None:
+                    flag.set()
+
+    def _heartbeat_running(self) -> None:
+        for job_id in list(self._local_running):
+            self.registry.heartbeat(job_id, self.instance_id,
+                                    self._lease_seconds)
+
+    def _reclaim_foreign(self, now: float) -> None:
+        """Retry/dead-letter running jobs whose owner stopped heartbeating
+        (a peer server sharing this registry died mid-run)."""
+        for entry in self.registry.expired_running(now):
+            if entry["lease_owner"] == self.instance_id \
+                    or entry["id"] in self._local_running:
+                continue  # ours; the heartbeat will catch up
+            self._reclaim_expired(entry)
+
+    def _remove_delayed(self, job_id: str) -> bool:
+        with self._delayed_lock:
+            for index, item in enumerate(self._delayed):
+                if item[3] == job_id:
+                    self._delayed[index] = self._delayed[-1]
+                    self._delayed.pop()
+                    heapq.heapify(self._delayed)
+                    return True
+        return False
+
+    # -- crash recovery -----------------------------------------------------
+    def _recover_stale(self) -> None:
+        """Re-admit jobs a previous server process left non-terminal.
+
+        ``queued`` rows never ran — they are requeued as-is, consuming no
+        retry attempt.  ``running`` rows whose lease is missing or expired
+        belonged to a dead process: they are retried if their attempt budget
+        has room, dead-lettered as ``failed`` otherwise.  Rows holding a
+        live lease belong to another healthy server sharing the registry
+        and are left untouched.  Event logs are append-only throughout, so
+        reattaching clients replay one consistent history.
+        """
+        now = time.time()
+        for entry in self.registry.list_jobs(limit=10_000):
+            state = entry["state"]
+            if state in TERMINAL_STATES:
+                continue
+            if state == "queued":
+                self._readmit(entry, {"state": "queued",
+                                      "cause": "recovered"})
+            elif state == "running":
+                lease = entry["lease_expires_at"]
+                if lease is None or float(lease) < now:
+                    self._reclaim_expired(entry)
+
+    def _reclaim_expired(self, entry: Dict[str, Any]) -> None:
+        """A running job whose lease lapsed: retry or dead-letter."""
+        job_id = entry["id"]
+        attempts = int(entry["attempts"] or 0)
+        limit = max(1, int(entry["max_attempts"] or 1))
+        if attempts >= limit:
+            if self.registry.transition(job_id, ("running",), "failed"):
                 self.registry.record_error(
-                    entry["id"], "orphaned: the serving process restarted")
-                self.registry.append_event(
-                    entry["id"], "state",
-                    {"state": "failed", "error": "orphaned"})
+                    job_id, "orphaned: lease expired with no attempts left")
+                with self._submit_lock:
+                    self._forget(job_id, entry["job_key"])
+                self._emit(job_id, "state",
+                           {"state": "failed", "error": "lease-expired"})
+                self._notify_done()
+        elif self.registry.requeue(job_id, from_states=("running",)):
+            self._readmit(entry, {"state": "queued", "retry": attempts,
+                                  "cause": "lease-expired"})
+
+    def _readmit(self, entry: Dict[str, Any],
+                 data: Dict[str, Any]) -> None:
+        """Put a recovered/reclaimed job back into the in-memory scheduler
+        (its PreparedJob is rebuilt lazily by the worker that claims it)."""
+        job_id = entry["id"]
+        with self._submit_lock:
+            self._cancel_flags[job_id] = threading.Event()
+            if entry["job_key"] is not None:
+                self._inflight[entry["job_key"]] = job_id
+        self._emit(job_id, "state", data)
+        now = time.time()
+        eligible_at = entry.get("next_eligible_at")
+        if eligible_at is not None and float(eligible_at) > now:
+            with self._delayed_lock:
+                heapq.heappush(self._delayed,
+                               (float(eligible_at), entry["tenant"],
+                                int(entry["priority"]), job_id))
+            return
+        try:
+            self.queues.submit(entry["tenant"], int(entry["priority"]),
+                               job_id)
+        except (QueueFullError, QuotaExceededError):
+            # No capacity right now — the monitor retries shortly.
+            with self._delayed_lock:
+                heapq.heappush(self._delayed,
+                               (now + 1.0, entry["tenant"],
+                                int(entry["priority"]), job_id))

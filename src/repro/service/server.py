@@ -81,7 +81,10 @@ class ServiceServer:
             max_running_per_tenant=self.config.max_running_per_tenant)
         self.executor = Executor(cache_dir=self.config.cache_dir)
         self.runner = JobRunner(self.executor, self.registry, self.queues,
-                                workers=self.config.workers)
+                                workers=self.config.workers,
+                                max_attempts=self.config.max_attempts,
+                                lease_seconds=self.config.lease_seconds,
+                                retry_backoff=self.config.retry_backoff)
         self.http_port: Optional[int] = None
         self._stop: Optional[asyncio.Event] = None
         self._drain = True
@@ -224,7 +227,8 @@ class ServiceServer:
             request.validate()
             job_id, deduped, position = await asyncio.to_thread(
                 self.runner.submit, request.kind, request.payload,
-                request.tenant, request.priority)
+                request.tenant, request.priority, request.deadline,
+                request.max_attempts)
         except ProtocolError as error:
             await self._write(writer, ErrorResponse(
                 "bad-request", str(error), 400))
@@ -343,10 +347,13 @@ class ServiceServer:
                 payload=document.get("payload", {}),
                 tenant=document.get("tenant",
                                     self.config.default_tenant),
-                priority=int(document.get("priority", 0))).validate()
+                priority=int(document.get("priority", 0)),
+                deadline=document.get("deadline"),
+                max_attempts=document.get("max_attempts")).validate()
             job_id, deduped, position = await asyncio.to_thread(
                 self.runner.submit, request.kind, request.payload,
-                request.tenant, request.priority)
+                request.tenant, request.priority, request.deadline,
+                request.max_attempts)
         except (json.JSONDecodeError, ProtocolError, ValueError) as error:
             await self._http_json(writer, 400, {
                 "code": "bad-request", "message": str(error)})

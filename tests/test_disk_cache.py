@@ -92,9 +92,16 @@ class TestDiskExpectationCache:
         entry.write_bytes(b"not a pickle")
         assert cache.get(make_key(1)) is None
         assert cache.stats.corrupt == 1
-        assert not entry.exists()  # bad entry was deleted
+        assert not entry.exists()  # bad entry no longer serveable...
+        quarantined = entry.with_name(".corrupt-" + entry.name)
+        assert quarantined.exists()  # ...but preserved for post-mortem
         cache.put(make_key(1), 0.5)  # and the slot is writable again
         assert cache.get(make_key(1)) == 0.5
+        # The quarantined file is invisible to entry scans and is purged by
+        # clear() along with everything else.
+        assert len(cache) == 1
+        cache.clear()
+        assert not quarantined.exists()
 
     def test_truncated_entry_recovers_as_miss(self, tmp_path):
         cache = DiskExpectationCache(tmp_path)
@@ -127,6 +134,7 @@ class TestDiskExpectationCache:
         assert cache.get(make_key(1)) is None
         assert cache.stats.corrupt == 1
         assert not entry.exists()
+        assert entry.with_name(".corrupt-" + entry.name).exists()
 
     def test_lru_eviction_respects_touch_order(self, tmp_path):
         cache = DiskExpectationCache(tmp_path)

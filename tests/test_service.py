@@ -351,16 +351,50 @@ class TestJobRunner:
         runner.unsubscribe(job_id, feed)
 
     def test_recovers_stale_jobs_from_dead_process(self, monkeypatch):
+        """A restarted server requeues queued rows without spending an
+        attempt, retries lease-expired running rows with budget left, and
+        dead-letters lease-expired running rows whose budget is gone."""
+        ran = []
+
+        def fake_prepare(kind, payload):
+            def run(ctx):
+                ran.append(payload["name"])
+                return {"name": payload["name"]}
+            return PreparedJob(kind=kind, key=None, units=1, run=run)
+
+        monkeypatch.setattr(runner_module, "prepare_job", fake_prepare)
         registry = RunRegistry(":memory:")
-        registry.create_job("dead1", "t", "sweep", None, 0, {})
-        registry.create_job("dead2", "t", "sweep", None, 0, {})
-        registry.transition("dead2", ("queued",), "running")
+        # Queued when the old server died: it never ran.
+        registry.create_job("q1", "t", "sweep", None, 0, {"name": "q1"},
+                            max_attempts=1)
+        # Running with an expired lease and budget left: retried.
+        registry.create_job("r1", "t", "sweep", None, 0, {"name": "r1"},
+                            max_attempts=2)
+        assert registry.claim("r1", "dead-server", lease_seconds=0.0) == 1
+        # Running with an expired lease and no budget left: dead-lettered.
+        registry.create_job("r2", "t", "sweep", None, 0, {"name": "r2"},
+                            max_attempts=1)
+        assert registry.claim("r2", "dead-server", lease_seconds=0.0) == 1
+        time.sleep(0.01)  # both leases are now strictly in the past
         runner = JobRunner(Executor(), registry, TenantQueues(), workers=1)
         try:
-            for job_id in ("dead1", "dead2"):
-                entry = registry.get_job(job_id)
-                assert entry["state"] == "failed"
-                assert "orphaned" in entry["error"]
+            assert runner.wait_result("q1", timeout=10)["state"] == "done"
+            assert runner.wait_result("r1", timeout=10)["state"] == "done"
+            # q1 never ran under the old server, so its recovered run is
+            # attempt #1; r1's crashed attempt still counts.
+            assert registry.get_job("q1")["attempts"] == 1
+            assert registry.get_job("r1")["attempts"] == 2
+            entry = registry.get_job("r2")
+            assert entry["state"] == "failed"
+            assert "orphaned" in entry["error"]
+            assert sorted(ran) == ["q1", "r1"]
+            # Event logs stayed append-only and replayable: the dead-letter
+            # is the r2 log's terminal event.
+            kinds = [event["kind"]
+                     for event in registry.events_since("r2")]
+            assert kinds[-1] == "state"
+            assert registry.events_since("r2")[-1]["data"]["state"] == \
+                "failed"
         finally:
             runner.shutdown(timeout=10)
 
