@@ -11,7 +11,7 @@ from repro.ansatz import FullyConnectedAnsatz
 from repro.mitigation import (DynamicalDecouplingSelector,
                               cafqa_initialization)
 from repro.operators import heisenberg_hamiltonian, ising_hamiltonian
-from repro.vqe import ExactEnergyEvaluator, GeneticOptimizer
+from repro.vqe import BackendEnergyEvaluator, GeneticOptimizer
 
 from conftest import full_mode, print_table
 
@@ -35,7 +35,7 @@ def test_ablation_cafqa_bootstrap(benchmark):
                 optimizer=GeneticOptimizer(population_size=16, generations=10,
                                            seed=7),
                 seed=7)
-            evaluator = ExactEnergyEvaluator(hamiltonian)
+            evaluator = BackendEnergyEvaluator.exact(hamiltonian)
             random_energy = float(np.mean([
                 evaluator(ansatz.bound_circuit(
                     0.1 * np.random.default_rng(seed).standard_normal(
@@ -71,7 +71,7 @@ def test_ablation_dynamical_decoupling(benchmark):
         improvements = []
         for drift in (0.1, 0.2, 0.4):
             selector = DynamicalDecouplingSelector(
-                ExactEnergyEvaluator(hamiltonian), drift_angle=drift)
+                BackendEnergyEvaluator.exact(hamiltonian), drift_angle=drift)
             selection = selector.select(circuit)
             improvements.append(selection.improvement)
             rows.append([drift, selection.best_sequence,

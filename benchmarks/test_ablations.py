@@ -16,7 +16,7 @@ from repro.mitigation import cafqa_initialization
 from repro.operators import ising_hamiltonian
 from repro.qec import (RepetitionCodeMemory, logical_error_rate,
                        surface_code_memory_experiment)
-from repro.vqe import (VQE, CobylaOptimizer, DensityMatrixEnergyEvaluator,
+from repro.vqe import (VQE, BackendEnergyEvaluator, CobylaOptimizer,
                        NelderMeadOptimizer, SPSAOptimizer)
 
 from conftest import full_mode, print_table
@@ -108,7 +108,7 @@ def test_ablation_optimizers(benchmark):
 
     def run(optimizer):
         vqe = VQE(hamiltonian, ansatz,
-                  DensityMatrixEnergyEvaluator(hamiltonian, noise), optimizer,
+                  BackendEnergyEvaluator.density_matrix(hamiltonian, noise), optimizer,
                   reference_energy=reference)
         return vqe.run(initial_parameters=bootstrap.angles, seed=3)
 

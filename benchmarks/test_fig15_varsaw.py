@@ -13,7 +13,7 @@ from repro.ansatz import FullyConnectedAnsatz
 from repro.core import NISQRegime, PQECRegime
 from repro.mitigation import MitigatedEnergyEvaluator
 from repro.operators import heisenberg_hamiltonian, ising_hamiltonian
-from repro.vqe import CliffordEnergyEvaluator, CliffordVQE, GeneticOptimizer
+from repro.vqe import BackendEnergyEvaluator, CliffordVQE, GeneticOptimizer
 
 from conftest import full_mode, print_table
 
@@ -35,7 +35,7 @@ def compute_figure15():
             vqe = CliffordVQE(hamiltonian, ansatz, noise,
                               GeneticOptimizer(seed=seed, **GA_KWARGS), seed=seed)
             converged = vqe.run()
-            base = CliffordEnergyEvaluator(hamiltonian, noise)
+            base = BackendEnergyEvaluator.clifford(hamiltonian, noise)
             mitigated = MitigatedEnergyEvaluator(base)
             # The unmitigated energy includes the regime's readout error
             # (terminal measurements on every qubit); the VarSaw evaluator

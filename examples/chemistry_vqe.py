@@ -11,7 +11,7 @@ Run with:  python examples/chemistry_vqe.py
 from repro import FullyConnectedAnsatz, NISQRegime, PQECRegime, molecular_hamiltonian
 from repro.core.metrics import RegimeComparison
 from repro.mitigation import MitigatedEnergyEvaluator
-from repro.vqe import (VQE, CobylaOptimizer, DensityMatrixEnergyEvaluator)
+from repro.vqe import VQE, BackendEnergyEvaluator, CobylaOptimizer
 
 NUM_QUBITS = 6          # reduced active space so the example runs in seconds
 NUM_TERMS = 40          # reduced Pauli-term count (full LiH uses 631 terms)
@@ -19,7 +19,7 @@ BOND_LENGTHS = (1.0, 4.5)
 
 
 def run_vqe(hamiltonian, ansatz, regime, mitigate=False, seed=5):
-    evaluator = DensityMatrixEnergyEvaluator(hamiltonian, regime.noise_model())
+    evaluator = BackendEnergyEvaluator.density_matrix(hamiltonian, regime.noise_model())
     if mitigate:
         evaluator = MitigatedEnergyEvaluator(evaluator)
     vqe = VQE(hamiltonian, ansatz, evaluator,

@@ -21,8 +21,7 @@ from repro import (FullyConnectedAnsatz, NISQRegime, PQECRegime,
 from repro.mitigation import (DynamicalDecouplingSelector,
                               MitigatedEnergyEvaluator, QISMETController,
                               TransientNoiseInjector, cafqa_initialization)
-from repro.vqe import (CliffordEnergyEvaluator, CobylaOptimizer,
-                       DensityMatrixEnergyEvaluator, ExactEnergyEvaluator, VQE)
+from repro.vqe import VQE, BackendEnergyEvaluator, CobylaOptimizer
 
 
 def main() -> None:
@@ -39,7 +38,7 @@ def main() -> None:
 
     pqec_noise = PQECRegime().noise_model()
     vqe = VQE(hamiltonian, ansatz,
-              DensityMatrixEnergyEvaluator(hamiltonian, pqec_noise),
+              BackendEnergyEvaluator.density_matrix(hamiltonian, pqec_noise),
               CobylaOptimizer(max_iterations=100), reference_energy=reference)
     random_result = vqe.run(seed=3)
     bootstrapped_result = vqe.run(initial_parameters=bootstrap.angles)
@@ -49,7 +48,7 @@ def main() -> None:
 
     # --- 2. VarSaw readout mitigation ---------------------------------------
     nisq_noise = NISQRegime().noise_model()
-    base = CliffordEnergyEvaluator(hamiltonian, nisq_noise)
+    base = BackendEnergyEvaluator.clifford(hamiltonian, nisq_noise)
     mitigated = MitigatedEnergyEvaluator(base)
     measured = ansatz.build(include_measurement=True).bind_parameters(
         list(bootstrap.angles))
@@ -58,7 +57,7 @@ def main() -> None:
     print(f"NISQ energy with VarSaw         : {mitigated(plain):.4f}\n")
 
     # --- 3. QISMET transient filtering ---------------------------------------
-    injector = TransientNoiseInjector(ExactEnergyEvaluator(hamiltonian),
+    injector = TransientNoiseInjector(BackendEnergyEvaluator.exact(hamiltonian),
                                       transient_probability=0.3,
                                       transient_magnitude=5.0, seed=5)
     controller = QISMETController(injector, threshold=0.5, max_retries=3)
@@ -69,7 +68,7 @@ def main() -> None:
           f"(mean accepted energy {np.mean(filtered):.4f})\n")
 
     # --- 4. Dynamical decoupling under coherent idle drift -------------------
-    selector = DynamicalDecouplingSelector(ExactEnergyEvaluator(hamiltonian),
+    selector = DynamicalDecouplingSelector(BackendEnergyEvaluator.exact(hamiltonian),
                                            drift_angle=0.2)
     selection = selector.select(circuit)
     print("Dynamical decoupling under idle drift:")

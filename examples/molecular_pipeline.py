@@ -14,7 +14,7 @@ from repro.operators.fermion import (bravyi_kitaev, fermi_hubbard,
                                      molecular_fermionic_hamiltonian,
                                      synthetic_molecular_integrals)
 from repro.operators.grouping import grouped_measurement_overhead, shot_budget
-from repro.vqe import (CobylaOptimizer, DensityMatrixEnergyEvaluator, VQE)
+from repro.vqe import VQE, BackendEnergyEvaluator, CobylaOptimizer
 
 
 def main() -> None:
@@ -48,7 +48,7 @@ def main() -> None:
 
     # --- 3. Small VQE under pQEC noise ---------------------------------------
     ansatz = FullyConnectedAnsatz(jw.num_qubits, depth=1)
-    evaluator = DensityMatrixEnergyEvaluator(jw, PQECRegime().noise_model())
+    evaluator = BackendEnergyEvaluator.density_matrix(jw, PQECRegime().noise_model())
     vqe = VQE(jw, ansatz, evaluator, CobylaOptimizer(max_iterations=150),
               reference_energy=e_jw, benchmark_name="LiH-like")
     result = vqe.run(seed=1)

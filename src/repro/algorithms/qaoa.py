@@ -23,8 +23,7 @@ from ..operators.graphs import cut_value, exact_maxcut, maxcut_cost_hamiltonian
 from ..operators.pauli import PauliSum
 from ..simulators.noise import NoiseModel
 from ..simulators.statevector import StatevectorSimulator
-from ..vqe.energy import (BackendEnergyEvaluator, EnergyEvaluator,
-                          ExactEnergyEvaluator)
+from ..vqe.energy import BackendEnergyEvaluator, EnergyEvaluator
 from ..vqe.optimizers import CobylaOptimizer, OptimizationResult, Optimizer
 
 
@@ -183,7 +182,7 @@ class QAOA:
                     self.hamiltonian, backend=backend or "auto",
                     noise_model=noise_model)
             else:
-                evaluator = ExactEnergyEvaluator(self.hamiltonian)
+                evaluator = BackendEnergyEvaluator.exact(self.hamiltonian)
         self.evaluator = evaluator
         self.optimizer = optimizer or CobylaOptimizer()
         self.optimal_cut: Optional[float] = None

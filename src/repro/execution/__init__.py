@@ -18,7 +18,14 @@ stabilizer tableau, Pauli propagation):
 * :func:`evaluate_sweep` — the batched parameter-sweep pipeline over the
   circuit-compile layer (:mod:`repro.simulators.program`): the parametric
   template compiles once, each point rebinds only its rotation matrices,
-  and noiseless statevector sweeps execute as a single stacked NumPy pass.
+  and noiseless statevector sweeps execute as a single stacked NumPy pass;
+* :class:`ExecutionPolicy` — one frozen value for "how should this run"
+  (fan-out mode, worker count, shard broker, retry budget), accepted
+  everywhere the legacy ``parallel=`` / ``max_workers=`` keywords are;
+* :class:`ShardBroker` — the pluggable shard-dispatch seam:
+  :class:`LocalProcessBroker` (the default supervised fork pool) and
+  :class:`FilesystemBroker` (a spool-directory work queue served by
+  elastic ``repro-worker`` processes, possibly on other machines).
 
 Quick start::
 
@@ -43,6 +50,9 @@ from .backend import Backend, BackendCapabilities
 from .cache import CacheStats, ExpectationCache
 from .disk_cache import (CACHE_DIR_ENV, DiskCacheStats, DiskExpectationCache,
                          TieredExpectationCache, disk_cache_from_env)
+from .broker import (BROKER_SPOOL_ENV, FilesystemBroker,
+                     LocalProcessBroker, ShardBroker, SpoolLayout,
+                     make_broker)
 from .errors import (BackendCapabilityError, ExecutionError, RoutingError,
                      TransientFault, UnknownBackendError)
 from .executor import (ExecutionStats, Executor, default_executor,
@@ -52,16 +62,18 @@ from .faults import (FAULTS_ENV, FaultDirective, FaultInjector, FaultRule,
                      clear_injector, inject_faults, install_injector,
                      parse_fault_spec)
 from .observables import pauli_from_key, run_grouped
+from .policy import ExecutionPolicy
 from .registry import (BackendRegistry, DEFAULT_REGISTRY, available_backends,
                        get_backend, register_backend)
 from .router import route_task
-from .sharding import (FaultReport, ShardPlan, ShardPlanner,
-                       ShardRetryPolicy, WORKERS_ENV, resolve_workers,
-                       shutdown_process_pool)
+from .sharding import (FaultReport, ShardOutcome, ShardPlan,
+                       ShardPlanner, ShardRetryPolicy, ShardSpec,
+                       WORKERS_ENV, resolve_workers, shutdown_process_pool)
 from .task import (ExecutionResult, ExecutionTask, noise_token,
                    observable_fingerprint)
 
 __all__ = [
+    "BROKER_SPOOL_ENV",
     "Backend",
     "BackendCapabilities",
     "BackendCapabilityError",
@@ -73,6 +85,7 @@ __all__ = [
     "DiskCacheStats",
     "DiskExpectationCache",
     "ExecutionError",
+    "ExecutionPolicy",
     "ExecutionResult",
     "ExecutionStats",
     "ExecutionTask",
@@ -83,13 +96,19 @@ __all__ = [
     "FaultInjector",
     "FaultReport",
     "FaultRule",
+    "FilesystemBroker",
+    "LocalProcessBroker",
     "MAX_DENSITY_MATRIX_QUBITS",
     "MAX_STATEVECTOR_QUBITS",
     "PauliPropagationBackend",
     "RoutingError",
+    "ShardBroker",
+    "ShardOutcome",
     "ShardPlan",
     "ShardPlanner",
     "ShardRetryPolicy",
+    "ShardSpec",
+    "SpoolLayout",
     "StabilizerBackend",
     "StatevectorBackend",
     "TieredExpectationCache",
@@ -102,6 +121,7 @@ __all__ = [
     "disk_cache_from_env",
     "inject_faults",
     "install_injector",
+    "make_broker",
     "parse_fault_spec",
     "evaluate_observable",
     "evaluate_sweep",

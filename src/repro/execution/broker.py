@@ -1,0 +1,544 @@
+"""Pluggable shard brokers: where a supervised dispatch actually runs.
+
+:func:`~repro.execution.sharding.run_sharded`'s supervisor speaks one small
+protocol (:class:`ShardBroker`) and never touches a pool or a filesystem
+directly, so the *placement* of shard work is swappable without changing
+retry, backoff, fault-injection or :class:`~repro.execution.sharding.FaultReport`
+semantics:
+
+* :class:`LocalProcessBroker` — the default.  Wraps the module-shared fork
+  pool in :mod:`~repro.execution.sharding`; behavior and bitwise results
+  are identical to the pre-broker supervisor (same pool, same
+  ``_shard_entry`` wrapper, same BrokenExecutor/timeout classification).
+* :class:`FilesystemBroker` — a spool-directory work queue on a shared
+  filesystem.  Any number of elastic ``repro-worker`` processes
+  (:mod:`repro.worker`) — on this host or any host mounting the spool —
+  claim task files by **atomic rename**, hold a **lease** while executing,
+  and drop results as **content-named** files.  A worker that dies
+  mid-shard simply stops renewing its lease; the supervisor's heartbeat
+  reclaims and requeues the shard, and the recovery is accounted like any
+  other retry.  Because every shard payload carries its own seeds,
+  placement (which worker, how many, joins/leaves mid-run) can never
+  change results.
+
+Spool layout (one directory, five subdirectories)::
+
+    spool/
+      tasks/    <shard_id>.task      pickled envelope, claim me by rename
+      claimed/  <shard_id>.task      renamed here by the winning claimant
+      leases/   <shard_id>.json      {"owner", "expires"} renewed while running
+      results/  <digest>.result      pickled outcome, named by payload content
+      workers/  <worker_id>.json     worker census: pid, claims, last_seen
+
+The claim is ``os.rename(tasks/X, claimed/X)``: exactly one claimant wins,
+losers get ``FileNotFoundError`` — no locks, no fsync ordering games.
+Results are named by the BLAKE2 digest of the pickled ``(fn, payload)``
+body, so an identical shard resubmitted later (a retry, or a killed run
+resumed against the same spool) is served the already-computed result file
+instead of recomputing.
+
+Trust model: the spool carries pickles, exactly like the fork pool's IPC —
+it must live on a filesystem writable only by the cooperating run and its
+workers (a job-scoped tmp dir, not a world-writable share).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
+from concurrent.futures import wait as _futures_wait
+from hashlib import blake2b
+from typing import Dict, List, Optional, Protocol, Sequence, Set
+
+from .errors import ExecutionError, TransientFault
+from .sharding import (ShardOutcome, ShardSpec, _invalidate_pool,
+                       _shard_entry, _submit_to_pool)
+
+#: Environment override pointing executions at a shared spool directory.
+BROKER_SPOOL_ENV = "REPRO_BROKER_SPOOL"
+
+#: A census entry older than this many lease periods is a dead worker.
+_CENSUS_STALE_LEASES = 2.0
+
+
+class ShardBroker(Protocol):
+    """What the shard supervisor needs from a work-distribution backend.
+
+    ``submit`` enqueues :class:`~repro.execution.sharding.ShardSpec`
+    batches and returns one opaque shard id per spec; ``poll`` blocks up
+    to ``timeout`` seconds and returns completed
+    :class:`~repro.execution.sharding.ShardOutcome` events; ``ack``
+    releases a consumed success, ``nack`` withdraws a failed/abandoned
+    shard so a resubmission recomputes it; ``heartbeat`` performs
+    liveness housekeeping and returns the shard ids whose lease expired
+    and were requeued since the last call; ``workers`` reports the
+    current worker census as JSON-able dicts.
+    """
+
+    name: str
+
+    def submit(self, specs: Sequence[ShardSpec]) -> List[str]: ...
+
+    def poll(self, timeout: Optional[float] = None) -> List[ShardOutcome]: ...
+
+    def ack(self, shard_id: str) -> None: ...
+
+    def nack(self, shard_id: str, cause: str = "") -> None: ...
+
+    def heartbeat(self) -> List[str]: ...
+
+    def workers(self) -> List[dict]: ...
+
+
+def make_broker(spec, workers: int):
+    """Resolve a broker spec: ``None``/``"local"`` → the shared fork pool,
+    a path or ``"spool:PATH"`` string → a :class:`FilesystemBroker` on that
+    directory, an object already speaking the protocol → itself."""
+    if spec is None or spec == "local":
+        return LocalProcessBroker(workers)
+    if isinstance(spec, (str, os.PathLike)):
+        path = os.fspath(spec)
+        if path.startswith("spool:"):
+            path = path[len("spool:"):]
+        return FilesystemBroker(path)
+    if hasattr(spec, "submit") and hasattr(spec, "poll"):
+        return spec
+    raise ExecutionError(
+        f"broker must be None, 'local', a spool path, or a ShardBroker, "
+        f"got {spec!r}")
+
+
+# ---------------------------------------------------------------------------
+# LocalProcessBroker
+# ---------------------------------------------------------------------------
+
+
+class LocalProcessBroker:
+    """The supervised fork pool behind the broker protocol (the default).
+
+    One instance serves one dispatch: it holds the shard-id → future map
+    and is not shared between concurrent ``run_sharded`` calls (the pool
+    underneath *is* shared — that is the point).  Failure classification
+    matches the historical supervisor exactly: ``BrokenExecutor`` retires
+    the pool and is retryable, :class:`TransientFault` is retryable,
+    anything else is deterministic and propagates.
+    """
+
+    name = "local"
+
+    def __init__(self, workers: int):
+        self.workers = int(workers)
+        self._futures: Dict[str, object] = {}
+        self._sequence = 0
+
+    def submit(self, specs: Sequence[ShardSpec]) -> List[str]:
+        wrapped = [(spec.directive, spec.fn, spec.payload) for spec in specs]
+        try:
+            futures = _submit_to_pool(self.workers, _shard_entry, wrapped)
+        except BrokenExecutor:
+            _invalidate_pool()
+            raise
+        shard_ids = []
+        for future in futures:
+            shard_id = f"local-{self._sequence:05d}"
+            self._sequence += 1
+            self._futures[shard_id] = future
+            shard_ids.append(shard_id)
+        return shard_ids
+
+    def poll(self, timeout: Optional[float] = None) -> List[ShardOutcome]:
+        if not self._futures:
+            return []
+        done, _ = _futures_wait(set(self._futures.values()), timeout=timeout,
+                                return_when=FIRST_COMPLETED)
+        outcomes: List[ShardOutcome] = []
+        invalidated = False
+        for shard_id in sorted(shard_id for shard_id, future
+                               in self._futures.items() if future in done):
+            future = self._futures.pop(shard_id)
+            try:
+                value = future.result()
+            except BrokenExecutor as error:
+                if not invalidated:
+                    # A broken pool poisons every later submit: retire it so
+                    # the next round lazily rebuilds a healthy one.
+                    _invalidate_pool()
+                    invalidated = True
+                outcomes.append(ShardOutcome(
+                    shard_id, ok=False, cause=type(error).__name__,
+                    retryable=True, respawned=True))
+            except TransientFault as error:
+                outcomes.append(ShardOutcome(
+                    shard_id, ok=False, cause=f"TransientFault: {error}",
+                    retryable=True))
+            except BaseException as error:  # deterministic: propagates
+                outcomes.append(ShardOutcome(
+                    shard_id, ok=False, cause=type(error).__name__,
+                    error=error))
+            else:
+                outcomes.append(ShardOutcome(shard_id, ok=True, value=value))
+        return outcomes
+
+    def ack(self, shard_id: str) -> None:
+        self._futures.pop(shard_id, None)
+
+    def nack(self, shard_id: str, cause: str = "") -> None:
+        future = self._futures.pop(shard_id, None)
+        if future is not None:
+            future.cancel()
+        if cause == "timeout":
+            # A timed-out round means a wedged worker; retire the pool so
+            # the retry starts against a fresh one.
+            _invalidate_pool()
+
+    def heartbeat(self) -> List[str]:
+        return []
+
+    def workers(self) -> List[dict]:
+        from . import sharding
+        pool = sharding._pool
+        if pool is None:
+            return []
+        try:
+            processes = dict(pool._processes or {})
+        except AttributeError:
+            return []
+        return [{"worker_id": f"fork-{pid}", "pid": pid,
+                 "alive": process.is_alive()}
+                for pid, process in sorted(processes.items())]
+
+
+# ---------------------------------------------------------------------------
+# the spool
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write-then-rename so a reader never observes a torn file."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class SpoolLayout:
+    """Path arithmetic for one spool directory (shared with the workers)."""
+
+    SUBDIRS = ("tasks", "claimed", "leases", "results", "workers")
+
+    def __init__(self, spool):
+        self.root = os.fspath(spool)
+        self.tasks = os.path.join(self.root, "tasks")
+        self.claimed = os.path.join(self.root, "claimed")
+        self.leases = os.path.join(self.root, "leases")
+        self.results = os.path.join(self.root, "results")
+        self.workers = os.path.join(self.root, "workers")
+        self.stop_file = os.path.join(self.root, "stop")
+
+    def ensure(self) -> "SpoolLayout":
+        for name in self.SUBDIRS:
+            os.makedirs(os.path.join(self.root, name), exist_ok=True)
+        return self
+
+    def task(self, shard_id: str) -> str:
+        return os.path.join(self.tasks, shard_id + ".task")
+
+    def claim(self, shard_id: str) -> str:
+        return os.path.join(self.claimed, shard_id + ".task")
+
+    def lease(self, shard_id: str) -> str:
+        return os.path.join(self.leases, shard_id + ".json")
+
+    def result(self, digest: str) -> str:
+        return os.path.join(self.results, digest + ".result")
+
+    def worker(self, worker_id: str) -> str:
+        return os.path.join(self.workers, worker_id + ".json")
+
+    def pending_task_ids(self) -> List[str]:
+        try:
+            names = os.listdir(self.tasks)
+        except FileNotFoundError:
+            return []
+        return sorted(name[:-len(".task")] for name in names
+                      if name.endswith(".task"))
+
+    def lease_expiry(self, shard_id: str) -> Optional[float]:
+        try:
+            with open(self.lease(shard_id), "r", encoding="utf-8") as handle:
+                return float(json.load(handle)["expires"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+
+    def write_lease(self, shard_id: str, owner: str,
+                    lease_seconds: float) -> None:
+        atomic_write_bytes(self.lease(shard_id), json.dumps(
+            {"owner": owner,
+             "expires": time.time() + lease_seconds}).encode("utf-8"))
+
+    def load_envelope(self, path: str) -> dict:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def write_result(self, digest: str, record: dict) -> None:
+        atomic_write_bytes(self.result(digest),
+                           pickle.dumps(record,
+                                        protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def result_record(fn, payload) -> dict:
+    """Execute one claimed shard body and classify the outcome the same
+    way the local pool supervisor does (shared by workers and the
+    parent's work-stealing path)."""
+    try:
+        value = fn(*payload)
+    except TransientFault as error:
+        return {"ok": False, "cause": f"TransientFault: {error}",
+                "retryable": True, "error": error}
+    except BaseException as error:  # deterministic: parent re-raises
+        return {"ok": False, "cause": type(error).__name__,
+                "retryable": False, "error": error}
+    return {"ok": True, "value": value}
+
+
+# ---------------------------------------------------------------------------
+# FilesystemBroker
+# ---------------------------------------------------------------------------
+
+
+class FilesystemBroker:
+    """A spool-directory work queue for elastic multi-process workers.
+
+    One instance serves one dispatch (like :class:`LocalProcessBroker`);
+    many dispatches and many runs may share the same spool — shard ids
+    carry a per-dispatch prefix and results are content-named, so runs
+    never collide and identical resubmitted work is served warm.
+
+    ``poll`` is where all the distributed housekeeping happens: collect
+    result files for outstanding shards, reclaim expired leases (requeue
+    the task, stripped of any injected fault directive so a chaos ``kill``
+    fires once, not per-victim), and — when no live worker shows up in the
+    census — **steal** one pending shard and execute it in-process, so a
+    spool with zero attached workers still completes (the parent is the
+    worker of last resort).  Set ``steal=False`` to require real workers.
+    """
+
+    name = "filesystem"
+
+    def __init__(self, spool, *, lease_seconds: float = 5.0,
+                 poll_interval: float = 0.05, steal: bool = True):
+        self.layout = SpoolLayout(spool).ensure()
+        self.lease_seconds = float(lease_seconds)
+        self.poll_interval = float(poll_interval)
+        self.steal = bool(steal)
+        self.stolen = 0
+        self._specs: Dict[str, ShardSpec] = {}
+        self._digests: Dict[str, str] = {}
+        self._outstanding: Set[str] = set()
+        self._expired: List[str] = []
+        self._claim_seen: Dict[str, float] = {}
+        self._sequence = 0
+        self._prefix = f"{os.getpid():08x}-{id(self) & 0xffffff:06x}"
+
+    @property
+    def spool(self) -> str:
+        return self.layout.root
+
+    # -- protocol ----------------------------------------------------------
+
+    def submit(self, specs: Sequence[ShardSpec]) -> List[str]:
+        shard_ids = []
+        for spec in specs:
+            body = pickle.dumps((spec.fn, spec.payload),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            digest = blake2b(body, digest_size=16).hexdigest()
+            shard_id = f"{self._prefix}-{self._sequence:05d}-{digest}"
+            self._sequence += 1
+            self._specs[shard_id] = spec
+            self._digests[shard_id] = digest
+            self._outstanding.add(shard_id)
+            shard_ids.append(shard_id)
+            if os.path.exists(self.layout.result(digest)):
+                continue  # already computed (warm resume / duplicate shard)
+            if os.path.exists(self.layout.task(shard_id)) \
+                    or os.path.exists(self.layout.claim(shard_id)):
+                continue  # still queued from an earlier round
+            self._write_task(shard_id, spec.directive)
+        return shard_ids
+
+    def poll(self, timeout: Optional[float] = None) -> List[ShardOutcome]:
+        deadline = None if timeout is None \
+            else time.monotonic() + max(0.0, timeout)
+        while True:
+            outcomes = self._collect()
+            if outcomes:
+                return outcomes
+            self._reclaim_expired()
+            if self.steal and self._steal_one():
+                continue  # the stolen shard's result is ready to collect
+            if deadline is not None and time.monotonic() >= deadline:
+                return []
+            time.sleep(self.poll_interval)
+
+    def ack(self, shard_id: str) -> None:
+        # The result file stays: it is the content-named checkpoint a
+        # resumed or duplicate run is served from.
+        self._forget(shard_id, remove_task=True)
+
+    def nack(self, shard_id: str, cause: str = "") -> None:
+        digest = self._digests.get(shard_id)
+        if digest is not None:
+            # A nacked result is suspect (failed attempt, timed-out round):
+            # drop it so a resubmission recomputes instead of re-reading it.
+            self._remove(self.layout.result(digest))
+        self._forget(shard_id, remove_task=(cause == "abandoned"))
+
+    def heartbeat(self) -> List[str]:
+        self._reclaim_expired()
+        expired, self._expired = self._expired, []
+        return expired
+
+    def workers(self) -> List[dict]:
+        census = []
+        now = time.time()
+        try:
+            names = sorted(os.listdir(self.layout.workers))
+        except FileNotFoundError:
+            return []
+        stale = _CENSUS_STALE_LEASES * max(1.0, self.lease_seconds)
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.layout.workers, name), "r",
+                          encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            record["alive"] = \
+                (now - float(record.get("last_seen", 0.0))) <= stale
+            census.append(record)
+        return census
+
+    # -- internals ---------------------------------------------------------
+
+    def _write_task(self, shard_id: str, directive) -> None:
+        spec = self._specs[shard_id]
+        envelope = {"shard_id": shard_id, "digest": self._digests[shard_id],
+                    "fn": spec.fn, "payload": spec.payload,
+                    "directive": directive}
+        atomic_write_bytes(self.layout.task(shard_id),
+                           pickle.dumps(envelope,
+                                        protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _collect(self) -> List[ShardOutcome]:
+        outcomes: List[ShardOutcome] = []
+        for shard_id in sorted(self._outstanding):
+            path = self.layout.result(self._digests[shard_id])
+            try:
+                with open(path, "rb") as handle:
+                    record = pickle.load(handle)
+            except FileNotFoundError:
+                continue
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError):
+                continue  # torn or half-renamed write; next tick re-reads
+            if record.get("ok"):
+                outcomes.append(ShardOutcome(shard_id, ok=True,
+                                             value=record.get("value")))
+            else:
+                outcomes.append(ShardOutcome(
+                    shard_id, ok=False, cause=record.get("cause", ""),
+                    retryable=bool(record.get("retryable")),
+                    error=record.get("error")))
+        return outcomes
+
+    def _reclaim_expired(self) -> None:
+        now = time.time()
+        for shard_id in sorted(self._outstanding):
+            claim = self.layout.claim(shard_id)
+            if not os.path.exists(claim):
+                self._claim_seen.pop(shard_id, None)
+                # Safety net: a shard with no task, no claim and no result
+                # (e.g. its files were cleaned by a dead run) is re-spooled
+                # from the in-memory spec.
+                if not os.path.exists(self.layout.task(shard_id)) \
+                        and not os.path.exists(
+                            self.layout.result(self._digests[shard_id])):
+                    self._write_task(shard_id, None)
+                continue
+            expiry = self.layout.lease_expiry(shard_id)
+            if expiry is None:
+                # Claimed but no lease yet: give the claimant one lease
+                # period of grace (it writes the lease right after the
+                # rename wins) before declaring it dead.
+                first_seen = self._claim_seen.setdefault(shard_id, now)
+                if now - first_seen <= self.lease_seconds:
+                    continue
+            elif expiry > now:
+                self._claim_seen.pop(shard_id, None)
+                continue
+            # Dead claimant: reclaim.  The requeued envelope drops any
+            # injected fault directive — a chaos kill fires once, and the
+            # recovery path must not re-kill every successive claimant.
+            self._claim_seen.pop(shard_id, None)
+            self._remove(self.layout.lease(shard_id))
+            self._remove(claim)
+            if not os.path.exists(
+                    self.layout.result(self._digests[shard_id])):
+                self._write_task(shard_id, None)
+            self._expired.append(shard_id)
+
+    def _steal_one(self) -> bool:
+        """Claim and execute one pending shard in-process.
+
+        Only when the census shows no live worker: with real workers
+        attached the parent stays a pure supervisor, without any the spool
+        still drains (and a worker joining mid-run simply starts winning
+        claims again).  Stolen shards run their raw payload — never an
+        injected kill directive, which must not execute in the caller.
+        """
+        if any(worker.get("alive") for worker in self.workers()):
+            return False
+        for shard_id in sorted(self._outstanding):
+            task = self.layout.task(shard_id)
+            if not os.path.exists(task):
+                continue
+            try:
+                os.rename(task, self.layout.claim(shard_id))
+            except OSError:
+                continue  # a worker won the claim after all
+            spec = self._specs[shard_id]
+            record = result_record(spec.fn, spec.payload)
+            self.layout.write_result(self._digests[shard_id], record)
+            self._remove(self.layout.claim(shard_id))
+            self.stolen += 1
+            return True
+        return False
+
+    def _forget(self, shard_id: str, remove_task: bool) -> None:
+        self._outstanding.discard(shard_id)
+        self._claim_seen.pop(shard_id, None)
+        if remove_task:
+            self._remove(self.layout.task(shard_id))
+            self._remove(self.layout.claim(shard_id))
+        self._remove(self.layout.lease(shard_id))
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass

@@ -31,15 +31,18 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .backend import Backend
+from .broker import make_broker
 from .cache import CacheStats, ExpectationCache
 from .disk_cache import (DiskCacheStats, DiskExpectationCache,
                          TieredExpectationCache, disk_cache_from_env)
 from .errors import BackendCapabilityError, ExecutionError
 from .observables import run_grouped, track_program_cache
+from .policy import ExecutionPolicy
 from .registry import BackendRegistry, DEFAULT_REGISTRY
 from .router import route_task
 from .sharding import (FaultReport, ShardPlanner, _run_batch_shard,
-                       _sweep_points_shard, run_sharded, split_evenly)
+                       _sweep_points_shard, resolve_workers, run_sharded,
+                       split_evenly)
 from .task import ExecutionResult, ExecutionTask
 
 #: Upper bound on complex amplitudes one stacked sweep batch may hold
@@ -115,11 +118,18 @@ class Executor:
                  cache_size: int = 4096,
                  max_workers: Optional[int] = None,
                  use_cache: bool = True,
-                 parallel: str = "auto",
-                 cache_dir=None):
-        """``parallel`` sets the default fan-out policy (``"auto"``,
-        ``"process"``, ``"thread"``, ``"none"``); ``max_workers`` the default
-        worker count (``REPRO_WORKERS`` overrides an unset value).
+                 parallel: Optional[str] = None,
+                 cache_dir=None,
+                 policy: Optional[ExecutionPolicy] = None):
+        """``policy`` is the executor-default
+        :class:`~repro.execution.policy.ExecutionPolicy` — fan-out mode,
+        worker count, shard broker and retry budget in one value; the
+        legacy ``parallel`` (``"auto"``, ``"process"``, ``"thread"``,
+        ``"none"``) and ``max_workers`` keywords coerce into it and win
+        over its fields.  Unset fields defer to the environment
+        (:meth:`ExecutionPolicy.from_env` — ``REPRO_WORKERS``,
+        ``REPRO_BROKER_SPOOL``, ``REPRO_SHARD_*``) at dispatch time, then
+        to built-in defaults.
 
         ``cache_dir`` (or, when no explicit ``cache``/``cache_dir`` is given,
         the ``REPRO_CACHE_DIR`` environment variable — read once, here)
@@ -149,9 +159,12 @@ class Executor:
         elif disk is not None:
             memory = TieredExpectationCache(memory=memory, disk=disk)
         self.cache = memory
-        self.max_workers = max_workers
+        self.policy = ExecutionPolicy.coerce(policy, parallel=parallel,
+                                             max_workers=max_workers)
+        self.max_workers = self.policy.max_workers
         self.use_cache = use_cache
-        self.planner = ShardPlanner(parallel=parallel, max_workers=max_workers)
+        self.planner = ShardPlanner(parallel=self.policy.parallel or "auto",
+                                    max_workers=self.policy.max_workers)
         self.stats = ExecutionStats()
         self.final_disk_stats: Optional[DiskCacheStats] = None
         #: Recent shard-supervisor FaultReports (bounded; newest last).
@@ -159,6 +172,30 @@ class Executor:
         self._lock = threading.Lock()
 
     # -- resolution ----------------------------------------------------------
+    def _resolve_policy(self, policy: Optional[ExecutionPolicy] = None, *,
+                        parallel: Optional[str] = None,
+                        max_workers: Optional[int] = None
+                        ) -> ExecutionPolicy:
+        """The effective :class:`ExecutionPolicy` for one call: per-call
+        keywords > per-call policy > this executor's policy > environment.
+        Fields still ``None`` after the merge mean the built-in defaults
+        (auto mode, usable-CPU workers, local broker, env retry budget)."""
+        return (ExecutionPolicy.coerce(policy, parallel=parallel,
+                                       max_workers=max_workers)
+                .merged_over(self.policy)
+                .merged_over(ExecutionPolicy.from_env()))
+
+    def _shard_kwargs(self, policy: ExecutionPolicy, plan) -> dict:
+        """Keyword arguments for one supervised ``run_sharded`` dispatch.
+
+        Built per call: broker instances hold per-dispatch state (shard-id
+        maps, spool bookkeeping) and must never be shared between
+        concurrent dispatches.
+        """
+        return {"policy": policy.retry,
+                "broker": make_broker(policy.broker, plan.workers),
+                "on_fault": self.note_fault_report}
+
     def _resolve_backend(self, task: ExecutionTask,
                          backend: Union[str, Backend]
                          ) -> Tuple[Backend, bool]:
@@ -182,15 +219,17 @@ class Executor:
             backend: Union[str, Backend] = "auto",
             max_workers: Optional[int] = None,
             use_cache: Optional[bool] = None,
-            parallel: Optional[str] = None) -> List[ExecutionResult]:
+            parallel: Optional[str] = None,
+            policy: Optional[ExecutionPolicy] = None) -> List[ExecutionResult]:
         """Execute ``tasks``; returns results aligned with the input order.
 
         ``backend`` may be ``"auto"`` (route each task), a registry name, or
         a :class:`Backend` instance (used for every task, bypassing the
         registry).  A single task is accepted and still yields a list.
-        ``parallel`` overrides the executor's fan-out policy for this call
-        (``"process"``, ``"thread"``, ``"none"`` or ``"auto"``); sharding
-        never changes results — see :mod:`repro.execution.sharding`.
+        ``policy`` (or the legacy ``parallel`` / ``max_workers`` keywords,
+        which win over it) overrides the executor's fan-out policy for this
+        call; sharding never changes results — see
+        :mod:`repro.execution.sharding`.
         """
         if isinstance(tasks, ExecutionTask):
             tasks = [tasks]
@@ -247,7 +286,7 @@ class Executor:
 
         with track_program_cache(self):
             self._dispatch(tasks, backends, to_run, results, max_workers,
-                           parallel)
+                           parallel, policy)
 
         # Fill cache and duplicate slots from the leaders that actually ran.
         for key, owners in pending.items():
@@ -269,7 +308,8 @@ class Executor:
                   backends: Sequence[Backend], to_run: Sequence[int],
                   results: List[Optional[ExecutionResult]],
                   max_workers: Optional[int],
-                  parallel: Optional[str] = None) -> None:
+                  parallel: Optional[str] = None,
+                  policy: Optional[ExecutionPolicy] = None) -> None:
         """Run the given task indices, grouped per backend, under the shard
         plan (process shards / thread pool / inline)."""
         by_backend: Dict[int, Tuple[Backend, List[int]]] = {}
@@ -280,10 +320,13 @@ class Executor:
         if not by_backend:
             return
 
+        effective = self._resolve_policy(policy, parallel=parallel,
+                                         max_workers=max_workers)
         hints = [backend.capabilities().parallel_hint
                  for backend, _ in by_backend.values()]
-        plan = self.planner.plan(len(to_run), hints=hints, parallel=parallel,
-                                 max_workers=max_workers)
+        plan = self.planner.plan(len(to_run), hints=hints,
+                                 parallel=effective.parallel,
+                                 max_workers=effective.max_workers)
 
         if plan.mode == "process":
             # Shard each backend's slice across worker processes.  Results
@@ -296,7 +339,7 @@ class Executor:
                     payloads.append((backend, [tasks[i] for i in chunk]))
                     owners.append(chunk)
             shard_results = run_sharded(plan, _run_batch_shard, payloads,
-                                        on_fault=self.note_fault_report)
+                                        **self._shard_kwargs(effective, plan))
             for (backend, _), indices, batch in zip(payloads, owners,
                                                     shard_results):
                 for i, result in zip(indices, batch):
@@ -341,7 +384,9 @@ class Executor:
                           include_idle: bool = True,
                           use_cache: Optional[bool] = None,
                           parallel: Optional[str] = None,
-                          max_workers: Optional[int] = None) -> "np.ndarray":
+                          max_workers: Optional[int] = None,
+                          policy: Optional[ExecutionPolicy] = None
+                          ) -> "np.ndarray":
         """Per-term ⟨P_i⟩ of ``observable``'s terms from **one** evolution.
 
         The returned float array aligns with ``observable.terms()`` and does
@@ -361,7 +406,7 @@ class Executor:
                              include_idle=include_idle)
         return run_grouped(self, [task], backend=backend,
                            use_cache=use_cache, parallel=parallel,
-                           max_workers=max_workers)[0]
+                           max_workers=max_workers, policy=policy)[0]
 
     def evaluate_observable(self, circuits, observable, *,
                             noise_model=None,
@@ -370,7 +415,9 @@ class Executor:
                             include_idle: bool = True,
                             use_cache: Optional[bool] = None,
                             max_workers: Optional[int] = None,
-                            parallel: Optional[str] = None) -> List[float]:
+                            parallel: Optional[str] = None,
+                            policy: Optional[ExecutionPolicy] = None
+                            ) -> List[float]:
         """⟨H⟩ for one or many circuits, evolving each circuit **once**.
 
         The grouped fast path for many-term Hamiltonians: instead of one
@@ -399,7 +446,7 @@ class Executor:
         values_per_task = run_grouped(self, tasks, backend=backend,
                                       use_cache=use_cache,
                                       max_workers=max_workers,
-                                      parallel=parallel)
+                                      parallel=parallel, policy=policy)
         coefficients = np.array([float(np.real(coeff))
                                  for _, coeff in observable.terms()])
         return [float(np.dot(coefficients, values))
@@ -413,7 +460,9 @@ class Executor:
                        include_idle: bool = True,
                        use_cache: Optional[bool] = None,
                        max_workers: Optional[int] = None,
-                       parallel: Optional[str] = None) -> List[float]:
+                       parallel: Optional[str] = None,
+                       policy: Optional[ExecutionPolicy] = None
+                       ) -> List[float]:
         """⟨H⟩ at every point of a parameter sweep over one circuit template.
 
         The batched fast path of the compile layer: when every sweep point
@@ -491,10 +540,10 @@ class Executor:
                 bound_circuits, observable, noise_model=noise_model,
                 backend=backend, trajectories=trajectories,
                 include_idle=include_idle, use_cache=use_cache,
-                max_workers=max_workers, parallel=parallel)
+                max_workers=max_workers, parallel=parallel, policy=policy)
         return self._sweep_statevector(template, parameter_sets, observable,
                                        use_cache, parallel=parallel,
-                                       max_workers=max_workers)
+                                       max_workers=max_workers, policy=policy)
 
     @staticmethod
     def _sweep_cache_keys(template_fingerprint: str, point_key: Tuple,
@@ -528,15 +577,27 @@ class Executor:
     def _sweep_statevector(self, template, parameter_sets, observable,
                            use_cache: bool,
                            parallel: Optional[str] = None,
-                           max_workers: Optional[int] = None) -> List[float]:
+                           max_workers: Optional[int] = None,
+                           policy: Optional[ExecutionPolicy] = None
+                           ) -> List[float]:
         """One compiled batch over the uncached points of a noiseless sweep.
 
         Cached values are keyed per ``("sweep", template fingerprint,
         parameter tuple, term)`` — derived without binding a circuit per
         point, which keeps the repeat-query hot path at dictionary-lookup
-        cost.  Big sweeps shard their unique points across worker processes
-        (each worker compiles the template into its own process-wide program
-        cache and runs a contiguous slice of the points).
+        cost.  Process-mode sweeps run their uncached points in
+        fixed-size **point blocks** whose size depends only on the qubit
+        count and the unique-point count — never on the worker count or
+        broker — so pooled and spool-brokered sweeps submit byte-identical
+        shard payloads (a spool's content-named result files stay valid
+        across run shapes, and fine-grained blocks let elastic workers
+        load-balance).  Each block's term values flush through the cache
+        (and its disk tier) **as the block lands**, so a killed
+        multi-worker sweep resumes warm: already-flushed points are served
+        from cache and recompute nothing.  Inline sweeps keep the single
+        compiled batch (one lowering, full stacked vectorisation) — the
+        per-point values are identical either way, so the two shapes can
+        never diverge bitwise.
         """
         num_points = len(parameter_sets)
         with self._lock:
@@ -574,35 +635,68 @@ class Executor:
                         continue
                     leaders[point_keys[index]] = len(unique)
                     unique.append(index)
+                effective = self._resolve_policy(policy, parallel=parallel,
+                                                 max_workers=max_workers)
                 plan = self.planner.plan(len(unique), hints=("process",),
-                                         parallel=parallel,
-                                         max_workers=max_workers)
+                                         parallel=effective.parallel,
+                                         max_workers=effective.max_workers)
                 if plan.mode == "process" and len(unique) > 1:
-                    shards = split_evenly(unique, plan.workers)
-                    # Workers run concurrently, so they share the amplitude
-                    # budget — peak stacked-statevector memory stays at the
-                    # same ~1 GB bound the inline path honours.
-                    shard_budget = max(1, _SWEEP_BATCH_AMPLITUDES
-                                       // len(shards))
+                    # Point-block size: a function of the qubit count and
+                    # the unique-point count alone — never the worker count
+                    # or broker — so block composition (and hence shard
+                    # payload identity) is the same pooled or brokered, and
+                    # stable across a kill/resume with a different worker
+                    # census.  Up to 8 concurrent workers each holding one
+                    # stacked block stay inside the ~1 GB amplitude bound;
+                    # the /16 divisor keeps at least ~16 blocks on big
+                    # sweeps so elastic workers can load-balance and
+                    # checkpoints stay fine-grained.
+                    num_qubits = int(bare_template.num_qubits)
+                    block_size = max(1, min(64,
+                                            _SWEEP_BATCH_AMPLITUDES
+                                            // (8 << num_qubits),
+                                            -(-len(unique) // 16)))
+                    blocks = [unique[start:start + block_size]
+                              for start in range(0, len(unique), block_size)]
+                    # Each block is one shard payload executing as a single
+                    # stacked batch (its amplitude budget is its size).
                     payloads = [(bare_template,
-                                 [parameter_sets[index] for index in shard],
-                                 observable, shard_budget)
-                                for shard in shards]
-                    blocks = run_sharded(plan, _sweep_points_shard, payloads,
-                                         on_fault=self.note_fault_report)
-                    unique_values = (blocks[0] if len(blocks) == 1
-                                     else np.concatenate(blocks, axis=0))
+                                 [parameter_sets[index] for index in block],
+                                 observable, len(block) << num_qubits)
+                                for block in blocks]
+
+                    def flush_block(position: int, block_values) -> None:
+                        """Checkpoint one landed block through the cache."""
+                        entries = []
+                        for row, index in enumerate(blocks[position]):
+                            entries.extend(zip(
+                                cache_keys(point_keys[index]),
+                                (float(v) for v in block_values[row])))
+                        self.cache.put_many(entries)
+
+                    row_blocks = run_sharded(
+                        plan, _sweep_points_shard, payloads,
+                        on_result=flush_block if use_cache else None,
+                        **self._shard_kwargs(effective, plan))
+                    unique_values = (row_blocks[0] if len(row_blocks) == 1
+                                     else np.concatenate(row_blocks, axis=0))
                     with self._lock:
                         self.stats.process_shards += len(payloads)
                 else:
-                    # Same code path a worker shard runs (compile + amplitude-
-                    # budget chunked batches), executed in-process — one
-                    # implementation, so inline and sharded sweeps can never
-                    # diverge.
+                    # Same code path a worker shard runs (compile +
+                    # amplitude-budget chunked batches), executed
+                    # in-process as one compiled batch — one
+                    # implementation, so inline and sharded sweeps can
+                    # never diverge.
                     unique_values = _sweep_points_shard(
                         bare_template,
                         [parameter_sets[index] for index in unique],
                         observable, _SWEEP_BATCH_AMPLITUDES)
+                    if use_cache:
+                        for row, index in enumerate(unique):
+                            self.cache.put_many(
+                                zip(cache_keys(point_keys[index]),
+                                    (float(v) for v in unique_values[row])))
                 for index in missing:
                     values_per_point[index] = \
                         unique_values[leaders[point_keys[index]]]
@@ -611,11 +705,6 @@ class Executor:
                     counters["statevector"] = \
                         counters.get("statevector", 0) + len(unique)
                     self.stats.dedup_hits += len(missing) - len(unique)
-                if use_cache:
-                    for row, index in enumerate(unique):
-                        self.cache.put_many(
-                            zip(cache_keys(point_keys[index]),
-                                (float(v) for v in unique_values[row])))
         coefficients = np.array([float(np.real(coeff))
                                  for _, coeff in observable.terms()])
         return [float(np.dot(coefficients, values))
@@ -680,6 +769,19 @@ class Executor:
         with self._lock:
             self.stats.process_shards += int(count)
 
+    def broker_workers(self) -> List[dict]:
+        """The configured broker's current worker census (JSON-able dicts).
+
+        For the default local broker this is the fork pool's live worker
+        processes; for a filesystem broker it is the spool's worker census
+        files — what a service's ``stats()`` endpoint reports as
+        ``workers``.
+        """
+        effective = self._resolve_policy()
+        broker = make_broker(effective.broker,
+                             resolve_workers(effective.max_workers))
+        return broker.workers()
+
     @property
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
@@ -725,7 +827,8 @@ def execute(tasks: Union[ExecutionTask, Sequence[ExecutionTask]],
             backend: Union[str, Backend] = "auto",
             max_workers: Optional[int] = None,
             use_cache: Optional[bool] = None,
-            parallel: Optional[str] = None) -> List[ExecutionResult]:
+            parallel: Optional[str] = None,
+            policy: Optional[ExecutionPolicy] = None) -> List[ExecutionResult]:
     """Run tasks through the shared default executor (see :class:`Executor`).
 
     This is the one call every consumer in the package dispatches through::
@@ -740,7 +843,8 @@ def execute(tasks: Union[ExecutionTask, Sequence[ExecutionTask]],
     """
     return default_executor().run(tasks, backend=backend,
                                   max_workers=max_workers,
-                                  use_cache=use_cache, parallel=parallel)
+                                  use_cache=use_cache, parallel=parallel,
+                                  policy=policy)
 
 
 def execute_one(task: ExecutionTask,
@@ -756,7 +860,9 @@ def evaluate_observable(circuits, observable, *, noise_model=None,
                         include_idle: bool = True,
                         use_cache: Optional[bool] = None,
                         max_workers: Optional[int] = None,
-                        parallel: Optional[str] = None) -> List[float]:
+                        parallel: Optional[str] = None,
+                        policy: Optional[ExecutionPolicy] = None
+                        ) -> List[float]:
     """⟨H⟩ for one or many circuits through the shared default executor.
 
     The grouped-observable fast path: each unique circuit is evolved
@@ -771,7 +877,8 @@ def evaluate_observable(circuits, observable, *, noise_model=None,
     return default_executor().evaluate_observable(
         circuits, observable, noise_model=noise_model, backend=backend,
         trajectories=trajectories, include_idle=include_idle,
-        use_cache=use_cache, max_workers=max_workers, parallel=parallel)
+        use_cache=use_cache, max_workers=max_workers, parallel=parallel,
+        policy=policy)
 
 
 def evaluate_sweep(template, parameter_sets, observable, *, noise_model=None,
@@ -780,7 +887,8 @@ def evaluate_sweep(template, parameter_sets, observable, *, noise_model=None,
                    include_idle: bool = True,
                    use_cache: Optional[bool] = None,
                    max_workers: Optional[int] = None,
-                   parallel: Optional[str] = None) -> List[float]:
+                   parallel: Optional[str] = None,
+                   policy: Optional[ExecutionPolicy] = None) -> List[float]:
     """⟨H⟩ over a whole parameter sweep through the shared default executor.
 
     The batched sweep entry point: the parametric ``template`` is compiled
@@ -797,7 +905,8 @@ def evaluate_sweep(template, parameter_sets, observable, *, noise_model=None,
     return default_executor().evaluate_sweep(
         template, parameter_sets, observable, noise_model=noise_model,
         backend=backend, trajectories=trajectories, include_idle=include_idle,
-        use_cache=use_cache, max_workers=max_workers, parallel=parallel)
+        use_cache=use_cache, max_workers=max_workers, parallel=parallel,
+        policy=policy)
 
 
 def term_expectations(circuit, observable, *, noise_model=None,
@@ -806,7 +915,9 @@ def term_expectations(circuit, observable, *, noise_model=None,
                       include_idle: bool = True,
                       use_cache: Optional[bool] = None,
                       parallel: Optional[str] = None,
-                      max_workers: Optional[int] = None) -> "np.ndarray":
+                      max_workers: Optional[int] = None,
+                      policy: Optional[ExecutionPolicy] = None
+                      ) -> "np.ndarray":
     """Per-term ⟨P_i⟩ from one evolution, via the shared default executor.
 
     See :meth:`Executor.term_expectations`; values align with
@@ -815,4 +926,5 @@ def term_expectations(circuit, observable, *, noise_model=None,
     return default_executor().term_expectations(
         circuit, observable, noise_model=noise_model, backend=backend,
         trajectories=trajectories, include_idle=include_idle,
-        use_cache=use_cache, parallel=parallel, max_workers=max_workers)
+        use_cache=use_cache, parallel=parallel, max_workers=max_workers,
+        policy=policy)

@@ -124,7 +124,8 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
                 backend: Union[str, Backend] = "auto",
                 use_cache: Optional[bool] = None,
                 max_workers: Optional[int] = None,
-                parallel: Optional[str] = None) -> List[np.ndarray]:
+                parallel: Optional[str] = None,
+                policy=None) -> List[np.ndarray]:
     """Per-term expectation values for every task, one evolution per slot.
 
     Returns one float array per input task, aligned with that task's
@@ -224,12 +225,16 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
     ensemble = max((getattr(slot.backend, "trajectory_count",
                             lambda task: None)(slot.task) or 0
                     for slot, _ in pending), default=0)
+    effective = executor._resolve_policy(policy, parallel=parallel,
+                                         max_workers=max_workers)
     plan = executor.planner.plan(len(pending), hints=sorted(hints),
-                                 trajectories=ensemble, parallel=parallel,
-                                 max_workers=max_workers)
+                                 trajectories=ensemble,
+                                 parallel=effective.parallel,
+                                 max_workers=effective.max_workers)
     with track_program_cache(executor):
         if plan.mode == "process":
-            _evolve_process_sharded(executor, pending, plan, record)
+            _evolve_process_sharded(executor, pending, plan, record,
+                                    effective)
         elif plan.mode == "thread":
             run_sharded(plan, evolve, pending)
         else:
@@ -244,7 +249,8 @@ def run_grouped(executor, tasks: Sequence[ExecutionTask],
     return results
 
 
-def _evolve_process_sharded(executor, pending, plan, record) -> None:
+def _evolve_process_sharded(executor, pending, plan, record,
+                            policy=None) -> None:
     """Evolve pending slots across worker processes.
 
     Two shard shapes compose here:
@@ -277,12 +283,15 @@ def _evolve_process_sharded(executor, pending, plan, record) -> None:
         else:
             generic.append((slot, missing, synthetic))
 
+    if policy is None:
+        policy = executor._resolve_policy()
+
     # One submission round per distinct worker runner (normally one).
     for runner, jobs in trajectory_jobs.items():
         flat = [payload for _, _, payloads, _ in jobs
                 for payload in payloads]
         blocks = run_sharded(plan, runner, flat,
-                             on_fault=executor.note_fault_report)
+                             **executor._shard_kwargs(policy, plan))
         shard_count += len(flat)
         offset = 0
         for slot, missing, payloads, finalize in jobs:
@@ -305,7 +314,7 @@ def _evolve_process_sharded(executor, pending, plan, record) -> None:
         shard_count += len(payloads)
         for chunk, value_arrays in zip(owners, run_sharded(
                 plan, _term_expectations_shard, payloads,
-                on_fault=executor.note_fault_report)):
+                **executor._shard_kwargs(policy, plan))):
             for (slot, missing, _), values in zip(chunk, value_arrays):
                 slot.backend._count_invocations()
                 record(slot, missing, values)

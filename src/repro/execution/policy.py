@@ -1,0 +1,177 @@
+"""One value that says how a batch should run: the ``ExecutionPolicy``.
+
+Historically "how should this run" was threaded through a dozen
+signatures as separate ``parallel=`` / ``max_workers=`` keywords, and the
+retry budget and worker count each read their own environment variables at
+their own call sites.  :class:`ExecutionPolicy` folds all of it — fan-out
+mode, worker count, shard broker, retry budget — into one frozen value
+accepted everywhere those keywords are today (``execute``,
+``evaluate_observable``, ``evaluate_sweep``, ``run_memory_sampling``,
+``BackendEnergyEvaluator``, service submit payloads).  The old keywords
+keep working through :meth:`ExecutionPolicy.coerce`, and
+:meth:`ExecutionPolicy.from_env` is the single reader for the scattered
+``REPRO_WORKERS`` / ``REPRO_SHARD_*`` / ``REPRO_BROKER_SPOOL`` knobs.
+
+Resolution order (most specific wins):
+
+1. per-call ``parallel=`` / ``max_workers=`` keywords (legacy coercion),
+2. the per-call ``policy=`` argument,
+3. the executor's constructor policy,
+4. the environment (:meth:`from_env`),
+5. built-in defaults (auto mode, usable-CPU workers, local broker).
+
+None of these can change results: the determinism contract makes every
+value bitwise independent of fan-out mode, worker count and broker.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from .broker import BROKER_SPOOL_ENV
+from .errors import ExecutionError
+from .sharding import (_PARALLEL_MODES, SHARD_BACKOFF_ENV, SHARD_RETRIES_ENV,
+                       SHARD_TIMEOUT_ENV, WORKERS_ENV, ShardRetryPolicy)
+
+__all__ = ["BROKER_SPOOL_ENV", "ExecutionPolicy"]
+
+_RETRY_FIELDS = ("max_retries", "backoff_base", "backoff_cap", "timeout")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a batch fans out.  Every field defaults to ``None`` = "defer to
+    the next layer" (executor default, then environment, then built-ins).
+
+    ``parallel`` is a :class:`~repro.execution.sharding.ShardPlanner` mode
+    (``"auto"`` / ``"process"`` / ``"thread"`` / ``"none"``);
+    ``max_workers`` the worker count (must be >= 1 — zero/negative is a
+    ``ValueError``, not a silent clamp); ``broker`` is ``None``/``"local"``
+    for the shared fork pool, a spool path or ``"spool:PATH"`` string for a
+    :class:`~repro.execution.broker.FilesystemBroker`, or a broker
+    instance; ``retry`` overrides the supervised retry budget.
+    """
+
+    parallel: Optional[str] = None
+    max_workers: Optional[int] = None
+    broker: Optional[Any] = None
+    retry: Optional[ShardRetryPolicy] = None
+
+    def __post_init__(self):
+        if self.parallel is not None and self.parallel not in _PARALLEL_MODES:
+            raise ExecutionError(
+                f"parallel must be one of {_PARALLEL_MODES}, "
+                f"got {self.parallel!r}")
+        if self.max_workers is not None and int(self.max_workers) < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {self.max_workers!r} (leave "
+                f"it None to fall back to the {WORKERS_ENV} environment "
+                f"override or the usable-CPU count)")
+        if self.retry is not None \
+                and not isinstance(self.retry, ShardRetryPolicy):
+            raise ExecutionError(
+                f"retry must be a ShardRetryPolicy, got "
+                f"{type(self.retry).__name__}")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def coerce(cls, policy: Optional["ExecutionPolicy"] = None, *,
+               parallel: Optional[str] = None,
+               max_workers: Optional[int] = None) -> "ExecutionPolicy":
+        """The thin legacy-keyword path: fold per-call ``parallel=`` /
+        ``max_workers=`` keywords over an optional policy (keywords win —
+        they are the most call-specific statement of intent).  Accepts a
+        payload dict (the service wire form) for ``policy``."""
+        if isinstance(policy, dict):
+            policy = cls.from_payload(policy)
+        if policy is None:
+            return cls(parallel=parallel, max_workers=max_workers)
+        if not isinstance(policy, cls):
+            raise ExecutionError(
+                f"policy must be an ExecutionPolicy (or payload dict), got "
+                f"{type(policy).__name__}")
+        if parallel is not None or max_workers is not None:
+            policy = replace(
+                policy,
+                parallel=policy.parallel if parallel is None else parallel,
+                max_workers=(policy.max_workers if max_workers is None
+                             else max_workers))
+        return policy
+
+    @classmethod
+    def from_env(cls) -> "ExecutionPolicy":
+        """The one environment reader: ``REPRO_WORKERS`` (worker count),
+        ``REPRO_BROKER_SPOOL`` (filesystem-broker spool directory) and the
+        ``REPRO_SHARD_RETRIES`` / ``REPRO_SHARD_TIMEOUT`` /
+        ``REPRO_SHARD_BACKOFF`` retry knobs, folded into one policy."""
+        workers_env = os.environ.get(WORKERS_ENV, "").strip()
+        max_workers = None
+        if workers_env:
+            max_workers = int(workers_env)
+            if max_workers < 1:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be >= 1, got {workers_env!r} "
+                    f"(unset it to use the usable-CPU count)")
+        spool = os.environ.get(BROKER_SPOOL_ENV, "").strip() or None
+        retry = None
+        if any(os.environ.get(name, "").strip()
+               for name in (SHARD_RETRIES_ENV, SHARD_TIMEOUT_ENV,
+                            SHARD_BACKOFF_ENV)):
+            retry = ShardRetryPolicy.from_env()
+        return cls(max_workers=max_workers, broker=spool, retry=retry)
+
+    # -- merging -----------------------------------------------------------
+
+    def merged_over(self, base: Optional["ExecutionPolicy"]
+                    ) -> "ExecutionPolicy":
+        """This policy with ``base`` filling any ``None`` fields (per-call
+        policy over executor default, executor default over environment)."""
+        if base is None:
+            return self
+        return ExecutionPolicy(
+            parallel=self.parallel if self.parallel is not None
+            else base.parallel,
+            max_workers=self.max_workers if self.max_workers is not None
+            else base.max_workers,
+            broker=self.broker if self.broker is not None else base.broker,
+            retry=self.retry if self.retry is not None else base.retry)
+
+    # -- wire form (service submit payloads) -------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-able wire form.  Only a string broker spec survives —
+        a live broker instance cannot cross the wire."""
+        payload: Dict[str, Any] = {}
+        if self.parallel is not None:
+            payload["parallel"] = self.parallel
+        if self.max_workers is not None:
+            payload["max_workers"] = int(self.max_workers)
+        if isinstance(self.broker, (str, os.PathLike)):
+            payload["broker"] = os.fspath(self.broker)
+        if self.retry is not None:
+            payload["retry"] = {name: getattr(self.retry, name)
+                                for name in _RETRY_FIELDS}
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ExecutionPolicy":
+        unknown = set(payload) - {"parallel", "max_workers", "broker",
+                                  "retry"}
+        if unknown:
+            raise ExecutionError(
+                f"unknown ExecutionPolicy payload keys: {sorted(unknown)}")
+        retry = payload.get("retry")
+        if retry is not None:
+            extra = set(retry) - set(_RETRY_FIELDS)
+            if extra:
+                raise ExecutionError(
+                    f"unknown retry payload keys: {sorted(extra)}")
+            retry = ShardRetryPolicy(**retry)
+        max_workers = payload.get("max_workers")
+        return cls(parallel=payload.get("parallel"),
+                   max_workers=None if max_workers is None
+                   else int(max_workers),
+                   broker=payload.get("broker"), retry=retry)

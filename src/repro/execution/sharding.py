@@ -44,13 +44,12 @@ import threading
 import time
 from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
                                 ThreadPoolExecutor)
-from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .errors import ExecutionError, TransientFault
+from .errors import ExecutionError
 from .faults import FaultDirective, consult, execute_directive
 
 #: Environment override for the worker count (argument > env > cpu count).
@@ -98,12 +97,28 @@ def usable_cpus() -> int:
 def resolve_workers(max_workers: Optional[int] = None) -> int:
     """The worker count: explicit argument, ``REPRO_WORKERS``, or the
     usable-CPU count (affinity-aware — a container pinned to 2 of 8 host
-    cores gets 2 workers, not 8 time-slicing ones)."""
+    cores gets 2 workers, not 8 time-slicing ones).
+
+    A non-positive count is a ``ValueError``, never a silent clamp: a
+    caller passing ``max_workers=0`` used to be quietly planned as one
+    worker, hiding the configuration bug that produced the zero.
+    """
     if max_workers is not None:
-        return max(1, int(max_workers))
+        workers = int(max_workers)
+        if workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {max_workers!r} (pass None "
+                f"to fall back to the {WORKERS_ENV} environment override or "
+                f"the usable-CPU count)")
+        return workers
     env = os.environ.get(WORKERS_ENV, "").strip()
     if env:
-        return max(1, int(env))
+        workers = int(env)
+        if workers < 1:
+            raise ValueError(
+                f"{WORKERS_ENV} must be >= 1, got {env!r} (unset it to use "
+                f"the usable-CPU count)")
+        return workers
     return min(_MAX_AUTO_WORKERS, usable_cpus())
 
 
@@ -321,23 +336,27 @@ class ShardRetryPolicy:
 
 @dataclass
 class FaultReport:
-    """What the supervisor did to finish one process dispatch.
+    """What the supervisor did to finish one brokered dispatch.
 
     ``attempts`` counts dispatch rounds (1 = no retries), ``retried`` the
     shard indices re-dispatched (in round order, repeats possible),
     ``causes`` one human-readable cause per failed shard observation,
     ``backoff`` the inter-round sleeps taken, ``respawns`` how often the
-    pool was invalidated, and ``inline_shards`` how many shards fell back
-    to inline execution after the budget was exhausted.
+    pool was invalidated, ``lease_expiries`` how many worker leases
+    expired and were requeued by the broker (a dead remote worker is just
+    another lease expiry), and ``inline_shards`` how many shards fell
+    back to inline execution after the budget was exhausted.
     """
 
     shards: int = 0
     attempts: int = 1
+    broker: str = "local"
     retried: List[int] = field(default_factory=list)
     causes: List[str] = field(default_factory=list)
     backoff: List[float] = field(default_factory=list)
     timeouts: int = 0
     respawns: int = 0
+    lease_expiries: int = 0
     inline_shards: int = 0
     #: Payload indices that ran inline (callers folding worker-side deltas
     #: must skip these — their side effects already landed in-process).
@@ -345,13 +364,16 @@ class FaultReport:
 
     @property
     def faulted(self) -> bool:
-        return bool(self.causes or self.respawns or self.inline_shards)
+        return bool(self.causes or self.respawns or self.lease_expiries
+                    or self.inline_shards)
 
     def as_dict(self) -> dict:
         return {"shards": self.shards, "attempts": self.attempts,
+                "broker": self.broker,
                 "retried": list(self.retried), "causes": list(self.causes),
                 "backoff": list(self.backoff), "timeouts": self.timeouts,
                 "respawns": self.respawns,
+                "lease_expiries": self.lease_expiries,
                 "inline_shards": self.inline_shards,
                 "inline_indices": list(self.inline_indices)}
 
@@ -369,70 +391,153 @@ def _shard_entry(directive: Optional[FaultDirective], fn: Callable,
     return fn(*payload)
 
 
-def _run_supervised(workers: int, fn: Callable, payloads: Sequence[tuple],
-                    policy: ShardRetryPolicy,
-                    report: FaultReport) -> List:
-    """Process dispatch with breakage/timeout detection and shard retry.
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of brokered work: the supervisor hands these to
+    :meth:`~repro.execution.broker.ShardBroker.submit`.  ``index`` is the
+    shard's position in the caller's payload list; ``directive`` is a
+    parent-consulted fault-injection directive (worker-executed, so the
+    schedule is independent of shard placement)."""
+
+    index: int
+    fn: Callable
+    payload: tuple
+    directive: Optional[FaultDirective] = None
+
+
+@dataclass
+class ShardOutcome:
+    """One completed (or failed) shard as reported by a broker's ``poll``.
+
+    ``retryable`` distinguishes transient failures (a dead worker, a
+    :class:`~repro.execution.errors.TransientFault`) from deterministic
+    errors, which carry the original exception in ``error`` and propagate;
+    ``respawned`` marks outcomes whose failure also retired the local
+    process pool (so the supervisor counts one respawn per round).
+    """
+
+    shard_id: str
+    ok: bool
+    value: object = None
+    cause: str = ""
+    retryable: bool = False
+    error: Optional[BaseException] = None
+    respawned: bool = False
+
+
+def _run_supervised(broker, fn: Callable, payloads: Sequence[tuple],
+                    policy: ShardRetryPolicy, report: FaultReport,
+                    on_result: Optional[Callable[[int, object], None]] = None
+                    ) -> List:
+    """Brokered dispatch with failure detection and shard retry.
 
     Per-shard seeds mean a retried shard reproduces its result bitwise, so
-    retrying is always safe.  Retryable causes are ``BrokenExecutor``
-    failures (a worker died), wall-clock timeouts, and
+    retrying is always safe.  The supervisor speaks only the
+    :class:`~repro.execution.broker.ShardBroker` protocol: it submits
+    :class:`ShardSpec` batches, polls for :class:`ShardOutcome` events,
+    acks successes and nacks failures.  Retryable causes are dead workers
+    (``BrokenExecutor`` on the local pool, a lease expiring past its
+    per-shard budget on a distributed broker), wall-clock timeouts, and
     :class:`~repro.execution.errors.TransientFault`; any other exception
     propagates immediately — a deterministic error would fail every retry
-    identically.  After ``policy.max_retries`` extra rounds the remaining
-    shards run inline with their **raw** payloads (never through
-    :func:`_shard_entry` — an injected ``kill`` must not execute in the
-    caller's process).
+    identically.  Broker-requeued lease expiries are accounted but stay
+    outstanding (another worker finishes them).  After
+    ``policy.max_retries`` extra rounds the remaining shards run inline
+    with their **raw** payloads (never through :func:`_shard_entry` — an
+    injected ``kill`` must not execute in the caller's process).
     """
     results: List = [None] * len(payloads)
     pending = list(range(len(payloads)))
+    expiries: dict = {}
     retries_used = 0
     while pending:
-        wrapped = [(consult("shard"), fn, tuple(payloads[index]))
-                   for index in pending]
+        specs = [ShardSpec(index=index, fn=fn,
+                           payload=tuple(payloads[index]),
+                           directive=consult("shard"))
+                 for index in pending]
         failed: List[int] = []
         causes: List[str] = []
-        broken = timed_out = False
+        round_respawn = False
         try:
-            futures = _submit_to_pool(workers, _shard_entry, wrapped)
+            shard_ids = broker.submit(specs)
         except BrokenExecutor as error:
             failed = list(pending)
             causes = [type(error).__name__] * len(pending)
-            broken = True
-        else:
-            deadline = None if policy.timeout is None \
-                else time.monotonic() + policy.timeout
-            for position, future in zip(pending, futures):
-                remaining = None if deadline is None \
-                    else max(0.0, deadline - time.monotonic())
-                try:
-                    results[position] = future.result(timeout=remaining)
-                except FuturesTimeoutError:
-                    future.cancel()
-                    failed.append(position)
+            round_respawn = True
+            shard_ids = []
+        index_of = {shard_id: spec.index
+                    for shard_id, spec in zip(shard_ids, specs)}
+        outstanding = dict(index_of)
+        deadline = None if policy.timeout is None \
+            else time.monotonic() + policy.timeout
+        while outstanding:
+            remaining = None if deadline is None \
+                else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                # The round's wall clock is spent: reclaim every
+                # still-outstanding shard and retry it next round.
+                for shard_id, index in outstanding.items():
+                    broker.nack(shard_id, "timeout")
+                    failed.append(index)
                     causes.append("timeout")
                     report.timeouts += 1
-                    timed_out = True
-                except BrokenExecutor as error:
-                    failed.append(position)
-                    causes.append(type(error).__name__)
-                    broken = True
-                except TransientFault as error:
-                    failed.append(position)
-                    causes.append(f"TransientFault: {error}")
-        if broken or timed_out:
-            # A broken pool poisons every later submit and a timed-out one
-            # is wedged on a stuck worker: retire it either way so the next
-            # round (or any later caller) lazily rebuilds a fresh pool.
-            _invalidate_pool()
+                round_respawn = True
+                outstanding.clear()
+                break
+            for outcome in broker.poll(remaining):
+                index = outstanding.pop(outcome.shard_id, None)
+                if index is None:
+                    continue
+                if outcome.ok:
+                    results[index] = outcome.value
+                    broker.ack(outcome.shard_id)
+                    if on_result is not None:
+                        on_result(index, outcome.value)
+                elif outcome.retryable:
+                    broker.nack(outcome.shard_id, outcome.cause)
+                    failed.append(index)
+                    causes.append(outcome.cause)
+                    if outcome.respawned:
+                        round_respawn = True
+                else:
+                    for shard_id in outstanding:
+                        broker.nack(shard_id, "abandoned")
+                    raise outcome.error
+            for shard_id in broker.heartbeat():
+                # The broker already requeued the expired shard; it stays
+                # outstanding unless its per-shard expiry budget is spent
+                # (a shard that kills every worker must not loop forever).
+                # Expiries are attributed via the round's submission map,
+                # not ``outstanding`` — the requeued shard often completes
+                # (and is acked) within the same poll that reclaimed its
+                # lease, and the dead worker must be accounted regardless.
+                index = index_of.get(shard_id)
+                if index is None:
+                    continue
+                report.lease_expiries += 1
+                report.causes.append("lease-expired")
+                if shard_id not in outstanding:
+                    continue  # already finished by another worker
+                expiries[index] = expiries.get(index, 0) + 1
+                if expiries[index] > policy.max_retries:
+                    broker.nack(shard_id, "abandoned")
+                    del outstanding[shard_id]
+                    failed.append(index)
+                    causes.append("lease-budget")
+        if round_respawn:
             report.respawns += 1
         if not failed:
             break
-        report.causes.extend(causes)
-        pending = failed
+        # Poll returns completion-ordered events; report in index order so
+        # recovery accounting is deterministic.
+        order = sorted(range(len(failed)), key=failed.__getitem__)
+        pending = [failed[i] for i in order]
+        report.causes.extend(causes[i] for i in order)
         if retries_used >= policy.max_retries:
-            for position in pending:
-                results[position] = fn(*payloads[position])
+            for index in pending:
+                results[index] = fn(*payloads[index])
+                if on_result is not None:
+                    on_result(index, results[index])
             report.inline_shards = len(pending)
             report.inline_indices = list(pending)
             break
@@ -450,35 +555,59 @@ def _run_supervised(workers: int, fn: Callable, payloads: Sequence[tuple],
 def run_sharded(plan: ShardPlan, fn: Callable,
                 payloads: Sequence[tuple],
                 policy: Optional[ShardRetryPolicy] = None,
-                on_fault: Optional[Callable[[FaultReport], None]] = None
+                on_fault: Optional[Callable[[FaultReport], None]] = None,
+                broker=None,
+                on_result: Optional[Callable[[int, object], None]] = None
                 ) -> List:
     """Run ``fn(*payload)`` for every payload under ``plan``; results align
     with the payload order.  ``fn`` must be a module-level callable when the
     plan is ``"process"`` (it crosses the pickle boundary).
 
-    Process dispatch runs supervised (see :func:`_run_supervised`):
-    ``policy`` overrides the retry budget (default
-    :meth:`ShardRetryPolicy.from_env`), and ``on_fault`` receives the
+    Process dispatch runs supervised (see :func:`_run_supervised`) through
+    a :class:`~repro.execution.broker.ShardBroker` — the default
+    :class:`~repro.execution.broker.LocalProcessBroker` wraps the shared
+    fork pool; pass ``broker`` (an instance, exclusive to this dispatch)
+    to fan out elsewhere, e.g. a
+    :class:`~repro.execution.broker.FilesystemBroker` spool shared with
+    ``repro-worker`` processes.  ``policy`` overrides the retry budget
+    (default :meth:`ShardRetryPolicy.from_env`), ``on_fault`` receives the
     :class:`FaultReport` — only when something actually faulted, so the
-    happy path stays callback-free.
+    happy path stays callback-free — and ``on_result(index, value)`` fires
+    as each shard's result lands (in completion order under a parallel
+    plan), which is what lets callers checkpoint partial progress.
     """
     if not payloads:
         return []
     if not plan.is_parallel or len(payloads) == 1:
-        return [fn(*payload) for payload in payloads]
+        results = []
+        for index, payload in enumerate(payloads):
+            value = fn(*payload)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
     if plan.mode == "process":
         if policy is None:
             policy = ShardRetryPolicy.from_env()
-        report = FaultReport(shards=len(payloads))
-        results = _run_supervised(plan.workers, fn, payloads, policy,
-                                  report)
+        if broker is None:
+            from .broker import LocalProcessBroker
+            broker = LocalProcessBroker(plan.workers)
+        report = FaultReport(shards=len(payloads),
+                             broker=getattr(broker, "name", "local"))
+        results = _run_supervised(broker, fn, payloads, policy, report,
+                                  on_result=on_result)
         if report.faulted and on_fault is not None:
             on_fault(report)
         return results
     with ThreadPoolExecutor(
             max_workers=min(plan.workers, len(payloads))) as pool:
         futures = [pool.submit(fn, *payload) for payload in payloads]
-        return [future.result() for future in futures]
+        results = [None] * len(payloads)
+        for index, future in enumerate(futures):
+            results[index] = future.result()
+            if on_result is not None:
+                on_result(index, results[index])
+        return results
 
 
 # ---------------------------------------------------------------------------

@@ -25,7 +25,7 @@ import numpy as np
 from ..ansatz.base import Ansatz
 from ..operators.pauli import PauliSum
 from ..vqe.clifford_vqe import CliffordVQE
-from ..vqe.energy import EnergyEvaluator, ExactEnergyEvaluator
+from ..vqe.energy import BackendEnergyEvaluator, EnergyEvaluator
 from ..vqe.optimizers import (CobylaOptimizer, GeneticOptimizer, Optimizer)
 from ..vqe.runner import VQE, VQEResult
 
@@ -71,7 +71,7 @@ class CAFQABootstrappedVQE:
                  seed: Optional[int] = 0):
         self.hamiltonian = hamiltonian
         self.ansatz = ansatz
-        self.evaluator = evaluator or ExactEnergyEvaluator(hamiltonian)
+        self.evaluator = evaluator or BackendEnergyEvaluator.exact(hamiltonian)
         self.optimizer = optimizer or CobylaOptimizer()
         self.clifford_optimizer = clifford_optimizer
         self.reference_energy = reference_energy

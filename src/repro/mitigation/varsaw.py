@@ -105,9 +105,11 @@ class MitigatedEnergyEvaluator(EnergyEvaluator):
 
     Per-term (attenuated) expectation values are obtained in a single
     simulation pass — from the final density matrix for
-    :class:`~repro.vqe.energy.DensityMatrixEnergyEvaluator`, or from one Pauli
-    propagation for :class:`~repro.vqe.energy.CliffordEnergyEvaluator` — then
-    each term is corrected by dividing out its calibrated readout attenuation.
+    :meth:`~repro.vqe.energy.BackendEnergyEvaluator.density_matrix`
+    evaluators, or from one Pauli propagation for
+    :meth:`~repro.vqe.energy.BackendEnergyEvaluator.clifford` evaluators —
+    then each term is corrected by dividing out its calibrated readout
+    attenuation.
     """
 
     def __init__(self, base_evaluator: EnergyEvaluator,
@@ -136,16 +138,19 @@ class MitigatedEnergyEvaluator(EnergyEvaluator):
         """
         from ..circuits.transpile import decompose_to_clifford_rz, merge_rz_runs
         from ..execution.executor import default_executor
-        from ..vqe.energy import (CliffordEnergyEvaluator,
-                                  DensityMatrixEnergyEvaluator)
 
         readout = self.noise_model.readout_error if self.noise_model is not None else 0.0
         canonical = merge_rz_runs(decompose_to_clifford_rz(circuit))
         executor = default_executor()
-        if isinstance(self.base_evaluator, CliffordEnergyEvaluator):
+        # Dispatch on the evaluator's configured backend name, not its
+        # class: the classmethod presets (BackendEnergyEvaluator.clifford /
+        # .density_matrix) and the deprecated subclass shims carry the same
+        # ``backend`` attribute, so both route identically here.
+        base_backend = getattr(self.base_evaluator, "backend", None)
+        if base_backend == "pauli_propagation":
             backend = "pauli_propagation"
             damping = 1.0 - 2.0 * readout
-        elif isinstance(self.base_evaluator, DensityMatrixEnergyEvaluator):
+        elif base_backend == "density_matrix":
             backend = "density_matrix"
             damping = 1.0  # readout attenuation applied by the simulator
         else:

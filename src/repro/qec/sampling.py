@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..execution.broker import make_broker
 from ..execution.sharding import run_sharded, split_evenly
 from .bitops import Mod2GatherPlan, mod2_matvec_packed, pack_rows, popcount
 from .decoders.base import (absorb_batch_decode_delta, batch_decode,
@@ -519,7 +520,8 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
                         max_workers: Optional[int] = None,
                         use_cache: Optional[bool] = None,
                         kernel: Optional[str] = None,
-                        streaming: bool = False) -> SamplingRun:
+                        streaming: bool = False,
+                        policy=None) -> SamplingRun:
     """Run a batched Monte-Carlo memory experiment over ``graph``.
 
     ``decoder`` needs only the graph-protocol ``decode(defects)``; in-repo
@@ -529,8 +531,10 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
     (:func:`repro.qec.decoders.base.batch_decode`).
     ``executor`` supplies the shard planner, the expectation cache and the
     stats block (default: the process-wide
-    :func:`repro.execution.executor.default_executor`); ``parallel`` /
-    ``max_workers`` override its fan-out policy for this call.
+    :func:`repro.execution.executor.default_executor`); ``policy`` (an
+    :class:`~repro.execution.policy.ExecutionPolicy`) or the legacy
+    ``parallel`` / ``max_workers`` keywords override its fan-out policy —
+    including the shard broker — for this call.
 
     ``kernel`` selects the syndrome math (:func:`resolve_kernel`:
     ``"packed"`` bit-packed words by default, ``"dense"`` the legacy
@@ -576,8 +580,11 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
                                from_cache=True)
 
     blocks = _shot_blocks(seed_sequence, shots)
+    effective = executor._resolve_policy(policy, parallel=parallel,
+                                         max_workers=max_workers)
     plan = executor.planner.plan(num_items=len(blocks), hints=("process",),
-                                 parallel=parallel, max_workers=max_workers)
+                                 parallel=effective.parallel,
+                                 max_workers=effective.max_workers)
     if plan.is_parallel:
         chunks = split_evenly(blocks, plan.workers)
     else:
@@ -598,7 +605,11 @@ def run_memory_sampling(graph: DecodingGraph, decoder, shots: int, *,
         if note is not None:
             note(report)
 
+    broker = None
+    if plan.mode == "process":
+        broker = make_broker(effective.broker, plan.workers)
     shard_results = run_sharded(plan, _memory_sampling_shard, payloads,
+                                policy=effective.retry, broker=broker,
                                 on_fault=_on_fault)
 
     failures = sum(result["failures"] for result in shard_results)

@@ -40,6 +40,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None,
                        help="persistent expectation-cache directory shared "
                             "by every tenant job")
+    serve.add_argument("--spool", default=None,
+                       help="filesystem-broker spool directory: hand "
+                            "process shards to elastic repro-worker "
+                            "processes instead of the local fork pool")
     serve.add_argument("--workers", type=int, default=None,
                        help="worker threads (default 2)")
     serve.add_argument("--max-pending", type=int, default=None,
@@ -87,6 +91,8 @@ def _serve_config(options: argparse.Namespace) -> ServiceConfig:
         overrides["db_path"] = options.db
     if options.cache_dir is not None:
         overrides["cache_dir"] = options.cache_dir
+    if options.spool is not None:
+        overrides["spool"] = options.spool
     if options.workers is not None:
         overrides["workers"] = options.workers
     if options.max_pending is not None:

@@ -98,6 +98,26 @@ def _noise_fingerprint(noise_model) -> Optional[str]:
     return noise_model.fingerprint()
 
 
+def _decode_policy(payload: Dict[str, Any]):
+    """An optional :class:`~repro.execution.policy.ExecutionPolicy` from
+    the submission's ``policy`` key.
+
+    The policy steers *how* the job fans out (mode, workers, broker,
+    retries) and is deliberately **not** part of the job key: the
+    determinism contract makes results bitwise independent of it, so two
+    submissions differing only in policy are the same job.
+    """
+    from ..execution.errors import ExecutionError
+    from ..execution.policy import ExecutionPolicy
+    entry = payload.get("policy")
+    if entry is None:
+        return None
+    try:
+        return ExecutionPolicy.from_payload(entry)
+    except (ExecutionError, KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed policy: {error}") from None
+
+
 # ---------------------------------------------------------------------------
 # expectation
 # ---------------------------------------------------------------------------
@@ -116,10 +136,11 @@ def _prepare_expectation(payload: Dict[str, Any]) -> PreparedJob:
     chunk = int(payload.get("chunk", DEFAULT_CHUNK))
     if chunk < 1:
         raise ProtocolError("chunk must be a positive integer")
+    policy = _decode_policy(payload)
 
     # chunk is part of the key: the engine's batched evaluation is
     # ulp-sensitive to batch shape, so differently-chunked submissions are
-    # different jobs.
+    # different jobs.  policy is NOT: fan-out cannot change values.
     from ..execution.task import observable_fingerprint
     key = _digest("expectation",
                   tuple(circuit.fingerprint() for circuit in circuits),
@@ -134,7 +155,8 @@ def _prepare_expectation(payload: Dict[str, Any]) -> PreparedJob:
             values = ctx.executor.evaluate_observable(
                 circuits[start:start + chunk], observable,
                 noise_model=noise_model, backend=backend,
-                trajectories=trajectories, include_idle=include_idle)
+                trajectories=trajectories, include_idle=include_idle,
+                policy=policy)
             energies.extend(values)
             ctx.emit("partial", {"start": start, "values": values,
                                  "done": len(energies),
@@ -171,9 +193,11 @@ def _prepare_sweep(payload: Dict[str, Any]) -> PreparedJob:
     chunk = int(payload.get("chunk", DEFAULT_CHUNK))
     if chunk < 1:
         raise ProtocolError("chunk must be a positive integer")
+    policy = _decode_policy(payload)
 
     # chunk is part of the key: batched sweep evaluation is ulp-sensitive
-    # to batch shape, so differently-chunked submissions are different jobs.
+    # to batch shape, so differently-chunked submissions are different
+    # jobs.  policy is NOT: fan-out cannot change values.
     from ..execution.task import observable_fingerprint
     key = _digest("sweep", template.fingerprint(),
                   tuple(tuple(values) for values in parameter_sets),
@@ -188,7 +212,8 @@ def _prepare_sweep(payload: Dict[str, Any]) -> PreparedJob:
             values = ctx.executor.evaluate_sweep(
                 template, parameter_sets[start:start + chunk], observable,
                 noise_model=noise_model, backend=backend,
-                trajectories=trajectories, include_idle=include_idle)
+                trajectories=trajectories, include_idle=include_idle,
+                policy=policy)
             energies.extend(values)
             ctx.emit("partial", {"start": start, "values": values,
                                  "done": len(energies),

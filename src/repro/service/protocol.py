@@ -302,11 +302,14 @@ def expectation_payload(circuits, observable, *, noise_model=None,
                         backend: Optional[str] = None,
                         trajectories: Optional[int] = None,
                         include_idle: bool = True,
-                        chunk: Optional[int] = None) -> Dict[str, Any]:
+                        chunk: Optional[int] = None,
+                        policy=None) -> Dict[str, Any]:
     """Payload of an ``expectation`` job: ⟨observable⟩ per bound circuit.
 
     Mirrors :meth:`repro.execution.Executor.evaluate_observable`; ``chunk``
     bounds how many circuits the runner evaluates per streamed partial.
+    ``policy`` (an :class:`~repro.execution.policy.ExecutionPolicy` or its
+    payload dict) steers server-side fan-out; it never changes values.
     """
     from ..circuits.circuit import QuantumCircuit
     from ..io.serialization import (circuit_to_dict, noise_model_to_dict,
@@ -326,6 +329,8 @@ def expectation_payload(circuits, observable, *, noise_model=None,
         payload["trajectories"] = int(trajectories)
     if chunk is not None:
         payload["chunk"] = int(chunk)
+    if policy is not None:
+        payload["policy"] = _policy_payload(policy)
     return payload
 
 
@@ -333,12 +338,14 @@ def sweep_payload(template, parameter_sets, observable, *, noise_model=None,
                   backend: str = "auto",
                   trajectories: Optional[int] = None,
                   include_idle: bool = True,
-                  chunk: Optional[int] = None) -> Dict[str, Any]:
+                  chunk: Optional[int] = None,
+                  policy=None) -> Dict[str, Any]:
     """Payload of a ``sweep`` job over one parametric template.
 
     Mirrors :meth:`repro.execution.Executor.evaluate_sweep`; the runner
     evaluates ``chunk`` points per streamed partial (all points in one batch
-    when unset).
+    when unset).  ``policy`` steers server-side fan-out; it never changes
+    values.
     """
     from ..io.serialization import (noise_model_to_dict, pauli_sum_to_dict,
                                     template_to_dict)
@@ -356,7 +363,16 @@ def sweep_payload(template, parameter_sets, observable, *, noise_model=None,
         payload["trajectories"] = int(trajectories)
     if chunk is not None:
         payload["chunk"] = int(chunk)
+    if policy is not None:
+        payload["policy"] = _policy_payload(policy)
     return payload
+
+
+def _policy_payload(policy) -> Dict[str, Any]:
+    """The wire form of a policy argument (accepts a ready payload dict)."""
+    if isinstance(policy, dict):
+        return dict(policy)
+    return policy.to_payload()
 
 
 def qec_memory_payload(*, code: str = "repetition", distance: int,

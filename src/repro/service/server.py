@@ -41,6 +41,7 @@ import urllib.parse
 from typing import Any, Awaitable, Callable, Dict, Optional
 
 from ..execution.executor import Executor
+from ..execution.policy import ExecutionPolicy
 from .config import ServiceConfig
 from .protocol import (PROTOCOL_VERSION, TERMINAL_STATES, AttachRequest,
                        CancelRequest, ErrorResponse, EventResponse,
@@ -79,7 +80,10 @@ class ServiceServer:
             max_pending=self.config.max_pending,
             max_pending_per_tenant=self.config.max_pending_per_tenant,
             max_running_per_tenant=self.config.max_running_per_tenant)
-        self.executor = Executor(cache_dir=self.config.cache_dir)
+        policy = ExecutionPolicy(broker=self.config.spool) \
+            if self.config.spool else None
+        self.executor = Executor(cache_dir=self.config.cache_dir,
+                                 policy=policy)
         self.runner = JobRunner(self.executor, self.registry, self.queues,
                                 workers=self.config.workers,
                                 max_attempts=self.config.max_attempts,

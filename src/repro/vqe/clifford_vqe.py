@@ -22,7 +22,7 @@ import numpy as np
 from ..ansatz.base import Ansatz
 from ..operators.pauli import PauliSum
 from ..simulators.noise import NoiseModel
-from .energy import CliffordEnergyEvaluator
+from .energy import BackendEnergyEvaluator
 from .optimizers import GeneticOptimizer, OptimizationResult
 from .runner import VQEResult
 
@@ -75,7 +75,8 @@ class CliffordVQE:
         self.benchmark_name = benchmark_name
         self.regime_name = regime_name
         self._template = ansatz.build()
-        self._evaluator = CliffordEnergyEvaluator(hamiltonian, noise_model)
+        self._evaluator = BackendEnergyEvaluator.clifford(hamiltonian,
+                                                          noise_model)
 
     # -- objective --------------------------------------------------------------
     def energy_from_indices(self, indices: Sequence[int]) -> float:

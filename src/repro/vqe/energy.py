@@ -6,20 +6,26 @@ deduplication and regime-aware routing on top of the paper's four execution
 paths (Sec. 5.2).  Evaluations ride the grouped-observable engine
 (:meth:`repro.execution.Executor.evaluate_observable`): one circuit
 evolution serves every Pauli term of the Hamiltonian, with per-(circuit,
-term) caching.  The historical classes remain as thin shims pinning a
-backend, so existing call sites keep working:
+term) caching.  :class:`BackendEnergyEvaluator` is the one evaluator; its
+classmethod presets pin the paper's historical regimes:
 
-* :class:`ExactEnergyEvaluator` — noiseless statevector expectation, used for
-  reference energies and expressibility studies;
-* :class:`DensityMatrixEnergyEvaluator` — exact noisy expectation under a
-  Kraus noise model (the 8–12 qubit flow);
-* :class:`CliffordEnergyEvaluator` — exact noisy expectation of Clifford
-  (stabilizer-proxy) circuits under Pauli noise via Pauli propagation (the
-  16–100 qubit flow);
-* :class:`MonteCarloStabilizerEvaluator` — Monte-Carlo stabilizer
-  trajectories (cross-validation backend);
-* :class:`BackendEnergyEvaluator` — the generic evaluator the shims subclass;
-  pass ``backend="auto"`` to route per circuit, or any registry name.
+* :meth:`BackendEnergyEvaluator.exact` — noiseless statevector expectation,
+  used for reference energies and expressibility studies;
+* :meth:`BackendEnergyEvaluator.density_matrix` — exact noisy expectation
+  under a Kraus noise model (the 8–12 qubit flow);
+* :meth:`BackendEnergyEvaluator.clifford` — exact noisy expectation of
+  Clifford (stabilizer-proxy) circuits under Pauli noise via Pauli
+  propagation (the 16–100 qubit flow);
+* :meth:`BackendEnergyEvaluator.monte_carlo_stabilizer` — Monte-Carlo
+  stabilizer trajectories (cross-validation backend);
+* pass ``backend="auto"`` to the constructor to route per circuit, or any
+  registry name.
+
+The historical classes (:class:`ExactEnergyEvaluator`,
+:class:`DensityMatrixEnergyEvaluator`, :class:`CliffordEnergyEvaluator`,
+:class:`MonteCarloStabilizerEvaluator`) remain as deprecated shims over
+those presets — they emit :class:`DeprecationWarning` and carry migration
+tables in their docstrings.
 
 All evaluators share the ``evaluate(circuit) -> float`` interface and count
 their invocations, which the optimizers report.
@@ -27,6 +33,7 @@ their invocations, which the optimizers report.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Union
 
 
@@ -85,7 +92,8 @@ class BackendEnergyEvaluator(EnergyEvaluator):
                  use_cache: bool = True,
                  grouped: bool = True,
                  parallel: Optional[str] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 policy=None):
         super().__init__(hamiltonian)
         self.backend = backend
         self.noise_model = noise_model
@@ -94,11 +102,14 @@ class BackendEnergyEvaluator(EnergyEvaluator):
         self.trajectories = trajectories
         self.use_cache = use_cache
         self.grouped = grouped
-        # Fan-out policy forwarded to every executor call: None defers to
-        # the executor's own ShardPlanner defaults; "process" shards
-        # batches/trajectory ensembles across worker processes.
+        # Fan-out policy forwarded to every executor call: ``policy`` is an
+        # ExecutionPolicy (mode, workers, broker, retry in one value); the
+        # legacy ``parallel`` / ``max_workers`` keywords still work and win
+        # over its fields.  None everywhere defers to the executor's own
+        # defaults.
         self.parallel = parallel
         self.max_workers = max_workers
+        self.policy = policy
         self._executor = executor
 
     def _prepare_circuit(self, circuit: QuantumCircuit) -> QuantumCircuit:
@@ -122,11 +133,12 @@ class BackendEnergyEvaluator(EnergyEvaluator):
                 trajectories=self.trajectories,
                 include_idle=self.include_idle,
                 use_cache=self.use_cache, parallel=self.parallel,
-                max_workers=self.max_workers)[0]
+                max_workers=self.max_workers, policy=self.policy)[0]
         result = executor.run(self._make_task(circuit), backend=self.backend,
                               use_cache=self.use_cache,
                               parallel=self.parallel,
-                              max_workers=self.max_workers)[0]
+                              max_workers=self.max_workers,
+                              policy=self.policy)[0]
         return float(result.value)
 
     def evaluate_sweep(self, template: QuantumCircuit,
@@ -156,13 +168,14 @@ class BackendEnergyEvaluator(EnergyEvaluator):
                 circuits, self.hamiltonian, noise_model=self.noise_model,
                 backend=self.backend, trajectories=self.trajectories,
                 include_idle=self.include_idle, use_cache=self.use_cache,
-                parallel=self.parallel, max_workers=self.max_workers)
+                parallel=self.parallel, max_workers=self.max_workers,
+                policy=self.policy)
         return executor.evaluate_sweep(
             template, parameter_sets, self.hamiltonian,
             noise_model=self.noise_model, backend=self.backend,
             trajectories=self.trajectories, include_idle=self.include_idle,
             use_cache=self.use_cache, parallel=self.parallel,
-            max_workers=self.max_workers)
+            max_workers=self.max_workers, policy=self.policy)
 
     # -- regime presets ------------------------------------------------------
     # Single source of truth for the historical evaluator configurations;
@@ -236,19 +249,53 @@ class BackendEnergyEvaluator(EnergyEvaluator):
                                             trajectories, seed))
 
 
+def _warn_legacy_evaluator(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use BackendEnergyEvaluator.{new} instead "
+        f"(same configuration, same results — the classmethod presets are "
+        f"the single source of truth for the historical regimes)",
+        DeprecationWarning, stacklevel=3)
+
+
 class ExactEnergyEvaluator(BackendEnergyEvaluator):
-    """Noiseless statevector expectation."""
+    """Noiseless statevector expectation.
+
+    .. deprecated::
+        Use :meth:`BackendEnergyEvaluator.exact` — identical configuration
+        and results.  Migration:
+
+        ==========================================  ================================================
+        Legacy                                      Replacement
+        ==========================================  ================================================
+        ``ExactEnergyEvaluator(h)``                 ``BackendEnergyEvaluator.exact(h)``
+        ==========================================  ================================================
+    """
 
     def __init__(self, hamiltonian: PauliSum):
+        _warn_legacy_evaluator("ExactEnergyEvaluator", "exact(...)")
         super().__init__(**BackendEnergyEvaluator._exact_config(hamiltonian))
 
 
 class DensityMatrixEnergyEvaluator(BackendEnergyEvaluator):
-    """Noisy expectation via exact density-matrix simulation."""
+    """Noisy expectation via exact density-matrix simulation.
+
+    .. deprecated::
+        Use :meth:`BackendEnergyEvaluator.density_matrix` — identical
+        configuration and results.  Migration:
+
+        ==================================================  ==========================================================
+        Legacy                                              Replacement
+        ==================================================  ==========================================================
+        ``DensityMatrixEnergyEvaluator(h, nm)``             ``BackendEnergyEvaluator.density_matrix(h, nm)``
+        ``DensityMatrixEnergyEvaluator(h, nm, False)``      ``BackendEnergyEvaluator.density_matrix(h, nm, False)``
+        ==================================================  ==========================================================
+    """
 
     def __init__(self, hamiltonian: PauliSum,
                  noise_model: Optional[NoiseModel] = None,
                  canonicalize: bool = True):
+        _warn_legacy_evaluator("DensityMatrixEnergyEvaluator",
+                               "density_matrix(...)")
         super().__init__(**BackendEnergyEvaluator._density_matrix_config(
             hamiltonian, noise_model, canonicalize))
 
@@ -259,12 +306,24 @@ class CliffordEnergyEvaluator(BackendEnergyEvaluator):
     The circuit must have all rotation angles at multiples of π/2 (the
     stabilizer-proxy restriction of Sec. 5.2.2).  Pauli noise is exact; other
     channels in the noise model are Pauli-twirled.
+
+    .. deprecated::
+        Use :meth:`BackendEnergyEvaluator.clifford` — identical
+        configuration and results.  Migration:
+
+        ==========================================  ====================================================
+        Legacy                                      Replacement
+        ==========================================  ====================================================
+        ``CliffordEnergyEvaluator(h, nm)``          ``BackendEnergyEvaluator.clifford(h, nm)``
+        ``... include_idle=False)``                 ``... include_idle=False)`` (same keywords)
+        ==========================================  ====================================================
     """
 
     def __init__(self, hamiltonian: PauliSum,
                  noise_model: Optional[NoiseModel] = None,
                  canonicalize: bool = True,
                  include_idle: bool = True):
+        _warn_legacy_evaluator("CliffordEnergyEvaluator", "clifford(...)")
         super().__init__(**BackendEnergyEvaluator._clifford_config(
             hamiltonian, noise_model, canonicalize, include_idle))
 
@@ -278,10 +337,22 @@ class MonteCarloStabilizerEvaluator(BackendEnergyEvaluator):
     across runs — which also makes them cacheable (the seed is part of the
     cache key).  Without a seed the ensemble draws fresh randomness and is
     never cached.
+
+    .. deprecated::
+        Use :meth:`BackendEnergyEvaluator.monte_carlo_stabilizer` —
+        identical configuration and results.  Migration:
+
+        ====================================================  ==============================================================
+        Legacy                                                Replacement
+        ====================================================  ==============================================================
+        ``MonteCarloStabilizerEvaluator(h, nm, 200, 7)``      ``BackendEnergyEvaluator.monte_carlo_stabilizer(h, nm, 200, 7)``
+        ====================================================  ==============================================================
     """
 
     def __init__(self, hamiltonian: PauliSum,
                  noise_model: Optional[NoiseModel] = None,
                  trajectories: int = 200, seed: Optional[int] = None):
+        _warn_legacy_evaluator("MonteCarloStabilizerEvaluator",
+                               "monte_carlo_stabilizer(...)")
         super().__init__(**BackendEnergyEvaluator._stabilizer_config(
             hamiltonian, noise_model, trajectories, seed))

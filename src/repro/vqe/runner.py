@@ -17,8 +17,7 @@ import numpy as np
 from ..ansatz.base import Ansatz
 from ..operators.pauli import PauliSum
 from ..simulators.noise import NoiseModel
-from .energy import (DensityMatrixEnergyEvaluator, EnergyEvaluator,
-                     ExactEnergyEvaluator)
+from .energy import BackendEnergyEvaluator, EnergyEvaluator
 from .optimizers import CobylaOptimizer, OptimizationResult, Optimizer
 
 
@@ -152,9 +151,10 @@ def run_vqe_under_noise(hamiltonian: PauliSum, ansatz: Ansatz,
                         seed: Optional[int] = None) -> VQEResult:
     """Convenience wrapper: density-matrix VQE under a given noise model."""
     if noise_model is None:
-        evaluator: EnergyEvaluator = ExactEnergyEvaluator(hamiltonian)
+        evaluator: EnergyEvaluator = BackendEnergyEvaluator.exact(hamiltonian)
     else:
-        evaluator = DensityMatrixEnergyEvaluator(hamiltonian, noise_model)
+        evaluator = BackendEnergyEvaluator.density_matrix(hamiltonian,
+                                                          noise_model)
     vqe = VQE(hamiltonian, ansatz, evaluator, optimizer,
               reference_energy=reference_energy,
               benchmark_name=benchmark_name, regime_name=regime_name)
@@ -224,7 +224,7 @@ def compare_regimes_opr(hamiltonian: PauliSum, ansatz: Ansatz,
     from ..mitigation.cafqa import cafqa_initialization
     from .optimizers import GeneticOptimizer
 
-    noiseless = VQE(hamiltonian, ansatz, ExactEnergyEvaluator(hamiltonian),
+    noiseless = VQE(hamiltonian, ansatz, BackendEnergyEvaluator.exact(hamiltonian),
                     optimizer or CobylaOptimizer(max_iterations=300),
                     reference_energy=reference_energy,
                     benchmark_name=benchmark_name, regime_name="noiseless")
@@ -241,7 +241,8 @@ def compare_regimes_opr(hamiltonian: PauliSum, ansatz: Ansatz,
 
     results: Dict[str, VQEResult] = {}
     for label, regime in (("a", regime_a), ("b", regime_b)):
-        evaluator = DensityMatrixEnergyEvaluator(hamiltonian, regime.noise_model())
+        evaluator = BackendEnergyEvaluator.density_matrix(
+            hamiltonian, regime.noise_model())
         vqe = VQE(hamiltonian, ansatz, evaluator,
                   CobylaOptimizer(max_iterations=max(refine_iterations, 1)),
                   reference_energy=reference_energy,

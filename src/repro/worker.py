@@ -1,0 +1,197 @@
+"""repro-worker — an elastic shard worker for a filesystem spool.
+
+``python -m repro.worker --spool DIR`` attaches to the spool directory a
+:class:`~repro.execution.broker.FilesystemBroker` dispatch (or several —
+the spool is shared) is feeding, and loops: claim one task file by atomic
+rename, hold a lease while executing it, drop the result as a
+content-named file, repeat.  Workers are fully elastic — start as many as
+you like, on any host that mounts the spool, before or during a run; kill
+one mid-shard and its lease expires, the supervisor requeues the shard,
+and another worker (or the parent) finishes it.  Per-shard seeds make the
+results bitwise independent of which worker ran what.
+
+Exit conditions: ``--max-shards N`` (stop after N shards), ``--idle-exit
+SECONDS`` (stop after that long with nothing to claim), a ``stop`` file in
+the spool root, or SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import socket
+import sys
+import threading
+import time
+from typing import Optional
+
+from .execution.broker import SpoolLayout, atomic_write_bytes, result_record
+from .execution.faults import execute_directive
+from .execution.sharding import _mark_worker_process
+
+
+class WorkerAgent:
+    """One worker's claim/lease/execute loop over a spool directory."""
+
+    def __init__(self, spool, *, max_shards: Optional[int] = None,
+                 poll_interval: float = 0.05, lease_seconds: float = 5.0,
+                 idle_exit: Optional[float] = None,
+                 worker_id: Optional[str] = None):
+        self.layout = SpoolLayout(spool).ensure()
+        self.max_shards = max_shards
+        self.poll_interval = float(poll_interval)
+        self.lease_seconds = float(lease_seconds)
+        self.idle_exit = idle_exit
+        self.worker_id = worker_id or \
+            f"{socket.gethostname()}-{os.getpid()}"
+        self.claims = 0
+        self.shards_done = 0
+        self._started = time.time()
+        self._census_written = 0.0
+
+    # -- census ------------------------------------------------------------
+
+    def _write_census(self, force: bool = False) -> None:
+        now = time.time()
+        if not force and now - self._census_written < 0.5:
+            return
+        self._census_written = now
+        atomic_write_bytes(self.layout.worker(self.worker_id), json.dumps(
+            {"worker_id": self.worker_id, "pid": os.getpid(),
+             "started": self._started, "last_seen": now,
+             "claims": self.claims,
+             "shards_done": self.shards_done}).encode("utf-8"))
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self) -> int:
+        """Claim-and-execute until an exit condition; returns shards done."""
+        # Nested dispatches inside a shard must stay inline — this process
+        # IS the worker tier.
+        _mark_worker_process()
+        self._write_census(force=True)
+        idle_since = time.monotonic()
+        while True:
+            if os.path.exists(self.layout.stop_file):
+                break
+            shard_id = self._claim_one()
+            if shard_id is None:
+                if self.idle_exit is not None \
+                        and time.monotonic() - idle_since > self.idle_exit:
+                    break
+                self._write_census()
+                time.sleep(self.poll_interval)
+                continue
+            idle_since = time.monotonic()
+            self.claims += 1
+            self._write_census(force=True)
+            if self._execute(shard_id):
+                self.shards_done += 1
+                self._write_census(force=True)
+            if self.max_shards is not None \
+                    and self.shards_done >= self.max_shards:
+                break
+        self._write_census(force=True)
+        return self.shards_done
+
+    def _claim_one(self) -> Optional[str]:
+        for shard_id in self.layout.pending_task_ids():
+            try:
+                os.rename(self.layout.task(shard_id),
+                          self.layout.claim(shard_id))
+            except OSError:
+                continue  # another claimant won the rename
+            return shard_id
+        return None
+
+    def _execute(self, shard_id: str) -> bool:
+        claim_path = self.layout.claim(shard_id)
+        self.layout.write_lease(shard_id, self.worker_id, self.lease_seconds)
+        stop_renewing = threading.Event()
+
+        def renew() -> None:
+            while not stop_renewing.wait(max(0.2, self.lease_seconds / 3)):
+                try:
+                    self.layout.write_lease(shard_id, self.worker_id,
+                                            self.lease_seconds)
+                except OSError:
+                    return
+
+        renewer = threading.Thread(target=renew, daemon=True)
+        renewer.start()
+        try:
+            try:
+                envelope = self.layout.load_envelope(claim_path)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError):
+                # Unreadable envelope: drop the claim; the supervisor's
+                # safety net re-spools the shard from its in-memory spec.
+                return False
+            directive = envelope.get("directive")
+
+            def entry():
+                if directive is not None:
+                    # May kill/stall this process — that is the point; the
+                    # lease expiry then hands the shard to someone else.  A
+                    # "raise" directive lands in result_record's transient
+                    # classification, exactly like the pool path.
+                    execute_directive(directive)
+                return envelope["fn"](*envelope["payload"])
+
+            record = result_record(entry, ())
+            self.layout.write_result(envelope["digest"], record)
+            return True
+        finally:
+            stop_renewing.set()
+            renewer.join()
+            for path in (self.layout.lease(shard_id), claim_path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+
+
+def run_worker(spool, *, max_shards: Optional[int] = None,
+               poll_interval: float = 0.05, lease_seconds: float = 5.0,
+               idle_exit: Optional[float] = None,
+               worker_id: Optional[str] = None) -> int:
+    """Run one worker loop to completion; returns the shard count."""
+    agent = WorkerAgent(spool, max_shards=max_shards,
+                        poll_interval=poll_interval,
+                        lease_seconds=lease_seconds, idle_exit=idle_exit,
+                        worker_id=worker_id)
+    return agent.run()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Elastic shard worker for a FilesystemBroker spool.")
+    parser.add_argument("--spool", required=True,
+                        help="spool directory shared with the dispatching "
+                             "run (created if missing)")
+    parser.add_argument("--max-shards", type=int, default=None,
+                        help="exit after completing this many shards")
+    parser.add_argument("--poll-interval", type=float, default=0.05,
+                        help="seconds between claim scans when idle")
+    parser.add_argument("--lease-seconds", type=float, default=5.0,
+                        help="lease duration renewed while executing")
+    parser.add_argument("--idle-exit", type=float, default=None,
+                        help="exit after this many seconds with nothing "
+                             "to claim (default: wait forever)")
+    parser.add_argument("--worker-id", default=None,
+                        help="census identity (default: host-pid)")
+    options = parser.parse_args(argv)
+    done = run_worker(options.spool, max_shards=options.max_shards,
+                      poll_interval=options.poll_interval,
+                      lease_seconds=options.lease_seconds,
+                      idle_exit=options.idle_exit,
+                      worker_id=options.worker_id)
+    print(f"repro-worker: {done} shard(s) completed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

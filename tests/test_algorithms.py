@@ -15,7 +15,7 @@ from repro.operators.graphs import (cut_value, maxcut_cost_hamiltonian,
 from repro.operators.hamiltonians import ising_hamiltonian
 from repro.operators.pauli import PauliString, PauliSum
 from repro.simulators.statevector import StatevectorSimulator
-from repro.vqe.energy import DensityMatrixEnergyEvaluator
+from repro.vqe.energy import BackendEnergyEvaluator
 from repro.vqe.optimizers import CobylaOptimizer
 
 
@@ -112,7 +112,7 @@ class TestQAOA:
         """QAOA accepts the density-matrix evaluator used for regime studies."""
         graph = ring_graph(4)
         hamiltonian = maxcut_cost_hamiltonian(graph)
-        evaluator = DensityMatrixEnergyEvaluator(hamiltonian,
+        evaluator = BackendEnergyEvaluator.density_matrix(hamiltonian,
                                                  NISQRegime().noise_model())
         qaoa = QAOA(graph, depth=1, evaluator=evaluator,
                     optimizer=CobylaOptimizer(max_iterations=30))

@@ -35,9 +35,7 @@ from repro.simulators.statevector import (StatevectorSimulator, Statevector,
                                           circuit_unitary,
                                           counts_from_outcomes)
 from repro.vqe.clifford_vqe import CliffordVQE
-from repro.vqe.energy import (BackendEnergyEvaluator,
-                              DensityMatrixEnergyEvaluator,
-                              ExactEnergyEvaluator)
+from repro.vqe.energy import BackendEnergyEvaluator
 from repro.vqe.optimizers import GeneticOptimizer, SPSAOptimizer
 from repro.vqe.runner import VQE
 
@@ -495,7 +493,7 @@ class TestEvaluateSweep:
         energies = executor.evaluate_sweep(
             self.template, self.sweep[:2], self.hamiltonian,
             noise_model=noise, backend="density_matrix")
-        evaluator = DensityMatrixEnergyEvaluator(self.hamiltonian, noise,
+        evaluator = BackendEnergyEvaluator.density_matrix(self.hamiltonian, noise,
                                                  canonicalize=False)
         for point, energy in zip(self.sweep[:2], energies):
             circuit = self.template.bind_parameters(list(point))
@@ -536,12 +534,12 @@ class TestEvaluateSweep:
                                       self.hamiltonian)
 
     def test_evaluator_evaluate_sweep(self):
-        evaluator = ExactEnergyEvaluator(self.hamiltonian)
+        evaluator = BackendEnergyEvaluator.exact(self.hamiltonian)
         energies = evaluator.evaluate_sweep(self.template, self.sweep)
         assert evaluator.num_evaluations == len(self.sweep)
         for point, energy in zip(self.sweep, energies):
             circuit = self.template.bind_parameters(list(point))
-            assert abs(ExactEnergyEvaluator(self.hamiltonian)(circuit)
+            assert abs(BackendEnergyEvaluator.exact(self.hamiltonian)(circuit)
                        - energy) < 1e-10
 
     def test_evaluator_presets_match_shims(self):
@@ -614,7 +612,7 @@ class TestOptimizerBatching:
     def test_vqe_spsa_batched_run(self):
         hamiltonian = ising_hamiltonian(3, coupling=1.0)
         vqe = VQE(hamiltonian, LinearAnsatz(3, depth=1),
-                  ExactEnergyEvaluator(hamiltonian),
+                  BackendEnergyEvaluator.exact(hamiltonian),
                   SPSAOptimizer(max_iterations=12, seed=2))
         result = vqe.run(seed=2)
         assert result.best_energy <= vqe.energy(
@@ -623,7 +621,7 @@ class TestOptimizerBatching:
     def test_vqe_energy_sweep_matches_energy(self):
         hamiltonian = ising_hamiltonian(3, coupling=1.0)
         vqe = VQE(hamiltonian, LinearAnsatz(3, depth=1),
-                  ExactEnergyEvaluator(hamiltonian))
+                  BackendEnergyEvaluator.exact(hamiltonian))
         rng = np.random.default_rng(4)
         sweep = rng.standard_normal((4, vqe.ansatz.num_parameters()))
         energies = vqe.energy_sweep(sweep)

@@ -407,39 +407,74 @@ class TestExecutorDispatch:
 
 class TestEvaluatorIntegration:
     def test_all_four_evaluators_match_seed_semantics(self):
-        from repro.vqe.energy import (CliffordEnergyEvaluator,
-                                      DensityMatrixEnergyEvaluator,
-                                      ExactEnergyEvaluator)
+        from repro.vqe.energy import BackendEnergyEvaluator
         from repro.circuits.transpile import (decompose_to_clifford_rz,
                                               merge_rz_runs)
         hamiltonian = ising_hamiltonian(3, 1.0)
         noise = cx_noise()
         circuit = clifford_circuit(3)
 
-        exact = ExactEnergyEvaluator(hamiltonian)
+        exact = BackendEnergyEvaluator.exact(hamiltonian)
         assert exact(circuit) == pytest.approx(
             StatevectorSimulator().expectation(circuit, hamiltonian))
         assert exact.num_evaluations == 1
 
         canonical = merge_rz_runs(decompose_to_clifford_rz(circuit))
-        dm = DensityMatrixEnergyEvaluator(hamiltonian, noise)
+        dm = BackendEnergyEvaluator.density_matrix(hamiltonian, noise)
         assert dm(circuit) == pytest.approx(
             DensityMatrixSimulator(noise).expectation(canonical, hamiltonian))
 
-        clifford = CliffordEnergyEvaluator(hamiltonian, noise)
+        clifford = BackendEnergyEvaluator.clifford(hamiltonian, noise)
         assert clifford(circuit) == pytest.approx(
             expectation_value(canonical, hamiltonian, noise))
 
     def test_monte_carlo_evaluator_is_reproducible(self):
-        from repro.vqe.energy import MonteCarloStabilizerEvaluator
+        from repro.vqe.energy import BackendEnergyEvaluator
         hamiltonian = ising_hamiltonian(3, 1.0)
         noise = cx_noise()
         circuit = clifford_circuit(3)
-        a = MonteCarloStabilizerEvaluator(hamiltonian, noise,
-                                          trajectories=50, seed=3)(circuit)
-        b = MonteCarloStabilizerEvaluator(hamiltonian, noise,
-                                          trajectories=50, seed=3)(circuit)
+        a = BackendEnergyEvaluator.monte_carlo_stabilizer(
+            hamiltonian, noise, trajectories=50, seed=3)(circuit)
+        b = BackendEnergyEvaluator.monte_carlo_stabilizer(
+            hamiltonian, noise, trajectories=50, seed=3)(circuit)
         assert a == pytest.approx(b)
+
+    def test_legacy_evaluator_shims_warn_and_match_presets(self):
+        """Each deprecated class warns once and configures exactly like
+        its BackendEnergyEvaluator classmethod replacement."""
+        from repro.vqe.energy import (BackendEnergyEvaluator,
+                                      CliffordEnergyEvaluator,
+                                      DensityMatrixEnergyEvaluator,
+                                      ExactEnergyEvaluator,
+                                      MonteCarloStabilizerEvaluator)
+        hamiltonian = ising_hamiltonian(3, 1.0)
+        noise = cx_noise()
+        circuit = clifford_circuit(3)
+
+        with pytest.warns(DeprecationWarning, match="exact"):
+            legacy = ExactEnergyEvaluator(hamiltonian)
+        assert legacy(circuit) == pytest.approx(
+            BackendEnergyEvaluator.exact(hamiltonian)(circuit))
+
+        with pytest.warns(DeprecationWarning, match="density_matrix"):
+            legacy = DensityMatrixEnergyEvaluator(hamiltonian, noise)
+        assert legacy.backend == "density_matrix"
+        assert legacy(circuit) == pytest.approx(
+            BackendEnergyEvaluator.density_matrix(hamiltonian,
+                                                  noise)(circuit))
+
+        with pytest.warns(DeprecationWarning, match="clifford"):
+            legacy = CliffordEnergyEvaluator(hamiltonian, noise)
+        assert legacy.backend == "pauli_propagation"
+        assert legacy(circuit) == pytest.approx(
+            BackendEnergyEvaluator.clifford(hamiltonian, noise)(circuit))
+
+        with pytest.warns(DeprecationWarning, match="monte_carlo"):
+            legacy = MonteCarloStabilizerEvaluator(hamiltonian, noise,
+                                                   trajectories=20, seed=5)
+        assert legacy(circuit) == pytest.approx(
+            BackendEnergyEvaluator.monte_carlo_stabilizer(
+                hamiltonian, noise, trajectories=20, seed=5)(circuit))
 
 
 class TestReviewRegressions:

@@ -14,8 +14,8 @@ from repro.core import pqec_fidelity, nisq_fidelity, win_fraction
 from repro.core.metrics import summarize_gammas
 from repro.mitigation import MitigatedEnergyEvaluator
 from repro.simulators import expectation_value
-from repro.vqe import (CliffordEnergyEvaluator, CliffordVQE, GeneticOptimizer,
-                       compare_regimes_clifford)
+from repro.vqe import (BackendEnergyEvaluator, CliffordVQE,
+                       GeneticOptimizer, compare_regimes_clifford)
 
 
 class TestEndToEndCliffordPipeline:
@@ -51,7 +51,7 @@ class TestEndToEndCliffordPipeline:
         hamiltonian = ising_hamiltonian(6, 1.0)
         ansatz = FullyConnectedAnsatz(6)
         circuit = ansatz.bound_circuit([math.pi / 2] * ansatz.num_parameters())
-        noisy = CliffordEnergyEvaluator(hamiltonian, NISQRegime().noise_model())
+        noisy = BackendEnergyEvaluator.clifford(hamiltonian, NISQRegime().noise_model())
         mitigated = MitigatedEnergyEvaluator(noisy)
         unmitigated_value = noisy(circuit)
         mitigated_value = mitigated(circuit)

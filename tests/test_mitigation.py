@@ -11,8 +11,7 @@ from repro.mitigation import (MitigatedEnergyEvaluator, ReadoutCalibration,
                               zero_noise_extrapolation)
 from repro.operators import PauliString, ising_hamiltonian
 from repro.simulators import NoiseModel, depolarizing_channel
-from repro.vqe import (CliffordEnergyEvaluator, DensityMatrixEnergyEvaluator,
-                       ExactEnergyEvaluator, indices_to_angles)
+from repro.vqe import BackendEnergyEvaluator, indices_to_angles
 
 
 class TestReadoutCalibration:
@@ -66,16 +65,16 @@ class TestMitigatedEvaluator:
 
     def test_mitigation_recovers_readout_free_energy_clifford(self):
         hamiltonian, circuit, noise = self._setup()
-        noisy = CliffordEnergyEvaluator(hamiltonian, noise)
+        noisy = BackendEnergyEvaluator.clifford(hamiltonian, noise)
         mitigated = MitigatedEnergyEvaluator(noisy)
-        ideal = CliffordEnergyEvaluator(hamiltonian, None)(circuit)
+        ideal = BackendEnergyEvaluator.clifford(hamiltonian, None)(circuit)
         assert mitigated(circuit) == pytest.approx(ideal, abs=1e-6)
 
     def test_mitigation_recovers_readout_free_energy_density_matrix(self):
         hamiltonian, circuit, noise = self._setup()
-        noisy = DensityMatrixEnergyEvaluator(hamiltonian, noise)
+        noisy = BackendEnergyEvaluator.density_matrix(hamiltonian, noise)
         mitigated = MitigatedEnergyEvaluator(noisy)
-        ideal = DensityMatrixEnergyEvaluator(hamiltonian, None)(circuit)
+        ideal = BackendEnergyEvaluator.density_matrix(hamiltonian, None)(circuit)
         assert mitigated(circuit) == pytest.approx(ideal, abs=1e-6)
 
     def test_mitigation_moves_estimate_toward_readout_free_value(self):
@@ -91,16 +90,16 @@ class TestMitigatedEvaluator:
         full_noise = (NoiseModel()
                       .add_gate_error(depolarizing_channel(1e-3, 2), ["cx"])
                       .add_readout_error(0.05))
-        readout_free = CliffordEnergyEvaluator(hamiltonian, gate_noise)(circuit)
-        unmitigated = CliffordEnergyEvaluator(hamiltonian, full_noise)(circuit)
+        readout_free = BackendEnergyEvaluator.clifford(hamiltonian, gate_noise)(circuit)
+        unmitigated = BackendEnergyEvaluator.clifford(hamiltonian, full_noise)(circuit)
         mitigated = MitigatedEnergyEvaluator(
-            CliffordEnergyEvaluator(hamiltonian, full_noise))(circuit)
+            BackendEnergyEvaluator.clifford(hamiltonian, full_noise))(circuit)
         assert abs(mitigated - readout_free) <= abs(unmitigated - readout_free) + 1e-9
 
     def test_works_for_pqec_regime_too(self):
         hamiltonian, circuit, _ = self._setup()
         noise = PQECRegime().noise_model()
-        base = CliffordEnergyEvaluator(hamiltonian, noise)
+        base = BackendEnergyEvaluator.clifford(hamiltonian, noise)
         mitigated = MitigatedEnergyEvaluator(base)
         assert isinstance(mitigated(circuit), float)
 
@@ -119,7 +118,7 @@ class TestZNE:
     def test_folding_preserves_ideal_energy(self):
         hamiltonian = ising_hamiltonian(3, 0.5)
         circuit = LinearAnsatz(3).bound_circuit([0.3] * 6)
-        evaluator = ExactEnergyEvaluator(hamiltonian)
+        evaluator = BackendEnergyEvaluator.exact(hamiltonian)
         assert evaluator(fold_circuit(circuit, 3)) == pytest.approx(
             evaluator(circuit), abs=1e-8)
 
@@ -131,8 +130,8 @@ class TestZNE:
         hamiltonian = ising_hamiltonian(3, 1.0)
         circuit = LinearAnsatz(3).bound_circuit([0.4, 0.1, -0.3, 0.7, 0.2, -0.5])
         noise = NoiseModel().add_gate_error(depolarizing_channel(0.02, 2), ["cx"])
-        noisy = DensityMatrixEnergyEvaluator(hamiltonian, noise)
-        ideal = ExactEnergyEvaluator(hamiltonian)(circuit)
+        noisy = BackendEnergyEvaluator.density_matrix(hamiltonian, noise)
+        ideal = BackendEnergyEvaluator.exact(hamiltonian)(circuit)
         raw_error = abs(noisy(circuit) - ideal)
         zne = zero_noise_extrapolation(circuit, noisy, scale_factors=(1, 3, 5))
         assert abs(zne.extrapolated_value - ideal) < raw_error
@@ -141,5 +140,5 @@ class TestZNE:
         hamiltonian = ising_hamiltonian(3, 1.0)
         circuit = LinearAnsatz(3).bound_circuit([0.2] * 6)
         noise = NoiseModel().add_gate_error(depolarizing_channel(0.01, 2), ["cx"])
-        evaluator = ZNEEnergyEvaluator(DensityMatrixEnergyEvaluator(hamiltonian, noise))
+        evaluator = ZNEEnergyEvaluator(BackendEnergyEvaluator.density_matrix(hamiltonian, noise))
         assert isinstance(evaluator(circuit), float)

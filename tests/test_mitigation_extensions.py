@@ -24,7 +24,7 @@ from repro.operators.hamiltonians import ising_hamiltonian
 from repro.operators.pauli import PauliString, PauliSum
 from repro.simulators.statevector import StatevectorSimulator, circuit_unitary
 from repro.synthesis.verification import operator_distance
-from repro.vqe.energy import ExactEnergyEvaluator
+from repro.vqe.energy import BackendEnergyEvaluator
 from repro.vqe.optimizers import CobylaOptimizer, GeneticOptimizer
 
 
@@ -94,7 +94,7 @@ class TestDynamicalDecoupling:
 
     def test_selector_prefers_a_protective_sequence_under_drift(self):
         hamiltonian = ising_hamiltonian(3, coupling=1.0)
-        evaluator = ExactEnergyEvaluator(hamiltonian)
+        evaluator = BackendEnergyEvaluator.exact(hamiltonian)
         selector = DynamicalDecouplingSelector(evaluator, drift_angle=0.3)
         # Use a circuit whose unprotected drift raises the energy.
         circuit = _staircase_circuit(steps=8)
@@ -128,7 +128,7 @@ class TestCAFQA:
                                     optimizer=GeneticOptimizer(
                                         population_size=12, generations=6, seed=3),
                                     seed=3)
-        evaluator = ExactEnergyEvaluator(hamiltonian)
+        evaluator = BackendEnergyEvaluator.exact(hamiltonian)
         circuit = ansatz.bound_circuit(init.angles)
         assert evaluator(circuit) == pytest.approx(init.clifford_energy, abs=1e-6)
 
@@ -149,7 +149,7 @@ class TestCAFQA:
         ansatz = FullyConnectedAnsatz(4, 1)
         report = compare_initializations(
             hamiltonian, ansatz,
-            evaluator_factory=lambda: ExactEnergyEvaluator(hamiltonian),
+            evaluator_factory=lambda: BackendEnergyEvaluator.exact(hamiltonian),
             optimizer_factory=lambda: CobylaOptimizer(max_iterations=50),
             seed=5)
         assert set(report) == {"random", "cafqa", "advantage", "initialization"}
@@ -163,7 +163,7 @@ class TestCAFQA:
 class TestQISMET:
     def _evaluator_pair(self, transient_probability=0.3, seed=7):
         hamiltonian = ising_hamiltonian(3, coupling=1.0)
-        base = ExactEnergyEvaluator(hamiltonian)
+        base = BackendEnergyEvaluator.exact(hamiltonian)
         injector = TransientNoiseInjector(base,
                                           transient_probability=transient_probability,
                                           transient_magnitude=5.0, seed=seed)
@@ -173,7 +173,7 @@ class TestQISMET:
         hamiltonian, injector = self._evaluator_pair(transient_probability=1.0)
         circuit = LinearAnsatz(3, 1).bound_circuit(
             np.zeros(LinearAnsatz(3, 1).num_parameters()))
-        clean = ExactEnergyEvaluator(hamiltonian)(circuit)
+        clean = BackendEnergyEvaluator.exact(hamiltonian)(circuit)
         noisy = injector(circuit)
         assert noisy > clean + 1.0
         assert injector.transients_injected == 1
@@ -181,12 +181,12 @@ class TestQISMET:
     def test_injector_probability_validation(self):
         hamiltonian = ising_hamiltonian(3)
         with pytest.raises(ValueError):
-            TransientNoiseInjector(ExactEnergyEvaluator(hamiltonian),
+            TransientNoiseInjector(BackendEnergyEvaluator.exact(hamiltonian),
                                    transient_probability=1.5)
 
     def test_controller_parameter_validation(self):
         hamiltonian = ising_hamiltonian(3)
-        base = ExactEnergyEvaluator(hamiltonian)
+        base = BackendEnergyEvaluator.exact(hamiltonian)
         with pytest.raises(ValueError):
             QISMETController(base, threshold=0.0)
         with pytest.raises(ValueError):
@@ -210,11 +210,11 @@ class TestQISMET:
         hamiltonian = ising_hamiltonian(3, coupling=1.0)
         ansatz = LinearAnsatz(3, 1)
         circuit = ansatz.bound_circuit(0.1 * np.ones(ansatz.num_parameters()))
-        true_energy = ExactEnergyEvaluator(hamiltonian)(circuit)
+        true_energy = BackendEnergyEvaluator.exact(hamiltonian)(circuit)
         calls = 40
 
         def observed_mean(with_controller: bool, seed: int = 11) -> float:
-            base = ExactEnergyEvaluator(hamiltonian)
+            base = BackendEnergyEvaluator.exact(hamiltonian)
             injector = TransientNoiseInjector(base, transient_probability=0.35,
                                               transient_magnitude=6.0, seed=seed)
             evaluator = (QISMETController(injector, threshold=0.5, max_retries=3)

@@ -10,9 +10,8 @@ from repro.ansatz import FullyConnectedAnsatz, LinearAnsatz
 from repro.core import NISQRegime, PQECRegime
 from repro.operators import heisenberg_hamiltonian, ising_hamiltonian
 from repro.simulators import NoiseModel, depolarizing_channel
-from repro.vqe import (VQE, CliffordEnergyEvaluator, CliffordVQE,
-                       CobylaOptimizer, DensityMatrixEnergyEvaluator,
-                       ExactEnergyEvaluator, GeneticOptimizer,
+from repro.vqe import (VQE, BackendEnergyEvaluator, CliffordVQE,
+                       CobylaOptimizer, GeneticOptimizer,
                        NelderMeadOptimizer, SPSAOptimizer,
                        best_noiseless_clifford_energy, compare_regimes,
                        compare_regimes_clifford, indices_to_angles)
@@ -56,7 +55,7 @@ class TestOptimizers:
 class TestEnergyEvaluators:
     def test_exact_evaluator_counts_calls(self):
         hamiltonian = ising_hamiltonian(3, 1.0)
-        evaluator = ExactEnergyEvaluator(hamiltonian)
+        evaluator = BackendEnergyEvaluator.exact(hamiltonian)
         ansatz = LinearAnsatz(3)
         circuit = ansatz.bound_circuit([0.1] * ansatz.num_parameters())
         value = evaluator(circuit)
@@ -70,9 +69,9 @@ class TestEnergyEvaluators:
         ansatz = LinearAnsatz(3)
         circuit = ansatz.bound_circuit(
             np.random.default_rng(0).uniform(-1, 1, ansatz.num_parameters()))
-        noiseless = ExactEnergyEvaluator(hamiltonian)(circuit)
+        noiseless = BackendEnergyEvaluator.exact(hamiltonian)(circuit)
         noise = NoiseModel().add_gate_error(depolarizing_channel(0.1, 2), ["cx"])
-        noisy = DensityMatrixEnergyEvaluator(hamiltonian, noise)(circuit)
+        noisy = BackendEnergyEvaluator.density_matrix(hamiltonian, noise)(circuit)
         assert abs(noisy) <= abs(noiseless) + 1e-9
 
     def test_clifford_evaluator_matches_exact_on_clifford_point(self):
@@ -80,8 +79,8 @@ class TestEnergyEvaluators:
         ansatz = LinearAnsatz(4)
         angles = indices_to_angles([1, 0, 2, 3, 0, 1, 2, 0])
         circuit = ansatz.bound_circuit(angles)
-        exact = ExactEnergyEvaluator(hamiltonian)(circuit)
-        clifford = CliffordEnergyEvaluator(hamiltonian)(circuit)
+        exact = BackendEnergyEvaluator.exact(hamiltonian)(circuit)
+        clifford = BackendEnergyEvaluator.clifford(hamiltonian)(circuit)
         assert clifford == pytest.approx(exact, abs=1e-8)
 
 
@@ -89,7 +88,7 @@ class TestContinuousVQE:
     def test_vqe_improves_over_initial_point(self):
         hamiltonian = ising_hamiltonian(3, 0.5)
         ansatz = LinearAnsatz(3, depth=1)
-        vqe = VQE(hamiltonian, ansatz, ExactEnergyEvaluator(hamiltonian),
+        vqe = VQE(hamiltonian, ansatz, BackendEnergyEvaluator.exact(hamiltonian),
                   CobylaOptimizer(max_iterations=80),
                   reference_energy=hamiltonian.ground_state_energy())
         initial = vqe.energy(np.zeros(ansatz.num_parameters()))
@@ -100,7 +99,7 @@ class TestContinuousVQE:
     def test_vqe_reaches_near_ground_state_on_two_qubits(self):
         hamiltonian = ising_hamiltonian(2, 0.25)
         ansatz = LinearAnsatz(2, depth=2)
-        vqe = VQE(hamiltonian, ansatz, ExactEnergyEvaluator(hamiltonian),
+        vqe = VQE(hamiltonian, ansatz, BackendEnergyEvaluator.exact(hamiltonian),
                   CobylaOptimizer(max_iterations=250))
         result = vqe.run(num_restarts=2, seed=7)
         exact = hamiltonian.ground_state_energy()
@@ -109,7 +108,7 @@ class TestContinuousVQE:
     def test_mismatched_qubit_counts_rejected(self):
         with pytest.raises(ValueError):
             VQE(ising_hamiltonian(3, 1.0), LinearAnsatz(4),
-                ExactEnergyEvaluator(ising_hamiltonian(3, 1.0)))
+                BackendEnergyEvaluator.exact(ising_hamiltonian(3, 1.0)))
 
     def test_compare_regimes_produces_gamma_at_least_one_half(self):
         hamiltonian = ising_hamiltonian(3, 1.0)
