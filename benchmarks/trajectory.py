@@ -1,0 +1,125 @@
+"""Merge every per-PR ``BENCH_*.json`` into one ``BENCH_trajectory.json``.
+
+Each PR's benchmark suite records its headline numbers in a
+``BENCH_pr<N>.json`` next to this file (and CI uploads whatever matches the
+``BENCH_*.json`` glob).  The per-PR files are the raw record; this module
+folds them into a single chronological artifact so the performance
+trajectory of the repo — tasks/sec, speedup factors, shot-reduction
+factors — can be read (or plotted) from one file instead of N.
+
+Run it directly::
+
+    python benchmarks/trajectory.py          # writes BENCH_trajectory.json
+    python benchmarks/trajectory.py --print  # also prints the summary table
+
+or let the CI step do it after the benchmark suites have emitted their
+files.  Merging is deterministic: files are keyed by their ``pr`` field
+(falling back to the number in the filename), sorted ascending, and the
+output carries each file's full payload verbatim under ``entries`` plus a
+compact ``headline`` map per PR for quick scanning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+from typing import Dict, List, Optional
+
+#: The merged artifact (excluded from its own input glob).
+TRAJECTORY_JSON = os.path.join(os.path.dirname(__file__),
+                               "BENCH_trajectory.json")
+
+#: Keys promoted into the per-PR ``headline`` map when present, in
+#: preference order — one line per PR for the scanning table.
+_HEADLINE_KEYS = (
+    "speedup", "batched_vs_interpreted_speedup", "batched_vs_loop_speedup",
+    "shot_reduction", "tasks_per_sec", "shots_per_sec", "jobs_per_sec",
+)
+
+
+def _pr_of(path: str, payload: Dict) -> Optional[int]:
+    if isinstance(payload.get("pr"), int):
+        return payload["pr"]
+    match = re.search(r"pr(\d+)", os.path.basename(path))
+    return int(match.group(1)) if match else None
+
+
+def collect_bench_files(directory: Optional[str] = None) -> List[str]:
+    """Every ``BENCH_*.json`` in ``directory`` except the trajectory itself,
+    sorted by name for a stable merge order."""
+    directory = directory or os.path.dirname(os.path.abspath(__file__))
+    names = sorted(name for name in os.listdir(directory)
+                   if name.startswith("BENCH_") and name.endswith(".json")
+                   and name != os.path.basename(TRAJECTORY_JSON))
+    return [os.path.join(directory, name) for name in names]
+
+
+def build_trajectory(paths: List[str]) -> Dict:
+    """The merged trajectory document for the given bench files."""
+    entries = []
+    for path in paths:
+        with open(path) as handle:
+            payload = json.load(handle)
+        headline = {}
+        for key in _HEADLINE_KEYS:
+            if key in payload:
+                headline[key] = payload[key]
+        entries.append({
+            "file": os.path.basename(path),
+            "pr": _pr_of(path, payload),
+            "benchmark": payload.get("benchmark"),
+            "headline": headline,
+            "data": payload,
+        })
+    entries.sort(key=lambda entry: (entry["pr"] is None, entry["pr"],
+                                    entry["file"]))
+    return {
+        "artifact": "performance trajectory",
+        "source_files": [entry["file"] for entry in entries],
+        "entries": entries,
+    }
+
+
+def write_trajectory(directory: Optional[str] = None,
+                     output: Optional[str] = None) -> Dict:
+    """Merge and write ``BENCH_trajectory.json``; returns the document."""
+    paths = collect_bench_files(directory)
+    document = build_trajectory(paths)
+    output = output or (os.path.join(directory, "BENCH_trajectory.json")
+                        if directory else TRAJECTORY_JSON)
+    with open(output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def format_table(document: Dict) -> str:
+    """A one-line-per-PR summary of the merged trajectory."""
+    lines = [f"{'PR':>4}  {'file':<24}  benchmark"]
+    for entry in document["entries"]:
+        pr = entry["pr"] if entry["pr"] is not None else "?"
+        lines.append(f"{pr!s:>4}  {entry['file']:<24}  "
+                     f"{entry['benchmark'] or '-'}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=None,
+                        help="directory holding BENCH_*.json "
+                             "(default: this file's directory)")
+    parser.add_argument("--print", dest="show", action="store_true",
+                        help="print the summary table after merging")
+    options = parser.parse_args(argv)
+    document = write_trajectory(options.dir)
+    print(f"merged {len(document['entries'])} bench files -> "
+          f"BENCH_trajectory.json")
+    if options.show:
+        print(format_table(document))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

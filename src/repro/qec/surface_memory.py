@@ -36,6 +36,7 @@ from .decoders.graph import (BOUNDARY, DecodingEdge, DecodingGraph,
                              repetition_code_graph,
                              rotated_surface_code_graph)
 from .decoders.mwpm import MWPMDecoder
+from .rare_event import RareEventResult, run_rare_event_sampling
 from .sampling import (SeedLike, binomial_standard_error,
                        run_memory_sampling, run_memory_sampling_reference,
                        wilson_interval)
@@ -89,6 +90,41 @@ class MemoryExperimentOutcome:
     def wilson_interval(self, z: float = 1.96) -> Tuple[float, float]:
         """Wilson score confidence interval for the logical error rate."""
         return wilson_interval(self.failures, self.shots, z=z)
+
+
+@dataclass
+class RareEventMemoryOutcome(MemoryExperimentOutcome):
+    """A memory-experiment outcome backed by a rare-event estimator.
+
+    Drop-in for :class:`MemoryExperimentOutcome` — figure code reading
+    ``logical_error_rate`` / ``standard_error`` / ``wilson_interval`` gets
+    the variance-reduced estimate transparently.  ``failures`` counts the
+    *raw* decoder disagreements observed under the biased sampling
+    distribution (diagnostics only: under a tilt or a stratum conditioning
+    ``failures / shots`` is not the logical error rate — that is exactly
+    the point), and :attr:`rare` carries the full estimator output,
+    including the per-stratum breakdown.
+    """
+
+    rare: RareEventResult = None  # set by SurfaceCodeMemory.run
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.rare.estimate
+
+    @property
+    def standard_error(self) -> float:
+        return self.rare.standard_error
+
+    def wilson_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        return self.rare.wilson_interval(z=z)
+
+
+#: ``method=`` spellings accepted by the experiment drivers.  The public
+#: name is ``"rare-event"`` (defaults to the stratified estimator); the
+#: explicit estimator names are accepted for ablations.
+_RARE_METHODS = {"rare-event": "stratified", "stratified": "stratified",
+                 "importance": "importance"}
 
 
 class SurfaceCodeMemory:
@@ -168,16 +204,52 @@ class SurfaceCodeMemory:
     def run(self, shots: int = 200, *, executor=None,
             parallel: Optional[str] = None,
             max_workers: Optional[int] = None,
-            use_cache: Optional[bool] = None) -> MemoryExperimentOutcome:
-        """Run ``shots`` through the batched, executor-routed pipeline."""
+            use_cache: Optional[bool] = None,
+            method: str = "direct",
+            **rare_event_options) -> MemoryExperimentOutcome:
+        """Run ``shots`` through the batched, executor-routed pipeline.
+
+        ``method="direct"`` (default) is plain Monte-Carlo over the
+        physical error rates.  ``method="rare-event"`` (or explicitly
+        ``"stratified"`` / ``"importance"``) routes the same decode budget
+        through :func:`~repro.qec.rare_event.run_rare_event_sampling` and
+        returns a :class:`RareEventMemoryOutcome` whose
+        ``logical_error_rate`` is the variance-reduced estimate — the way
+        low-``p`` figure points are produced.  Extra keyword arguments
+        (``tilt``, ``min_fault_weight``, ``max_weight``, ``pilot_shots``,
+        ``tail_rtol``) pass through to the estimator.
+        """
         if shots < 1:
             raise ValueError("shots must be positive")
-        sampled = run_memory_sampling(self._graph, self._decoder, shots,
-                                      seed=self._seed, executor=executor,
-                                      parallel=parallel,
-                                      max_workers=max_workers,
-                                      use_cache=use_cache)
-        return self._outcome(shots, sampled.failures, sampled.total_defects)
+        if method == "direct":
+            if rare_event_options:
+                raise TypeError(
+                    f"method='direct' takes no estimator options, got "
+                    f"{sorted(rare_event_options)}")
+            sampled = run_memory_sampling(self._graph, self._decoder, shots,
+                                          seed=self._seed, executor=executor,
+                                          parallel=parallel,
+                                          max_workers=max_workers,
+                                          use_cache=use_cache)
+            return self._outcome(shots, sampled.failures,
+                                 sampled.total_defects)
+        if method not in _RARE_METHODS:
+            raise ValueError(
+                f"unknown method {method!r} (expected 'direct', "
+                f"'rare-event', 'stratified' or 'importance')")
+        rare = run_rare_event_sampling(
+            self._graph, self._decoder, shots,
+            method=_RARE_METHODS[method], seed=self._seed,
+            executor=executor, parallel=parallel, max_workers=max_workers,
+            use_cache=use_cache, **rare_event_options)
+        plain = self._outcome(rare.shots, rare.raw_failures,
+                              rare.total_defects)
+        return RareEventMemoryOutcome(
+            code=plain.code, distance=plain.distance, rounds=plain.rounds,
+            physical_error_rate=plain.physical_error_rate,
+            shots=plain.shots, failures=plain.failures,
+            decoder_name=plain.decoder_name,
+            average_defects=plain.average_defects, rare=rare)
 
     def run_reference(self, shots: int = 200) -> MemoryExperimentOutcome:
         """Per-shot decoding of the identical samples :meth:`run` draws.
@@ -205,14 +277,21 @@ def surface_code_memory_experiment(distance: int, physical_error_rate: float,
                                    executor=None,
                                    parallel: Optional[str] = None,
                                    max_workers: Optional[int] = None,
-                                   use_cache: Optional[bool] = None
+                                   use_cache: Optional[bool] = None,
+                                   method: str = "direct",
+                                   **rare_event_options
                                    ) -> MemoryExperimentOutcome:
-    """Rotated-surface-code memory experiment with ``rounds`` defaulting to d."""
+    """Rotated-surface-code memory experiment with ``rounds`` defaulting to d.
+
+    ``method="rare-event"`` swaps in the variance-reduced estimator for
+    low-``p`` points (see :meth:`SurfaceCodeMemory.run`).
+    """
     rounds = rounds if rounds is not None else distance
     graph = rotated_surface_code_graph(distance, rounds, physical_error_rate)
     memory = SurfaceCodeMemory(graph, decoder_factory, seed=seed)
     return memory.run(shots, executor=executor, parallel=parallel,
-                      max_workers=max_workers, use_cache=use_cache)
+                      max_workers=max_workers, use_cache=use_cache,
+                      method=method, **rare_event_options)
 
 
 def repetition_code_memory_experiment(distance: int, physical_error_rate: float,
@@ -223,14 +302,17 @@ def repetition_code_memory_experiment(distance: int, physical_error_rate: float,
                                       executor=None,
                                       parallel: Optional[str] = None,
                                       max_workers: Optional[int] = None,
-                                      use_cache: Optional[bool] = None
+                                      use_cache: Optional[bool] = None,
+                                      method: str = "direct",
+                                      **rare_event_options
                                       ) -> MemoryExperimentOutcome:
     """Repetition-code memory experiment with ``rounds`` defaulting to d."""
     rounds = rounds if rounds is not None else distance
     graph = repetition_code_graph(distance, rounds, physical_error_rate)
     memory = SurfaceCodeMemory(graph, decoder_factory, seed=seed)
     return memory.run(shots, executor=executor, parallel=parallel,
-                      max_workers=max_workers, use_cache=use_cache)
+                      max_workers=max_workers, use_cache=use_cache,
+                      method=method, **rare_event_options)
 
 
 def decoder_comparison(distance: int, physical_error_rate: float,
@@ -272,13 +354,18 @@ def logical_error_rate_curve(distances: Sequence[int],
                              executor=None,
                              parallel: Optional[str] = None,
                              max_workers: Optional[int] = None,
-                             use_cache: Optional[bool] = None
+                             use_cache: Optional[bool] = None,
+                             method: str = "direct",
+                             **rare_event_options
                              ) -> Dict[Tuple[int, float], float]:
     """Logical error rate over a (distance × physical error rate) sweep.
 
     Each grid cell is seeded by its own ``SeedSequence(seed)`` spawn child
     (collision-free by construction) and cached in the execution layer, so
-    a warm re-run of the same curve decodes nothing.
+    a warm re-run of the same curve decodes nothing.  ``method="rare-event"``
+    estimates every cell with the stratified rare-event sampler — the same
+    decode budget then resolves tail cells that direct Monte-Carlo would
+    report as an uninformative zero.
     """
     distances = list(distances)
     physical_error_rates = list(physical_error_rates)
@@ -293,6 +380,7 @@ def logical_error_rate_curve(distances: Sequence[int],
             graph = builder(distance, distance, error_rate)
             memory = SurfaceCodeMemory(graph, decoder_factory, seed=child)
             outcome = memory.run(shots, executor=executor, parallel=parallel,
-                                 max_workers=max_workers, use_cache=use_cache)
+                                 max_workers=max_workers, use_cache=use_cache,
+                                 method=method, **rare_event_options)
             curve[(distance, float(error_rate))] = outcome.logical_error_rate
     return curve

@@ -34,7 +34,7 @@ from .jobs import prepare_job
 from .protocol import (JOB_KINDS, JOB_STATES, PROTOCOL_VERSION,
                        TERMINAL_STATES, ProtocolError, decode_line,
                        encode_line, expectation_payload, qec_memory_payload,
-                       sweep_payload)
+                       qec_rare_event_payload, sweep_payload)
 from .queue import QueueFullError, QuotaExceededError, TenantQueues
 from .registry import RegistryError, RunRegistry
 from .runner import JobRunner, UnknownJobError
@@ -56,6 +56,7 @@ __all__ = [
     "encode_line",
     "expectation_payload",
     "qec_memory_payload",
+    "qec_rare_event_payload",
     "sweep_payload",
     "QueueFullError",
     "QuotaExceededError",

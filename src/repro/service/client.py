@@ -24,7 +24,8 @@ from .protocol import (AttachRequest, CancelRequest, ErrorResponse,
                        ShutdownRequest, StatsRequest, StatsResponse,
                        StatusRequest, SubmitRequest, SubmittedResponse,
                        decode_line, encode_line, expectation_payload,
-                       qec_memory_payload, sweep_payload)
+                       qec_memory_payload, qec_rare_event_payload,
+                       sweep_payload)
 
 #: Signature of a streaming callback: one persisted event dict at a time.
 EventCallback = Callable[[Dict[str, Any]], None]
@@ -228,6 +229,15 @@ class ServiceClient:
         :func:`qec_memory_payload`."""
         payload = qec_memory_payload(**options)
         return self.submit("qec_memory", payload, tenant=tenant,
+                           priority=priority).job_id
+
+    def submit_qec_rare_event(self, *, tenant="default", priority=0,
+                              **options) -> str:
+        """Submit a ``qec_rare_event`` job (variance-reduced low-``p``
+        logical-error-rate estimation); options mirror
+        :func:`qec_rare_event_payload`."""
+        payload = qec_rare_event_payload(**options)
+        return self.submit("qec_rare_event", payload, tenant=tenant,
                            priority=priority).job_id
 
     def fetch(self, job_id: str) -> Dict[str, Any]:

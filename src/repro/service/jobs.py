@@ -241,18 +241,11 @@ def _import_qec():
 
 
 def _prepare_qec_memory(payload: Dict[str, Any]) -> PreparedJob:
-    from ..qec import repetition_code_graph, rotated_surface_code_graph
     from ..qec.decoders.base import decoder_cache_token
     from ..qec.sampling import (SHOT_BLOCK, as_seed_sequence,
                                 stream_memory_sampling, wilson_interval)
 
-    code = payload.get("code", "repetition")
-    distance = int(payload["distance"])
-    rounds = int(payload["rounds"])
-    error_rate = float(payload["error_rate"])
-    measurement_error_rate = payload.get("measurement_error_rate")
-    if measurement_error_rate is not None:
-        measurement_error_rate = float(measurement_error_rate)
+    graph, decoder = _decode_qec_graph_and_decoder(payload)
     shots = int(payload["shots"])
     if shots < 1:
         raise ProtocolError("shots must be a positive integer")
@@ -260,22 +253,6 @@ def _prepare_qec_memory(payload: Dict[str, Any]) -> PreparedJob:
     chunk_blocks = int(payload.get("chunk_blocks", DEFAULT_CHUNK_BLOCKS))
     if chunk_blocks < 1:
         raise ProtocolError("chunk_blocks must be a positive integer")
-
-    if code == "repetition":
-        graph = repetition_code_graph(distance, rounds, error_rate,
-                                      measurement_error_rate)
-    elif code == "surface":
-        graph = rotated_surface_code_graph(distance, rounds, error_rate,
-                                           measurement_error_rate)
-    else:
-        raise ProtocolError(f"unknown code family {code!r} "
-                            f"(expected 'repetition' or 'surface')")
-    builder = _DECODER_BUILDERS.get(payload.get("decoder", "mwpm"))
-    if builder is None:
-        raise ProtocolError(
-            f"unknown decoder {payload.get('decoder')!r} (expected one of "
-            f"{sorted(_DECODER_BUILDERS)})")
-    decoder = builder(graph)
 
     # Seeded runs key on the same content identities the engine caches on;
     # an unseeded run is stochastic — no key, never coalesced.
@@ -319,6 +296,130 @@ def _prepare_qec_memory(payload: Dict[str, Any]) -> PreparedJob:
 
 
 # ---------------------------------------------------------------------------
+# qec_rare_event
+# ---------------------------------------------------------------------------
+
+
+def _decode_qec_graph_and_decoder(payload: Dict[str, Any]):
+    """The (graph, decoder) pair shared by the QEC job kinds."""
+    from ..qec import repetition_code_graph, rotated_surface_code_graph
+    code = payload.get("code", "repetition")
+    distance = int(payload["distance"])
+    rounds = int(payload["rounds"])
+    error_rate = float(payload["error_rate"])
+    measurement_error_rate = payload.get("measurement_error_rate")
+    if measurement_error_rate is not None:
+        measurement_error_rate = float(measurement_error_rate)
+    if code == "repetition":
+        graph = repetition_code_graph(distance, rounds, error_rate,
+                                      measurement_error_rate)
+    elif code == "surface":
+        graph = rotated_surface_code_graph(distance, rounds, error_rate,
+                                           measurement_error_rate)
+    else:
+        raise ProtocolError(f"unknown code family {code!r} "
+                            f"(expected 'repetition' or 'surface')")
+    builder = _DECODER_BUILDERS.get(payload.get("decoder", "mwpm"))
+    if builder is None:
+        raise ProtocolError(
+            f"unknown decoder {payload.get('decoder')!r} (expected one of "
+            f"{sorted(_DECODER_BUILDERS)})")
+    return graph, builder(graph)
+
+
+def _prepare_qec_rare_event(payload: Dict[str, Any]) -> PreparedJob:
+    from ..qec.decoders.base import decoder_cache_token
+    from ..qec.rare_event import stream_rare_event_sampling
+    from ..qec.sampling import SHOT_BLOCK, as_seed_sequence
+
+    graph, decoder = _decode_qec_graph_and_decoder(payload)
+    shots = int(payload["shots"])
+    if shots < 1:
+        raise ProtocolError("shots must be a positive integer")
+    seed = payload.get("seed")
+    chunk_blocks = int(payload.get("chunk_blocks", DEFAULT_CHUNK_BLOCKS))
+    if chunk_blocks < 1:
+        raise ProtocolError("chunk_blocks must be a positive integer")
+    method = payload.get("method", "stratified")
+    if method == "rare-event":
+        method = "stratified"
+    if method not in ("stratified", "importance"):
+        raise ProtocolError(f"unknown rare-event method {method!r} "
+                            f"(expected 'stratified' or 'importance')")
+    options = {}
+    if payload.get("tilt") is not None:
+        options["tilt"] = float(payload["tilt"])
+    if payload.get("min_fault_weight") is not None:
+        options["min_fault_weight"] = int(payload["min_fault_weight"])
+    if payload.get("max_weight") is not None:
+        options["max_weight"] = int(payload["max_weight"])
+    if payload.get("pilot_shots") is not None:
+        options["pilot_shots"] = int(payload["pilot_shots"])
+    if payload.get("tail_rtol") is not None:
+        options["tail_rtol"] = float(payload["tail_rtol"])
+
+    # Seeded + token-pinned runs coalesce across clients on the same
+    # content identities the estimator caches on.  The estimator knobs are
+    # part of the key (they change the sampling distribution) and so is
+    # chunk_blocks: importance-sampling partials fold per chunk, so
+    # differently-chunked submissions may differ in the last ulp.
+    key = None
+    if seed is not None:
+        _, seed_key = as_seed_sequence(int(seed))
+        token = decoder_cache_token(decoder)
+        if token is not None:
+            key = _digest("qec-rare-event", graph.fingerprint(), token,
+                          method, tuple(sorted(options.items())), shots,
+                          SHOT_BLOCK, seed_key, chunk_blocks)
+
+    def run(ctx: JobContext) -> Dict[str, Any]:
+        final = None
+        for partial in stream_rare_event_sampling(
+                graph, decoder, shots,
+                method=method,
+                seed=int(seed) if seed is not None else None,
+                executor=ctx.executor, chunk_blocks=chunk_blocks, **options):
+            ctx.checkpoint()
+            low, high = partial.wilson_interval()
+            ctx.emit("partial", {
+                "shots": partial.shots,
+                "estimate": partial.estimate,
+                "variance": partial.variance,
+                "ess": partial.ess,
+                "raw_failures": partial.raw_failures,
+                "wilson": [low, high],
+                "strata": [{"weight": s.weight,
+                            "probability": s.probability,
+                            "shots": s.shots,
+                            "failures": s.failures}
+                           for s in partial.strata],
+                "total": shots,
+            })
+            final = partial
+        low, high = final.wilson_interval()
+        return {
+            "method": final.method,
+            "shots": final.shots,
+            "estimate": final.estimate,
+            "logical_error_rate": final.estimate,
+            "variance": final.variance,
+            "ess": final.ess,
+            "raw_failures": final.raw_failures,
+            "total_defects": final.total_defects,
+            "wilson": [low, high],
+            "tail_probability": final.tail_probability,
+            "strata": [{"weight": s.weight, "probability": s.probability,
+                        "shots": s.shots, "failures": s.failures}
+                       for s in final.strata],
+            "from_cache": final.from_cache,
+        }
+
+    return PreparedJob(kind="qec_rare_event", key=key,
+                       units=-(-shots // (SHOT_BLOCK * chunk_blocks)),
+                       run=run)
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -326,6 +427,7 @@ _PREPARERS = {
     "expectation": _prepare_expectation,
     "sweep": _prepare_sweep,
     "qec_memory": _prepare_qec_memory,
+    "qec_rare_event": _prepare_qec_rare_event,
 }
 
 

@@ -8,7 +8,7 @@ and noise models ride the :mod:`repro.io.serialization` dict formats, so a
 shared service socket can never be made to execute code by a malicious
 payload.
 
-Three job kinds are accepted (``JOB_KINDS``):
+Four job kinds are accepted (``JOB_KINDS``):
 
 ``expectation``
     ⟨H⟩ for a list of bound circuits — the service-side mirror of
@@ -21,6 +21,11 @@ Three job kinds are accepted (``JOB_KINDS``):
     A seeded QEC Monte-Carlo memory experiment — the mirror of
     :func:`repro.qec.run_memory_sampling`, streamed as running failure
     counts with Wilson intervals.
+``qec_rare_event``
+    A variance-reduced low-``p`` logical-error-rate estimate — the mirror
+    of :func:`repro.qec.run_rare_event_sampling`, streamed as running
+    estimates with effective-n Wilson intervals and per-stratum
+    breakdowns.
 
 Use the ``*_payload`` helpers to build submission payloads from in-memory
 objects; :func:`encode_line` / :func:`decode_line` convert between message
@@ -38,7 +43,7 @@ from typing import Any, Dict, List, Optional, Type
 PROTOCOL_VERSION = 1
 
 #: The job kinds the server schedules.
-JOB_KINDS = ("expectation", "sweep", "qec_memory")
+JOB_KINDS = ("expectation", "sweep", "qec_memory", "qec_rare_event")
 
 #: Job lifecycle states persisted in the run registry.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -405,4 +410,47 @@ def qec_memory_payload(*, code: str = "repetition", distance: int,
         payload["seed"] = int(seed)
     if chunk_blocks is not None:
         payload["chunk_blocks"] = int(chunk_blocks)
+    return payload
+
+
+def qec_rare_event_payload(*, code: str = "repetition", distance: int,
+                           rounds: int, error_rate: float,
+                           measurement_error_rate: Optional[float] = None,
+                           decoder: str = "mwpm", shots: int,
+                           method: str = "stratified",
+                           seed: Optional[int] = None,
+                           tilt: Optional[float] = None,
+                           min_fault_weight: Optional[int] = None,
+                           max_weight: Optional[int] = None,
+                           pilot_shots: Optional[int] = None,
+                           tail_rtol: Optional[float] = None,
+                           chunk_blocks: Optional[int] = None
+                           ) -> Dict[str, Any]:
+    """Payload of a ``qec_rare_event`` job (variance-reduced low-``p`` run).
+
+    Same graph/decoder spec as :func:`qec_memory_payload`; ``shots`` is the
+    decode budget the estimator spends.  ``method`` is ``"stratified"``
+    (weight-stratified subset sampling, the default — per-stratum partials
+    stream out as the budget is spent) or ``"importance"`` (exponentially
+    tilted importance sampling; ``tilt`` is the tilt parameter θ, auto-solved
+    when unset).  ``min_fault_weight`` / ``max_weight`` / ``pilot_shots`` /
+    ``tail_rtol`` tune the stratified estimator; unset values use the
+    engine defaults documented on
+    :func:`repro.qec.rare_event.run_rare_event_sampling`.
+    """
+    payload = qec_memory_payload(
+        code=code, distance=distance, rounds=rounds, error_rate=error_rate,
+        measurement_error_rate=measurement_error_rate, decoder=decoder,
+        shots=shots, seed=seed, chunk_blocks=chunk_blocks)
+    payload["method"] = str(method)
+    if tilt is not None:
+        payload["tilt"] = float(tilt)
+    if min_fault_weight is not None:
+        payload["min_fault_weight"] = int(min_fault_weight)
+    if max_weight is not None:
+        payload["max_weight"] = int(max_weight)
+    if pilot_shots is not None:
+        payload["pilot_shots"] = int(pilot_shots)
+    if tail_rtol is not None:
+        payload["tail_rtol"] = float(tail_rtol)
     return payload

@@ -3,9 +3,7 @@
 from .clifford_vqe import (CLIFFORD_ANGLES, CliffordVQE, CliffordVQEResult,
                            best_noiseless_clifford_energy,
                            compare_regimes_clifford, indices_to_angles)
-from .energy import (BackendEnergyEvaluator, CliffordEnergyEvaluator,
-                     DensityMatrixEnergyEvaluator, EnergyEvaluator,
-                     ExactEnergyEvaluator, MonteCarloStabilizerEvaluator)
+from .energy import BackendEnergyEvaluator, EnergyEvaluator
 from .optimizers import (CobylaOptimizer, GeneticOptimizer, NelderMeadOptimizer,
                          OptimizationResult, Optimizer, SPSAOptimizer)
 from .runner import (VQE, VQEResult, compare_regimes, compare_regimes_opr,
@@ -14,15 +12,11 @@ from .runner import (VQE, VQEResult, compare_regimes, compare_regimes_opr,
 __all__ = [
     "BackendEnergyEvaluator",
     "CLIFFORD_ANGLES",
-    "CliffordEnergyEvaluator",
     "CliffordVQE",
     "CliffordVQEResult",
     "CobylaOptimizer",
-    "DensityMatrixEnergyEvaluator",
     "EnergyEvaluator",
-    "ExactEnergyEvaluator",
     "GeneticOptimizer",
-    "MonteCarloStabilizerEvaluator",
     "NelderMeadOptimizer",
     "OptimizationResult",
     "Optimizer",

@@ -33,7 +33,6 @@ their invocations, which the optimizers report.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Union
 
 
@@ -247,112 +246,3 @@ class BackendEnergyEvaluator(EnergyEvaluator):
         """Seeded Monte-Carlo stabilizer preset (cross-validation backend)."""
         return cls(**cls._stabilizer_config(hamiltonian, noise_model,
                                             trajectories, seed))
-
-
-def _warn_legacy_evaluator(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use BackendEnergyEvaluator.{new} instead "
-        f"(same configuration, same results — the classmethod presets are "
-        f"the single source of truth for the historical regimes)",
-        DeprecationWarning, stacklevel=3)
-
-
-class ExactEnergyEvaluator(BackendEnergyEvaluator):
-    """Noiseless statevector expectation.
-
-    .. deprecated::
-        Use :meth:`BackendEnergyEvaluator.exact` — identical configuration
-        and results.  Migration:
-
-        ==========================================  ================================================
-        Legacy                                      Replacement
-        ==========================================  ================================================
-        ``ExactEnergyEvaluator(h)``                 ``BackendEnergyEvaluator.exact(h)``
-        ==========================================  ================================================
-    """
-
-    def __init__(self, hamiltonian: PauliSum):
-        _warn_legacy_evaluator("ExactEnergyEvaluator", "exact(...)")
-        super().__init__(**BackendEnergyEvaluator._exact_config(hamiltonian))
-
-
-class DensityMatrixEnergyEvaluator(BackendEnergyEvaluator):
-    """Noisy expectation via exact density-matrix simulation.
-
-    .. deprecated::
-        Use :meth:`BackendEnergyEvaluator.density_matrix` — identical
-        configuration and results.  Migration:
-
-        ==================================================  ==========================================================
-        Legacy                                              Replacement
-        ==================================================  ==========================================================
-        ``DensityMatrixEnergyEvaluator(h, nm)``             ``BackendEnergyEvaluator.density_matrix(h, nm)``
-        ``DensityMatrixEnergyEvaluator(h, nm, False)``      ``BackendEnergyEvaluator.density_matrix(h, nm, False)``
-        ==================================================  ==========================================================
-    """
-
-    def __init__(self, hamiltonian: PauliSum,
-                 noise_model: Optional[NoiseModel] = None,
-                 canonicalize: bool = True):
-        _warn_legacy_evaluator("DensityMatrixEnergyEvaluator",
-                               "density_matrix(...)")
-        super().__init__(**BackendEnergyEvaluator._density_matrix_config(
-            hamiltonian, noise_model, canonicalize))
-
-
-class CliffordEnergyEvaluator(BackendEnergyEvaluator):
-    """Noisy expectation of Clifford circuits via exact Pauli propagation.
-
-    The circuit must have all rotation angles at multiples of π/2 (the
-    stabilizer-proxy restriction of Sec. 5.2.2).  Pauli noise is exact; other
-    channels in the noise model are Pauli-twirled.
-
-    .. deprecated::
-        Use :meth:`BackendEnergyEvaluator.clifford` — identical
-        configuration and results.  Migration:
-
-        ==========================================  ====================================================
-        Legacy                                      Replacement
-        ==========================================  ====================================================
-        ``CliffordEnergyEvaluator(h, nm)``          ``BackendEnergyEvaluator.clifford(h, nm)``
-        ``... include_idle=False)``                 ``... include_idle=False)`` (same keywords)
-        ==========================================  ====================================================
-    """
-
-    def __init__(self, hamiltonian: PauliSum,
-                 noise_model: Optional[NoiseModel] = None,
-                 canonicalize: bool = True,
-                 include_idle: bool = True):
-        _warn_legacy_evaluator("CliffordEnergyEvaluator", "clifford(...)")
-        super().__init__(**BackendEnergyEvaluator._clifford_config(
-            hamiltonian, noise_model, canonicalize, include_idle))
-
-
-class MonteCarloStabilizerEvaluator(BackendEnergyEvaluator):
-    """Monte-Carlo stabilizer-trajectory estimate (cross-validation backend).
-
-    With an explicit ``seed`` every trajectory's generator is derived from
-    the (task, seed) pair, so results are reproducible independent of other
-    executor traffic, of trajectory sharding across worker processes, *and*
-    across runs — which also makes them cacheable (the seed is part of the
-    cache key).  Without a seed the ensemble draws fresh randomness and is
-    never cached.
-
-    .. deprecated::
-        Use :meth:`BackendEnergyEvaluator.monte_carlo_stabilizer` —
-        identical configuration and results.  Migration:
-
-        ====================================================  ==============================================================
-        Legacy                                                Replacement
-        ====================================================  ==============================================================
-        ``MonteCarloStabilizerEvaluator(h, nm, 200, 7)``      ``BackendEnergyEvaluator.monte_carlo_stabilizer(h, nm, 200, 7)``
-        ====================================================  ==============================================================
-    """
-
-    def __init__(self, hamiltonian: PauliSum,
-                 noise_model: Optional[NoiseModel] = None,
-                 trajectories: int = 200, seed: Optional[int] = None):
-        _warn_legacy_evaluator("MonteCarloStabilizerEvaluator",
-                               "monte_carlo_stabilizer(...)")
-        super().__init__(**BackendEnergyEvaluator._stabilizer_config(
-            hamiltonian, noise_model, trajectories, seed))

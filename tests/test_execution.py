@@ -439,42 +439,19 @@ class TestEvaluatorIntegration:
             hamiltonian, noise, trajectories=50, seed=3)(circuit)
         assert a == pytest.approx(b)
 
-    def test_legacy_evaluator_shims_warn_and_match_presets(self):
-        """Each deprecated class warns once and configures exactly like
-        its BackendEnergyEvaluator classmethod replacement."""
-        from repro.vqe.energy import (BackendEnergyEvaluator,
-                                      CliffordEnergyEvaluator,
-                                      DensityMatrixEnergyEvaluator,
-                                      ExactEnergyEvaluator,
-                                      MonteCarloStabilizerEvaluator)
-        hamiltonian = ising_hamiltonian(3, 1.0)
-        noise = cx_noise()
-        circuit = clifford_circuit(3)
-
-        with pytest.warns(DeprecationWarning, match="exact"):
-            legacy = ExactEnergyEvaluator(hamiltonian)
-        assert legacy(circuit) == pytest.approx(
-            BackendEnergyEvaluator.exact(hamiltonian)(circuit))
-
-        with pytest.warns(DeprecationWarning, match="density_matrix"):
-            legacy = DensityMatrixEnergyEvaluator(hamiltonian, noise)
-        assert legacy.backend == "density_matrix"
-        assert legacy(circuit) == pytest.approx(
-            BackendEnergyEvaluator.density_matrix(hamiltonian,
-                                                  noise)(circuit))
-
-        with pytest.warns(DeprecationWarning, match="clifford"):
-            legacy = CliffordEnergyEvaluator(hamiltonian, noise)
-        assert legacy.backend == "pauli_propagation"
-        assert legacy(circuit) == pytest.approx(
-            BackendEnergyEvaluator.clifford(hamiltonian, noise)(circuit))
-
-        with pytest.warns(DeprecationWarning, match="monte_carlo"):
-            legacy = MonteCarloStabilizerEvaluator(hamiltonian, noise,
-                                                   trajectories=20, seed=5)
-        assert legacy(circuit) == pytest.approx(
-            BackendEnergyEvaluator.monte_carlo_stabilizer(
-                hamiltonian, noise, trajectories=20, seed=5)(circuit))
+    def test_legacy_evaluator_shims_are_gone(self):
+        """The deprecated constructor shims were removed after their one
+        release of grace (PR 9 migrated every call site to the
+        BackendEnergyEvaluator classmethod presets); importing them must
+        fail so stale call sites surface as ImportError, not behavior."""
+        import repro.vqe
+        import repro.vqe.energy
+        for name in ("ExactEnergyEvaluator", "DensityMatrixEnergyEvaluator",
+                     "CliffordEnergyEvaluator",
+                     "MonteCarloStabilizerEvaluator"):
+            assert not hasattr(repro.vqe, name), name
+            assert not hasattr(repro.vqe.energy, name), name
+            assert name not in repro.vqe.__all__
 
 
 class TestReviewRegressions:

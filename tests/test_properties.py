@@ -41,6 +41,10 @@ from repro.qec.decoders import (CliquePredecoder, LookupDecoder, MWPMDecoder,
                                 UnionFindDecoder, batch_decode,
                                 batch_decode_packed)
 from repro.qec.decoders.graph import repetition_code_graph
+from repro.qec.rare_event import (_conditional_include_table,
+                                  _log_weight_terms, _sample_fixed_weight,
+                                  stratum_probabilities,
+                                  tilted_probabilities)
 from repro.qec.sampling import (packed_syndromes_and_flips, sample_errors,
                                 sampling_arrays, syndromes_and_flips)
 from repro.simulators.program import compile_circuit, run_interpreted
@@ -452,6 +456,104 @@ class TestGroupedReadoutProperties:
             expected = (1.0 if pauli.is_identity()
                         else state.expectation_pauli(pauli))
             assert abs(grouped[index] - expected) <= 1e-12
+
+
+class TestRareEventProperties:
+    """Contracts of the PR 10 rare-event estimators: log-weights stay
+    finite at any tilt, the identity tilt is an exact no-op, and the
+    Poisson-binomial stratum math is exact."""
+
+    @given(data=st.data())
+    def test_log_weights_finite_at_extreme_rates(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=64))
+        seed = data.draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+        rng = np.random.default_rng(seed)
+        # rates spanning ~300 orders of magnitude downward and as close to
+        # 1 as float64 can represent while staying strictly below it (the
+        # estimator's contract is rates strictly inside (0, 1))
+        p = 10.0 ** rng.uniform(-300, -0.001, size=n)
+        q = 1.0 - 10.0 ** rng.uniform(-15, -0.001, size=n)
+        base_log, log_ratio = _log_weight_terms(p, q)
+        assert math.isfinite(base_log)
+        assert np.all(np.isfinite(log_ratio))
+        # the heaviest possible shot (every edge flipped) still yields a
+        # finite log-weight — only exp() may round it to 0.0 or overflow
+        assert math.isfinite(base_log + float(log_ratio.sum()))
+
+    @given(data=st.data())
+    def test_identity_tilt_weights_are_exactly_one(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=64))
+        seed = data.draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(1e-12, 1.0 - 1e-12, size=n)
+        q = tilted_probabilities(p, 0.0)
+        assert np.array_equal(q, p)
+        base_log, log_ratio = _log_weight_terms(p, q)
+        # exact zeros, not merely small: identical arrays subtract to 0.0
+        assert base_log == 0.0
+        assert np.all(log_ratio == 0.0)
+        errors = (rng.random((16, n)) < p).view(np.uint8)
+        assert np.all(np.exp(base_log + errors @ log_ratio) == 1.0)
+
+    @given(data=st.data())
+    def test_tilted_rates_stay_in_unit_interval(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=64))
+        seed = data.draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+        theta = data.draw(st.floats(min_value=-700, max_value=700,
+                                    allow_nan=False))
+        p = np.random.default_rng(seed).uniform(1e-9, 1 - 1e-9, size=n)
+        q = tilted_probabilities(p, theta)
+        # extreme tilts may saturate to an exact 0.0/1.0 in float64 (the
+        # estimator's (0,1) validation rejects those) but never overflow
+        assert np.all(np.isfinite(q))
+        assert np.all((q >= 0.0) & (q <= 1.0))
+        # moderate tilts keep every rate strictly inside the interval
+        moderate = tilted_probabilities(
+            np.clip(p, 1e-6, 1 - 1e-6), max(-20.0, min(20.0, theta)))
+        assert np.all((moderate > 0.0) & (moderate < 1.0))
+
+    @given(data=st.data())
+    def test_stratum_probabilities_normalize(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=40))
+        max_weight = data.draw(st.integers(min_value=0, max_value=n))
+        seed = data.draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+        p = np.random.default_rng(seed).uniform(1e-8, 0.5, size=n)
+        dist, tail = stratum_probabilities(p, max_weight)
+        assert dist.shape == (max_weight + 1,)
+        assert np.all(dist >= 0.0) and tail >= 0.0
+        assert math.fsum(dist.tolist()) + tail == pytest.approx(1.0,
+                                                                abs=1e-12)
+        # truncation is exact for the kept bins: widening the window must
+        # not change them (probability only ever flows upward in weight)
+        wider, _ = stratum_probabilities(p, min(n, max_weight + 3))
+        assert np.array_equal(dist, wider[:max_weight + 1])
+
+    @given(data=st.data())
+    def test_homogeneous_strata_match_binomial(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=30))
+        rate = data.draw(st.floats(min_value=1e-6, max_value=0.5))
+        dist, _ = stratum_probabilities(np.full(n, rate), n)
+        for w in range(n + 1):
+            exact = math.comb(n, w) * rate ** w * (1 - rate) ** (n - w)
+            assert dist[w] == pytest.approx(exact, rel=1e-9, abs=1e-300)
+
+    @given(data=st.data())
+    @settings(deadline=None)
+    def test_conditional_samples_carry_exact_weight(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=24))
+        weight = data.draw(st.integers(min_value=1, max_value=n))
+        seed = data.draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(1e-6, 0.5, size=n)
+        include = _conditional_include_table(p, weight)
+        assert np.all((include >= 0.0) & (include <= 1.0))
+        graph = repetition_code_graph(3, 2, 0.1)
+        arrays = sampling_arrays(graph)
+        table = _conditional_include_table(arrays.probabilities,
+                                           min(weight, arrays.num_edges))
+        errors = _sample_fixed_weight(arrays, min(weight, arrays.num_edges),
+                                      32, rng, table)
+        assert np.all(errors.sum(axis=1) == min(weight, arrays.num_edges))
 
 
 if __name__ == "__main__":
